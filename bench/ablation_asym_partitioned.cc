@@ -1,0 +1,74 @@
+// Ablation: Asymmetric Minwise Hashing combined with partitioning — the
+// unnumbered experiment in Section 6.1:
+//
+//   "We have also conducted experiments on evaluating the performance of
+//    using Asymmetric Minwise Hashing in conjunction with partitioning
+//    (and up to 32 partitions). [...] While there is a slight improvement
+//    in precision, we failed to observe any significant improvements in
+//    recall. This is due to the fact that, for a power-law distribution,
+//    some partitions still have sufficiently large difference between the
+//    largest and the smallest domain sizes, making Asymmetric Minwise
+//    Hashing unsuitable."
+//
+// Expected shape: Asym + partitions edges Asym on precision; recall stays
+// far below LSH Ensemble at the same partition count (and still collapses
+// at high thresholds).
+//
+// Default: 20k domains, 200 queries (--domains / --queries to change).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lshensemble;
+  using namespace lshensemble::bench;
+  const auto num_domains =
+      static_cast<size_t>(IntFlag(argc, argv, "domains", 20000));
+  const auto num_queries =
+      static_cast<size_t>(IntFlag(argc, argv, "queries", 200));
+
+  std::cout << "Ablation: Asym + partitioning (Section 6.1, unnumbered)\n"
+            << "corpus: " << num_domains << " COD-like domains, "
+            << num_queries << " queries, m=256, seed=" << kBenchSeed
+            << "\n";
+
+  // Smallest-decile queries stress the paper's motivating scenario: a
+  // small query column whose containers spread across the whole size
+  // range, including the wide tail partition where per-partition padding
+  // remains large.
+  const Corpus corpus = CodLikeCorpus(num_domains);
+  AccuracyExperimentOptions options;
+  options.seed = kBenchSeed;
+  AccuracyExperiment experiment(
+      corpus, AllIndices(corpus),
+      SampleQueryIndices(corpus, num_queries, QuerySizeBias::kSmallestDecile,
+                         kBenchSeed),
+      options);
+  if (Status status = experiment.Prepare(); !status.ok()) {
+    std::cerr << "prepare failed: " << status << "\n";
+    return 1;
+  }
+
+  std::vector<std::vector<AccuracyCell>> panels;
+  for (const IndexConfig& config :
+       {IndexConfig::Asym(), IndexConfig::AsymPartitioned(32),
+        IndexConfig::Ensemble(32)}) {
+    auto cells = experiment.RunConfig(config);
+    if (!cells.ok()) {
+      std::cerr << "run failed: " << cells.status() << "\n";
+      return 1;
+    }
+    panels.push_back(std::move(cells).value());
+  }
+  PrintAccuracyPanels(std::cout, panels);
+  std::cout
+      << "\nExpected: plain Asym's recall collapses; partitioning recovers "
+         "much of it but always trails LSH Ensemble, with the gap widest "
+         "at high thresholds (matches in the wide tail partition stay "
+         "over-padded). Note: the paper reports *no significant* recall "
+         "improvement on the real Canadian Open Data corpus — its "
+         "within-partition size spreads are harsher than this generator's "
+         "pool structure produces (see EXPERIMENTS.md).\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation: index memory and on-disk footprint.
+//
+// The paper's introduction makes "compact index size and small query
+// memory footprint" an explicit design constraint (Section 1.1): the
+// index must be far smaller than the raw data, and the per-domain cost
+// must be flat in the domain's size (that is the whole point of
+// fixed-size sketches). This bench measures resident and serialized
+// bytes per domain across the signature-length / tree-depth grid, plus
+// the raw-value footprint for contrast.
+//
+// Expected shape: bytes/domain constant in domain size, linear in m;
+// on-disk ~ resident; raw data orders of magnitude larger for large
+// domains.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/lsh_ensemble.h"
+#include "io/ensemble_io.h"
+#include "util/thread_pool.h"
+
+int main(int argc, char** argv) {
+  using namespace lshensemble;
+  using namespace lshensemble::bench;
+  const auto num_domains =
+      static_cast<size_t>(IntFlag(argc, argv, "domains", 50000));
+
+  std::cout << "Ablation: index footprint (" << num_domains
+            << " COD-like domains, 16 partitions, seed=" << kBenchSeed
+            << ")\n\n";
+  const Corpus corpus = CodLikeCorpus(num_domains);
+  size_t raw_bytes = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    raw_bytes += corpus.domain(i).size() * sizeof(uint64_t);
+  }
+
+  TablePrinter printer({"m", "tree depth", "resident MiB", "on-disk MiB",
+                        "bytes/domain", "raw-data ratio"});
+  for (int num_hashes : {64, 128, 256, 512}) {
+    for (int tree_depth : {4, 8}) {
+      auto family = HashFamily::Create(num_hashes, kBenchSeed).value();
+      std::vector<MinHash> sketches(corpus.size());
+      ThreadPool::Shared().ParallelFor(corpus.size(), [&](size_t i) {
+        sketches[i] = MinHash::FromValues(family, corpus.domain(i).values);
+      });
+      LshEnsembleOptions options;
+      options.num_partitions = 16;
+      options.num_hashes = num_hashes;
+      options.tree_depth = tree_depth;
+      LshEnsembleBuilder builder(options, family);
+      for (size_t i = 0; i < corpus.size(); ++i) {
+        const Domain& domain = corpus.domain(i);
+        if (Status status = builder.Add(domain.id, domain.size(),
+                                        std::move(sketches[i]));
+            !status.ok()) {
+          std::cerr << "add failed: " << status << "\n";
+          return 1;
+        }
+      }
+      auto ensemble = std::move(builder).Build();
+      if (!ensemble.ok()) {
+        std::cerr << "build failed: " << ensemble.status() << "\n";
+        return 1;
+      }
+      std::string image;
+      if (Status status = SerializeEnsemble(*ensemble, &image);
+          !status.ok()) {
+        std::cerr << "serialize failed: " << status << "\n";
+        return 1;
+      }
+      const double resident = static_cast<double>(ensemble->MemoryBytes());
+      printer.AddRow(
+          {std::to_string(num_hashes), std::to_string(tree_depth),
+           FormatDouble(resident / (1 << 20), 1),
+           FormatDouble(static_cast<double>(image.size()) / (1 << 20), 1),
+           FormatDouble(static_cast<double>(image.size()) /
+                            static_cast<double>(corpus.size()),
+                        0),
+           FormatDouble(static_cast<double>(raw_bytes) /
+                            static_cast<double>(image.size()),
+                        1)});
+    }
+  }
+  printer.Print(std::cout);
+  std::cout << "\nExpected: bytes/domain flat in domain sizes and linear "
+               "in m. Raw data grows with domain size while the index "
+               "does not: the break-even domain size is ~m/2 values "
+               "(power-law corpora are dominated by small domains, so the "
+               "whole-corpus ratio can sit below 1; the web-scale corpora "
+               "the paper targets have million-value domains where the "
+               "index is orders of magnitude smaller).\n";
+  return 0;
+}

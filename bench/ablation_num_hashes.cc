@@ -1,0 +1,98 @@
+// Ablation: number of minwise hash functions m. The paper fixes m = 256
+// (Table 3); this bench shows the accuracy/cost trade-off at m in
+// {64, 128, 256, 512} for the 16-partition ensemble at t* = 0.5.
+//
+// Expected: precision and recall improve with m (lower estimator variance,
+// finer (b, r) grid) with diminishing returns past 256, while sketching
+// time and index size grow linearly in m.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/lsh_ensemble.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace lshensemble;
+  using namespace lshensemble::bench;
+  const auto num_domains =
+      static_cast<size_t>(IntFlag(argc, argv, "domains", 20000));
+  const auto num_queries =
+      static_cast<size_t>(IntFlag(argc, argv, "queries", 200));
+  const double t_star = 0.5;
+
+  std::cout << "Ablation: number of hash functions m (16 partitions, t*="
+            << t_star << ", " << num_domains << " domains)\n\n";
+
+  const Corpus corpus = CodLikeCorpus(num_domains);
+  const auto index_indices = AllIndices(corpus);
+  const auto query_indices = SampleQueryIndices(
+      corpus, num_queries, QuerySizeBias::kUniform, kBenchSeed);
+  auto truth =
+      GroundTruth::Compute(corpus, query_indices, index_indices).value();
+
+  TablePrinter printer({"m", "sketch (s)", "index MB", "Precision", "Recall",
+                        "F0.5"});
+  for (int m : {64, 128, 256, 512}) {
+    auto family = HashFamily::Create(m, kBenchSeed).value();
+    StopWatch sketch_watch;
+    std::vector<MinHash> sketches(corpus.size());
+    ThreadPool::Shared().ParallelFor(corpus.size(), [&](size_t i) {
+      sketches[i] = MinHash::FromValues(family, corpus.domain(i).values);
+    });
+    const double sketch_seconds = sketch_watch.ElapsedSeconds();
+
+    LshEnsembleOptions options;
+    options.num_partitions = 16;
+    options.num_hashes = m;
+    options.tree_depth = 8;
+    options.parallel_query = false;
+    LshEnsembleBuilder builder(options, family);
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      const Domain& domain = corpus.domain(i);
+      if (Status status = builder.Add(domain.id, domain.size(), sketches[i]);
+          !status.ok()) {
+        std::cerr << "add failed: " << status << "\n";
+        return 1;
+      }
+    }
+    auto ensemble = std::move(builder).Build();
+    if (!ensemble.ok()) {
+      std::cerr << "build failed: " << ensemble.status() << "\n";
+      return 1;
+    }
+
+    AccuracyAccumulator accumulator;
+    for (size_t qi = 0; qi < query_indices.size(); ++qi) {
+      const size_t index = query_indices[qi];
+      const Domain& domain = corpus.domain(index);
+      std::vector<uint64_t> out;
+      if (Status status =
+              ensemble->Query(sketches[index], domain.size(), t_star, &out);
+          !status.ok()) {
+        std::cerr << "query failed: " << status << "\n";
+        return 1;
+      }
+      std::sort(out.begin(), out.end());
+      accumulator.AddQuery(out, truth.TruthSet(qi, t_star));
+    }
+    printer.AddRow(
+        {std::to_string(m), FormatDouble(sketch_seconds, 2),
+         FormatDouble(static_cast<double>(ensemble->MemoryBytes()) / 1e6, 1),
+         FormatDouble(accumulator.MeanPrecision(), 3),
+         FormatDouble(accumulator.MeanRecall(), 3),
+         FormatDouble(accumulator.F05(), 3)});
+  }
+  printer.Print(std::cout);
+  std::cout << "\nExpected: recall rises with m (less sketch noise) while "
+               "sketch time and index size scale linearly in m. Precision "
+               "can move the other way: a longer signature enlarges the "
+               "(b, r) grid and the Eq. 26 objective spends the slack on "
+               "fewer false negatives — the recall-biased trade the "
+               "paper's design intends.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Shared plumbing for the per-figure/table bench binaries: flag parsing,
+// the two reference corpora (Canadian-Open-Data-like and WDC-like; see
+// DESIGN.md "Data substitution"), and result printing.
+//
+// Every binary runs with no arguments at a laptop-friendly default scale
+// and prints the rows/series of its paper counterpart; flags let you raise
+// the scale toward the paper's numbers.
+
+#ifndef LSHENSEMBLE_BENCH_BENCH_COMMON_H_
+#define LSHENSEMBLE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/corpus.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "workload/generator.h"
+
+namespace lshensemble {
+namespace bench {
+
+/// Parse "--name=value" style integer flags; returns `fallback` if absent.
+inline int64_t IntFlag(int argc, char** argv, std::string_view name,
+                       int64_t fallback) {
+  const std::string prefix = std::string("--") + std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::atoll(arg.substr(prefix.size()).data());
+    }
+  }
+  return fallback;
+}
+
+inline constexpr uint64_t kBenchSeed = 20160905;  // VLDB'16 week
+
+/// The Canadian Open Data stand-in: 65,533 domains, power-law sizes,
+/// min size 10 (Section 6.1). `num_domains` can scale it down/up.
+inline Corpus CodLikeCorpus(size_t num_domains = 65533,
+                            uint64_t seed = kBenchSeed) {
+  CorpusGenOptions options;
+  options.num_domains = num_domains;
+  options.min_size = 10;
+  options.max_size = 100000;
+  options.alpha = 2.0;
+  // Ubiquitous tokens ("yes"/"1"/province names): real columns share a
+  // little vocabulary regardless of topic, which is what pressures the
+  // conservatively-thresholded indexes; clean disjoint pools would make
+  // every index look unrealistically precise.
+  options.shared_vocabulary = 20000;
+  options.shared_fraction = 0.05;
+  options.shared_zipf_s = 1.05;
+  options.seed = seed;
+  auto corpus = CorpusGenerator(options).Generate();
+  if (!corpus.ok()) {
+    std::cerr << "corpus generation failed: " << corpus.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(corpus).value();
+}
+
+/// The WDC Web Tables stand-in used by the scaling experiments: smaller
+/// mean size (the web-table corpus skews small), same power-law shape.
+inline Corpus WdcLikeCorpus(size_t num_domains, uint64_t seed = kBenchSeed) {
+  CorpusGenOptions options;
+  options.num_domains = num_domains;
+  options.min_size = 5;
+  options.max_size = 50000;
+  options.alpha = 2.2;
+  options.shared_vocabulary = 20000;
+  options.shared_fraction = 0.05;
+  options.shared_zipf_s = 1.05;
+  options.seed = seed + 1;
+  auto corpus = CorpusGenerator(options).Generate();
+  if (!corpus.ok()) {
+    std::cerr << "corpus generation failed: " << corpus.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(corpus).value();
+}
+
+inline std::vector<size_t> AllIndices(const Corpus& corpus) {
+  std::vector<size_t> indices(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) indices[i] = i;
+  return indices;
+}
+
+/// Print an accuracy sweep as one table per metric, configs as columns —
+/// the layout of the paper's Figures 4-7 (one panel per metric).
+inline void PrintAccuracyPanels(
+    std::ostream& os,
+    const std::vector<std::vector<AccuracyCell>>& per_config) {
+  struct Metric {
+    const char* title;
+    double AccuracyCell::* field;
+  };
+  const Metric metrics[] = {
+      {"Precision", &AccuracyCell::precision},
+      {"Recall", &AccuracyCell::recall},
+      {"F-1 score", &AccuracyCell::f1},
+      {"F-0.5 score", &AccuracyCell::f05},
+  };
+  for (const Metric& metric : metrics) {
+    os << "\n== " << metric.title << " vs containment threshold ==\n";
+    std::vector<std::string> headers = {"t*"};
+    for (const auto& cells : per_config) headers.push_back(cells[0].config);
+    TablePrinter printer(headers);
+    for (size_t row = 0; row < per_config[0].size(); ++row) {
+      std::vector<std::string> cells = {
+          FormatDouble(per_config[0][row].threshold, 2)};
+      for (const auto& config_cells : per_config) {
+        cells.push_back(FormatDouble(config_cells[row].*(metric.field), 3));
+      }
+      printer.AddRow(std::move(cells));
+    }
+    printer.Print(os);
+  }
+}
+
+}  // namespace bench
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_BENCH_BENCH_COMMON_H_

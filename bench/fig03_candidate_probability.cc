@@ -1,0 +1,50 @@
+// Figure 3: P(t | x, q, b, r) — the probability of a domain becoming a
+// candidate as a function of its containment score — for the paper's
+// parameters x = 10, q = 5, b = 256, r = 4, with the false-positive and
+// false-negative areas induced by the containment threshold t* = 0.5
+// (Eqs. 22-24).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/tuning.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace lshensemble;
+  using namespace lshensemble::bench;
+  const double x = static_cast<double>(IntFlag(argc, argv, "x", 10));
+  const double q = static_cast<double>(IntFlag(argc, argv, "q", 5));
+  const int b = static_cast<int>(IntFlag(argc, argv, "b", 256));
+  const int r = static_cast<int>(IntFlag(argc, argv, "r", 4));
+  const double t_star = 0.5;
+
+  std::cout << "Figure 3 reproduction: candidate probability P(t|x,q,b,r) "
+            << "(x=" << x << ", q=" << q << ", b=" << b << ", r=" << r
+            << ", t*=" << t_star << ")\n\n";
+  TablePrinter printer({"t", "P(t)", "region"});
+  for (int i = 0; i <= 40; ++i) {
+    const double t = 0.025 * i;
+    const double p = CandidateProbability(t, x, q, b, r);
+    const char* region = t < t_star ? "FP mass (P above 0)"
+                                    : "FN mass (1-P above t*)";
+    printer.AddRow({FormatDouble(t, 3), FormatDouble(p, 4), region});
+  }
+  printer.Print(std::cout);
+
+  const double fp = FalsePositiveArea(x, q, t_star, b, r, 1024);
+  const double fn = FalseNegativeArea(x, q, t_star, b, r, 1024);
+  std::cout << "\nFP area (Eq. 23) = " << FormatDouble(fp, 4)
+            << "   FN area (Eq. 24) = " << FormatDouble(fn, 4) << "\n";
+
+  // What the tuner would pick for this partition/query/threshold.
+  Tuner::Options options;
+  options.max_b = 32;
+  options.max_r = 8;
+  auto tuner = std::move(Tuner::Create(options)).value();
+  const TunedParams tuned = tuner->Tune(x, q, t_star);
+  std::cout << "Tuner (Eq. 26, grid b<=32, r<=8) picks (b=" << tuned.b
+            << ", r=" << tuned.r << ") with FP=" << FormatDouble(tuned.fp, 4)
+            << " FN=" << FormatDouble(tuned.fn, 4) << "\n";
+  return 0;
+}

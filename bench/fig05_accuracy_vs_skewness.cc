@@ -1,0 +1,120 @@
+// Figure 5: accuracy versus domain-size skewness. The paper builds 20
+// nested subsets of the Canadian Open Data corpus with expanding size
+// intervals (skewness 0.5 to 13.9, Eq. 29), re-indexes each, and measures
+// accuracy at the default threshold t* = 0.5.
+//
+// Expected shape: precision of every index decays with skew (the global
+// upper bound gets looser), the ensemble decays much slower (its partition
+// upper bounds stay tight), recall stays high for everything EXCEPT Asym,
+// whose recall collapses as skew (and hence padding) grows.
+//
+// Default scale: 20,000-domain corpus, 12 subsets, 150 queries per subset
+// (--domains / --subsets / --queries to adjust).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace lshensemble;
+  using namespace lshensemble::bench;
+  const auto num_domains =
+      static_cast<size_t>(IntFlag(argc, argv, "domains", 20000));
+  const auto num_subsets =
+      static_cast<int>(IntFlag(argc, argv, "subsets", 12));
+  const auto num_queries =
+      static_cast<size_t>(IntFlag(argc, argv, "queries", 150));
+  const double t_star = 0.5;
+
+  std::cout << "Figure 5 reproduction: accuracy vs skewness (t*=" << t_star
+            << ")\ncorpus: " << num_domains << " domains, " << num_subsets
+            << " nested size subsets, " << num_queries
+            << " queries each, seed=" << kBenchSeed << "\n\n";
+
+  const Corpus corpus = CodLikeCorpus(num_domains);
+  const auto subsets = NestedSizeSubsets(corpus, num_subsets);
+
+  const std::vector<IndexConfig> configs = {
+      IndexConfig::Baseline(), IndexConfig::Asym(), IndexConfig::Ensemble(8),
+      IndexConfig::Ensemble(16), IndexConfig::Ensemble(32)};
+
+  struct Row {
+    double skewness;
+    size_t subset_size;
+    std::vector<AccuracyCell> cells;  // one per config
+  };
+  std::vector<Row> rows;
+
+  StopWatch watch;
+  for (const auto& subset : subsets) {
+    if (subset.size() < 500) continue;  // too small to sample queries from
+    // Skewness of this subset's size distribution (Eq. 29).
+    std::vector<double> sizes;
+    sizes.reserve(subset.size());
+    for (size_t i : subset) {
+      sizes.push_back(static_cast<double>(corpus.domain(i).size()));
+    }
+    Row row;
+    row.skewness = Skewness(sizes);
+    row.subset_size = subset.size();
+
+    // Queries sampled from the subset itself, as in the paper.
+    std::vector<size_t> query_indices;
+    {
+      Rng rng(kBenchSeed ^ subset.size());
+      auto picks = SampleDistinct(rng, subset.size(),
+                                  std::min(num_queries, subset.size()));
+      for (uint64_t p : picks) query_indices.push_back(subset[p]);
+      std::sort(query_indices.begin(), query_indices.end());
+    }
+
+    AccuracyExperimentOptions options;
+    options.thresholds = {t_star};
+    AccuracyExperiment experiment(corpus, subset, query_indices, options);
+    if (Status status = experiment.Prepare(); !status.ok()) {
+      std::cerr << "prepare failed: " << status << "\n";
+      return 1;
+    }
+    for (const IndexConfig& config : configs) {
+      auto cells = experiment.RunConfig(config);
+      if (!cells.ok()) {
+        std::cerr << config.label << ": " << cells.status() << "\n";
+        return 1;
+      }
+      row.cells.push_back((*cells)[0]);
+    }
+    rows.push_back(std::move(row));
+    std::cout << "subset |D|=" << row.subset_size
+              << " skew=" << FormatDouble(row.skewness, 2) << " done ("
+              << FormatDouble(watch.ElapsedSeconds(), 1) << "s elapsed)\n";
+  }
+
+  struct Metric {
+    const char* title;
+    double AccuracyCell::* field;
+  };
+  const Metric metrics[] = {{"Precision", &AccuracyCell::precision},
+                            {"Recall", &AccuracyCell::recall},
+                            {"F-1 score", &AccuracyCell::f1},
+                            {"F-0.5 score", &AccuracyCell::f05}};
+  for (const Metric& metric : metrics) {
+    std::cout << "\n== " << metric.title << " vs skewness ==\n";
+    std::vector<std::string> headers = {"skewness", "|D|"};
+    for (const IndexConfig& config : configs) headers.push_back(config.label);
+    TablePrinter printer(headers);
+    for (const Row& row : rows) {
+      std::vector<std::string> cells = {FormatDouble(row.skewness, 2),
+                                        std::to_string(row.subset_size)};
+      for (const AccuracyCell& cell : row.cells) {
+        cells.push_back(FormatDouble(cell.*(metric.field), 3));
+      }
+      printer.AddRow(std::move(cells));
+    }
+    printer.Print(std::cout);
+  }
+  return 0;
+}

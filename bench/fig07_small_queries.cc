@@ -1,0 +1,51 @@
+// Figure 7: accuracy for queries with small domain sizes (the smallest
+// 10%). Here |Q| << max domain size, the regime the equi-depth analysis
+// assumes, so results should resemble the overall Figure 4 picture.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace lshensemble;
+  using namespace lshensemble::bench;
+  const auto num_domains =
+      static_cast<size_t>(IntFlag(argc, argv, "domains", 65533));
+  const auto num_queries =
+      static_cast<size_t>(IntFlag(argc, argv, "queries", 300));
+
+  std::cout << "Figure 7 reproduction: accuracy, queries from the SMALLEST "
+               "10% of domain sizes\n"
+            << "corpus: " << num_domains << " domains, queries: "
+            << num_queries << ", seed=" << kBenchSeed << "\n";
+
+  StopWatch watch;
+  const Corpus corpus = CodLikeCorpus(num_domains);
+  const auto index_indices = AllIndices(corpus);
+  const auto query_indices = SampleQueryIndices(
+      corpus, num_queries, QuerySizeBias::kSmallestDecile, kBenchSeed);
+
+  AccuracyExperiment experiment(corpus, index_indices, query_indices,
+                                AccuracyExperimentOptions{});
+  if (Status status = experiment.Prepare(); !status.ok()) {
+    std::cerr << "prepare failed: " << status << "\n";
+    return 1;
+  }
+  std::cout << "prepared in " << FormatDouble(watch.ElapsedSeconds(), 1)
+            << "s\n";
+
+  std::vector<std::vector<AccuracyCell>> per_config;
+  for (const IndexConfig& config :
+       {IndexConfig::Baseline(), IndexConfig::Ensemble(8),
+        IndexConfig::Ensemble(16), IndexConfig::Ensemble(32)}) {
+    auto cells = experiment.RunConfig(config);
+    if (!cells.ok()) {
+      std::cerr << config.label << ": " << cells.status() << "\n";
+      return 1;
+    }
+    per_config.push_back(std::move(cells).value());
+  }
+  PrintAccuracyPanels(std::cout, per_config);
+  return 0;
+}

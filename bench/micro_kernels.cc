@@ -1,0 +1,153 @@
+// google-benchmark micro kernels for the hot paths: MinHash updates,
+// forest probes, tuner optimization, exact containment, and the threshold
+// conversion. These are the constants behind the Figure 9 / Table 4
+// macro numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/exact_search.h"
+#include "core/threshold.h"
+#include "core/tuning.h"
+#include "lsh/lsh_forest.h"
+#include "minhash/minhash.h"
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace lshensemble {
+namespace {
+
+void BM_MinHashUpdate(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  auto family = HashFamily::Create(m, 1).value();
+  MinHash sketch(family);
+  Rng rng(2);
+  uint64_t value = rng.Next();
+  for (auto _ : state) {
+    sketch.Update(value);
+    value = value * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_MinHashUpdate)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MinHashSketchDomain(benchmark::State& state) {
+  const size_t domain_size = static_cast<size_t>(state.range(0));
+  auto family = HashFamily::Create(256, 1).value();
+  Rng rng(3);
+  std::vector<uint64_t> values(domain_size);
+  for (auto& v : values) v = rng.Next();
+  for (auto _ : state) {
+    auto sketch = MinHash::FromValues(family, values);
+    benchmark::DoNotOptimize(sketch.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * domain_size);
+}
+BENCHMARK(BM_MinHashSketchDomain)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EstimateJaccard(benchmark::State& state) {
+  auto family = HashFamily::Create(256, 1).value();
+  Rng rng(4);
+  MinHash a(family), b(family);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t v = rng.Next();
+    a.Update(v);
+    b.Update(i % 2 ? v : rng.Next());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.EstimateJaccard(b).value());
+  }
+}
+BENCHMARK(BM_EstimateJaccard);
+
+void BM_ForestQuery(benchmark::State& state) {
+  const size_t num_domains = static_cast<size_t>(state.range(0));
+  const int b = static_cast<int>(state.range(1));
+  auto family = HashFamily::Create(256, 1).value();
+  auto forest = LshForest::Create(32, 8).value();
+  Rng rng(5);
+  for (uint64_t id = 0; id < num_domains; ++id) {
+    MinHash sketch(family);
+    const size_t size = 5 + rng.NextBounded(50);
+    for (size_t v = 0; v < size; ++v) sketch.Update(rng.NextBounded(100000));
+    (void)forest.Add(id, sketch);
+  }
+  forest.Index();
+  MinHash query(family);
+  for (int v = 0; v < 30; ++v) query.Update(rng.NextBounded(100000));
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(forest.Query(query, b, 4, &out));
+  }
+}
+BENCHMARK(BM_ForestQuery)
+    ->Args({10000, 4})
+    ->Args({10000, 32})
+    ->Args({100000, 4})
+    ->Args({100000, 32});
+
+void BM_TunerOptimize(benchmark::State& state) {
+  Tuner::Options options;
+  options.max_b = 32;
+  options.max_r = 8;
+  options.enable_cache = false;
+  auto tuner = std::move(Tuner::Create(options)).value();
+  double ratio = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner->Tune(ratio * 50, 50, 0.5));
+    ratio = ratio < 100 ? ratio * 1.1 : 1.0;  // defeat any caching
+  }
+}
+BENCHMARK(BM_TunerOptimize);
+
+void BM_TunerCached(benchmark::State& state) {
+  Tuner::Options options;
+  auto tuner = std::move(Tuner::Create(options)).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner->Tune(1000, 50, 0.5));
+  }
+}
+BENCHMARK(BM_TunerCached);
+
+void BM_ThresholdConversion(benchmark::State& state) {
+  double t = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ContainmentToJaccard(t, 1000, 50));
+    t = t < 0.99 ? t + 0.01 : 0.01;
+  }
+}
+BENCHMARK(BM_ThresholdConversion);
+
+void BM_ExactSearchQuery(benchmark::State& state) {
+  const size_t num_domains = static_cast<size_t>(state.range(0));
+  ExactSearch engine;
+  Rng rng(6);
+  for (uint64_t id = 0; id < num_domains; ++id) {
+    std::vector<uint64_t> values(10 + rng.NextBounded(90));
+    for (auto& v : values) v = rng.NextBounded(200000);
+    (void)engine.Add(id, values);
+  }
+  engine.Build();
+  std::vector<uint64_t> query(50);
+  for (auto& v : query) v = rng.NextBounded(200000);
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Query(query, 0.5, &out));
+  }
+}
+BENCHMARK(BM_ExactSearchQuery)->Arg(10000)->Arg(50000);
+
+void BM_HashBytes(benchmark::State& state) {
+  const std::string value = "NSERC GRANT PARTNER 2011";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashString(value));
+  }
+}
+BENCHMARK(BM_HashBytes);
+
+}  // namespace
+}  // namespace lshensemble
+
+BENCHMARK_MAIN();

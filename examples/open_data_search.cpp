@@ -1,0 +1,119 @@
+// Open-Data-scale search: generate a synthetic Open Data corpus (power-law
+// domain sizes, as in the paper's Figure 1), index it with LSH Ensemble,
+// and run containment searches across several thresholds — reporting
+// candidate volumes and per-query latency. A miniature of Section 6.3.
+//
+// Build & run:  cmake --build build && ./build/examples/open_data_search
+// Scale up:     ./build/examples/open_data_search 200000
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/lsh_ensemble.h"
+#include "data/corpus.h"
+#include "eval/report.h"
+#include "minhash/minhash.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "workload/generator.h"
+
+using namespace lshensemble;
+
+int main(int argc, char** argv) {
+  const size_t num_domains = argc > 1 ? std::atoll(argv[1]) : 30000;
+
+  // 1. Synthetic Open Data corpus (see DESIGN.md for why this stands in
+  //    for the Canadian Open Data repository).
+  CorpusGenOptions gen_options;
+  gen_options.num_domains = num_domains;
+  gen_options.min_size = 10;
+  gen_options.max_size = 100000;
+  gen_options.alpha = 2.0;
+  gen_options.seed = 2016;
+  StopWatch generation_watch;
+  auto corpus_result = CorpusGenerator(gen_options).Generate();
+  if (!corpus_result.ok()) {
+    std::cerr << "generation failed: " << corpus_result.status() << "\n";
+    return 1;
+  }
+  const Corpus& corpus = *corpus_result;
+  std::cout << "corpus: " << corpus.size() << " domains, "
+            << corpus.TotalValues() << " values, size skewness "
+            << FormatDouble(corpus.SizeSkewness(), 2) << " (generated in "
+            << FormatDouble(generation_watch.ElapsedSeconds(), 1) << "s)\n";
+
+  // 2. Sketch and index.
+  auto family = HashFamily::Create(256, 2016).value();
+  StopWatch index_watch;
+  std::vector<MinHash> sketches(corpus.size());
+  ThreadPool::Shared().ParallelFor(corpus.size(), [&](size_t i) {
+    sketches[i] = MinHash::FromValues(family, corpus.domain(i).values);
+  });
+  LshEnsembleOptions options;
+  options.num_partitions = 16;
+  LshEnsembleBuilder builder(options, family);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const Domain& domain = corpus.domain(i);
+    Status status = builder.Add(domain.id, domain.size(), sketches[i]);
+    if (!status.ok()) {
+      std::cerr << "Add failed: " << status << "\n";
+      return 1;
+    }
+  }
+  auto ensemble = std::move(builder).Build();
+  if (!ensemble.ok()) {
+    std::cerr << "Build failed: " << ensemble.status() << "\n";
+    return 1;
+  }
+  std::cout << "indexed in " << FormatDouble(index_watch.ElapsedSeconds(), 1)
+            << "s; index memory "
+            << FormatDouble(static_cast<double>(ensemble->MemoryBytes()) / 1e6,
+                            1)
+            << " MB\n\npartitions (equi-depth, Theorem 2):\n";
+  {
+    TablePrinter printer({"#", "size interval", "domains"});
+    int index = 0;
+    for (const PartitionSpec& spec : ensemble->partitions()) {
+      printer.AddRow({std::to_string(index++),
+                      "[" + std::to_string(spec.lower) + ", " +
+                          std::to_string(spec.upper) + ")",
+                      std::to_string(spec.count)});
+    }
+    printer.Print(std::cout);
+  }
+
+  // 3. Query at several thresholds with a handful of corpus domains.
+  const auto query_indices =
+      SampleQueryIndices(corpus, 25, QuerySizeBias::kUniform, 99);
+  std::cout << "\nsearches (25 queries sampled from the corpus):\n";
+  TablePrinter printer({"t*", "mean candidates", "mean query (ms)",
+                        "partitions probed (mean)"});
+  for (double t_star : {0.25, 0.5, 0.75, 0.95}) {
+    size_t total_candidates = 0, total_probed = 0;
+    StopWatch query_watch;
+    for (size_t qi : query_indices) {
+      std::vector<uint64_t> out;
+      QueryStats stats;
+      Status status = ensemble->Query(
+          sketches[qi], corpus.domain(qi).size(), t_star, &out, &stats);
+      if (!status.ok()) {
+        std::cerr << "Query failed: " << status << "\n";
+        return 1;
+      }
+      total_candidates += out.size();
+      total_probed += stats.partitions_probed;
+    }
+    const double n = static_cast<double>(query_indices.size());
+    printer.AddRow(
+        {FormatDouble(t_star, 2),
+         FormatDouble(static_cast<double>(total_candidates) / n, 1),
+         FormatDouble(query_watch.ElapsedMillis() / n, 2),
+         FormatDouble(static_cast<double>(total_probed) / n, 1)});
+  }
+  printer.Print(std::cout);
+  std::cout << "\nHigher thresholds prune more partitions and admit fewer "
+               "candidates — the mechanism behind the paper's sub-3-second "
+               "queries at 262M domains.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Top-k joinability ranking: "which k tables join best with mine?"
+//
+// The paper frames domain search by containment threshold (Definition 2)
+// and notes the top-k formulation is complementary (Section 2). This
+// example ranks the k best join candidates for a query column without the
+// caller having to guess a threshold: TopKSearcher descends thresholds
+// internally and ranks candidates by sketch-estimated containment.
+//
+// Build & run:  cmake --build build && ./build/examples/topk_search
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "baselines/exact_search.h"
+#include "core/lsh_ensemble.h"
+#include "core/topk.h"
+#include "eval/report.h"
+#include "minhash/minhash.h"
+#include "util/timer.h"
+#include "workload/generator.h"
+
+using namespace lshensemble;
+
+int main() {
+  // 1. Corpus of 30k synthetic domains with realistic overlap structure.
+  CorpusGenOptions gen;
+  gen.num_domains = 30000;
+  gen.max_size = 50000;
+  gen.seed = 7;
+  auto corpus = CorpusGenerator(gen).Generate().value();
+
+  // 2. Build the ensemble and keep the sketches in a SketchStore: top-k
+  //    ranking needs them to estimate containment per candidate.
+  auto family = HashFamily::Create(256, 11).value();
+  LshEnsembleOptions options;
+  options.num_partitions = 16;
+  LshEnsembleBuilder builder(options, family);
+  SketchStore store;
+  ExactSearch exact;  // only to show the true scores next to the estimates
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const Domain& domain = corpus.domain(i);
+    MinHash sketch = MinHash::FromValues(family, domain.values);
+    builder.Add(domain.id, domain.size(), sketch).ok();
+    store.Add(domain.id, domain.size(), std::move(sketch)).ok();
+    exact.Add(domain.id, domain.values).ok();
+  }
+  auto ensemble = std::move(builder).Build().value();
+  exact.Build();
+
+  // 3. Rank the 10 best containers of a mid-sized query domain.
+  const Domain& query = corpus.domain(4242);
+  const MinHash query_sketch = MinHash::FromValues(family, query.values);
+  TopKSearcher searcher(&ensemble, &store);
+
+  StopWatch watch;
+  auto results = searcher.Search(query_sketch, query.size(), 10);
+  const double elapsed_ms = watch.ElapsedMillis();
+  if (!results.ok()) {
+    std::cerr << "search failed: " << results.status() << "\n";
+    return 1;
+  }
+
+  std::printf("top-10 containers of '%s' (|Q| = %zu) in %.1f ms:\n\n",
+              query.name.c_str(), query.size(), elapsed_ms);
+  std::vector<std::pair<uint64_t, double>> overlaps;
+  exact.Overlaps(query.values, &overlaps).ok();
+  TablePrinter printer({"rank", "domain", "estimated t", "exact t", "|X|"});
+  int rank = 1;
+  for (const TopKResult& result : *results) {
+    double exact_t = 0.0;
+    for (const auto& [id, score] : overlaps) {
+      if (id == result.id) exact_t = score;
+    }
+    printer.AddRow({std::to_string(rank++), "domain-" +
+                    std::to_string(result.id),
+                    FormatDouble(result.estimated_containment, 3),
+                    FormatDouble(exact_t, 3),
+                    std::to_string(store.SizeOf(result.id))});
+  }
+  printer.Print(std::cout);
+
+  // 4. Contrast with threshold search: picking t* = 0.5 either floods or
+  //    starves depending on the query; top-k self-tunes.
+  std::vector<uint64_t> at_half;
+  ensemble.Query(query_sketch, query.size(), 0.5, &at_half).ok();
+  std::printf(
+      "\nthreshold t* = 0.5 would have returned %zu candidates; top-k "
+      "returned exactly %zu, ranked.\n",
+      at_half.size(), results->size());
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "baselines/exact_search.h"
+
+#include <algorithm>
+
+namespace lshensemble {
+
+Status ExactSearch::Add(uint64_t id, const std::vector<uint64_t>& values) {
+  if (built_) {
+    return Status::FailedPrecondition("ExactSearch already built");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("domain must have at least one value");
+  }
+  const auto internal = static_cast<uint32_t>(ids_.size());
+  ids_.push_back(id);
+  std::vector<uint64_t> distinct = values;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  for (uint64_t value : distinct) {
+    postings_[value].push_back(internal);
+  }
+  return Status::OK();
+}
+
+void ExactSearch::Build() { built_ = true; }
+
+Status ExactSearch::Overlaps(
+    const std::vector<uint64_t>& query_values,
+    std::vector<std::pair<uint64_t, double>>* out) const {
+  if (!built_) {
+    return Status::FailedPrecondition("ExactSearch::Build() not called");
+  }
+  if (out == nullptr) {
+    return Status::InvalidArgument("out must not be null");
+  }
+  out->clear();
+  std::vector<uint64_t> distinct = query_values;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  if (distinct.empty()) {
+    return Status::InvalidArgument("query must have at least one value");
+  }
+
+  // Count per-domain hits over the query's posting lists; only touched
+  // domains are visited, so cost is the total posting length of the query.
+  std::unordered_map<uint32_t, uint32_t> hits;
+  for (uint64_t value : distinct) {
+    auto it = postings_.find(value);
+    if (it == postings_.end()) continue;
+    for (uint32_t internal : it->second) ++hits[internal];
+  }
+  const auto query_size = static_cast<double>(distinct.size());
+  out->reserve(hits.size());
+  for (const auto& [internal, count] : hits) {
+    out->emplace_back(ids_[internal],
+                      static_cast<double>(count) / query_size);
+  }
+  return Status::OK();
+}
+
+Status ExactSearch::Query(const std::vector<uint64_t>& query_values,
+                          double t_star, std::vector<uint64_t>* out) const {
+  if (out == nullptr) {
+    return Status::InvalidArgument("out must not be null");
+  }
+  std::vector<std::pair<uint64_t, double>> overlaps;
+  LSHE_RETURN_IF_ERROR(Overlaps(query_values, &overlaps));
+  out->clear();
+  for (const auto& [id, containment] : overlaps) {
+    if (containment >= t_star) out->push_back(id);
+  }
+  std::sort(out->begin(), out->end());
+  return Status::OK();
+}
+
+Status ExactSearch::TopK(const std::vector<uint64_t>& query_values, size_t k,
+                         std::vector<std::pair<uint64_t, double>>* out) const {
+  if (out == nullptr) {
+    return Status::InvalidArgument("out must not be null");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  std::vector<std::pair<uint64_t, double>> overlaps;
+  LSHE_RETURN_IF_ERROR(Overlaps(query_values, &overlaps));
+  const size_t kth = std::min(k, overlaps.size());
+  const auto by_containment_desc = [](const std::pair<uint64_t, double>& a,
+                                      const std::pair<uint64_t, double>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  std::partial_sort(overlaps.begin(),
+                    overlaps.begin() + static_cast<ptrdiff_t>(kth),
+                    overlaps.end(), by_containment_desc);
+  overlaps.resize(kth);
+  *out = std::move(overlaps);
+  return Status::OK();
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,31 @@
+#include "baselines/minhash_lsh_baseline.h"
+
+namespace lshensemble {
+
+namespace {
+
+LshEnsembleOptions ForceSinglePartition(LshEnsembleOptions options) {
+  options.num_partitions = 1;
+  options.interpolation_lambda = -1.0;
+  options.strategy = PartitioningStrategy::kEquiDepth;
+  return options;
+}
+
+}  // namespace
+
+MinHashLshBaseline::Builder::Builder(LshEnsembleOptions options,
+                                     std::shared_ptr<const HashFamily> family)
+    : inner_(ForceSinglePartition(options), std::move(family)) {}
+
+Status MinHashLshBaseline::Builder::Add(uint64_t id, size_t size,
+                                        MinHash signature) {
+  return inner_.Add(id, size, std::move(signature));
+}
+
+Result<MinHashLshBaseline> MinHashLshBaseline::Builder::Build() && {
+  auto ensemble = std::move(inner_).Build();
+  if (!ensemble.ok()) return ensemble.status();
+  return MinHashLshBaseline(std::move(ensemble).value());
+}
+
+}  // namespace lshensemble

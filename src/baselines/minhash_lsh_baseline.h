@@ -1,0 +1,55 @@
+// The paper's "Baseline": a single MinHash LSH over all domains, using the
+// same dynamic-LSH containment search as the ensemble (Section 6.1 makes
+// the comparison fair this way), with the containment threshold converted
+// through the *global* upper bound on domain size. Equivalent to an
+// LshEnsemble with one partition; this wrapper exists so benches and
+// examples can name the baseline explicitly.
+
+#ifndef LSHENSEMBLE_BASELINES_MINHASH_LSH_BASELINE_H_
+#define LSHENSEMBLE_BASELINES_MINHASH_LSH_BASELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/lsh_ensemble.h"
+#include "minhash/minhash.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief Single-partition dynamic MinHash LSH for containment search.
+class MinHashLshBaseline {
+ public:
+  /// Builder mirroring LshEnsembleBuilder; forces num_partitions = 1.
+  class Builder {
+   public:
+    Builder(LshEnsembleOptions options,
+            std::shared_ptr<const HashFamily> family);
+    Status Add(uint64_t id, size_t size, MinHash signature);
+    Result<MinHashLshBaseline> Build() &&;
+
+   private:
+    LshEnsembleBuilder inner_;
+  };
+
+  /// See LshEnsemble::Query.
+  Status Query(const MinHash& query, size_t query_size, double t_star,
+               std::vector<uint64_t>* out, QueryStats* stats = nullptr) const {
+    return inner_.Query(query, query_size, t_star, out, stats);
+  }
+
+  size_t size() const { return inner_.size(); }
+  size_t MemoryBytes() const { return inner_.MemoryBytes(); }
+  const LshEnsemble& inner() const { return inner_; }
+
+ private:
+  explicit MinHashLshBaseline(LshEnsemble inner) : inner_(std::move(inner)) {}
+
+  LshEnsemble inner_;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_BASELINES_MINHASH_LSH_BASELINE_H_

@@ -1,0 +1,42 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lshensemble {
+
+namespace {
+
+// Shared kernel: count * (u - l + 1) / (2 * denominator) where u is the
+// largest size in the interval.
+double FpKernel(const PartitionSpec& partition, double denominator) {
+  assert(partition.upper > partition.lower);
+  assert(partition.lower >= 1);
+  const double largest = static_cast<double>(partition.upper - 1);
+  const double smallest = static_cast<double>(partition.lower);
+  const double width = largest - smallest + 1.0;
+  return static_cast<double>(partition.count) * width / (2.0 * denominator);
+}
+
+}  // namespace
+
+double FalsePositiveBound(const PartitionSpec& partition) {
+  const double largest = static_cast<double>(partition.upper - 1);
+  return FpKernel(partition, largest);
+}
+
+double ExpectedFalsePositives(const PartitionSpec& partition, double q) {
+  assert(q >= 0);
+  const double largest = static_cast<double>(partition.upper - 1);
+  return FpKernel(partition, largest + q);
+}
+
+double PartitioningCost(const std::vector<PartitionSpec>& partitions) {
+  double worst = 0.0;
+  for (const PartitionSpec& partition : partitions) {
+    worst = std::max(worst, FalsePositiveBound(partition));
+  }
+  return worst;
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,50 @@
+// The false-positive cost model that drives partitioning (paper §5.2–5.3).
+//
+// Filtering a partition [l, u) by the conservative Jaccard threshold
+// s* = s-hat_{u,q}(t*) admits domains whose true containment lies in
+// [t_x, t*) — false positives. Assuming containment uniform in [0, 1] and
+// sizes uniform within the partition, the expected number of false
+// positives is bounded by (Proposition 2 / Eq. 16):
+//
+//     M = N_{l,u} * (u - l + 1) / (2u)
+//
+// The partitioning objective is minimax over partitions (Eq. 9); Theorem 1
+// shows an equi-M (equi-N^FP) partitioning attains the optimum.
+
+#ifndef LSHENSEMBLE_CORE_COST_MODEL_H_
+#define LSHENSEMBLE_CORE_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lshensemble {
+
+/// \brief Size interval [lower, upper) with the number of indexed domains
+/// falling inside it.
+struct PartitionSpec {
+  uint64_t lower = 0;  ///< inclusive lower bound on domain size
+  uint64_t upper = 0;  ///< exclusive upper bound on domain size
+  size_t count = 0;    ///< number of domains in the partition
+
+  friend bool operator==(const PartitionSpec&, const PartitionSpec&) = default;
+};
+
+/// \brief Upper bound M on the expected number of false-positive candidates
+/// for a partition (Eq. 16): count * (u - l + 1) / (2u) with u := upper - 1
+/// interpreted as the largest size in [lower, upper).
+/// Preconditions: upper > lower >= 1, count >= 0.
+double FalsePositiveBound(const PartitionSpec& partition);
+
+/// \brief Query-dependent expected false-positive count for a partition,
+/// the exact case-1 form from the proof of Proposition 2:
+/// count * (u - l + 1) / (2 (u + q)). Tends to FalsePositiveBound as q/u -> 0.
+double ExpectedFalsePositives(const PartitionSpec& partition, double q);
+
+/// \brief Minimax cost of a partitioning (Eq. 9): max over partitions of the
+/// per-partition false-positive bound.
+double PartitioningCost(const std::vector<PartitionSpec>& partitions);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_CORE_COST_MODEL_H_

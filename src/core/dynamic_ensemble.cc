@@ -1,0 +1,159 @@
+#include "core/dynamic_ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/threshold.h"
+
+namespace lshensemble {
+
+Status DynamicEnsembleOptions::Validate() const {
+  LSHE_RETURN_IF_ERROR(base.Validate());
+  if (rebuild_fraction <= 0.0) {
+    return Status::InvalidArgument("rebuild_fraction must be > 0");
+  }
+  return Status::OK();
+}
+
+Result<DynamicLshEnsemble> DynamicLshEnsemble::Create(
+    DynamicEnsembleOptions options, std::shared_ptr<const HashFamily> family) {
+  LSHE_RETURN_IF_ERROR(options.Validate());
+  if (family == nullptr) {
+    return Status::InvalidArgument("family must not be null");
+  }
+  if (options.base.num_hashes != family->num_hashes()) {
+    return Status::InvalidArgument(
+        "options.base.num_hashes does not match the hash family");
+  }
+  return DynamicLshEnsemble(std::move(options), std::move(family));
+}
+
+Status DynamicLshEnsemble::Insert(uint64_t id, size_t size,
+                                  MinHash signature) {
+  if (size < 1) {
+    return Status::InvalidArgument("domain size must be >= 1");
+  }
+  if (!signature.valid() || !signature.family()->SameAs(*family_)) {
+    return Status::InvalidArgument(
+        "signature does not belong to the index's hash family");
+  }
+  if (records_.count(id) > 0) {
+    return Status::InvalidArgument("id is already live");
+  }
+  // A re-insert after Remove(): the stale indexed entry stays tombstoned;
+  // the new version is authoritative in the delta until the next rebuild.
+  records_.emplace(id, Record{size, std::move(signature)});
+  delta_.push_back(id);
+  if (ShouldRebuild()) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status DynamicLshEnsemble::Remove(uint64_t id) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("id is not live");
+  }
+  records_.erase(it);
+  const auto delta_it = std::find(delta_.begin(), delta_.end(), id);
+  if (delta_it != delta_.end()) {
+    delta_.erase(delta_it);
+    // If the id was ALSO indexed (re-insert after Remove), the tombstone
+    // from the earlier Remove is still in place; nothing more to do.
+  } else {
+    tombstones_.insert(id);
+  }
+  return Status::OK();
+}
+
+Status DynamicLshEnsemble::Query(const MinHash& query, size_t query_size,
+                                 double t_star,
+                                 std::vector<uint64_t>* out) const {
+  if (out == nullptr) {
+    return Status::InvalidArgument("out must not be null");
+  }
+  if (!query.valid() || !query.family()->SameAs(*family_)) {
+    return Status::InvalidArgument(
+        "query signature does not belong to the index's hash family");
+  }
+  if (t_star < 0.0 || t_star > 1.0) {
+    return Status::InvalidArgument("t_star must be in [0, 1]");
+  }
+  out->clear();
+
+  size_t q = query_size;
+  if (q == 0) {
+    q = static_cast<size_t>(
+        std::max<int64_t>(1, std::llround(query.EstimateCardinality())));
+  }
+  const auto qd = static_cast<double>(q);
+
+  if (ensemble_.has_value()) {
+    std::vector<uint64_t> indexed_candidates;
+    LSHE_RETURN_IF_ERROR(
+        ensemble_->Query(query, q, t_star, &indexed_candidates));
+    for (uint64_t id : indexed_candidates) {
+      if (tombstones_.count(id) == 0) out->push_back(id);
+    }
+  }
+
+  // Exact scan of the delta buffer: admit a domain when its estimated
+  // Jaccard reaches the same conservative threshold the ensemble would
+  // apply, computed with the domain's exact size (tighter than any
+  // partition bound, still no new false negatives beyond sketch error).
+  for (uint64_t id : delta_) {
+    const Record& record = records_.at(id);
+    const double s_star =
+        ContainmentToJaccard(t_star, static_cast<double>(record.size), qd);
+    Result<double> jaccard = query.EstimateJaccard(record.signature);
+    if (!jaccard.ok()) return jaccard.status();
+    if (*jaccard + 1e-12 >= s_star) out->push_back(id);
+  }
+  return Status::OK();
+}
+
+Status DynamicLshEnsemble::Flush() {
+  if (records_.empty()) {
+    // Nothing live: drop the ensemble entirely.
+    ensemble_.reset();
+    indexed_count_ = 0;
+    delta_.clear();
+    tombstones_.clear();
+    return Status::OK();
+  }
+  if (delta_.empty() && tombstones_.empty() && ensemble_.has_value()) {
+    return Status::OK();  // already up to date
+  }
+  LshEnsembleBuilder builder(options_.base, family_);
+  for (const auto& [id, record] : records_) {
+    LSHE_RETURN_IF_ERROR(builder.Add(id, record.size, record.signature));
+  }
+  auto built = std::move(builder).Build();
+  if (!built.ok()) return built.status();
+  ensemble_.emplace(std::move(built).value());
+  indexed_count_ = records_.size();
+  delta_.clear();
+  tombstones_.clear();
+  return Status::OK();
+}
+
+size_t DynamicLshEnsemble::indexed_size() const { return indexed_count_; }
+
+size_t DynamicLshEnsemble::SizeOf(uint64_t id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? 0 : it->second.size;
+}
+
+const MinHash* DynamicLshEnsemble::SignatureOf(uint64_t id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second.signature;
+}
+
+bool DynamicLshEnsemble::ShouldRebuild() const {
+  if (delta_.size() < options_.min_delta_for_rebuild) return false;
+  return static_cast<double>(delta_.size()) >=
+         options_.rebuild_fraction * static_cast<double>(indexed_count_);
+}
+
+}  // namespace lshensemble

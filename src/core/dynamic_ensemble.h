@@ -1,0 +1,130 @@
+// Incremental domain search: an LshEnsemble plus an LSM-style write path.
+//
+// The paper studies dynamic data in Section 6.2: the index tolerates
+// considerable domain-size drift before its equi-depth partitioning
+// degrades, and is rebuilt when the distribution shifts drastically. This
+// module packages that lifecycle:
+//
+//  * Insert()  — new domains land in an unindexed delta buffer that is
+//                scanned exactly at query time (sketch-estimated Jaccard
+//                against the same conservative threshold the ensemble
+//                uses), so they are searchable immediately.
+//  * Remove()  — removals tombstone indexed domains; tombstones filter
+//                query results until the next rebuild.
+//  * Flush()   — rebuilds the ensemble over all live domains (triggered
+//                automatically once the delta outgrows
+//                rebuild_fraction x indexed size).
+//
+// The structure retains every live domain's size and signature (the same
+// side-car a TopKSearcher needs) — that is what makes rebuilds possible
+// without re-reading the raw data.
+
+#ifndef LSHENSEMBLE_CORE_DYNAMIC_ENSEMBLE_H_
+#define LSHENSEMBLE_CORE_DYNAMIC_ENSEMBLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/lsh_ensemble.h"
+#include "minhash/minhash.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief Configuration of a DynamicLshEnsemble.
+struct DynamicEnsembleOptions {
+  /// Options used for every (re)build of the underlying ensemble.
+  LshEnsembleOptions base;
+  /// Rebuild when the delta buffer exceeds this fraction of the indexed
+  /// domain count.
+  double rebuild_fraction = 0.1;
+  /// ... but never before the delta holds at least this many domains
+  /// (avoids rebuild storms while the index is small).
+  size_t min_delta_for_rebuild = 1024;
+
+  Status Validate() const;
+};
+
+/// \brief Mutable domain-search index: immediate-visibility inserts,
+/// tombstoned removals, automatic rebuilds.
+///
+/// Not thread-safe for concurrent mutation; concurrent Query() calls are
+/// safe between mutations.
+class DynamicLshEnsemble {
+ public:
+  /// \param family the hash family all inserted signatures must share.
+  static Result<DynamicLshEnsemble> Create(
+      DynamicEnsembleOptions options,
+      std::shared_ptr<const HashFamily> family);
+
+  /// \brief Add a domain; it is searchable immediately. `id` must not be
+  /// live (re-inserting a Remove()d id is allowed). May trigger a rebuild.
+  Status Insert(uint64_t id, size_t size, MinHash signature);
+
+  /// \brief Remove a live domain. Indexed domains are tombstoned until the
+  /// next rebuild; unflushed (delta) domains are dropped outright.
+  Status Remove(uint64_t id);
+
+  /// \brief Domain search with set containment over indexed + delta
+  /// domains, minus tombstones. Same contract as LshEnsemble::Query.
+  Status Query(const MinHash& query, size_t query_size, double t_star,
+               std::vector<uint64_t>* out) const;
+
+  /// \brief Rebuild the ensemble over all live domains now. No-op when
+  /// nothing changed since the last build. Clears the delta and tombstones.
+  Status Flush();
+
+  /// Number of live (searchable) domains.
+  size_t size() const { return records_.size(); }
+  /// Domains in the built ensemble (including tombstoned ones).
+  size_t indexed_size() const;
+  /// Domains awaiting the next rebuild.
+  size_t delta_size() const { return delta_.size(); }
+  /// Tombstoned (removed but still indexed) domains.
+  size_t tombstone_count() const { return tombstones_.size(); }
+
+  /// The built ensemble, or nullptr before the first flush.
+  const LshEnsemble* indexed() const {
+    return ensemble_.has_value() ? &*ensemble_ : nullptr;
+  }
+
+  /// Exact size of a live domain (0 if not live) — the side-car lookup.
+  size_t SizeOf(uint64_t id) const;
+  /// Signature of a live domain (nullptr if not live).
+  const MinHash* SignatureOf(uint64_t id) const;
+
+ private:
+  struct Record {
+    size_t size;
+    MinHash signature;
+  };
+
+  DynamicLshEnsemble(DynamicEnsembleOptions options,
+                     std::shared_ptr<const HashFamily> family)
+      : options_(std::move(options)), family_(std::move(family)) {}
+
+  bool ShouldRebuild() const;
+
+  DynamicEnsembleOptions options_;
+  std::shared_ptr<const HashFamily> family_;
+
+  // All live domains (authoritative copy used for rebuilds).
+  std::unordered_map<uint64_t, Record> records_;
+  // Ids inserted since the last rebuild (subset of records_).
+  std::vector<uint64_t> delta_;
+  // Ids removed (or replaced) since the last rebuild but still present in
+  // the built ensemble.
+  std::unordered_set<uint64_t> tombstones_;
+
+  std::optional<LshEnsemble> ensemble_;
+  size_t indexed_count_ = 0;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_CORE_DYNAMIC_ENSEMBLE_H_

@@ -1,0 +1,247 @@
+#include "core/lsh_ensemble.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/thread_pool.h"
+
+namespace lshensemble {
+
+Status LshEnsembleOptions::Validate() const {
+  if (num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  if (num_hashes < 1 || tree_depth < 1) {
+    return Status::InvalidArgument("num_hashes and tree_depth must be >= 1");
+  }
+  if (num_hashes % tree_depth != 0) {
+    return Status::InvalidArgument(
+        "tree_depth must divide num_hashes (the signature is split into "
+        "num_hashes / tree_depth trees)");
+  }
+  if (integration_nodes < 8) {
+    return Status::InvalidArgument("integration_nodes must be >= 8");
+  }
+  if (interpolation_lambda > 1.0) {
+    return Status::InvalidArgument("interpolation_lambda must be <= 1");
+  }
+  return Status::OK();
+}
+
+LshEnsembleBuilder::LshEnsembleBuilder(LshEnsembleOptions options,
+                                       std::shared_ptr<const HashFamily> family)
+    : options_(options), family_(std::move(family)) {}
+
+Status LshEnsembleBuilder::Add(uint64_t id, size_t size, MinHash signature) {
+  if (family_ == nullptr) {
+    return Status::InvalidArgument("builder has no hash family");
+  }
+  if (size < 1) {
+    return Status::InvalidArgument("domain size must be >= 1");
+  }
+  if (!signature.valid() || !signature.family()->SameAs(*family_)) {
+    return Status::InvalidArgument(
+        "signature does not belong to the builder's hash family");
+  }
+  records_.push_back({id, size, std::move(signature)});
+  return Status::OK();
+}
+
+Result<LshEnsemble> LshEnsembleBuilder::Build() && {
+  LSHE_RETURN_IF_ERROR(options_.Validate());
+  if (family_ == nullptr) {
+    return Status::InvalidArgument("builder has no hash family");
+  }
+  if (options_.num_hashes != family_->num_hashes()) {
+    return Status::InvalidArgument(
+        "options.num_hashes does not match the hash family");
+  }
+  if (records_.empty()) {
+    return Status::FailedPrecondition("no domains added");
+  }
+
+  // Stage 1 (Section 5): partition by domain size.
+  std::vector<uint64_t> sizes;
+  sizes.reserve(records_.size());
+  for (const Record& record : records_) sizes.push_back(record.size);
+  std::sort(sizes.begin(), sizes.end());
+
+  std::vector<PartitionSpec> all_specs;
+  if (options_.interpolation_lambda >= 0.0) {
+    LSHE_ASSIGN_OR_RETURN(
+        all_specs, InterpolatedPartitions(sizes, options_.num_partitions,
+                                          options_.interpolation_lambda));
+  } else {
+    switch (options_.strategy) {
+      case PartitioningStrategy::kEquiDepth:
+        LSHE_ASSIGN_OR_RETURN(
+            all_specs, EquiDepthPartitions(sizes, options_.num_partitions));
+        break;
+      case PartitioningStrategy::kEquiWidth:
+        LSHE_ASSIGN_OR_RETURN(
+            all_specs, EquiWidthPartitions(sizes, options_.num_partitions));
+        break;
+      case PartitioningStrategy::kMinimaxCost:
+        LSHE_ASSIGN_OR_RETURN(
+            all_specs, MinimaxCostPartitions(sizes, options_.num_partitions));
+        break;
+    }
+  }
+
+  LshEnsemble ensemble(options_, family_);
+  for (const PartitionSpec& spec : all_specs) {
+    if (spec.count > 0) ensemble.specs_.push_back(spec);
+  }
+  ensemble.total_ = records_.size();
+
+  // Stage 2: one dynamic LSH per partition.
+  const int num_trees = options_.num_hashes / options_.tree_depth;
+  ensemble.forests_.reserve(ensemble.specs_.size());
+  for (size_t i = 0; i < ensemble.specs_.size(); ++i) {
+    auto forest = LshForest::Create(num_trees, options_.tree_depth);
+    if (!forest.ok()) return forest.status();
+    ensemble.forests_.push_back(std::move(forest).value());
+  }
+
+  // Group records by partition: sort by size, then cut at partition bounds.
+  std::sort(records_.begin(), records_.end(),
+            [](const Record& a, const Record& b) { return a.size < b.size; });
+  std::vector<std::pair<size_t, size_t>> ranges;  // record index ranges
+  ranges.reserve(ensemble.specs_.size());
+  for (const PartitionSpec& spec : ensemble.specs_) {
+    const auto begin = std::lower_bound(
+        records_.begin(), records_.end(), spec.lower,
+        [](const Record& record, uint64_t key) { return record.size < key; });
+    const auto end = std::lower_bound(
+        records_.begin(), records_.end(), spec.upper,
+        [](const Record& record, uint64_t key) { return record.size < key; });
+    ranges.emplace_back(begin - records_.begin(), end - records_.begin());
+  }
+
+  std::vector<Status> statuses(ensemble.specs_.size());
+  auto build_partition = [&](size_t i) {
+    LshForest& forest = ensemble.forests_[i];
+    for (size_t j = ranges[i].first; j < ranges[i].second; ++j) {
+      Status status = forest.Add(records_[j].id, records_[j].signature);
+      if (!status.ok()) {
+        statuses[i] = std::move(status);
+        return;
+      }
+    }
+    forest.Index();
+  };
+  if (options_.parallel_build && ensemble.specs_.size() > 1) {
+    ThreadPool::Shared().ParallelFor(ensemble.specs_.size(), build_partition);
+  } else {
+    for (size_t i = 0; i < ensemble.specs_.size(); ++i) build_partition(i);
+  }
+  for (const Status& status : statuses) {
+    LSHE_RETURN_IF_ERROR(status);
+  }
+
+  Tuner::Options tuner_options;
+  tuner_options.max_b = num_trees;
+  tuner_options.max_r = options_.tree_depth;
+  tuner_options.integration_nodes = options_.integration_nodes;
+  LSHE_ASSIGN_OR_RETURN(ensemble.tuner_, Tuner::Create(tuner_options));
+
+  records_.clear();
+  return ensemble;
+}
+
+Status LshEnsemble::Query(const MinHash& query, size_t query_size,
+                          double t_star, std::vector<uint64_t>* out,
+                          QueryStats* stats) const {
+  if (out == nullptr) {
+    return Status::InvalidArgument("out must not be null");
+  }
+  if (!query.valid() || !query.family()->SameAs(*family_)) {
+    return Status::InvalidArgument(
+        "query signature does not belong to the index's hash family");
+  }
+  if (t_star < 0.0 || t_star > 1.0) {
+    return Status::InvalidArgument("t_star must be in [0, 1]");
+  }
+  out->clear();
+
+  // approx(|Q|) in Algorithm 1: fall back to the sketch estimate when the
+  // exact cardinality is not supplied.
+  size_t q = query_size;
+  if (q == 0) {
+    q = static_cast<size_t>(
+        std::max<int64_t>(1, std::llround(query.EstimateCardinality())));
+  }
+  const auto qd = static_cast<double>(q);
+
+  const size_t n = specs_.size();
+  std::vector<std::vector<uint64_t>> results(n);
+  std::vector<TunedParams> tuned(n);
+  std::vector<char> probed(n, 0);
+  std::vector<Status> statuses(n);
+
+  auto probe = [&](size_t i) {
+    const PartitionSpec& spec = specs_[i];
+    const auto max_size = static_cast<double>(spec.upper - 1);
+    // A domain of size x has containment at most x/q; if even the largest
+    // domain in the partition cannot reach t*, skip it (no false negatives).
+    if (options_.prune_unreachable_partitions &&
+        max_size + 1e-9 < t_star * qd) {
+      return;
+    }
+    tuned[i] = tuner_->Tune(max_size, qd, t_star);
+    probed[i] = 1;
+    statuses[i] = forests_[i].Query(query, tuned[i].b, tuned[i].r, &results[i]);
+  };
+  if (options_.parallel_query && n > 1) {
+    ThreadPool::Shared().ParallelFor(n, probe);
+  } else {
+    for (size_t i = 0; i < n; ++i) probe(i);
+  }
+
+  for (const Status& status : statuses) {
+    LSHE_RETURN_IF_ERROR(status);
+  }
+
+  size_t total = 0;
+  for (const auto& partial : results) total += partial.size();
+  out->reserve(total);
+  for (const auto& partial : results) {
+    out->insert(out->end(), partial.begin(), partial.end());
+  }
+
+  if (stats != nullptr) {
+    stats->query_size_used = q;
+    stats->partitions_probed = 0;
+    stats->partitions_pruned = 0;
+    stats->tuned.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (probed[i]) {
+        ++stats->partitions_probed;
+        stats->tuned.push_back(tuned[i]);
+      } else {
+        ++stats->partitions_pruned;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<TunedParams> LshEnsemble::TuneForPartition(size_t index, double q,
+                                                  double t_star) const {
+  if (index >= specs_.size()) {
+    return Status::OutOfRange("partition index out of range");
+  }
+  if (q <= 0.0 || t_star < 0.0 || t_star > 1.0) {
+    return Status::InvalidArgument("q must be > 0 and t_star in [0, 1]");
+  }
+  return tuner_->Tune(static_cast<double>(specs_[index].upper - 1), q, t_star);
+}
+
+size_t LshEnsemble::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const LshForest& forest : forests_) bytes += forest.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,161 @@
+// LSH Ensemble (paper Section 5): the domain-search index.
+//
+// Indexing (two stages, §5): domains are partitioned into disjoint size
+// intervals (equi-depth by default, per Theorem 2), and each partition is
+// indexed by a dynamic MinHash LSH (LshForest). Querying (Algorithm 1 +
+// Partitioned-Containment-Search): the containment threshold t* is
+// converted per partition to a conservative Jaccard threshold using the
+// partition's upper size bound, each partition's LSH is retuned to its own
+// optimal (b, r) (Eq. 26), all partitions are probed (in parallel), and the
+// candidate unions are returned.
+//
+// Typical use:
+//
+//   auto family = HashFamily::Create(256, seed).value();
+//   LshEnsembleBuilder builder(options, family);
+//   for (const auto& d : domains)
+//     builder.Add(d.id, d.values.size(),
+//                 MinHash::FromValues(family, d.values));
+//   auto ensemble = std::move(builder).Build().value();
+//   std::vector<uint64_t> ids;
+//   ensemble.Query(query_sketch, query_size, /*t_star=*/0.5, &ids);
+
+#ifndef LSHENSEMBLE_CORE_LSH_ENSEMBLE_H_
+#define LSHENSEMBLE_CORE_LSH_ENSEMBLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/partitioner.h"
+#include "core/tuning.h"
+#include "lsh/lsh_forest.h"
+#include "minhash/minhash.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief Configuration of an LshEnsemble.
+struct LshEnsembleOptions {
+  /// Number of size partitions n (the paper evaluates 8/16/32).
+  int num_partitions = 16;
+  /// Signature length m; must equal the hash family's size.
+  int num_hashes = 256;
+  /// r_max: prefix-tree depth of each partition's forest. The number of
+  /// trees (b_max) is num_hashes / tree_depth; must divide num_hashes.
+  int tree_depth = 8;
+  /// How partition boundaries are chosen.
+  PartitioningStrategy strategy = PartitioningStrategy::kEquiDepth;
+  /// When in [0, 1], overrides `strategy` with the equi-depth(0) <->
+  /// equi-width(1) interpolation of Figure 8. Negative disables.
+  double interpolation_lambda = -1.0;
+  /// Lattice size for the tuner's FP/FN integrals.
+  int integration_nodes = 256;
+  /// Skip partitions whose largest domain cannot reach the containment
+  /// threshold (max size < t* * q). Introduces no false negatives.
+  bool prune_unreachable_partitions = true;
+  /// Build partition forests on the shared thread pool.
+  bool parallel_build = true;
+  /// Probe partitions on the shared thread pool.
+  bool parallel_query = true;
+
+  Status Validate() const;
+};
+
+/// \brief Per-query diagnostics (optional output of Query()).
+struct QueryStats {
+  /// The query cardinality actually used (exact or MinHash-estimated).
+  size_t query_size_used = 0;
+  size_t partitions_probed = 0;
+  size_t partitions_pruned = 0;
+  /// Tuned (b, r) per probed partition, in partition order.
+  std::vector<TunedParams> tuned;
+};
+
+class LshEnsemble;
+
+/// \brief Accumulates (id, size, signature) records and builds the
+/// immutable index in one pass (single-pass construction, §2).
+class LshEnsembleBuilder {
+ public:
+  /// \param family the hash family every added signature must come from.
+  LshEnsembleBuilder(LshEnsembleOptions options,
+                     std::shared_ptr<const HashFamily> family);
+
+  /// \brief Register a domain. `size` is the domain's exact distinct-value
+  /// count (known during sketching); `signature` its MinHash.
+  /// Ids must be unique; sizes must be >= 1.
+  Status Add(uint64_t id, size_t size, MinHash signature);
+
+  size_t size() const { return records_.size(); }
+
+  /// \brief Partition, build and index every partition's forest. Consumes
+  /// the builder. Fails if no domain was added or options are invalid.
+  Result<LshEnsemble> Build() &&;
+
+ private:
+  struct Record {
+    uint64_t id;
+    uint64_t size;
+    MinHash signature;
+  };
+
+  LshEnsembleOptions options_;
+  std::shared_ptr<const HashFamily> family_;
+  std::vector<Record> records_;
+};
+
+/// \brief The immutable LSH Ensemble index. Thread-safe for concurrent
+/// queries.
+class LshEnsemble {
+ public:
+  LshEnsemble(LshEnsemble&&) = default;
+  LshEnsemble& operator=(LshEnsemble&&) = default;
+
+  /// \brief Domain search with set containment (Algorithm 1, unioned over
+  /// partitions). Appends the ids of all candidate domains to `out`
+  /// (order: by partition, then forest order; ids are unique).
+  ///
+  /// \param query      MinHash of the query domain (same family).
+  /// \param query_size exact |Q| if known; pass 0 to use the MinHash
+  ///                   cardinality estimate (`approx(|Q|)` in Alg. 1).
+  /// \param t_star     containment threshold in [0, 1].
+  /// \param stats      optional per-query diagnostics.
+  Status Query(const MinHash& query, size_t query_size, double t_star,
+               std::vector<uint64_t>* out, QueryStats* stats = nullptr) const;
+
+  /// The non-empty partitions, ascending by size interval.
+  const std::vector<PartitionSpec>& partitions() const { return specs_; }
+  /// Total number of indexed domains.
+  size_t size() const { return total_; }
+  const LshEnsembleOptions& options() const { return options_; }
+  const std::shared_ptr<const HashFamily>& family() const { return family_; }
+
+  /// Tuned (b, r) the ensemble would use for partition `index` given query
+  /// size `q` and threshold `t_star` (exposed for tests and benches).
+  Result<TunedParams> TuneForPartition(size_t index, double q,
+                                       double t_star) const;
+
+  /// Approximate heap footprint of all partition forests, in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  friend class LshEnsembleBuilder;
+  friend class EnsembleSerializer;  // io/ensemble_io.cc (save/load)
+  LshEnsemble(LshEnsembleOptions options,
+              std::shared_ptr<const HashFamily> family)
+      : options_(options), family_(std::move(family)) {}
+
+  LshEnsembleOptions options_;
+  std::shared_ptr<const HashFamily> family_;
+  std::vector<PartitionSpec> specs_;  // non-empty partitions only
+  std::vector<LshForest> forests_;    // parallel to specs_
+  std::unique_ptr<Tuner> tuner_;
+  size_t total_ = 0;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_CORE_LSH_ENSEMBLE_H_

@@ -1,0 +1,238 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace lshensemble {
+
+namespace {
+
+Status ValidateInput(const std::vector<uint64_t>& sorted_sizes,
+                     int num_partitions) {
+  if (sorted_sizes.empty()) {
+    return Status::InvalidArgument("no domain sizes to partition");
+  }
+  if (num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  if (sorted_sizes.front() < 1) {
+    return Status::InvalidArgument("domain sizes must be >= 1");
+  }
+  if (!std::is_sorted(sorted_sizes.begin(), sorted_sizes.end())) {
+    return Status::InvalidArgument("sizes must be sorted ascending");
+  }
+  return Status::OK();
+}
+
+// Number of sizes in [lo, hi).
+size_t CountInRange(const std::vector<uint64_t>& sorted_sizes, uint64_t lo,
+                    uint64_t hi) {
+  auto begin = std::lower_bound(sorted_sizes.begin(), sorted_sizes.end(), lo);
+  auto end = std::lower_bound(sorted_sizes.begin(), sorted_sizes.end(), hi);
+  return static_cast<size_t>(end - begin);
+}
+
+// (distinct size, count) groups of a sorted size list.
+struct SizeGroup {
+  uint64_t size;
+  size_t count;
+};
+
+std::vector<SizeGroup> GroupSizes(const std::vector<uint64_t>& sorted_sizes) {
+  std::vector<SizeGroup> groups;
+  for (uint64_t size : sorted_sizes) {
+    if (!groups.empty() && groups.back().size == size) {
+      ++groups.back().count;
+    } else {
+      groups.push_back({size, 1});
+    }
+  }
+  return groups;
+}
+
+// Exclusive upper bound of a partition whose last group is groups[j]:
+// partitions tile the size range contiguously, so the upper bound is the
+// next group's size (the following partition's lower bound), or
+// last size + 1 when groups[j] is the final group.
+uint64_t ContiguousUpper(const std::vector<SizeGroup>& groups, size_t j) {
+  return j + 1 < groups.size() ? groups[j + 1].size : groups[j].size + 1;
+}
+
+// Eq. 16 cost of the contiguous partition covering groups[i..j].
+double GroupRangeBound(const std::vector<SizeGroup>& groups, size_t i,
+                       size_t j, size_t count) {
+  return FalsePositiveBound({groups[i].size, ContiguousUpper(groups, j),
+                             count});
+}
+
+// Greedy sweep: partitions needed so every partition's M_i <= budget.
+// Extending a partition rightward only raises its bound (count, width and
+// largest size all grow), so maximal extension minimizes the partition
+// count for a given budget. Returns the partitioning through `out` when
+// non-null.
+size_t GreedyPartitionCount(const std::vector<SizeGroup>& groups,
+                            double budget,
+                            std::vector<PartitionSpec>* out) {
+  size_t used = 0;
+  size_t i = 0;
+  while (i < groups.size()) {
+    size_t count = groups[i].count;
+    size_t j = i;
+    while (j + 1 < groups.size() &&
+           GroupRangeBound(groups, i, j + 1, count + groups[j + 1].count) <=
+               budget) {
+      ++j;
+      count += groups[j].count;
+    }
+    if (out != nullptr) {
+      out->push_back({groups[i].size, ContiguousUpper(groups, j), count});
+    }
+    ++used;
+    i = j + 1;
+  }
+  return used;
+}
+
+}  // namespace
+
+const char* ToString(PartitioningStrategy strategy) {
+  switch (strategy) {
+    case PartitioningStrategy::kEquiDepth:
+      return "equi-depth";
+    case PartitioningStrategy::kEquiWidth:
+      return "equi-width";
+    case PartitioningStrategy::kMinimaxCost:
+      return "minimax-cost";
+  }
+  return "unknown";
+}
+
+Result<std::vector<PartitionSpec>> PartitionsFromCuts(
+    const std::vector<uint64_t>& sorted_sizes,
+    const std::vector<uint64_t>& cuts) {
+  LSHE_RETURN_IF_ERROR(ValidateInput(sorted_sizes, 1));
+  if (cuts.size() < 2) {
+    return Status::InvalidArgument("need at least two cut points");
+  }
+  if (!std::is_sorted(cuts.begin(), cuts.end()) ||
+      std::adjacent_find(cuts.begin(), cuts.end()) != cuts.end()) {
+    return Status::InvalidArgument("cuts must be strictly increasing");
+  }
+  if (cuts.front() > sorted_sizes.front() ||
+      cuts.back() <= sorted_sizes.back()) {
+    return Status::InvalidArgument("cuts must cover all domain sizes");
+  }
+  std::vector<PartitionSpec> partitions;
+  partitions.reserve(cuts.size() - 1);
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    partitions.push_back(
+        {cuts[i], cuts[i + 1], CountInRange(sorted_sizes, cuts[i], cuts[i + 1])});
+  }
+  return partitions;
+}
+
+Result<std::vector<PartitionSpec>> EquiDepthPartitions(
+    const std::vector<uint64_t>& sorted_sizes, int num_partitions) {
+  LSHE_RETURN_IF_ERROR(ValidateInput(sorted_sizes, num_partitions));
+  const size_t n = sorted_sizes.size();
+  std::vector<uint64_t> cuts;
+  cuts.push_back(sorted_sizes.front());
+  for (int i = 1; i < num_partitions; ++i) {
+    // Nominal equal-count cut; snapped forward to the next distinct size so
+    // intervals stay disjoint under ties.
+    size_t idx = n * static_cast<size_t>(i) / num_partitions;
+    while (idx < n && sorted_sizes[idx] == sorted_sizes[idx - 1]) ++idx;
+    if (idx >= n) break;
+    if (sorted_sizes[idx] > cuts.back()) cuts.push_back(sorted_sizes[idx]);
+  }
+  cuts.push_back(sorted_sizes.back() + 1);
+  return PartitionsFromCuts(sorted_sizes, cuts);
+}
+
+Result<std::vector<PartitionSpec>> EquiWidthPartitions(
+    const std::vector<uint64_t>& sorted_sizes, int num_partitions) {
+  LSHE_RETURN_IF_ERROR(ValidateInput(sorted_sizes, num_partitions));
+  const double lo = static_cast<double>(sorted_sizes.front());
+  const double hi = static_cast<double>(sorted_sizes.back()) + 1.0;
+  std::vector<uint64_t> cuts;
+  cuts.push_back(sorted_sizes.front());
+  for (int i = 1; i < num_partitions; ++i) {
+    const auto cut = static_cast<uint64_t>(
+        std::llround(lo + (hi - lo) * i / num_partitions));
+    if (cut > cuts.back()) cuts.push_back(cut);
+  }
+  cuts.push_back(sorted_sizes.back() + 1);
+  return PartitionsFromCuts(sorted_sizes, cuts);
+}
+
+Result<std::vector<PartitionSpec>> MinimaxCostPartitions(
+    const std::vector<uint64_t>& sorted_sizes, int num_partitions) {
+  LSHE_RETURN_IF_ERROR(ValidateInput(sorted_sizes, num_partitions));
+  const std::vector<SizeGroup> groups = GroupSizes(sorted_sizes);
+
+  // Lower bound: a group can never be split, so the budget must admit every
+  // single-group partition. Upper bound: everything in one partition.
+  double lo = 0.0;
+  for (size_t k = 0; k < groups.size(); ++k) {
+    lo = std::max(lo, GroupRangeBound(groups, k, k, groups[k].count));
+  }
+  double hi =
+      GroupRangeBound(groups, 0, groups.size() - 1, sorted_sizes.size());
+  hi = std::max(hi, lo);
+
+  // Feasibility (#partitions needed <= num_partitions) is monotone in the
+  // budget; binary search to relative precision.
+  for (int iter = 0; iter < 100 && (hi - lo) > 1e-9 * std::max(1.0, hi);
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (GreedyPartitionCount(groups, mid, nullptr) <=
+        static_cast<size_t>(num_partitions)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  std::vector<PartitionSpec> partitions;
+  GreedyPartitionCount(groups, hi, &partitions);
+  return partitions;
+}
+
+Result<std::vector<PartitionSpec>> InterpolatedPartitions(
+    const std::vector<uint64_t>& sorted_sizes, int num_partitions,
+    double lambda) {
+  LSHE_RETURN_IF_ERROR(ValidateInput(sorted_sizes, num_partitions));
+  if (lambda < 0.0 || lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be in [0, 1]");
+  }
+  const size_t n = sorted_sizes.size();
+  const double lo = static_cast<double>(sorted_sizes.front());
+  const double hi = static_cast<double>(sorted_sizes.back()) + 1.0;
+
+  std::vector<uint64_t> cuts;
+  cuts.push_back(sorted_sizes.front());
+  for (int i = 1; i < num_partitions; ++i) {
+    const double equi_depth_cut = static_cast<double>(
+        sorted_sizes[n * static_cast<size_t>(i) / num_partitions]);
+    const double equi_width_cut = lo + (hi - lo) * i / num_partitions;
+    const auto cut = static_cast<uint64_t>(std::llround(
+        (1.0 - lambda) * equi_depth_cut + lambda * equi_width_cut));
+    if (cut > cuts.back()) cuts.push_back(cut);
+  }
+  cuts.push_back(sorted_sizes.back() + 1);
+  return PartitionsFromCuts(sorted_sizes, cuts);
+}
+
+double PartitionCountStdDev(const std::vector<PartitionSpec>& partitions) {
+  std::vector<double> counts;
+  counts.reserve(partitions.size());
+  for (const PartitionSpec& partition : partitions) {
+    counts.push_back(static_cast<double>(partition.count));
+  }
+  return StdDev(counts);
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,75 @@
+// Partitioning strategies for the ensemble (paper Section 5.4).
+//
+// Theorem 1: an optimal (minimax false-positive) partitioning equalizes
+// the per-partition FP count; we implement it query-independently by
+// equalizing the upper bound M_i (Eq. 16) via binary search + greedy sweep.
+// Theorem 2: under a power-law size distribution, equi-depth partitioning
+// (equal domain counts) approximates the equi-M_i optimum — this is the
+// ensemble's default. Equi-width and the equi-depth<->equi-width
+// interpolation exist to reproduce the robustness study in Section 6.2
+// (Figure 8).
+
+#ifndef LSHENSEMBLE_CORE_PARTITIONER_H_
+#define LSHENSEMBLE_CORE_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// How the ensemble splits domains into size partitions.
+enum class PartitioningStrategy {
+  kEquiDepth,    ///< equal domain counts (Theorem 2; the default)
+  kEquiWidth,    ///< equal size-interval widths
+  kMinimaxCost,  ///< greedy equi-M_i optimum (Theorem 1)
+};
+
+const char* ToString(PartitioningStrategy strategy);
+
+/// \brief Equal-count partitioning. Cut points snap to distinct size values
+/// so intervals stay disjoint; with heavy ties fewer than `num_partitions`
+/// partitions may be produced.
+/// \param sorted_sizes domain sizes in ascending order; must be non-empty
+///        with all sizes >= 1.
+/// \param num_partitions requested partition count, >= 1.
+Result<std::vector<PartitionSpec>> EquiDepthPartitions(
+    const std::vector<uint64_t>& sorted_sizes, int num_partitions);
+
+/// \brief Equal-width partitioning of the size range [min, max]. Intervals
+/// holding zero domains are retained (with count 0) so partition-count
+/// statistics reflect the full partitioning; index builders skip them.
+Result<std::vector<PartitionSpec>> EquiWidthPartitions(
+    const std::vector<uint64_t>& sorted_sizes, int num_partitions);
+
+/// \brief Minimax-cost partitioning: minimizes max_i M_i (Eq. 9 with the
+/// Eq. 16 bound) over all partitionings into at most `num_partitions`
+/// contiguous size intervals, via binary search on the cost and a greedy
+/// feasibility sweep.
+Result<std::vector<PartitionSpec>> MinimaxCostPartitions(
+    const std::vector<uint64_t>& sorted_sizes, int num_partitions);
+
+/// \brief Blend between equi-depth (lambda = 0) and equi-width (lambda = 1)
+/// by interpolating cut points in size space; reproduces the Figure 8
+/// "distribution drift" study. Zero-width intervals are dropped.
+Result<std::vector<PartitionSpec>> InterpolatedPartitions(
+    const std::vector<uint64_t>& sorted_sizes, int num_partitions,
+    double lambda);
+
+/// \brief Build partitions from explicit cut points. `cuts` must be strictly
+/// increasing size values; partition i covers [cuts[i], cuts[i+1]). The
+/// first cut must be <= the smallest size and the last cut > the largest.
+Result<std::vector<PartitionSpec>> PartitionsFromCuts(
+    const std::vector<uint64_t>& sorted_sizes,
+    const std::vector<uint64_t>& cuts);
+
+/// \brief Standard deviation of per-partition domain counts (the x-axis of
+/// Figure 8).
+double PartitionCountStdDev(const std::vector<PartitionSpec>& partitions);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_CORE_PARTITIONER_H_

@@ -1,0 +1,32 @@
+#include "core/threshold.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lshensemble {
+
+double ContainmentToJaccard(double t, double x, double q) {
+  assert(x > 0 && q > 0);
+  assert(t >= 0.0 && t <= 1.0);
+  const double denominator = x / q + 1.0 - t;
+  if (denominator <= 0.0) return 1.0;  // only reachable when t = 1 and x = 0
+  return std::clamp(t / denominator, 0.0, 1.0);
+}
+
+double JaccardToContainment(double s, double x, double q) {
+  assert(x > 0 && q > 0);
+  assert(s >= 0.0);
+  return std::clamp((x / q + 1.0) * s / (1.0 + s), 0.0, 1.0);
+}
+
+double PartitionJaccardThreshold(double t_star, double upper_bound, double q) {
+  return ContainmentToJaccard(t_star, upper_bound, q);
+}
+
+double EffectiveContainmentThreshold(double t_star, double x, double q,
+                                     double u) {
+  assert(u > 0 && q > 0);
+  return (x + q) * t_star / (u + q);
+}
+
+}  // namespace lshensemble

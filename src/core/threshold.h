@@ -1,0 +1,36 @@
+// Containment <-> Jaccard conversions (paper Section 5.1).
+//
+// For |X| = x and |Q| = q, inclusion-exclusion gives (Eq. 6):
+//     s = t / (x/q + 1 - t)          t = (x/q + 1) * s / (1 + s)
+// The ensemble converts a containment threshold t* into a per-partition
+// Jaccard threshold with the partition's *upper* size bound u (Eq. 7),
+// which guarantees the conversion introduces no new false negatives.
+
+#ifndef LSHENSEMBLE_CORE_THRESHOLD_H_
+#define LSHENSEMBLE_CORE_THRESHOLD_H_
+
+namespace lshensemble {
+
+/// \brief s-hat_{x,q}(t): Jaccard similarity implied by containment `t` for
+/// domain size `x` and query size `q` (Eq. 6, left).
+/// Preconditions: x > 0, q > 0, 0 <= t <= 1.
+double ContainmentToJaccard(double t, double x, double q);
+
+/// \brief t-hat_{x,q}(s): containment implied by Jaccard `s` (Eq. 6, right).
+/// Preconditions: x > 0, q > 0, s >= 0.
+double JaccardToContainment(double s, double x, double q);
+
+/// \brief The conservative per-partition Jaccard threshold s* = s-hat_{u,q}(t*)
+/// (Eq. 7), using the partition upper bound u so no new false negatives are
+/// introduced (s* <= s-hat_{x,q}(t*) for all x <= u).
+double PartitionJaccardThreshold(double t_star, double upper_bound, double q);
+
+/// \brief Effective containment threshold t_x = (x + q) t* / (u + q) that a
+/// domain of size x is actually filtered by when the partition threshold was
+/// derived from upper bound u (Proposition 1).
+double EffectiveContainmentThreshold(double t_star, double x, double q,
+                                     double u);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_CORE_THRESHOLD_H_

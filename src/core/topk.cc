@@ -1,0 +1,126 @@
+#include "core/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/threshold.h"
+
+namespace lshensemble {
+
+Status SketchStore::Add(uint64_t id, size_t size, MinHash signature) {
+  if (size < 1) {
+    return Status::InvalidArgument("domain size must be >= 1");
+  }
+  if (!signature.valid()) {
+    return Status::InvalidArgument("signature must be valid");
+  }
+  const auto [it, inserted] =
+      entries_.emplace(id, Entry{size, std::move(signature)});
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("duplicate id in SketchStore");
+  }
+  return Status::OK();
+}
+
+size_t SketchStore::SizeOf(uint64_t id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? 0 : it->second.size;
+}
+
+const MinHash* SketchStore::SignatureOf(uint64_t id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second.signature;
+}
+
+Status TopKSearcher::Options::Validate() const {
+  if (initial_threshold <= 0.0 || initial_threshold > 1.0) {
+    return Status::InvalidArgument("initial_threshold must be in (0, 1]");
+  }
+  if (decay <= 0.0 || decay >= 1.0) {
+    return Status::InvalidArgument("decay must be in (0, 1)");
+  }
+  if (min_threshold <= 0.0 || min_threshold > initial_threshold) {
+    return Status::InvalidArgument(
+        "min_threshold must be in (0, initial_threshold]");
+  }
+  return Status::OK();
+}
+
+TopKSearcher::TopKSearcher(const LshEnsemble* ensemble,
+                           const SketchStore* store)
+    : TopKSearcher(ensemble, store, Options()) {}
+
+TopKSearcher::TopKSearcher(const LshEnsemble* ensemble,
+                           const SketchStore* store, Options options)
+    : ensemble_(ensemble), store_(store), options_(options) {}
+
+Result<std::vector<TopKResult>> TopKSearcher::Search(const MinHash& query,
+                                                     size_t query_size,
+                                                     size_t k) const {
+  if (ensemble_ == nullptr || store_ == nullptr) {
+    return Status::FailedPrecondition("searcher not bound to an index");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  LSHE_RETURN_IF_ERROR(options_.Validate());
+
+  size_t q = query_size;
+  if (q == 0) {
+    q = static_cast<size_t>(
+        std::max<int64_t>(1, std::llround(query.EstimateCardinality())));
+  }
+  const auto qd = static_cast<double>(q);
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<TopKResult> scored;
+  std::vector<uint64_t> candidates;
+
+  double threshold = options_.initial_threshold;
+  while (true) {
+    candidates.clear();
+    LSHE_RETURN_IF_ERROR(ensemble_->Query(query, q, threshold, &candidates));
+    for (uint64_t id : candidates) {
+      if (!seen.insert(id).second) continue;
+      const MinHash* signature = store_->SignatureOf(id);
+      if (signature == nullptr) continue;  // not side-car'd; unrankable
+      const auto x = static_cast<double>(store_->SizeOf(id));
+      Result<double> jaccard = query.EstimateJaccard(*signature);
+      if (!jaccard.ok()) return jaccard.status();
+      // Eq. 6 with the candidate's exact size; containment can never
+      // exceed x/q (|Q ∩ X| <= |X|).
+      const double estimate = std::min(
+          JaccardToContainment(*jaccard, x, qd), std::min(1.0, x / qd));
+      scored.push_back({id, estimate});
+    }
+
+    // Keep the best k so far to decide whether descending further can
+    // still change the answer.
+    const size_t kth = std::min(k, scored.size());
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<ptrdiff_t>(kth),
+                      scored.end(), [](const TopKResult& a,
+                                       const TopKResult& b) {
+                        if (a.estimated_containment != b.estimated_containment)
+                          return a.estimated_containment >
+                                 b.estimated_containment;
+                        return a.id < b.id;
+                      });
+    const bool full = scored.size() >= k;
+    const double kth_estimate =
+        full ? scored[k - 1].estimated_containment : 0.0;
+    // Every domain not yet retrieved has containment below `threshold`
+    // (up to LSH recall error); once the k-th best estimate reaches it,
+    // deeper descent cannot improve the answer.
+    if (full && kth_estimate >= threshold) break;
+    if (threshold <= options_.min_threshold) break;
+    threshold = std::max(threshold * options_.decay, options_.min_threshold);
+  }
+
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace lshensemble

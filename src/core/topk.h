@@ -1,0 +1,110 @@
+// Top-k containment search on top of an LshEnsemble.
+//
+// The paper (Section 2) frames domain search by threshold and notes that
+// the top-k formulation is "closely related and complementary". This
+// module provides the complementary form: find the k domains with the
+// highest (estimated) containment of the query.
+//
+// Strategy: descend through containment thresholds (geometric decay).
+// At each threshold the ensemble returns every candidate whose containment
+// plausibly reaches it; new candidates are scored by sketch-estimated
+// containment (Jaccard estimate converted through Eq. 6 with the
+// candidate's exact stored size). Descent stops as soon as the k-th best
+// estimate is at least the current threshold — any domain not yet
+// retrieved would have to beat it from below the threshold, which the
+// threshold semantics rule out (up to LSH recall error).
+//
+// Ranking needs the indexed signatures, which the ensemble itself does not
+// retain; callers keep them in a SketchStore (built during sketching, or
+// reloaded alongside a persisted index).
+
+#ifndef LSHENSEMBLE_CORE_TOPK_H_
+#define LSHENSEMBLE_CORE_TOPK_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/lsh_ensemble.h"
+#include "minhash/minhash.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief Sizes and signatures of indexed domains, keyed by id; the
+/// side-car data top-k ranking needs.
+class SketchStore {
+ public:
+  /// \brief Register a domain's exact size and signature. Ids must be
+  /// unique; `size` >= 1; the signature must be valid.
+  Status Add(uint64_t id, size_t size, MinHash signature);
+
+  size_t size() const { return entries_.size(); }
+  bool Contains(uint64_t id) const { return entries_.count(id) > 0; }
+
+  /// Domain size for `id`; 0 when unknown.
+  size_t SizeOf(uint64_t id) const;
+  /// Signature for `id`; nullptr when unknown.
+  const MinHash* SignatureOf(uint64_t id) const;
+
+ private:
+  struct Entry {
+    size_t size;
+    MinHash signature;
+  };
+  std::unordered_map<uint64_t, Entry> entries_;
+};
+
+/// \brief One ranked answer.
+struct TopKResult {
+  uint64_t id = 0;
+  /// Sketch-estimated containment t(Q, X), in [0, 1].
+  double estimated_containment = 0.0;
+
+  friend bool operator==(const TopKResult&, const TopKResult&) = default;
+};
+
+/// \brief Top-k searcher over an ensemble + sketch store.
+///
+/// Both referenced objects must outlive the searcher. Thread-safe: Search
+/// only reads shared state.
+class TopKSearcher {
+ public:
+  struct Options {
+    /// First containment threshold probed.
+    double initial_threshold = 0.95;
+    /// Multiplicative threshold decay between rounds, in (0, 1).
+    double decay = 0.7;
+    /// Descent floor: below this threshold the search returns its best
+    /// effort (protects against scanning the whole index when fewer than
+    /// k overlapping domains exist).
+    double min_threshold = 0.05;
+
+    Status Validate() const;
+  };
+
+  /// Binds with default options.
+  TopKSearcher(const LshEnsemble* ensemble, const SketchStore* store);
+  TopKSearcher(const LshEnsemble* ensemble, const SketchStore* store,
+               Options options);
+
+  /// \brief The k domains with the highest estimated containment of the
+  /// query, sorted by descending estimate (ties by ascending id).
+  ///
+  /// \param query      MinHash of the query domain (ensemble's family).
+  /// \param query_size exact |Q|, or 0 to use the sketch estimate.
+  /// \param k          number of results requested; fewer are returned
+  ///                   when fewer candidate domains overlap the query.
+  Result<std::vector<TopKResult>> Search(const MinHash& query,
+                                         size_t query_size, size_t k) const;
+
+ private:
+  const LshEnsemble* ensemble_;
+  const SketchStore* store_;
+  Options options_;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_CORE_TOPK_H_

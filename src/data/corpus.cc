@@ -1,0 +1,29 @@
+#include "data/corpus.h"
+
+#include "util/math.h"
+
+namespace lshensemble {
+
+std::vector<uint64_t> Corpus::Sizes() const {
+  std::vector<uint64_t> sizes;
+  sizes.reserve(domains_.size());
+  for (const Domain& domain : domains_) sizes.push_back(domain.size());
+  return sizes;
+}
+
+double Corpus::SizeSkewness() const {
+  std::vector<double> sizes;
+  sizes.reserve(domains_.size());
+  for (const Domain& domain : domains_) {
+    sizes.push_back(static_cast<double>(domain.size()));
+  }
+  return Skewness(sizes);
+}
+
+uint64_t Corpus::TotalValues() const {
+  uint64_t total = 0;
+  for (const Domain& domain : domains_) total += domain.size();
+  return total;
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,41 @@
+// A corpus is the collection of domains an index is built over, with the
+// size statistics the paper reports (power-law histograms, skewness).
+
+#ifndef LSHENSEMBLE_DATA_CORPUS_H_
+#define LSHENSEMBLE_DATA_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/domain.h"
+
+namespace lshensemble {
+
+/// \brief An immutable-after-fill collection of domains.
+class Corpus {
+ public:
+  Corpus() = default;
+  explicit Corpus(std::vector<Domain> domains)
+      : domains_(std::move(domains)) {}
+
+  void Add(Domain domain) { domains_.push_back(std::move(domain)); }
+
+  size_t size() const { return domains_.size(); }
+  bool empty() const { return domains_.empty(); }
+  const Domain& domain(size_t i) const { return domains_[i]; }
+  const std::vector<Domain>& domains() const { return domains_; }
+
+  /// Per-domain distinct-value counts, in corpus order.
+  std::vector<uint64_t> Sizes() const;
+  /// Sample skewness of the size distribution (paper Eq. 29).
+  double SizeSkewness() const;
+  /// Total number of values across all domains.
+  uint64_t TotalValues() const;
+
+ private:
+  std::vector<Domain> domains_;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_DATA_CORPUS_H_

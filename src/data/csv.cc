@@ -1,0 +1,123 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace lshensemble {
+
+namespace {
+
+// Splits `text` into records of fields, honouring RFC-4180 quoting.
+Result<std::vector<std::vector<std::string>>> Tokenize(std::string_view text,
+                                                       char delimiter) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool record_has_content = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+    record_has_content = true;
+  };
+  auto end_record = [&] {
+    if (record_has_content || !field.empty()) {
+      end_field();
+      records.push_back(std::move(record));
+      record.clear();
+    }
+    record_has_content = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');  // escaped quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (!field.empty() || field_was_quoted) {
+        return Status::Corruption("unexpected quote inside unquoted field");
+      }
+      in_quotes = true;
+      field_was_quoted = true;
+    } else if (c == delimiter) {
+      end_field();
+    } else if (c == '\r') {
+      if (i + 1 < text.size() && text[i + 1] == '\n') continue;  // CRLF
+      end_record();
+    } else if (c == '\n') {
+      end_record();
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("unterminated quoted field");
+  }
+  end_record();
+  return records;
+}
+
+}  // namespace
+
+Result<Table> ParseCsv(std::string_view text, std::string table_name,
+                       const CsvOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  LSHE_ASSIGN_OR_RETURN(records, Tokenize(text, options.delimiter));
+  Table table;
+  table.name = std::move(table_name);
+  if (records.empty()) return table;
+
+  size_t first_row = 0;
+  if (options.has_header) {
+    table.column_names = records[0];
+    first_row = 1;
+  } else {
+    for (size_t i = 0; i < records[0].size(); ++i) {
+      table.column_names.push_back("col" + std::to_string(i));
+    }
+  }
+
+  const size_t width = table.column_names.size();
+  table.rows.reserve(records.size() - first_row);
+  for (size_t i = first_row; i < records.size(); ++i) {
+    auto& record = records[i];
+    if (record.size() > width) {
+      return Status::Corruption("row " + std::to_string(i) + " has " +
+                                std::to_string(record.size()) +
+                                " fields, header has " +
+                                std::to_string(width));
+    }
+    record.resize(width);
+    table.rows.push_back(std::move(record));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string name = path;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return ParseCsv(buffer.str(), std::move(name), options);
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,35 @@
+// Minimal RFC-4180 CSV reader, enough to ingest Open Data style dumps:
+// quoted fields, escaped quotes ("") inside quoted fields, CRLF and LF
+// line endings, configurable delimiter, optional header row.
+
+#ifndef LSHENSEMBLE_DATA_CSV_H_
+#define LSHENSEMBLE_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "data/table.h"
+#include "util/result.h"
+
+namespace lshensemble {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true, the first record provides column names; otherwise columns
+  /// are named "col0", "col1", ...
+  bool has_header = true;
+};
+
+/// \brief Parse CSV text into a Table. Rows shorter than the header are
+/// padded with empty cells; longer rows are an error.
+Result<Table> ParseCsv(std::string_view text, std::string table_name,
+                       const CsvOptions& options = {});
+
+/// \brief Read and parse a CSV file; the table is named after the path's
+/// final component.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_DATA_CSV_H_

@@ -1,0 +1,72 @@
+#include "data/domain.h"
+
+#include <algorithm>
+
+#include "util/hashing.h"
+
+namespace lshensemble {
+
+namespace {
+
+void Canonicalize(std::vector<uint64_t>* values) {
+  std::sort(values->begin(), values->end());
+  values->erase(std::unique(values->begin(), values->end()), values->end());
+}
+
+}  // namespace
+
+Domain Domain::FromStrings(uint64_t id, std::string name,
+                           std::span<const std::string> raw_values) {
+  Domain domain;
+  domain.id = id;
+  domain.name = std::move(name);
+  domain.values.reserve(raw_values.size());
+  for (const std::string& value : raw_values) {
+    domain.values.push_back(HashString(value));
+  }
+  Canonicalize(&domain.values);
+  return domain;
+}
+
+Domain Domain::FromValues(uint64_t id, std::string name,
+                          std::vector<uint64_t> raw_values) {
+  Domain domain;
+  domain.id = id;
+  domain.name = std::move(name);
+  domain.values = std::move(raw_values);
+  Canonicalize(&domain.values);
+  return domain;
+}
+
+size_t Domain::IntersectionSize(const Domain& other) const {
+  size_t count = 0;
+  auto a = values.begin();
+  auto b = other.values.begin();
+  while (a != values.end() && b != other.values.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
+double Domain::ContainmentIn(const Domain& other) const {
+  if (values.empty()) return 0.0;
+  return static_cast<double>(IntersectionSize(other)) /
+         static_cast<double>(values.size());
+}
+
+double Domain::JaccardWith(const Domain& other) const {
+  const size_t intersection = IntersectionSize(other);
+  const size_t union_size = values.size() + other.values.size() - intersection;
+  if (union_size == 0) return 0.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,45 @@
+// A domain is a set of distinct values from an unspecified universe
+// (paper Section 2). The library canonicalizes every raw value (string or
+// integer) to a 64-bit hash; domains store sorted distinct hashes, which
+// makes exact containment/Jaccard computations a merge.
+
+#ifndef LSHENSEMBLE_DATA_DOMAIN_H_
+#define LSHENSEMBLE_DATA_DOMAIN_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lshensemble {
+
+/// \brief A named set of distinct 64-bit values.
+struct Domain {
+  uint64_t id = 0;
+  /// Provenance label, e.g. "nserc_grants.csv:Partner".
+  std::string name;
+  /// Sorted, distinct.
+  std::vector<uint64_t> values;
+
+  size_t size() const { return values.size(); }
+  bool empty() const { return values.empty(); }
+
+  /// Canonicalize raw string values: hash, sort, deduplicate.
+  static Domain FromStrings(uint64_t id, std::string name,
+                            std::span<const std::string> raw_values);
+  /// Canonicalize raw 64-bit values: sort, deduplicate.
+  static Domain FromValues(uint64_t id, std::string name,
+                           std::vector<uint64_t> raw_values);
+
+  /// Exact |this ∩ other|.
+  size_t IntersectionSize(const Domain& other) const;
+  /// Exact set containment t(this, other) = |this ∩ other| / |this|
+  /// (Definition 1). Returns 0 for an empty `this`.
+  double ContainmentIn(const Domain& other) const;
+  /// Exact Jaccard similarity |∩| / |∪|.
+  double JaccardWith(const Domain& other) const;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_DATA_DOMAIN_H_

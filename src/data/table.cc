@@ -1,0 +1,45 @@
+#include "data/table.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace lshensemble {
+
+bool IsNullToken(const std::string& cell) {
+  static constexpr std::array<std::string_view, 7> kNullTokens = {
+      "", "null", "none", "na", "n/a", "nil", "-"};
+  std::string lowered;
+  lowered.reserve(cell.size());
+  for (char c : cell) {
+    lowered.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return std::find(kNullTokens.begin(), kNullTokens.end(), lowered) !=
+         kNullTokens.end();
+}
+
+std::vector<Domain> ExtractDomains(const Table& table, uint64_t first_id,
+                                   const ExtractOptions& options) {
+  std::vector<Domain> domains;
+  domains.reserve(table.num_columns());
+  uint64_t next_id = first_id;
+  for (size_t col = 0; col < table.num_columns(); ++col) {
+    std::vector<std::string> cells;
+    cells.reserve(table.num_rows());
+    for (const auto& row : table.rows) {
+      if (col >= row.size()) continue;
+      if (options.skip_null_tokens && IsNullToken(row[col])) continue;
+      cells.push_back(row[col]);
+    }
+    Domain domain = Domain::FromStrings(
+        next_id, table.name + ":" + table.column_names[col], cells);
+    if (domain.size() < options.min_domain_size) continue;
+    domains.push_back(std::move(domain));
+    ++next_id;
+  }
+  return domains;
+}
+
+}  // namespace lshensemble

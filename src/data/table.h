@@ -1,0 +1,50 @@
+// Relational tables and domain extraction: dom(R) is the set of
+// projections on each attribute, deduplicated, with null-ish tokens
+// dropped (paper Section 2: "the domains are given by the projections
+// pi_i(R) on each of the attributes").
+
+#ifndef LSHENSEMBLE_DATA_TABLE_H_
+#define LSHENSEMBLE_DATA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/domain.h"
+
+namespace lshensemble {
+
+/// \brief A relational table with string cells (the common denominator of
+/// Open Data CSVs).
+struct Table {
+  std::string name;
+  std::vector<std::string> column_names;
+  /// Row-major cells; every row has column_names.size() cells.
+  std::vector<std::vector<std::string>> rows;
+
+  size_t num_columns() const { return column_names.size(); }
+  size_t num_rows() const { return rows.size(); }
+};
+
+/// \brief Controls for ExtractDomains.
+struct ExtractOptions {
+  /// Domains with fewer distinct values are dropped (the paper discards
+  /// domains with fewer than ten values in Section 6.1).
+  size_t min_domain_size = 1;
+  /// Drop cells equal (case-insensitively) to common null tokens:
+  /// "", "null", "none", "na", "n/a", "nil", "-".
+  bool skip_null_tokens = true;
+};
+
+/// \brief True if `cell` is one of the null tokens above.
+bool IsNullToken(const std::string& cell);
+
+/// \brief dom(R): one Domain per column, named "<table>:<column>", ids
+/// assigned consecutively from `first_id`. Columns whose distinct-value
+/// count falls below options.min_domain_size are omitted.
+std::vector<Domain> ExtractDomains(const Table& table, uint64_t first_id,
+                                   const ExtractOptions& options = {});
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_DATA_TABLE_H_

@@ -1,0 +1,108 @@
+// The accuracy-sweep driver shared by the Figure 4/5/6/7/8 benches: build
+// one or more index configurations over (a subset of) a corpus, query them
+// across a containment-threshold sweep, and score against exact ground
+// truth.
+
+#ifndef LSHENSEMBLE_EVAL_EXPERIMENT_H_
+#define LSHENSEMBLE_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lsh_ensemble.h"
+#include "data/corpus.h"
+#include "eval/ground_truth.h"
+#include "minhash/minhash.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief One index configuration to evaluate.
+struct IndexConfig {
+  enum class Kind {
+    kBaseline,         ///< single-partition dynamic MinHash LSH
+    kAsym,             ///< Asymmetric Minwise Hashing
+    kEnsemble,         ///< LSH Ensemble
+    kAsymPartitioned,  ///< Asym inside each equi-depth partition (the
+                       ///< unnumbered Section 6.1 experiment)
+  };
+
+  Kind kind = Kind::kEnsemble;
+  std::string label;
+  /// Ensemble / partitioned-Asym knobs.
+  int num_partitions = 16;
+  PartitioningStrategy strategy = PartitioningStrategy::kEquiDepth;
+  double interpolation_lambda = -1.0;
+
+  static IndexConfig Baseline();
+  static IndexConfig Asym();
+  static IndexConfig Ensemble(int num_partitions);
+  static IndexConfig AsymPartitioned(int num_partitions);
+};
+
+struct AccuracyExperimentOptions {
+  /// Containment thresholds to sweep; DefaultThresholds() = 0.05..1.0.
+  std::vector<double> thresholds;
+  int num_hashes = 256;
+  int tree_depth = 8;
+  uint64_t seed = 42;
+  /// Pass the exact |Q| to Query (true) or let the index use the MinHash
+  /// cardinality estimate (false; Algorithm 1's approx(|Q|)).
+  bool use_exact_query_size = true;
+};
+
+/// The paper's sweep: every threshold from 0.05 to 1.0, step 0.05.
+std::vector<double> DefaultThresholds();
+
+/// \brief One (config, threshold) measurement.
+struct AccuracyCell {
+  std::string config;
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double f05 = 0.0;
+  double mean_query_micros = 0.0;
+  size_t num_queries = 0;
+};
+
+/// \brief Builds sketches and ground truth once, then evaluates configs.
+class AccuracyExperiment {
+ public:
+  /// \param corpus        the corpus backing the experiment (must outlive
+  ///                      this object).
+  /// \param index_indices corpus positions to index.
+  /// \param query_indices corpus positions to use as queries.
+  AccuracyExperiment(const Corpus& corpus, std::vector<size_t> index_indices,
+                     std::vector<size_t> query_indices,
+                     AccuracyExperimentOptions options);
+
+  /// Sketch all referenced domains (parallel) and compute ground truth.
+  Status Prepare();
+
+  /// Evaluate one configuration across the threshold sweep.
+  Result<std::vector<AccuracyCell>> RunConfig(const IndexConfig& config) const;
+
+  const GroundTruth& ground_truth() const { return truth_; }
+  const std::shared_ptr<const HashFamily>& family() const { return family_; }
+  const MinHash& sketch(size_t corpus_index) const {
+    return sketches_[corpus_index];
+  }
+
+ private:
+  const Corpus& corpus_;
+  std::vector<size_t> index_indices_;
+  std::vector<size_t> query_indices_;
+  AccuracyExperimentOptions options_;
+
+  bool prepared_ = false;
+  std::shared_ptr<const HashFamily> family_;
+  std::vector<MinHash> sketches_;  // indexed by corpus position
+  GroundTruth truth_;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_EVAL_EXPERIMENT_H_

@@ -1,0 +1,73 @@
+#include "eval/ground_truth.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "baselines/exact_search.h"
+#include "util/thread_pool.h"
+
+namespace lshensemble {
+
+namespace {
+
+using ScoreTable = std::vector<std::vector<std::pair<uint64_t, double>>>;
+
+Result<ScoreTable> ComputeScores(
+    const Corpus& corpus, const std::vector<size_t>& index_indices,
+    size_t num_queries,
+    const std::function<const Domain&(size_t)>& query_at) {
+  ExactSearch engine;
+  for (size_t index : index_indices) {
+    LSHE_RETURN_IF_ERROR(
+        engine.Add(corpus.domain(index).id, corpus.domain(index).values));
+  }
+  engine.Build();
+
+  ScoreTable scores(num_queries);
+  std::vector<Status> statuses(num_queries);
+  ThreadPool::Shared().ParallelFor(num_queries, [&](size_t qi) {
+    statuses[qi] = engine.Overlaps(query_at(qi).values, &scores[qi]);
+    std::sort(scores[qi].begin(), scores[qi].end());
+  });
+  for (const Status& status : statuses) {
+    LSHE_RETURN_IF_ERROR(status);
+  }
+  return scores;
+}
+
+}  // namespace
+
+Result<GroundTruth> GroundTruth::Compute(
+    const Corpus& corpus, const std::vector<size_t>& query_indices,
+    const std::vector<size_t>& index_indices) {
+  GroundTruth truth;
+  LSHE_ASSIGN_OR_RETURN(
+      truth.scores_,
+      ComputeScores(corpus, index_indices, query_indices.size(),
+                    [&](size_t qi) -> const Domain& {
+                      return corpus.domain(query_indices[qi]);
+                    }));
+  return truth;
+}
+
+Result<GroundTruth> GroundTruth::ComputeForQueries(
+    const Corpus& corpus, const std::vector<Domain>& queries,
+    const std::vector<size_t>& index_indices) {
+  GroundTruth truth;
+  LSHE_ASSIGN_OR_RETURN(
+      truth.scores_,
+      ComputeScores(corpus, index_indices, queries.size(),
+                    [&](size_t qi) -> const Domain& { return queries[qi]; }));
+  return truth;
+}
+
+std::vector<uint64_t> GroundTruth::TruthSet(size_t query_pos,
+                                            double t_star) const {
+  std::vector<uint64_t> ids;
+  for (const auto& [id, containment] : scores_[query_pos]) {
+    if (containment >= t_star) ids.push_back(id);
+  }
+  return ids;  // scores_ sorted by id, so ids are sorted
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,52 @@
+// Exact ground truth for accuracy experiments: per query, the containment
+// score of every overlapping indexed domain, computed once; the truth set
+// for any threshold is then a filter (the paper sweeps 20 thresholds over
+// the same 3,000 queries).
+
+#ifndef LSHENSEMBLE_EVAL_GROUND_TRUTH_H_
+#define LSHENSEMBLE_EVAL_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/corpus.h"
+#include "util/result.h"
+
+namespace lshensemble {
+
+/// \brief Exact containment scores of queries against a corpus.
+class GroundTruth {
+ public:
+  /// \brief Compute scores for queries drawn from the corpus itself
+  /// (`query_indices` into `corpus`), against the domains listed in
+  /// `index_indices`. Runs on the shared thread pool.
+  static Result<GroundTruth> Compute(const Corpus& corpus,
+                                     const std::vector<size_t>& query_indices,
+                                     const std::vector<size_t>& index_indices);
+
+  /// \brief As above with external query domains.
+  static Result<GroundTruth> ComputeForQueries(
+      const Corpus& corpus, const std::vector<Domain>& queries,
+      const std::vector<size_t>& index_indices);
+
+  size_t num_queries() const { return scores_.size(); }
+
+  /// Sorted ids of domains with t(Q, X) >= t_star for query `query_pos`
+  /// (position in the original query list).
+  std::vector<uint64_t> TruthSet(size_t query_pos, double t_star) const;
+
+  /// All (id, containment) pairs with containment > 0, sorted by id.
+  const std::vector<std::pair<uint64_t, double>>& Scores(
+      size_t query_pos) const {
+    return scores_[query_pos];
+  }
+
+ private:
+  // scores_[q] = sorted-by-id (domain id, containment > 0)
+  std::vector<std::vector<std::pair<uint64_t, double>>> scores_;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_EVAL_GROUND_TRUTH_H_

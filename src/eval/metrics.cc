@@ -1,0 +1,77 @@
+#include "eval/metrics.h"
+
+#include <cstddef>
+
+namespace lshensemble {
+
+double FBeta(double precision, double recall, double beta) {
+  const double b2 = beta * beta;
+  const double denominator = b2 * precision + recall;
+  if (denominator <= 0.0) return 0.0;
+  return (1.0 + b2) * precision * recall / denominator;
+}
+
+size_t SortedIntersectionSize(const std::vector<uint64_t>& a,
+                              const std::vector<uint64_t>& b) {
+  size_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+void AccuracyAccumulator::AddQuery(const std::vector<uint64_t>& result,
+                                   const std::vector<uint64_t>& truth) {
+  AddCounts(result.size(), truth.size(),
+            SortedIntersectionSize(result, truth));
+}
+
+void AccuracyAccumulator::AddCounts(size_t result_size, size_t truth_size,
+                                    size_t hits) {
+  ++num_queries_;
+  if (result_size == 0) {
+    // Paper: empty results have precision 1.0 but are excluded from the
+    // average precision.
+    ++num_empty_results_;
+  } else {
+    precision_sum_ +=
+        static_cast<double>(hits) / static_cast<double>(result_size);
+  }
+  if (truth_size == 0) {
+    ++num_empty_truths_;
+  } else {
+    recall_sum_ +=
+        static_cast<double>(hits) / static_cast<double>(truth_size);
+  }
+}
+
+void AccuracyAccumulator::Merge(const AccuracyAccumulator& other) {
+  num_queries_ += other.num_queries_;
+  num_empty_results_ += other.num_empty_results_;
+  num_empty_truths_ += other.num_empty_truths_;
+  precision_sum_ += other.precision_sum_;
+  recall_sum_ += other.recall_sum_;
+}
+
+double AccuracyAccumulator::MeanPrecision() const {
+  const size_t counted = num_queries_ - num_empty_results_;
+  if (counted == 0) return 1.0;
+  return precision_sum_ / static_cast<double>(counted);
+}
+
+double AccuracyAccumulator::MeanRecall() const {
+  const size_t counted = num_queries_ - num_empty_truths_;
+  if (counted == 0) return 1.0;
+  return recall_sum_ / static_cast<double>(counted);
+}
+
+}  // namespace lshensemble

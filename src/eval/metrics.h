@@ -1,0 +1,59 @@
+// Set-overlap accuracy metrics with the paper's conventions (Section 6.1):
+// precision/recall per Eq. 27, F-beta per Eq. 28 with beta in {1, 0.5};
+// empty results count as precision 1.0 but are excluded from average
+// precision; queries with empty ground truth are excluded from average
+// recall (nothing to find).
+
+#ifndef LSHENSEMBLE_EVAL_METRICS_H_
+#define LSHENSEMBLE_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lshensemble {
+
+/// \brief F-beta of aggregate precision/recall (Eq. 28). Returns 0 when
+/// both inputs are 0.
+double FBeta(double precision, double recall, double beta);
+
+/// \brief Accumulates per-query precision/recall over an experiment.
+/// Not thread-safe; accumulate per thread and Merge().
+class AccuracyAccumulator {
+ public:
+  /// \param result sorted unique candidate ids returned by the index.
+  /// \param truth  sorted unique ground-truth ids.
+  void AddQuery(const std::vector<uint64_t>& result,
+                const std::vector<uint64_t>& truth);
+
+  /// Pre-counted variant for drivers that compute overlaps themselves.
+  void AddCounts(size_t result_size, size_t truth_size, size_t hits);
+
+  void Merge(const AccuracyAccumulator& other);
+
+  /// Mean per-query precision over queries with non-empty results.
+  double MeanPrecision() const;
+  /// Mean per-query recall over queries with non-empty ground truth.
+  double MeanRecall() const;
+  double F1() const { return FBeta(MeanPrecision(), MeanRecall(), 1.0); }
+  double F05() const { return FBeta(MeanPrecision(), MeanRecall(), 0.5); }
+
+  size_t num_queries() const { return num_queries_; }
+  size_t num_empty_results() const { return num_empty_results_; }
+  size_t num_empty_truths() const { return num_empty_truths_; }
+
+ private:
+  size_t num_queries_ = 0;
+  size_t num_empty_results_ = 0;
+  size_t num_empty_truths_ = 0;
+  double precision_sum_ = 0.0;  // over queries with non-empty results
+  double recall_sum_ = 0.0;     // over queries with non-empty truths
+};
+
+/// \brief |a ∩ b| for sorted unique id vectors.
+size_t SortedIntersectionSize(const std::vector<uint64_t>& a,
+                              const std::vector<uint64_t>& b);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_EVAL_METRICS_H_

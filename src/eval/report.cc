@@ -1,0 +1,50 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace lshensemble {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]))
+         << (c < cells.size() ? cells[c] : "") << " | ";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+}  // namespace lshensemble

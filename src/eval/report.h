@@ -1,0 +1,30 @@
+// Fixed-width console tables for the benchmark harness output.
+
+#ifndef LSHENSEMBLE_EVAL_REPORT_H_
+#define LSHENSEMBLE_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lshensemble {
+
+/// \brief Renders rows of strings as an aligned, pipe-separated table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Fixed-precision double formatting ("0.713").
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_EVAL_REPORT_H_

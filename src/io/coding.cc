@@ -1,0 +1,106 @@
+#include "io/coding.h"
+
+#include <cstring>
+
+namespace lshensemble {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value);
+  buf[1] = static_cast<char>(value >> 8);
+  buf[2] = static_cast<char>(value >> 16);
+  buf[3] = static_cast<char>(value >> 24);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>(value >> (8 * i));
+  }
+  dst->append(buf, sizeof(buf));
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<char>(value);
+  dst->append(buf, static_cast<size_t>(n));
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value);
+}
+
+bool DecodeCursor::GetFixed32(uint32_t* value) {
+  if (data_.size() < 4) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(data_.data());
+  *value = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+  data_.remove_prefix(4);
+  return true;
+}
+
+bool DecodeCursor::GetFixed64(uint64_t* value) {
+  if (data_.size() < 8) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(data_.data());
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  *value = v;
+  data_.remove_prefix(8);
+  return true;
+}
+
+bool DecodeCursor::GetVarint32(uint32_t* value) {
+  uint64_t wide = 0;
+  DecodeCursor probe = *this;
+  if (!probe.GetVarint64(&wide) || wide > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(wide);
+  *this = probe;
+  return true;
+}
+
+bool DecodeCursor::GetVarint64(uint64_t* value) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < data_.size() && i < 10; ++i) {
+    const auto byte = static_cast<unsigned char>(data_[i]);
+    // Bytes beyond the 9th can only contribute bit 63.
+    if (i == 9 && byte > 1) return false;  // overflow
+    v |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *value = v;
+      data_.remove_prefix(i + 1);
+      return true;
+    }
+  }
+  return false;  // truncated or longer than 10 bytes
+}
+
+bool DecodeCursor::GetLengthPrefixed(std::string_view* value) {
+  DecodeCursor probe = *this;
+  uint64_t length = 0;
+  if (!probe.GetVarint64(&length) || probe.remaining() < length) return false;
+  if (!probe.GetRaw(static_cast<size_t>(length), value)) return false;
+  *this = probe;
+  return true;
+}
+
+bool DecodeCursor::GetRaw(size_t n, std::string_view* value) {
+  if (data_.size() < n) return false;
+  *value = data_.substr(0, n);
+  data_.remove_prefix(n);
+  return true;
+}
+
+}  // namespace lshensemble

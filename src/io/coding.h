@@ -1,0 +1,58 @@
+// Little-endian binary encoding primitives (LevelDB/RocksDB-style):
+// fixed-width integers, LEB128 varints, and length-prefixed strings,
+// plus a bounds-checked cursor for decoding. All decoders return false
+// (or Status) instead of reading out of bounds, so corrupt or truncated
+// input can never crash the loader.
+
+#ifndef LSHENSEMBLE_IO_CODING_H_
+#define LSHENSEMBLE_IO_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lshensemble {
+
+// ------------------------------------------------------------- encoders
+
+/// Append `value` as 4 little-endian bytes.
+void PutFixed32(std::string* dst, uint32_t value);
+/// Append `value` as 8 little-endian bytes.
+void PutFixed64(std::string* dst, uint64_t value);
+/// Append `value` as a LEB128 varint (1-5 bytes).
+void PutVarint32(std::string* dst, uint32_t value);
+/// Append `value` as a LEB128 varint (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+/// Append a varint length prefix followed by the raw bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+// ------------------------------------------------------------- decoders
+
+/// \brief Bounds-checked forward cursor over an encoded buffer.
+///
+/// Every Get* consumes bytes on success and leaves the cursor untouched on
+/// failure, so a failed read can be reported without corrupting later
+/// reads.
+class DecodeCursor {
+ public:
+  explicit DecodeCursor(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  bool GetFixed32(uint32_t* value);
+  bool GetFixed64(uint64_t* value);
+  bool GetVarint32(uint32_t* value);
+  bool GetVarint64(uint64_t* value);
+  /// Reads a varint length then that many raw bytes (view into the buffer).
+  bool GetLengthPrefixed(std::string_view* value);
+  /// Reads exactly `n` raw bytes (view into the buffer).
+  bool GetRaw(size_t n, std::string_view* value);
+
+ private:
+  std::string_view data_;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_IO_CODING_H_

@@ -1,0 +1,39 @@
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78), the
+// checksum RocksDB and LevelDB use to protect on-disk blocks. Software
+// slice-by-4 implementation; no hardware dependency.
+
+#ifndef LSHENSEMBLE_IO_CRC32C_H_
+#define LSHENSEMBLE_IO_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lshensemble {
+namespace crc32c {
+
+/// \brief Extend a running CRC with `data`; pass 0 as the initial value.
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// CRC-32C of a whole buffer.
+inline uint32_t Value(std::string_view data) {
+  return Extend(0, data.data(), data.size());
+}
+
+/// \brief RocksDB-style masked CRC: storing a CRC of data that itself
+/// contains CRCs can produce degenerate collisions; masking breaks the
+/// symmetry.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+/// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_IO_CRC32C_H_

@@ -1,0 +1,52 @@
+// Persistence for LshEnsemble indexes.
+//
+// An index image is a block container:
+//
+//   [magic u32 = "LSHE"] [format version u32]
+//   repeated blocks: [type u8] [payload length varint] [payload]
+//                    [masked CRC-32C of payload, fixed u32]
+//   terminated by an END block (empty payload)
+//
+// Blocks: OPTIONS (ensemble options + hash family seed + totals),
+// PARTITIONS (the size intervals), one FOREST block per partition
+// (see LshForest::SerializeTo). Every payload is protected by a masked
+// CRC-32C (the RocksDB convention), so bit rot anywhere in the file is
+// reported as Corruption rather than producing a silently wrong index.
+//
+// The image stores the hash family's seed, not its coefficient tables:
+// the family is regenerated on load and is bit-identical by construction.
+// Signatures of the indexed domains are not stored (the forests hold the
+// derived key arrays), so an image is typically ~m/2 bytes per domain
+// per hash function smaller than the sketch set it was built from.
+
+#ifndef LSHENSEMBLE_IO_ENSEMBLE_IO_H_
+#define LSHENSEMBLE_IO_ENSEMBLE_IO_H_
+
+#include <string>
+
+#include "core/lsh_ensemble.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// Current on-disk format version.
+inline constexpr uint32_t kEnsembleFormatVersion = 1;
+
+/// \brief Serialize `ensemble` into an in-memory image.
+Status SerializeEnsemble(const LshEnsemble& ensemble, std::string* out);
+
+/// \brief Rebuild an ensemble from a SerializeEnsemble() image.
+/// Returns Corruption on any checksum or structural mismatch and
+/// NotSupported for images written by a newer format version.
+Result<LshEnsemble> DeserializeEnsemble(std::string_view image);
+
+/// \brief Save an index to `path` (atomic: temp file + rename).
+Status SaveEnsemble(const LshEnsemble& ensemble, const std::string& path);
+
+/// \brief Load an index from `path`.
+Result<LshEnsemble> LoadEnsemble(const std::string& path);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_IO_ENSEMBLE_IO_H_

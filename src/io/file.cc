@@ -1,0 +1,74 @@
+#include "io/file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace lshensemble {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError(ErrnoMessage("open " + tmp));
+  }
+  if (!data.empty() &&
+      std::fwrite(data.data(), 1, data.size(), file) != data.size()) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    return Status::IOError(ErrnoMessage("write " + tmp));
+  }
+  if (std::fflush(file) != 0) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    return Status::IOError(ErrnoMessage("flush " + tmp));
+  }
+  if (std::fclose(file) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError(ErrnoMessage("close " + tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError(ErrnoMessage("rename " + tmp + " -> " + path));
+  }
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IOError(ErrnoMessage("open " + path));
+  }
+  out->clear();
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out->append(buffer, n);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return Status::IOError(ErrnoMessage("read " + path));
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("remove " + path));
+  }
+  return Status::OK();
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,28 @@
+// Minimal Status-returning file IO: write a whole buffer atomically
+// (write to a temp name, then rename) and read a whole file back. Index
+// images are saved and loaded as single buffers; a failed save never
+// leaves a half-written index at the target path.
+
+#ifndef LSHENSEMBLE_IO_FILE_H_
+#define LSHENSEMBLE_IO_FILE_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief Write `data` to `path` atomically: the data is first written and
+/// flushed to `path + ".tmp"`, then renamed over `path`.
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+/// \brief Read the entire file at `path` into `*out` (replacing its
+/// contents). Returns NotFound if the file does not exist.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Remove a file; missing files are not an error.
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_IO_FILE_H_

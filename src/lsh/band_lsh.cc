@@ -1,0 +1,85 @@
+#include "lsh/band_lsh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hashing.h"
+
+namespace lshensemble {
+
+double BandCollisionProbability(double jaccard, int b, int r) {
+  if (jaccard <= 0.0) return 0.0;
+  if (jaccard >= 1.0) return 1.0;
+  return 1.0 - std::pow(1.0 - std::pow(jaccard, r), b);
+}
+
+double StaticThreshold(int b, int r) {
+  return std::pow(1.0 / static_cast<double>(b), 1.0 / static_cast<double>(r));
+}
+
+BandParams ChooseStaticParams(int num_hashes, double jaccard_threshold) {
+  BandParams best;
+  double best_gap = 2.0;
+  for (int r = 1; r <= num_hashes; ++r) {
+    for (int b = 1; b * r <= num_hashes; ++b) {
+      const double gap = std::abs(StaticThreshold(b, r) - jaccard_threshold);
+      // Prefer a closer threshold; on (near) ties prefer more bands, which
+      // raises the candidate probability curve (recall-biased).
+      if (gap < best_gap - 1e-12 ||
+          (gap < best_gap + 1e-12 && b > best.b)) {
+        best_gap = gap;
+        best = {b, r};
+      }
+    }
+  }
+  return best;
+}
+
+Result<BandLsh> BandLsh::Create(int b, int r) {
+  if (b <= 0 || r <= 0) {
+    return Status::InvalidArgument("BandLsh requires b > 0 and r > 0");
+  }
+  return BandLsh(b, r);
+}
+
+uint64_t BandLsh::BandKey(const MinHash& signature, int band) const {
+  const auto& mins = signature.values();
+  uint64_t key = 0x2545f4914f6cdd1dULL ^ static_cast<uint64_t>(band);
+  for (int j = 0; j < r_; ++j) {
+    key = HashCombine(key, mins[band * r_ + j]);
+  }
+  return key;
+}
+
+Status BandLsh::Add(uint64_t id, const MinHash& signature) {
+  if (!signature.valid() || signature.num_hashes() < b_ * r_) {
+    return Status::InvalidArgument(
+        "signature shorter than b*r hash values");
+  }
+  for (int band = 0; band < b_; ++band) {
+    bands_[band][BandKey(signature, band)].push_back(id);
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status BandLsh::Query(const MinHash& signature,
+                      std::vector<uint64_t>* out) const {
+  if (!signature.valid() || signature.num_hashes() < b_ * r_) {
+    return Status::InvalidArgument(
+        "signature shorter than b*r hash values");
+  }
+  out->clear();
+  for (int band = 0; band < b_; ++band) {
+    const auto& table = bands_[band];
+    auto it = table.find(BandKey(signature, band));
+    if (it != table.end()) {
+      out->insert(out->end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return Status::OK();
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,71 @@
+// Classic static banded MinHash LSH (Indyk & Motwani / Leskovec et al.):
+// the signature is split into b bands of r hash values; domains colliding
+// with the query on at least one band become candidates, with probability
+// P(s | b, r) = 1 - (1 - s^r)^b  (paper Eq. 5).
+//
+// The ensemble itself uses the dynamic LshForest (lsh/lsh_forest.h); this
+// static index backs the tuning ablation and the property tests that verify
+// Eq. 5 empirically.
+
+#ifndef LSHENSEMBLE_LSH_BAND_LSH_H_
+#define LSHENSEMBLE_LSH_BAND_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "minhash/minhash.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief Candidate-set probability P(s | b, r) = 1 - (1 - s^r)^b (Eq. 5).
+double BandCollisionProbability(double jaccard, int b, int r);
+
+/// \brief The static Jaccard threshold approximated by a (b, r) pair:
+/// s* ~ (1/b)^(1/r)  (paper Eq. 21).
+double StaticThreshold(int b, int r);
+
+/// \brief Pick the (b, r) with b*r <= m whose static threshold (Eq. 21) is
+/// closest to `jaccard_threshold`. Ties prefer larger b (higher recall).
+struct BandParams {
+  int b = 0;
+  int r = 0;
+};
+BandParams ChooseStaticParams(int num_hashes, double jaccard_threshold);
+
+/// \brief A static (b, r) banded LSH index over MinHash signatures.
+class BandLsh {
+ public:
+  /// \param b number of bands, > 0.
+  /// \param r hash values per band, > 0. Signatures added later must have at
+  ///        least b*r hash values.
+  static Result<BandLsh> Create(int b, int r);
+
+  int b() const { return b_; }
+  int r() const { return r_; }
+  size_t size() const { return size_; }
+
+  /// Insert a signature under `id`. Ids need not be distinct, but duplicate
+  /// ids will be reported once per distinct colliding band content.
+  Status Add(uint64_t id, const MinHash& signature);
+
+  /// All ids colliding with `signature` on >= 1 band; sorted, deduplicated.
+  Status Query(const MinHash& signature, std::vector<uint64_t>* out) const;
+
+ private:
+  BandLsh(int b, int r) : b_(b), r_(r), bands_(b) {}
+
+  uint64_t BandKey(const MinHash& signature, int band) const;
+
+  int b_;
+  int r_;
+  size_t size_ = 0;
+  // One hash table per band: band key -> ids in that bucket.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint64_t>>> bands_;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_LSH_BAND_LSH_H_

@@ -1,0 +1,223 @@
+#include "lsh/lsh_forest.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <unordered_set>
+
+#include "io/coding.h"
+
+namespace lshensemble {
+
+Result<LshForest> LshForest::Create(int num_trees, int tree_depth) {
+  if (num_trees <= 0 || tree_depth <= 0) {
+    return Status::InvalidArgument(
+        "LshForest requires num_trees > 0 and tree_depth > 0");
+  }
+  return LshForest(num_trees, tree_depth);
+}
+
+Status LshForest::Add(uint64_t id, const MinHash& signature) {
+  if (indexed_) {
+    return Status::FailedPrecondition("LshForest already indexed");
+  }
+  if (!signature.valid() ||
+      signature.num_hashes() < num_trees_ * tree_depth_) {
+    return Status::InvalidArgument(
+        "signature shorter than num_trees * tree_depth hash values");
+  }
+  const auto& mins = signature.values();
+  for (int t = 0; t < num_trees_; ++t) {
+    auto& keys = keys_[t];
+    const size_t base = static_cast<size_t>(t) * tree_depth_;
+    for (int d = 0; d < tree_depth_; ++d) {
+      keys.push_back(TruncateHash(mins[base + d]));
+    }
+  }
+  ids_.push_back(id);
+  return Status::OK();
+}
+
+void LshForest::Index() {
+  if (indexed_) return;
+  const size_t n = ids_.size();
+  const size_t depth = static_cast<size_t>(tree_depth_);
+  for (int t = 0; t < num_trees_; ++t) {
+    auto& entries = entry_of_[t];
+    entries.resize(n);
+    std::iota(entries.begin(), entries.end(), 0u);
+    const uint32_t* keys = keys_[t].data();
+    std::sort(entries.begin(), entries.end(),
+              [keys, depth](uint32_t a, uint32_t b) {
+                const uint32_t* ka = keys + static_cast<size_t>(a) * depth;
+                const uint32_t* kb = keys + static_cast<size_t>(b) * depth;
+                return std::lexicographical_compare(ka, ka + depth, kb,
+                                                    kb + depth);
+              });
+    // Apply the permutation so binary searches scan contiguous memory.
+    std::vector<uint32_t> sorted_keys(n * depth);
+    for (size_t pos = 0; pos < n; ++pos) {
+      std::memcpy(sorted_keys.data() + pos * depth,
+                  keys + static_cast<size_t>(entries[pos]) * depth,
+                  depth * sizeof(uint32_t));
+    }
+    keys_[t] = std::move(sorted_keys);
+  }
+  indexed_ = true;
+}
+
+namespace {
+
+// Compares the first `r` values of `key` against `prefix`:
+// negative if key < prefix, 0 on prefix match, positive if key > prefix.
+inline int ComparePrefix(const uint32_t* key, const uint32_t* prefix, int r) {
+  for (int d = 0; d < r; ++d) {
+    if (key[d] != prefix[d]) return key[d] < prefix[d] ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Status LshForest::Query(const MinHash& signature, int b, int r,
+                        std::vector<uint64_t>* out) const {
+  if (!indexed_) {
+    return Status::FailedPrecondition("LshForest::Index() not called");
+  }
+  if (b < 1 || b > num_trees_ || r < 1 || r > tree_depth_) {
+    return Status::InvalidArgument("query (b, r) outside forest capacity");
+  }
+  if (!signature.valid() ||
+      signature.num_hashes() < num_trees_ * tree_depth_) {
+    return Status::InvalidArgument(
+        "signature shorter than num_trees * tree_depth hash values");
+  }
+
+  const auto& mins = signature.values();
+  const size_t n = ids_.size();
+  const size_t depth = static_cast<size_t>(tree_depth_);
+  std::unordered_set<uint64_t> seen;
+
+  std::vector<uint32_t> prefix(static_cast<size_t>(r));
+  for (int t = 0; t < b; ++t) {
+    const size_t base = static_cast<size_t>(t) * depth;
+    for (int d = 0; d < r; ++d) {
+      prefix[d] = TruncateHash(mins[base + d]);
+    }
+    const uint32_t* keys = keys_[t].data();
+
+    // lower bound: first position with key >= prefix (on the first r slots)
+    size_t lo = 0, hi = n;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (ComparePrefix(keys + mid * depth, prefix.data(), r) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const size_t begin = lo;
+    // upper bound: first position with key > prefix
+    hi = n;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (ComparePrefix(keys + mid * depth, prefix.data(), r) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const size_t end = lo;
+
+    const uint32_t* entries = entry_of_[t].data();
+    for (size_t pos = begin; pos < end; ++pos) {
+      const uint64_t id = ids_[entries[pos]];
+      if (seen.insert(id).second) out->push_back(id);
+    }
+  }
+  return Status::OK();
+}
+
+Status LshForest::SerializeTo(std::string* out) const {
+  if (!indexed_) {
+    return Status::FailedPrecondition(
+        "only an indexed forest can be serialized");
+  }
+  PutVarint32(out, static_cast<uint32_t>(num_trees_));
+  PutVarint32(out, static_cast<uint32_t>(tree_depth_));
+  PutVarint64(out, ids_.size());
+  for (uint64_t id : ids_) PutFixed64(out, id);
+  for (int t = 0; t < num_trees_; ++t) {
+    for (uint32_t key : keys_[t]) PutFixed32(out, key);
+    for (uint32_t entry : entry_of_[t]) PutFixed32(out, entry);
+  }
+  return Status::OK();
+}
+
+Result<LshForest> LshForest::Deserialize(std::string_view data) {
+  DecodeCursor cursor(data);
+  uint32_t num_trees = 0;
+  uint32_t tree_depth = 0;
+  uint64_t n = 0;
+  if (!cursor.GetVarint32(&num_trees) || !cursor.GetVarint32(&tree_depth) ||
+      !cursor.GetVarint64(&n)) {
+    return Status::Corruption("forest image: truncated header");
+  }
+  if (num_trees == 0 || tree_depth == 0 || num_trees > 4096 ||
+      tree_depth > 4096 || n > (uint64_t{1} << 40)) {
+    return Status::Corruption("forest image: implausible shape");
+  }
+  // Reject sizes the payload cannot possibly hold before allocating.
+  const uint64_t per_tree_bytes =
+      n * (static_cast<uint64_t>(tree_depth) + 1) * sizeof(uint32_t);
+  if (cursor.remaining() < n * sizeof(uint64_t) + num_trees * per_tree_bytes) {
+    return Status::Corruption("forest image: truncated payload");
+  }
+
+  auto forest_result =
+      Create(static_cast<int>(num_trees), static_cast<int>(tree_depth));
+  if (!forest_result.ok()) return forest_result.status();
+  LshForest forest = std::move(forest_result).value();
+
+  forest.ids_.resize(n);
+  for (uint64_t& id : forest.ids_) {
+    if (!cursor.GetFixed64(&id)) {
+      return Status::Corruption("forest image: truncated ids");
+    }
+  }
+  for (uint32_t t = 0; t < num_trees; ++t) {
+    auto& keys = forest.keys_[t];
+    keys.resize(n * tree_depth);
+    for (uint32_t& key : keys) {
+      if (!cursor.GetFixed32(&key)) {
+        return Status::Corruption("forest image: truncated keys");
+      }
+    }
+    auto& entries = forest.entry_of_[t];
+    entries.resize(n);
+    for (uint32_t& entry : entries) {
+      if (!cursor.GetFixed32(&entry)) {
+        return Status::Corruption("forest image: truncated entries");
+      }
+      if (entry >= n) {
+        return Status::Corruption("forest image: entry index out of range");
+      }
+    }
+  }
+  if (!cursor.empty()) {
+    return Status::Corruption("forest image: trailing bytes");
+  }
+  forest.indexed_ = true;
+  return forest;
+}
+
+size_t LshForest::MemoryBytes() const {
+  size_t bytes = ids_.capacity() * sizeof(uint64_t);
+  for (const auto& keys : keys_) bytes += keys.capacity() * sizeof(uint32_t);
+  for (const auto& entries : entry_of_) {
+    bytes += entries.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace lshensemble

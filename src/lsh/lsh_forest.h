@@ -1,0 +1,97 @@
+// Dynamic MinHash LSH a la LSH Forest (Bawa, Condie & Ganesan, WWW'05):
+// instead of fixing (b, r) at build time, the index stores `num_trees`
+// prefix trees of depth `tree_depth` and lets every query choose its own
+// effective b <= num_trees (how many trees to probe) and r <= tree_depth
+// (how deep a prefix must match). LSH Ensemble relies on this to retune
+// (b, r) per query and per partition (paper Section 5.5).
+//
+// Each "tree" is stored flattened: a sorted array of fixed-width keys
+// (tree_depth hash values) plus the owning entry; a depth-r prefix lookup is
+// a pair of binary searches. This is equivalent to a prefix tree probed to
+// depth r, but contiguous in memory. Keys keep the top 32 bits of each
+// 61-bit min-hash value: a spurious per-slot collision has probability
+// ~2^-32, far below the LSH's intrinsic error, and the index halves in size.
+
+#ifndef LSHENSEMBLE_LSH_LSH_FOREST_H_
+#define LSHENSEMBLE_LSH_LSH_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "minhash/minhash.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief A forest of `num_trees` flattened prefix trees over MinHash
+/// signatures, supporting per-query (b, r) selection.
+///
+/// Lifecycle: Add() signatures, then Index() once, then Query(). Add after
+/// Index() is rejected (rebuild instead; the paper's index is likewise built
+/// in a single pass over the data, Section 2).
+class LshForest {
+ public:
+  /// \param num_trees   b_max: maximum number of probe trees.
+  /// \param tree_depth  r_max: hash values per tree (maximum prefix depth).
+  /// Signatures must carry at least num_trees * tree_depth hash values.
+  static Result<LshForest> Create(int num_trees, int tree_depth);
+
+  int num_trees() const { return num_trees_; }
+  int tree_depth() const { return tree_depth_; }
+  size_t size() const { return ids_.size(); }
+  bool indexed() const { return indexed_; }
+
+  /// Buffer one signature under `id`. Fails after Index().
+  Status Add(uint64_t id, const MinHash& signature);
+
+  /// Sort all trees; call once after the last Add. Idempotent.
+  void Index();
+
+  /// \brief Probe the first `b` trees at prefix depth `r`; append the ids of
+  /// all colliding entries to `out` (deduplicated within this call).
+  /// Requires indexed(), 1 <= b <= num_trees, 1 <= r <= tree_depth.
+  Status Query(const MinHash& signature, int b, int r,
+               std::vector<uint64_t>* out) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+  /// \brief Append a binary image of this forest to `out`. Requires
+  /// indexed(); the image contains the sorted key arrays, entry
+  /// permutations and ids, so Deserialize() restores a query-ready forest.
+  Status SerializeTo(std::string* out) const;
+
+  /// \brief Rebuild a forest from a SerializeTo() image. Structural
+  /// corruption is reported as Corruption (checksums are the caller's
+  /// concern; see io/ensemble_io.h).
+  static Result<LshForest> Deserialize(std::string_view data);
+
+ private:
+  LshForest(int num_trees, int tree_depth)
+      : num_trees_(num_trees),
+        tree_depth_(tree_depth),
+        keys_(num_trees),
+        entry_of_(num_trees) {}
+
+  /// Truncate a 61-bit min-hash value to the forest's 32-bit key space.
+  static uint32_t TruncateHash(uint64_t h) {
+    return static_cast<uint32_t>(h >> 29);
+  }
+
+  int num_trees_;
+  int tree_depth_;
+  bool indexed_ = false;
+
+  // keys_[t] holds size() keys of tree_depth_ u32 values each. Before
+  // Index() they are in insertion order; after, sorted lexicographically.
+  // entry_of_[t][pos] is the insertion index of the key at sorted position
+  // `pos`, so ids_[entry_of_[t][pos]] is the owning id.
+  std::vector<std::vector<uint32_t>> keys_;
+  std::vector<std::vector<uint32_t>> entry_of_;
+  std::vector<uint64_t> ids_;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_LSH_LSH_FOREST_H_

@@ -1,0 +1,34 @@
+#include "minhash/hash_family.h"
+
+#include "util/random.h"
+
+namespace lshensemble {
+
+Result<std::shared_ptr<const HashFamily>> HashFamily::Create(int num_hashes,
+                                                             uint64_t seed) {
+  if (num_hashes <= 0) {
+    return Status::InvalidArgument("num_hashes must be positive");
+  }
+  Rng rng(seed);
+  std::vector<uint64_t> mul(num_hashes);
+  std::vector<uint64_t> add(num_hashes);
+  for (int i = 0; i < num_hashes; ++i) {
+    mul[i] = rng.NextInRange(1, kMersennePrime61 - 1);
+    add[i] = rng.NextInRange(0, kMersennePrime61 - 1);
+  }
+  return std::shared_ptr<const HashFamily>(
+      new HashFamily(std::move(mul), std::move(add), seed));
+}
+
+void HashFamily::UpdateMins(uint64_t value, uint64_t* mins) const {
+  const uint64_t reduced = Reduce(value);
+  const size_t m = mul_.size();
+  const uint64_t* mul = mul_.data();
+  const uint64_t* add = add_.data();
+  for (size_t i = 0; i < m; ++i) {
+    const uint64_t h = AddMod61(MulMod61(mul[i], reduced), add[i]);
+    if (h < mins[i]) mins[i] = h;
+  }
+}
+
+}  // namespace lshensemble

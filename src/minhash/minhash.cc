@@ -1,0 +1,158 @@
+#include "minhash/minhash.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/hashing.h"
+
+namespace lshensemble {
+
+MinHash::MinHash(std::shared_ptr<const HashFamily> family)
+    : family_(std::move(family)) {
+  assert(family_ != nullptr);
+  mins_.assign(family_->num_hashes(), kEmptySlot);
+}
+
+MinHash MinHash::FromValues(std::shared_ptr<const HashFamily> family,
+                            std::span<const uint64_t> values) {
+  MinHash sketch(std::move(family));
+  for (uint64_t v : values) sketch.Update(v);
+  return sketch;
+}
+
+MinHash MinHash::FromStrings(std::shared_ptr<const HashFamily> family,
+                             std::span<const std::string> values) {
+  MinHash sketch(std::move(family));
+  for (const std::string& v : values) sketch.UpdateString(v);
+  return sketch;
+}
+
+Result<MinHash> MinHash::FromSlots(std::shared_ptr<const HashFamily> family,
+                                   std::vector<uint64_t> slots) {
+  if (family == nullptr) {
+    return Status::InvalidArgument("FromSlots requires a hash family");
+  }
+  if (slots.size() != static_cast<size_t>(family->num_hashes())) {
+    return Status::InvalidArgument(
+        "slot count does not match the hash family size");
+  }
+  for (uint64_t v : slots) {
+    if (v > kEmptySlot) {
+      return Status::InvalidArgument("slot value exceeds the hash range");
+    }
+  }
+  MinHash sketch(std::move(family));
+  sketch.mins_ = std::move(slots);
+  return sketch;
+}
+
+int MinHash::num_hashes() const {
+  return family_ ? family_->num_hashes() : 0;
+}
+
+bool MinHash::SameFamily(const MinHash& other) const {
+  if (family_ == nullptr || other.family_ == nullptr) return false;
+  return family_ == other.family_ || family_->SameAs(*other.family_);
+}
+
+bool MinHash::empty() const {
+  return mins_.empty() || mins_[0] == kEmptySlot;
+}
+
+void MinHash::Update(uint64_t value) {
+  assert(valid());
+  family_->UpdateMins(value, mins_.data());
+}
+
+void MinHash::UpdateString(std::string_view value) {
+  Update(HashString(value));
+}
+
+Result<double> MinHash::EstimateJaccard(const MinHash& other) const {
+  if (!valid() || !other.valid()) {
+    return Status::InvalidArgument("comparing invalid MinHash");
+  }
+  if (!SameFamily(other)) {
+    return Status::InvalidArgument(
+        "MinHash signatures built from different hash families");
+  }
+  const size_t m = mins_.size();
+  size_t collisions = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (mins_[i] == other.mins_[i] && mins_[i] != kEmptySlot) ++collisions;
+  }
+  return static_cast<double>(collisions) / static_cast<double>(m);
+}
+
+double MinHash::EstimateCardinality() const {
+  if (mins_.empty() || empty()) return 0.0;
+  // With n distinct values, each normalized slot min is ~ Beta(1, n) with
+  // mean 1/(n+1); invert the mean of the normalized minima.
+  const double max_hash = static_cast<double>(HashFamily::kMaxHash);
+  double sum = 0.0;
+  for (uint64_t v : mins_) {
+    sum += static_cast<double>(v) / max_hash;
+  }
+  const double m = static_cast<double>(mins_.size());
+  if (sum <= 0.0) return 0.0;
+  return m / sum - 1.0;
+}
+
+Status MinHash::Merge(const MinHash& other) {
+  if (!valid() || !other.valid()) {
+    return Status::InvalidArgument("merging invalid MinHash");
+  }
+  if (!SameFamily(other)) {
+    return Status::InvalidArgument(
+        "cannot merge MinHash signatures from different hash families");
+  }
+  for (size_t i = 0; i < mins_.size(); ++i) {
+    if (other.mins_[i] < mins_[i]) mins_[i] = other.mins_[i];
+  }
+  return Status::OK();
+}
+
+void MinHash::SerializeTo(std::string* out) const {
+  assert(valid());
+  const uint32_t m = static_cast<uint32_t>(mins_.size());
+  const uint64_t seed = family_->seed();
+  out->reserve(out->size() + sizeof(m) + sizeof(seed) +
+               mins_.size() * sizeof(uint64_t));
+  out->append(reinterpret_cast<const char*>(&m), sizeof(m));
+  out->append(reinterpret_cast<const char*>(&seed), sizeof(seed));
+  out->append(reinterpret_cast<const char*>(mins_.data()),
+              mins_.size() * sizeof(uint64_t));
+}
+
+Result<MinHash> MinHash::Deserialize(
+    std::string_view data, std::shared_ptr<const HashFamily> family) {
+  if (family == nullptr) {
+    return Status::InvalidArgument("Deserialize requires a hash family");
+  }
+  uint32_t m = 0;
+  uint64_t seed = 0;
+  if (data.size() < sizeof(m) + sizeof(seed)) {
+    return Status::Corruption("MinHash blob truncated (header)");
+  }
+  std::memcpy(&m, data.data(), sizeof(m));
+  std::memcpy(&seed, data.data() + sizeof(m), sizeof(seed));
+  if (static_cast<int>(m) != family->num_hashes() || seed != family->seed()) {
+    return Status::InvalidArgument(
+        "serialized MinHash does not match the supplied hash family");
+  }
+  const size_t expected = sizeof(m) + sizeof(seed) + m * sizeof(uint64_t);
+  if (data.size() != expected) {
+    return Status::Corruption("MinHash blob truncated (values)");
+  }
+  MinHash sketch(std::move(family));
+  std::memcpy(sketch.mins_.data(), data.data() + sizeof(m) + sizeof(seed),
+              m * sizeof(uint64_t));
+  for (uint64_t v : sketch.mins_) {
+    if (v > kEmptySlot) {
+      return Status::Corruption("MinHash blob contains out-of-range values");
+    }
+  }
+  return sketch;
+}
+
+}  // namespace lshensemble

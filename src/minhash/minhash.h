@@ -1,0 +1,91 @@
+// MinHash signatures (Broder 1997): fixed-size sketches of domains that
+// support unbiased Jaccard similarity estimation (paper Eq. 4) and domain
+// cardinality estimation — the `approx(|Q|)` used by Algorithm 1.
+
+#ifndef LSHENSEMBLE_MINHASH_MINHASH_H_
+#define LSHENSEMBLE_MINHASH_MINHASH_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minhash/hash_family.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief A MinHash signature: for each of m hash functions, the minimum
+/// hash value observed over the domain's values.
+///
+/// Build a signature by streaming values through Update()/UpdateString(),
+/// or in one call via FromValues()/FromStrings(). Two signatures are only
+/// comparable when built from the same HashFamily.
+class MinHash {
+ public:
+  /// Sentinel stored at positions that have seen no value yet. Strictly
+  /// greater than HashFamily::kMaxHash, so real hashes always win the min.
+  static constexpr uint64_t kEmptySlot = kMersennePrime61;
+
+  /// An empty (family-less) signature; unusable until assigned. Exists so
+  /// MinHash can live in containers.
+  MinHash() = default;
+
+  /// A signature over `family` with no values yet.
+  explicit MinHash(std::shared_ptr<const HashFamily> family);
+
+  /// Sketch of a set of pre-hashed (64-bit) values.
+  static MinHash FromValues(std::shared_ptr<const HashFamily> family,
+                            std::span<const uint64_t> values);
+  /// Sketch of a set of strings (hashed internally).
+  static MinHash FromStrings(std::shared_ptr<const HashFamily> family,
+                             std::span<const std::string> values);
+  /// \brief Adopt raw slot minima (e.g. the padded signatures of Asymmetric
+  /// Minwise Hashing). `slots` must have exactly family->num_hashes()
+  /// entries, each <= kEmptySlot.
+  static Result<MinHash> FromSlots(std::shared_ptr<const HashFamily> family,
+                                   std::vector<uint64_t> slots);
+
+  bool valid() const { return family_ != nullptr; }
+  int num_hashes() const;
+  const std::vector<uint64_t>& values() const { return mins_; }
+  const std::shared_ptr<const HashFamily>& family() const { return family_; }
+  bool SameFamily(const MinHash& other) const;
+
+  /// True if no value has been added.
+  bool empty() const;
+
+  /// Add one pre-hashed value to the sketched set.
+  void Update(uint64_t value);
+  /// Add one raw string value to the sketched set.
+  void UpdateString(std::string_view value);
+
+  /// \brief Unbiased Jaccard similarity estimate (fraction of colliding
+  /// slots, paper Eq. 4). Returns InvalidArgument if the families differ.
+  Result<double> EstimateJaccard(const MinHash& other) const;
+
+  /// \brief Estimate of the number of distinct values sketched, from the
+  /// mean normalized minimum (the standard MinHash cardinality estimator).
+  double EstimateCardinality() const;
+
+  /// \brief Make this the sketch of the union of both sets (slot-wise min).
+  Status Merge(const MinHash& other);
+
+  /// \brief Binary serialization: [m:u32][seed:u64][mins:u64*m].
+  void SerializeTo(std::string* out) const;
+  /// \brief Rebuild from Serialize output. The supplied family must match
+  /// the serialized seed/size (signatures never own their family).
+  static Result<MinHash> Deserialize(
+      std::string_view data, std::shared_ptr<const HashFamily> family);
+
+ private:
+  std::shared_ptr<const HashFamily> family_;
+  std::vector<uint64_t> mins_;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_MINHASH_MINHASH_H_

@@ -1,0 +1,135 @@
+#include "sketch/bottom_k.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "io/coding.h"
+#include "util/hashing.h"
+
+namespace lshensemble {
+
+Result<BottomK> BottomK::Create(int k) {
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  return BottomK(k);
+}
+
+void BottomK::Update(uint64_t hash) {
+  const auto it = std::lower_bound(hashes_.begin(), hashes_.end(), hash);
+  if (it != hashes_.end() && *it == hash) return;  // duplicate value
+  if (hashes_.size() < static_cast<size_t>(k_)) {
+    hashes_.insert(it, hash);
+  } else if (hash < hashes_.back()) {
+    hashes_.pop_back();
+    hashes_.insert(it, hash);
+  }
+}
+
+void BottomK::UpdateString(std::string_view value) {
+  Update(HashString(value));
+}
+
+double BottomK::EstimateCardinality() const {
+  if (!saturated()) {
+    // Fewer than k distinct values seen: the sketch is the exact hash set.
+    return static_cast<double>(hashes_.size());
+  }
+  // (k - 1) / U_(k), the k-th order statistic of k uniform draws.
+  const double kth = static_cast<double>(hashes_.back()) /
+                     std::ldexp(1.0, 64);  // normalize to (0, 1)
+  if (kth <= 0.0) return static_cast<double>(k_);
+  return static_cast<double>(k_ - 1) / kth;
+}
+
+Result<double> BottomK::EstimateJaccard(const BottomK& other) const {
+  if (other.k_ != k_) {
+    return Status::InvalidArgument("k mismatch in bottom-k comparison");
+  }
+  if (empty() && other.empty()) return 1.0;
+  if (empty() || other.empty()) return 0.0;
+
+  // Bottom-k of the union (coordinated by the shared hash function).
+  std::vector<uint64_t> unioned;
+  unioned.reserve(hashes_.size() + other.hashes_.size());
+  std::set_union(hashes_.begin(), hashes_.end(), other.hashes_.begin(),
+                 other.hashes_.end(), std::back_inserter(unioned));
+  if (unioned.size() > static_cast<size_t>(k_)) {
+    unioned.resize(static_cast<size_t>(k_));
+  }
+
+  // Fraction of the union sample present in both sketches estimates
+  // |A ∩ B| / |A ∪ B|.
+  size_t in_both = 0;
+  for (uint64_t hash : unioned) {
+    const bool in_a =
+        std::binary_search(hashes_.begin(), hashes_.end(), hash);
+    const bool in_b =
+        std::binary_search(other.hashes_.begin(), other.hashes_.end(), hash);
+    in_both += (in_a && in_b) ? 1 : 0;
+  }
+  return static_cast<double>(in_both) / static_cast<double>(unioned.size());
+}
+
+Result<double> BottomK::EstimateContainmentIn(const BottomK& other) const {
+  if (empty()) return 0.0;
+  double jaccard = 0.0;
+  LSHE_ASSIGN_OR_RETURN(jaccard, EstimateJaccard(other));
+  // |A ∩ B| = J / (1 + J) * (|A| + |B|); t(A, B) = |A ∩ B| / |A|.
+  const double a = EstimateCardinality();
+  const double b = other.EstimateCardinality();
+  if (a <= 0.0) return 0.0;
+  const double intersection = jaccard / (1.0 + jaccard) * (a + b);
+  return std::clamp(intersection / a, 0.0, 1.0);
+}
+
+Status BottomK::Merge(const BottomK& other) {
+  if (other.k_ != k_) {
+    return Status::InvalidArgument("k mismatch in bottom-k merge");
+  }
+  std::vector<uint64_t> merged;
+  merged.reserve(hashes_.size() + other.hashes_.size());
+  std::set_union(hashes_.begin(), hashes_.end(), other.hashes_.begin(),
+                 other.hashes_.end(), std::back_inserter(merged));
+  if (merged.size() > static_cast<size_t>(k_)) {
+    merged.resize(static_cast<size_t>(k_));
+  }
+  hashes_ = std::move(merged);
+  return Status::OK();
+}
+
+void BottomK::SerializeTo(std::string* out) const {
+  PutVarint32(out, static_cast<uint32_t>(k_));
+  PutVarint64(out, hashes_.size());
+  for (uint64_t hash : hashes_) PutFixed64(out, hash);
+}
+
+Result<BottomK> BottomK::Deserialize(std::string_view data) {
+  DecodeCursor cursor(data);
+  uint32_t k = 0;
+  uint64_t count = 0;
+  if (!cursor.GetVarint32(&k) || !cursor.GetVarint64(&count)) {
+    return Status::Corruption("bottom-k image: truncated header");
+  }
+  auto sketch = Create(static_cast<int>(k));
+  if (!sketch.ok() || count > k) {
+    return Status::Corruption("bottom-k image: implausible header");
+  }
+  sketch->hashes_.resize(count);
+  uint64_t previous = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (!cursor.GetFixed64(&sketch->hashes_[i])) {
+      return Status::Corruption("bottom-k image: truncated hashes");
+    }
+    if (i > 0 && sketch->hashes_[i] <= previous) {
+      return Status::Corruption("bottom-k image: hashes not ascending");
+    }
+    previous = sketch->hashes_[i];
+  }
+  if (!cursor.empty()) {
+    return Status::Corruption("bottom-k image: trailing bytes");
+  }
+  return sketch;
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,75 @@
+// Bottom-k sketch (Cohen & Kaplan, PODC'07 — the paper's reference [10]
+// for constant-time query-size estimation in Algorithm 1).
+//
+// A bottom-k sketch keeps the k smallest 64-bit hash values of a set.
+// Because the hash is shared across sketches, bottom-k sketches are
+// coordinated samples: the union's sketch is computable from two sketches
+// (merge the candidate minima, keep the k smallest), cardinality follows
+// from the k-th order statistic, and Jaccard similarity from the overlap
+// of the union's sketch with both inputs — which also yields a
+// containment estimate through the inclusion-exclusion conversion.
+
+#ifndef LSHENSEMBLE_SKETCH_BOTTOM_K_H_
+#define LSHENSEMBLE_SKETCH_BOTTOM_K_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief A bottom-k sketch of a set of 64-bit hashed values.
+class BottomK {
+ public:
+  /// \param k sketch capacity; must be >= 1.
+  static Result<BottomK> Create(int k);
+
+  int k() const { return k_; }
+  /// Number of hashes currently held (< k until the set has k distinct
+  /// values).
+  size_t size() const { return hashes_.size(); }
+  bool empty() const { return hashes_.empty(); }
+  /// True once the sketch holds k hashes (the estimators are then live).
+  bool saturated() const { return hashes_.size() == static_cast<size_t>(k_); }
+
+  /// Add one pre-hashed value (duplicates are ignored).
+  void Update(uint64_t hash);
+  /// Hash and add one raw string value.
+  void UpdateString(std::string_view value);
+
+  /// \brief Estimated distinct-value count: exact (the stored hash count)
+  /// until saturation, then (k - 1) / normalized k-th minimum.
+  double EstimateCardinality() const;
+
+  /// \brief Estimated Jaccard similarity with `other` (coordinated-sample
+  /// estimator over the union's bottom-k). Both sketches must share k.
+  Result<double> EstimateJaccard(const BottomK& other) const;
+
+  /// \brief Estimated containment |this ∩ other| / |this|, derived from
+  /// the Jaccard estimate and the two cardinality estimates (Eq. 6).
+  Result<double> EstimateContainmentIn(const BottomK& other) const;
+
+  /// \brief Make this the sketch of the union of both sets.
+  Status Merge(const BottomK& other);
+
+  /// The stored hashes, ascending.
+  const std::vector<uint64_t>& hashes() const { return hashes_; }
+
+  /// \brief Binary serialization: [k:varint][count:varint][hashes...].
+  void SerializeTo(std::string* out) const;
+  static Result<BottomK> Deserialize(std::string_view data);
+
+ private:
+  explicit BottomK(int k) : k_(k) {}
+
+  int k_;
+  std::vector<uint64_t> hashes_;  // ascending, at most k_
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_SKETCH_BOTTOM_K_H_

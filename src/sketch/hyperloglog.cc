@@ -1,0 +1,117 @@
+#include "sketch/hyperloglog.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/hashing.h"
+
+namespace lshensemble {
+
+namespace {
+
+// Bias-correction constant alpha_m (Flajolet et al., Fig. 3).
+double Alpha(size_t m) {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+Result<HyperLogLog> HyperLogLog::Create(int precision) {
+  if (precision < 4 || precision > 18) {
+    return Status::InvalidArgument("precision must be in [4, 18]");
+  }
+  return HyperLogLog(precision);
+}
+
+void HyperLogLog::Update(uint64_t hash) {
+  const size_t index = hash >> (64 - precision_);
+  // Rank = leading zeros of the remaining bits + 1. Shifting left by the
+  // precision leaves 64 - p significant bits; a zero remainder gets the
+  // maximum rank 64 - p + 1.
+  const uint64_t rest = hash << precision_;
+  const int rank =
+      rest == 0 ? 64 - precision_ + 1 : std::countl_zero(rest) + 1;
+  if (registers_[index] < rank) {
+    registers_[index] = static_cast<uint8_t>(rank);
+  }
+}
+
+void HyperLogLog::UpdateString(std::string_view value) {
+  Update(HashString(value));
+}
+
+double HyperLogLog::Estimate() const {
+  const auto m = static_cast<double>(registers_.size());
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t reg : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(reg));
+    zeros += reg == 0 ? 1 : 0;
+  }
+  const double raw = Alpha(registers_.size()) * m * m / sum;
+  // Small-range correction: linear counting while any register is empty
+  // and the raw estimate is below 2.5m.
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+bool HyperLogLog::empty() const {
+  for (uint8_t reg : registers_) {
+    if (reg != 0) return false;
+  }
+  return true;
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    return Status::InvalidArgument("precision mismatch in HyperLogLog merge");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    if (registers_[i] < other.registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+  return Status::OK();
+}
+
+void HyperLogLog::SerializeTo(std::string* out) const {
+  out->push_back(static_cast<char>(precision_));
+  out->append(reinterpret_cast<const char*>(registers_.data()),
+              registers_.size());
+}
+
+Result<HyperLogLog> HyperLogLog::Deserialize(std::string_view data) {
+  if (data.empty()) {
+    return Status::Corruption("HyperLogLog image: empty");
+  }
+  const int precision = static_cast<uint8_t>(data[0]);
+  auto sketch = Create(precision);
+  if (!sketch.ok()) {
+    return Status::Corruption("HyperLogLog image: bad precision");
+  }
+  if (data.size() != 1 + sketch->registers_.size()) {
+    return Status::Corruption("HyperLogLog image: size mismatch");
+  }
+  const int max_rank = 64 - precision + 1;
+  for (size_t i = 0; i < sketch->registers_.size(); ++i) {
+    const auto rank = static_cast<uint8_t>(data[1 + i]);
+    if (rank > max_rank) {
+      return Status::Corruption("HyperLogLog image: register out of range");
+    }
+    sketch->registers_[i] = rank;
+  }
+  return sketch;
+}
+
+}  // namespace lshensemble

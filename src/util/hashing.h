@@ -1,0 +1,44 @@
+// 64-bit hashing primitives used across the library.
+//
+// All sketching starts from a single 64-bit base hash of the raw value
+// (string or integer); the MinHash permutation family is then applied on top
+// of the base hash (see minhash/hash_family.h).
+
+#ifndef LSHENSEMBLE_UTIL_HASHING_H_
+#define LSHENSEMBLE_UTIL_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lshensemble {
+
+/// \brief MurmurHash3 64-bit finalizer; a fast high-quality bit mixer.
+inline uint64_t Mix64(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdULL;
+  key ^= key >> 33;
+  key *= 0xc4ceb9fe1a85ec53ULL;
+  key ^= key >> 33;
+  return key;
+}
+
+/// \brief Hash an arbitrary byte string to 64 bits (MurmurHash64A variant).
+/// \param data pointer to the bytes; may be null only if len == 0.
+/// \param len number of bytes.
+/// \param seed hash seed; different seeds give independent hash functions.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+/// \brief Hash a string view to 64 bits.
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// \brief Combine two 64-bit hashes into one (order-sensitive).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_UTIL_HASHING_H_

@@ -1,0 +1,68 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lshensemble {
+
+double Integrate(const std::function<double(double)>& f, double a, double b,
+                 int steps) {
+  assert(steps >= 2);
+  if (a >= b) return 0.0;
+  if (steps % 2 != 0) ++steps;
+  const double h = (b - a) / steps;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < steps; ++i) {
+    const double x = a + h * i;
+    sum += f(x) * ((i % 2 == 0) ? 2.0 : 4.0);
+  }
+  return sum * h / 3.0;
+}
+
+Moments ComputeMoments(const std::vector<double>& values) {
+  Moments m;
+  m.count = values.size();
+  if (m.count == 0) return m;
+  double sum = 0;
+  for (double v : values) sum += v;
+  m.mean = sum / static_cast<double>(m.count);
+  double m2 = 0, m3 = 0;
+  for (double v : values) {
+    const double d = v - m.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m.m2 = m2 / static_cast<double>(m.count);
+  m.m3 = m3 / static_cast<double>(m.count);
+  return m;
+}
+
+double Skewness(const std::vector<double>& values) {
+  const Moments m = ComputeMoments(values);
+  if (m.count < 2 || m.m2 <= 0) return 0.0;
+  return m.m3 / std::pow(m.m2, 1.5);
+}
+
+double Mean(const std::vector<double>& values) {
+  return ComputeMoments(values).mean;
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(ComputeMoments(values).m2);
+}
+
+std::vector<uint64_t> Log2Histogram(const std::vector<uint64_t>& values) {
+  std::vector<uint64_t> buckets;
+  for (uint64_t v : values) {
+    size_t bucket = 0;
+    if (v > 1) {
+      bucket = static_cast<size_t>(63 - __builtin_clzll(v));
+    }
+    if (bucket >= buckets.size()) buckets.resize(bucket + 1, 0);
+    ++buckets[bucket];
+  }
+  return buckets;
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,44 @@
+// Numerical kernels shared by the tuner, the cost model and the evaluation
+// harness: quadrature, sample moments / skewness (paper Eq. 29), and
+// histogram helpers for the Figure 1 reproduction.
+
+#ifndef LSHENSEMBLE_UTIL_MATH_H_
+#define LSHENSEMBLE_UTIL_MATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace lshensemble {
+
+/// \brief Integrate `f` over [a, b] with composite Simpson's rule.
+/// \param steps number of subintervals (rounded up to even); must be >= 2.
+double Integrate(const std::function<double(double)>& f, double a, double b,
+                 int steps = 128);
+
+/// \brief Summary statistics of a sample.
+struct Moments {
+  size_t count = 0;
+  double mean = 0;
+  double m2 = 0;  ///< second central moment (biased variance)
+  double m3 = 0;  ///< third central moment
+};
+
+Moments ComputeMoments(const std::vector<double>& values);
+
+/// \brief Sample skewness m3 / m2^(3/2), the statistic the paper uses to
+/// quantify domain-size skew (Eq. 29). Returns 0 for degenerate samples.
+double Skewness(const std::vector<double>& values);
+
+double Mean(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+/// \brief Histogram with log2-spaced buckets: bucket i counts values v with
+/// floor(log2(v)) == i. Used to render the Figure 1 size distributions.
+/// Values of 0 are counted in bucket 0.
+std::vector<uint64_t> Log2Histogram(const std::vector<uint64_t>& values);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_UTIL_MATH_H_

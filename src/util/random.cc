@@ -1,0 +1,162 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace lshensemble {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+  // xoshiro must not start from the all-zero state; SplitMix64 of any seed
+  // cannot produce four zero words in a row, but keep a cheap guard.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDoubleOpenLow() {
+  return (static_cast<double>(Next() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift rejection method (unbiased).
+  unsigned __int128 m =
+      static_cast<unsigned __int128>(Next()) * static_cast<unsigned __int128>(bound);
+  auto low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      m = static_cast<unsigned __int128>(Next()) *
+          static_cast<unsigned __int128>(bound);
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) return Next();  // full 64-bit range
+  return lo + NextBounded(span);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+PowerLawSampler::PowerLawSampler(double alpha, uint64_t min_value,
+                                 uint64_t max_value)
+    : alpha_(alpha), min_value_(min_value), max_value_(max_value) {
+  assert(alpha > 1.0);
+  assert(min_value >= 1);
+  assert(max_value >= min_value);
+  const double one_minus_alpha = 1.0 - alpha;
+  lo_pow_ = std::pow(static_cast<double>(min_value), one_minus_alpha);
+  hi_pow_ = std::pow(static_cast<double>(max_value) + 1.0, one_minus_alpha);
+  inv_exp_ = 1.0 / one_minus_alpha;
+}
+
+uint64_t PowerLawSampler::Sample(Rng& rng) const {
+  if (min_value_ == max_value_) return min_value_;
+  const double u = rng.NextDouble();
+  const double x = std::pow(lo_pow_ + u * (hi_pow_ - lo_pow_), inv_exp_);
+  auto value = static_cast<uint64_t>(x);
+  if (value < min_value_) value = min_value_;
+  if (value > max_value_) value = max_value_;
+  return value;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfSampler::H(double x) const {
+  // Integral of t^-s from 1 to x: (x^(1-s) - 1) / (1 - s); log(x) as s -> 1.
+  const double one_minus_s = 1.0 - s_;
+  const double log_x = std::log(x);
+  if (std::abs(one_minus_s) < 1e-9) return log_x;
+  return std::expm1(one_minus_s * log_x) / one_minus_s;
+}
+
+double ZipfSampler::HInverse(double x) const {
+  const double one_minus_s = 1.0 - s_;
+  if (std::abs(one_minus_s) < 1e-9) return std::exp(x);
+  double t = x * one_minus_s;
+  if (t < -1.0) t = -1.0;  // numerical guard
+  return std::exp(std::log1p(t) / one_minus_s);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996).
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    auto k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    if (static_cast<double>(k) - x <= threshold_) return k;
+    if (u >= H(static_cast<double>(k) + 0.5) -
+                 std::pow(static_cast<double>(k), -s_)) {
+      return k;
+    }
+  }
+}
+
+std::vector<uint64_t> SampleDistinct(Rng& rng, uint64_t n, uint64_t k) {
+  assert(k <= n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(k * 2);
+  // Floyd's algorithm: O(k) samples, uniform over all k-subsets.
+  for (uint64_t j = n - k; j < n; ++j) {
+    const uint64_t t = rng.NextBounded(j + 1);
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,124 @@
+// Deterministic pseudo-random generation and the samplers used by the
+// workload generators: bounded discrete power-law (Pareto) sizes and
+// Zipf-distributed ranks.
+//
+// All randomness in the library flows from explicit 64-bit seeds so that
+// every experiment is exactly reproducible.
+
+#ifndef LSHENSEMBLE_UTIL_RANDOM_H_
+#define LSHENSEMBLE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lshensemble {
+
+/// \brief SplitMix64: stateless seed expander. Used to derive independent
+/// sub-seeds from a master seed.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief xoshiro256**: fast, high-quality 64-bit PRNG.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can be used with
+/// <random> distributions, though the library prefers its own helpers for
+/// cross-platform determinism.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Uniform double in (0, 1] (never returns 0; safe for log()).
+  double NextDoubleOpenLow();
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// Precondition: bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+  /// Bernoulli trial with probability p of returning true.
+  bool NextBernoulli(double p);
+
+  /// A new Rng seeded independently from this one's stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// \brief Samples from a bounded discrete power law ("discrete Pareto"):
+/// P(X = x) proportional to x^(-alpha) for x in [min_value, max_value].
+///
+/// This is the domain-size distribution observed in the paper's Figure 1 for
+/// Canadian Open Data and WDC Web Tables. Sampling uses the inverse CDF of
+/// the continuous bounded Pareto, floored into the integer support.
+class PowerLawSampler {
+ public:
+  /// \param alpha tail exponent, must be > 1 (paper observes alpha around 2).
+  /// \param min_value inclusive lower bound, must be >= 1.
+  /// \param max_value inclusive upper bound, must be >= min_value.
+  PowerLawSampler(double alpha, uint64_t min_value, uint64_t max_value);
+
+  uint64_t Sample(Rng& rng) const;
+
+  double alpha() const { return alpha_; }
+  uint64_t min_value() const { return min_value_; }
+  uint64_t max_value() const { return max_value_; }
+
+ private:
+  double alpha_;
+  uint64_t min_value_;
+  uint64_t max_value_;
+  double lo_pow_;   // min_value^(1-alpha)
+  double hi_pow_;   // (max_value+1)^(1-alpha)
+  double inv_exp_;  // 1 / (1 - alpha)
+};
+
+/// \brief Samples ranks in [1, n] with P(rank = k) proportional to k^(-s),
+/// using rejection-inversion (Hörmann & Derflinger); O(1) per sample for any
+/// n, no precomputed tables.
+class ZipfSampler {
+ public:
+  /// \param n number of ranks; must be >= 1.
+  /// \param s skew exponent; must be > 0 and != 1 handled too (s == 1 uses
+  ///        the logarithmic integral form).
+  ZipfSampler(uint64_t n, double s);
+
+  /// Returns a rank in [1, n].
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;  // s_ - ... precomputed acceptance helper
+};
+
+/// \brief Sample `k` distinct integers uniformly from [0, n) using Floyd's
+/// algorithm; O(k) expected time and memory. Precondition: k <= n.
+std::vector<uint64_t> SampleDistinct(Rng& rng, uint64_t n, uint64_t k);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_UTIL_RANDOM_H_

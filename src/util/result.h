@@ -1,0 +1,81 @@
+// Result<T>: a Status plus a value, for factory-style APIs.
+
+#ifndef LSHENSEMBLE_UTIL_RESULT_H_
+#define LSHENSEMBLE_UTIL_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Used as the return type of factory functions (`Create(...)`) so that
+/// objects whose construction can fail never exist in a half-built state.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK Status (failure).
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      Fail("Result constructed from an OK Status without a value");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the held value. Aborts with the held error if !ok(): silently
+  /// reading a missing value would be undefined behaviour, so the check is
+  /// active in all build types (the Arrow ValueOrDie / CHECK idiom).
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) Fail(status_.ToString().c_str());
+  }
+
+  [[noreturn]] static void Fail(const char* what) {
+    std::fprintf(stderr, "Result::value() on error result: %s\n", what);
+    std::abort();
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assign the value of a Result expression to `lhs`, or return its error.
+#define LSHE_ASSIGN_OR_RETURN(lhs, expr)          \
+  do {                                            \
+    auto _lshe_result = (expr);                   \
+    if (!_lshe_result.ok()) {                     \
+      return _lshe_result.status();               \
+    }                                             \
+    lhs = std::move(_lshe_result).value();        \
+  } while (false)
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_UTIL_RESULT_H_

@@ -1,0 +1,104 @@
+// Status: lightweight error propagation for fallible operations.
+//
+// The library does not throw exceptions from indexing or query paths;
+// operations that can fail return a Status (or a Result<T>, see result.h),
+// following the RocksDB convention.
+
+#ifndef LSHENSEMBLE_UTIL_STATUS_H_
+#define LSHENSEMBLE_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace lshensemble {
+
+/// \brief Outcome of a fallible operation: an error code plus a human
+/// readable message. A default-constructed Status is OK.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kFailedPrecondition,
+    kOutOfRange,
+    kCorruption,
+    kNotSupported,
+    kIOError,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: num_hashes must be > 0".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagate a non-OK Status to the caller.
+#define LSHE_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::lshensemble::Status _lshe_status = (expr);   \
+    if (!_lshe_status.ok()) return _lshe_status;   \
+  } while (false)
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_UTIL_STATUS_H_

@@ -1,0 +1,132 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace lshensemble {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 4;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (shutting_down_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> future = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.emplace([task = std::move(task), promise]() mutable {
+      task();
+      promise->set_value();
+    });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  // Work-claiming by atomic counter: each participant grabs the next index.
+  // Completion is tracked by a per-call counter rather than helper futures:
+  // a queued helper may never be scheduled when every worker is busy, so
+  // blocking on its future from inside a pool task would deadlock. Instead
+  // the waiting thread drains queued tasks until every iteration is done.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex m;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<ForState>();
+  // `fn` is captured by reference: every fn(i) call completes before this
+  // frame returns, and a late-scheduled helper finds next >= n and exits
+  // without touching fn.
+  auto work = [state, n, &fn]() {
+    size_t ran = 0;
+    while (true) {
+      const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i);
+      ++ran;
+    }
+    if (ran == 0) return;
+    const size_t total =
+        state->done.fetch_add(ran, std::memory_order_acq_rel) + ran;
+    if (total == n) {
+      // Lock pairs with the waiter's predicate check so the final
+      // increment cannot slip between its check and its wait.
+      std::lock_guard<std::mutex> lock(state->m);
+      state->cv.notify_all();
+    }
+  };
+
+  const size_t helpers = std::min(n - 1, num_threads());
+  for (size_t i = 0; i < helpers; ++i) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.emplace(work);
+    cv_.notify_one();
+  }
+  work();
+  while (state->done.load(std::memory_order_acquire) < n) {
+    // Help with whatever is queued (our own helpers, or other loops'
+    // helpers when ParallelFor calls nest) instead of blocking.
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+    }
+    if (task) {
+      task();
+      continue;
+    }
+    // Queue empty: the remaining iterations are in flight on other
+    // threads; sleep until the last one signals completion.
+    std::unique_lock<std::mutex> lock(state->m);
+    state->cv.wait(lock, [&state, n] {
+      return state->done.load(std::memory_order_acquire) >= n;
+    });
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace lshensemble

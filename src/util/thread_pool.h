@@ -1,0 +1,58 @@
+// A fixed-size thread pool used to build and query index partitions in
+// parallel (the paper evaluates partitions concurrently across a cluster;
+// this library parallelises across cores).
+
+#ifndef LSHENSEMBLE_UTIL_THREAD_POOL_H_
+#define LSHENSEMBLE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lshensemble {
+
+/// \brief Fixed-size worker pool with a shared FIFO task queue.
+///
+/// Thread-safe: Submit/ParallelFor may be called from any thread, including
+/// (for ParallelFor) re-entrantly from within a pool task — the calling
+/// thread then participates in the work instead of blocking on the pool.
+class ThreadPool {
+ public:
+  /// \param num_threads number of workers; 0 means hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Run `fn(i)` for every i in [0, n), distributing blocks of iterations
+  /// over the pool; returns when all iterations are done. The calling thread
+  /// also executes work, so this is safe to call from within a pool task.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed, hardware concurrency).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_UTIL_THREAD_POOL_H_

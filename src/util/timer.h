@@ -1,0 +1,31 @@
+// Wall-clock timing helpers for the benchmark harness.
+
+#ifndef LSHENSEMBLE_UTIL_TIMER_H_
+#define LSHENSEMBLE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace lshensemble {
+
+/// \brief Monotonic stopwatch. Starts running on construction.
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_UTIL_TIMER_H_

@@ -1,0 +1,211 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
+
+#include "util/hashing.h"
+#include "util/thread_pool.h"
+
+namespace lshensemble {
+
+namespace {
+
+// Pool values live at (pool_index << kPoolShift) + offset; shared
+// vocabulary tokens under kSharedTag; query padding under kFreshTag. The
+// three spaces are disjoint by construction.
+constexpr int kPoolShift = 24;
+constexpr uint64_t kSharedTag = 0xFEULL << 56;
+constexpr uint64_t kFreshTag = 0xFFULL << 56;
+
+}  // namespace
+
+Status CorpusGenOptions::Validate() const {
+  if (num_domains == 0) {
+    return Status::InvalidArgument("num_domains must be > 0");
+  }
+  if (min_size < 1 || max_size < min_size) {
+    return Status::InvalidArgument("need 1 <= min_size <= max_size");
+  }
+  if (max_size >= (1ULL << kPoolShift)) {
+    return Status::InvalidArgument("max_size must be < 2^24");
+  }
+  if (alpha <= 1.0) {
+    return Status::InvalidArgument("alpha must be > 1");
+  }
+  if (min_fraction < 0.0 || min_fraction >= 1.0) {
+    return Status::InvalidArgument("min_fraction must be in [0, 1)");
+  }
+  if (domains_per_pool == 0) {
+    return Status::InvalidArgument("domains_per_pool must be > 0");
+  }
+  if (shared_fraction < 0.0 || shared_fraction >= 1.0) {
+    return Status::InvalidArgument("shared_fraction must be in [0, 1)");
+  }
+  if (shared_vocabulary > 0 && shared_zipf_s <= 0.0) {
+    return Status::InvalidArgument("shared_zipf_s must be > 0");
+  }
+  return Status::OK();
+}
+
+Result<Corpus> CorpusGenerator::Generate() const {
+  LSHE_RETURN_IF_ERROR(options_.Validate());
+  const size_t num_pools =
+      (options_.num_domains + options_.domains_per_pool - 1) /
+      options_.domains_per_pool;
+
+  // Pool sizes carry the power-law tail (Figure 1).
+  const PowerLawSampler size_sampler(options_.alpha, options_.min_size,
+                                     options_.max_size);
+  std::vector<uint64_t> pool_sizes(num_pools);
+  for (size_t k = 0; k < num_pools; ++k) {
+    Rng rng(HashCombine(options_.seed, 0x706f6f6cULL ^ k));
+    pool_sizes[k] = size_sampler.Sample(rng);
+  }
+
+  // Each domain draws a uniform fraction of its pool, without replacement;
+  // per-domain RNGs make generation order-independent and parallel.
+  const bool with_shared = options_.shared_vocabulary > 0;
+  std::optional<ZipfSampler> shared_sampler;
+  if (with_shared) {
+    shared_sampler.emplace(options_.shared_vocabulary,
+                           options_.shared_zipf_s);
+  }
+  std::vector<Domain> domains(options_.num_domains);
+  auto generate_domain = [&](size_t i) {
+    const size_t pool = i / options_.domains_per_pool;
+    const uint64_t pool_size = pool_sizes[pool];
+    Rng rng(HashCombine(options_.seed ^ 0xd06ULL, i));
+    const double fraction =
+        options_.min_fraction +
+        (1.0 - options_.min_fraction) * rng.NextDoubleOpenLow();
+    uint64_t size = static_cast<uint64_t>(
+        std::llround(fraction * static_cast<double>(pool_size)));
+    size = std::clamp(size, std::min(options_.min_size, pool_size), pool_size);
+
+    // Ubiquitous tokens: swap a slice of the domain for Zipf-popular
+    // values from the corpus-wide shared vocabulary.
+    uint64_t num_shared = 0;
+    if (with_shared) {
+      num_shared = std::max<uint64_t>(
+          1, static_cast<uint64_t>(std::llround(
+                 options_.shared_fraction * static_cast<double>(size))));
+      num_shared = std::min(num_shared, size);
+      // Cap well below the vocabulary size so distinct Zipf draws don't
+      // degenerate into coupon collection over the unpopular tail.
+      num_shared = std::min(
+          num_shared, std::max<uint64_t>(1, options_.shared_vocabulary / 8));
+    }
+
+    std::vector<uint64_t> values =
+        SampleDistinct(rng, pool_size, size - num_shared);
+    for (uint64_t& value : values) {
+      value += static_cast<uint64_t>(pool) << kPoolShift;
+    }
+    if (num_shared > 0) {
+      // Distinct Zipf draws (num_shared is small; rejection terminates
+      // quickly because popular ranks repeat but the loop skips them).
+      std::vector<uint64_t> tokens;
+      tokens.reserve(num_shared);
+      while (tokens.size() < num_shared) {
+        const uint64_t rank = shared_sampler->Sample(rng);
+        const uint64_t token = kSharedTag | rank;
+        if (std::find(tokens.begin(), tokens.end(), token) == tokens.end()) {
+          tokens.push_back(token);
+        }
+      }
+      values.insert(values.end(), tokens.begin(), tokens.end());
+    }
+    domains[i] = Domain::FromValues(
+        static_cast<uint64_t>(i), "synthetic:" + std::to_string(i),
+        std::move(values));
+  };
+  ThreadPool::Shared().ParallelFor(options_.num_domains, generate_domain);
+
+  return Corpus(std::move(domains));
+}
+
+Result<Domain> MakeQueryWithContainment(const Domain& target,
+                                        size_t query_size, double containment,
+                                        uint64_t query_id, Rng& rng) {
+  if (query_size < 1) {
+    return Status::InvalidArgument("query_size must be >= 1");
+  }
+  if (containment < 0.0 || containment > 1.0) {
+    return Status::InvalidArgument("containment must be in [0, 1]");
+  }
+  const auto overlap = static_cast<size_t>(
+      std::llround(containment * static_cast<double>(query_size)));
+  if (overlap > target.size()) {
+    return Status::InvalidArgument(
+        "target too small for the requested overlap");
+  }
+  std::vector<uint64_t> values;
+  values.reserve(query_size);
+  for (uint64_t index : SampleDistinct(rng, target.size(), overlap)) {
+    values.push_back(target.values[index]);
+  }
+  for (size_t j = 0; values.size() < query_size; ++j) {
+    values.push_back(kFreshTag | (query_id << kPoolShift) |
+                     static_cast<uint64_t>(j));
+  }
+  return Domain::FromValues(query_id, "query:" + std::to_string(query_id),
+                            std::move(values));
+}
+
+std::vector<size_t> SampleQueryIndices(const Corpus& corpus, size_t count,
+                                       QuerySizeBias bias, uint64_t seed) {
+  std::vector<size_t> candidates(corpus.size());
+  std::iota(candidates.begin(), candidates.end(), size_t{0});
+  if (bias != QuerySizeBias::kUniform) {
+    std::sort(candidates.begin(), candidates.end(), [&](size_t a, size_t b) {
+      return corpus.domain(a).size() < corpus.domain(b).size();
+    });
+    const size_t decile = std::max<size_t>(1, corpus.size() / 10);
+    if (bias == QuerySizeBias::kSmallestDecile) {
+      candidates.resize(decile);
+    } else {
+      candidates.erase(candidates.begin(),
+                       candidates.end() - static_cast<ptrdiff_t>(decile));
+    }
+  }
+  if (candidates.size() <= count) return candidates;
+
+  Rng rng(HashCombine(seed, 0x71756572ULL));  // "quer"
+  std::vector<size_t> sampled;
+  sampled.reserve(count);
+  for (uint64_t pick : SampleDistinct(rng, candidates.size(), count)) {
+    sampled.push_back(candidates[pick]);
+  }
+  std::sort(sampled.begin(), sampled.end());
+  return sampled;
+}
+
+std::vector<std::vector<size_t>> NestedSizeSubsets(const Corpus& corpus,
+                                                   int count) {
+  std::vector<std::vector<size_t>> subsets;
+  if (corpus.empty() || count < 1) return subsets;
+  uint64_t min_size = UINT64_MAX, max_size = 0;
+  for (const Domain& domain : corpus.domains()) {
+    min_size = std::min<uint64_t>(min_size, domain.size());
+    max_size = std::max<uint64_t>(max_size, domain.size());
+  }
+  const double ratio =
+      static_cast<double>(max_size) / static_cast<double>(min_size);
+  subsets.reserve(count);
+  for (int j = 1; j <= count; ++j) {
+    const double bound = static_cast<double>(min_size) *
+                         std::pow(ratio, static_cast<double>(j) / count);
+    std::vector<size_t> subset;
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      if (static_cast<double>(corpus.domain(i).size()) <= bound + 1e-9) {
+        subset.push_back(i);
+      }
+    }
+    subsets.push_back(std::move(subset));
+  }
+  return subsets;
+}
+
+}  // namespace lshensemble

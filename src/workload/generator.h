@@ -1,0 +1,104 @@
+// Synthetic corpus generation reproducing the data characteristics the
+// paper's evaluation depends on (see DESIGN.md, "Data substitution"):
+//
+//  * domain sizes follow a bounded discrete power law (paper Figure 1);
+//  * non-trivial containment structure exists at every threshold level.
+//
+// The generator uses a "vocabulary pool" model: a modest number of mother
+// pools (standard vocabularies — provinces, partner names, species lists —
+// that Open Data columns repeatedly draw from) receive power-law sizes and
+// disjoint value ranges; each domain samples a uniformly random fraction f
+// of one pool, without replacement. For two domains of the same pool,
+// E[t(Q, X)] = |X| / |pool|, so containment scores sweep the whole [0, 1]
+// range and every threshold has true positives, while the overall size
+// distribution keeps the pool sizes' power-law tail.
+
+#ifndef LSHENSEMBLE_WORKLOAD_GENERATOR_H_
+#define LSHENSEMBLE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/corpus.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief Knobs of the synthetic corpus.
+struct CorpusGenOptions {
+  /// Number of domains (the paper's Canadian Open Data corpus has 65,533).
+  size_t num_domains = 65533;
+  /// Smallest domain size kept (the paper discards domains under 10).
+  uint64_t min_size = 10;
+  /// Largest pool (and hence domain) size.
+  uint64_t max_size = 100000;
+  /// Power-law exponent of pool sizes (Figure 1 suggests alpha around 2).
+  double alpha = 2.0;
+  /// Domains sample a fraction f ~ U(min_fraction, 1] of their pool.
+  double min_fraction = 0.0;
+  /// Domains per vocabulary pool.
+  size_t domains_per_pool = 32;
+  /// Size of a corpus-wide shared vocabulary of ubiquitous tokens
+  /// ("yes"/"no"/"1"/country names — values real web columns share
+  /// regardless of topic). When > 0, every domain swaps ~shared_fraction
+  /// of its values for Zipf-popular shared tokens, giving unrelated
+  /// domains the low-level Jaccard overlap real corpora exhibit (this is
+  /// what floods a single conservatively-thresholded LSH with candidates,
+  /// Section 6.3). 0 disables.
+  uint64_t shared_vocabulary = 0;
+  /// Fraction of each domain's values drawn from the shared vocabulary.
+  double shared_fraction = 0.1;
+  /// Zipf exponent of shared-token popularity.
+  double shared_zipf_s = 1.2;
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// \brief Deterministic synthetic corpus generator.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(const CorpusGenOptions& options)
+      : options_(options) {}
+
+  /// Generate the corpus; equal options produce identical corpora.
+  Result<Corpus> Generate() const;
+
+ private:
+  CorpusGenOptions options_;
+};
+
+/// \brief Build a query with a *known* containment in `target`: `overlap =
+/// round(containment * query_size)` values sampled from the target plus
+/// fresh values that occur nowhere in any generated corpus. Used by recall
+/// property tests.
+/// Preconditions: 1 <= query_size, overlap <= target.size().
+Result<Domain> MakeQueryWithContainment(const Domain& target,
+                                        size_t query_size, double containment,
+                                        uint64_t query_id, Rng& rng);
+
+/// How query domains are drawn from a corpus (paper samples 3,000 indexed
+/// domains; Figures 6/7 restrict to the largest/smallest decile).
+enum class QuerySizeBias {
+  kUniform,
+  kSmallestDecile,
+  kLargestDecile,
+};
+
+/// \brief Sample `count` distinct domain indices to use as queries.
+/// If fewer candidates than `count` exist (e.g. a decile), returns them all.
+std::vector<size_t> SampleQueryIndices(const Corpus& corpus, size_t count,
+                                       QuerySizeBias bias, uint64_t seed);
+
+/// \brief The nested size-interval subsets of the Figure 5 skewness study:
+/// subset j contains all domains with size <= u_j, with u_j geometrically
+/// expanding from a small initial interval to the full corpus. Returns
+/// `count` subsets of domain indices, each a superset of the previous.
+std::vector<std::vector<size_t>> NestedSizeSubsets(const Corpus& corpus,
+                                                   int count);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_WORKLOAD_GENERATOR_H_

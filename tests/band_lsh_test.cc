@@ -1,0 +1,161 @@
+#include "lsh/band_lsh.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "minhash/minhash.h"
+#include "util/random.h"
+
+namespace lshensemble {
+namespace {
+
+std::shared_ptr<const HashFamily> Family(int m = 256, uint64_t seed = 2) {
+  return HashFamily::Create(m, seed).value();
+}
+
+TEST(BandCollisionProbabilityTest, MatchesFormulaAndEdges) {
+  EXPECT_DOUBLE_EQ(BandCollisionProbability(0.0, 4, 2), 0.0);
+  EXPECT_DOUBLE_EQ(BandCollisionProbability(1.0, 4, 2), 1.0);
+  const double s = 0.6;
+  EXPECT_NEAR(BandCollisionProbability(s, 8, 4),
+              1.0 - std::pow(1.0 - std::pow(s, 4), 8), 1e-12);
+}
+
+TEST(BandCollisionProbabilityTest, MonotoneInSimilarity) {
+  double previous = 0.0;
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    const double p = BandCollisionProbability(s, 16, 4);
+    EXPECT_GE(p, previous - 1e-12);
+    previous = p;
+  }
+}
+
+TEST(StaticThresholdTest, ApproximationFormula) {
+  EXPECT_NEAR(StaticThreshold(16, 4), std::pow(1.0 / 16, 0.25), 1e-12);
+  // More bands lower the threshold (more recall).
+  EXPECT_LT(StaticThreshold(32, 4), StaticThreshold(8, 4));
+}
+
+TEST(ChooseStaticParamsTest, RespectsBudgetAndTarget) {
+  for (double target : {0.2, 0.5, 0.8}) {
+    const BandParams params = ChooseStaticParams(256, target);
+    EXPECT_GE(params.b, 1);
+    EXPECT_GE(params.r, 1);
+    EXPECT_LE(params.b * params.r, 256);
+    EXPECT_NEAR(StaticThreshold(params.b, params.r), target, 0.08)
+        << "target " << target;
+  }
+}
+
+TEST(BandLshTest, CreateRejectsBadParams) {
+  EXPECT_FALSE(BandLsh::Create(0, 4).ok());
+  EXPECT_FALSE(BandLsh::Create(4, 0).ok());
+}
+
+TEST(BandLshTest, RejectsShortSignatures) {
+  auto index = BandLsh::Create(32, 8).value();  // needs 256 hashes
+  auto short_sig =
+      MinHash::FromValues(Family(128), std::vector<uint64_t>{1, 2});
+  EXPECT_FALSE(index.Add(1, short_sig).ok());
+  std::vector<uint64_t> out;
+  EXPECT_FALSE(index.Query(short_sig, &out).ok());
+}
+
+TEST(BandLshTest, IdenticalSignatureAlwaysFound) {
+  auto family = Family();
+  auto index = BandLsh::Create(32, 8).value();
+  std::vector<uint64_t> values = {10, 20, 30, 40, 50};
+  auto sig = MinHash::FromValues(family, values);
+  ASSERT_TRUE(index.Add(42, sig).ok());
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(index.Query(sig, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+}
+
+TEST(BandLshTest, DisjointSetsNotFound) {
+  auto family = Family();
+  auto index = BandLsh::Create(16, 16).value();  // very high threshold
+  std::vector<uint64_t> a_values, b_values;
+  for (uint64_t i = 0; i < 100; ++i) {
+    a_values.push_back(i);
+    b_values.push_back(100000 + i);
+  }
+  ASSERT_TRUE(index.Add(1, MinHash::FromValues(family, a_values)).ok());
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(index.Query(MinHash::FromValues(family, b_values), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BandLshTest, OutputSortedAndDeduplicated) {
+  auto family = Family();
+  auto index = BandLsh::Create(32, 1).value();  // r=1: lots of collisions
+  std::vector<uint64_t> values = {1, 2, 3};
+  auto sig = MinHash::FromValues(family, values);
+  for (uint64_t id : {9ULL, 3ULL, 7ULL}) {
+    ASSERT_TRUE(index.Add(id, sig).ok());
+  }
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(index.Query(sig, &out).ok());
+  EXPECT_EQ(out, (std::vector<uint64_t>{3, 7, 9}));
+}
+
+// Property test of Eq. 5: over many random set pairs with a fixed Jaccard
+// similarity, the empirical candidate rate should track 1 - (1 - s^r)^b.
+class BandLshCollisionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(BandLshCollisionProperty, EmpiricalRateMatchesEq5) {
+  const int b = std::get<0>(GetParam());
+  const int r = std::get<1>(GetParam());
+  const double jaccard = std::get<2>(GetParam());
+  const int m = 256;
+  ASSERT_LE(b * r, m);
+
+  Rng rng(static_cast<uint64_t>(b * 1000 + r * 100) +
+          static_cast<uint64_t>(jaccard * 10));
+  constexpr int kPairs = 300;
+  int candidates = 0;
+  double expected_probability_sum = 0.0;
+  for (int pair = 0; pair < kPairs; ++pair) {
+    auto family = Family(m, rng.Next());
+    // Build two sets with the target Jaccard: overlap o of total 2n - o.
+    const size_t n = 200;
+    const auto overlap = static_cast<size_t>(
+        std::llround(2.0 * n * jaccard / (1.0 + jaccard)));
+    std::vector<uint64_t> a_values, b_values;
+    const uint64_t tag = rng.Next();
+    for (size_t i = 0; i < n; ++i) a_values.push_back(tag + i);
+    for (size_t i = 0; i < overlap; ++i) b_values.push_back(tag + i);
+    for (size_t i = overlap; i < n; ++i) {
+      b_values.push_back(tag + 10000000 + i);
+    }
+    const double true_jaccard =
+        static_cast<double>(overlap) / static_cast<double>(2 * n - overlap);
+    expected_probability_sum += BandCollisionProbability(true_jaccard, b, r);
+
+    auto index = BandLsh::Create(b, r).value();
+    ASSERT_TRUE(index.Add(1, MinHash::FromValues(family, a_values)).ok());
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(index.Query(MinHash::FromValues(family, b_values), &out).ok());
+    candidates += out.empty() ? 0 : 1;
+  }
+  const double expected = expected_probability_sum / kPairs;
+  const double observed = static_cast<double>(candidates) / kPairs;
+  // Binomial stderr at kPairs trials, 5 sigma.
+  const double sigma = std::sqrt(expected * (1 - expected) / kPairs);
+  EXPECT_NEAR(observed, expected, 5.0 * sigma + 0.02)
+      << "b=" << b << " r=" << r << " s=" << jaccard;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridSweep, BandLshCollisionProperty,
+    ::testing::Combine(::testing::Values(4, 16, 32),
+                       ::testing::Values(2, 4, 8),
+                       ::testing::Values(0.3, 0.6, 0.9)));
+
+}  // namespace
+}  // namespace lshensemble

@@ -1,0 +1,253 @@
+// Thread-safety claims under real concurrency: LshEnsemble::Query,
+// TopKSearcher::Search and the Tuner's shared memo cache are documented
+// as safe for concurrent readers; DynamicLshEnsemble for concurrent
+// queries between mutations. These tests hammer them from many threads
+// and require bit-identical agreement with serial execution.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/dynamic_ensemble.h"
+#include "core/lsh_ensemble.h"
+#include "core/topk.h"
+#include "core/tuning.h"
+#include "io/ensemble_io.h"
+#include "workload/generator.h"
+
+namespace lshensemble {
+namespace {
+
+constexpr int kNumHashes = 128;
+constexpr int kThreads = 8;
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CorpusGenOptions gen;
+    gen.num_domains = 3000;
+    gen.max_size = 10000;
+    gen.seed = 314;
+    corpus_ = CorpusGenerator(gen).Generate().value();
+    family_ = HashFamily::Create(kNumHashes, 15).value();
+
+    LshEnsembleOptions options;
+    options.num_partitions = 8;
+    options.num_hashes = kNumHashes;
+    options.tree_depth = 4;
+    LshEnsembleBuilder builder(options, family_);
+    for (size_t i = 0; i < corpus_->size(); ++i) {
+      const Domain& domain = corpus_->domain(i);
+      MinHash sketch = MinHash::FromValues(family_, domain.values);
+      ASSERT_TRUE(builder.Add(domain.id, domain.size(), sketch).ok());
+      ASSERT_TRUE(store_.Add(domain.id, domain.size(), std::move(sketch)).ok());
+    }
+    ensemble_ = std::move(builder).Build().value();
+
+    for (size_t qi = 0; qi < corpus_->size(); qi += 101) {
+      query_indices_.push_back(qi);
+    }
+  }
+
+  std::vector<uint64_t> SerialAnswer(size_t qi, double t_star) const {
+    const Domain& query = corpus_->domain(qi);
+    std::vector<uint64_t> out;
+    EXPECT_TRUE(ensemble_
+                    ->Query(MinHash::FromValues(family_, query.values),
+                            query.size(), t_star, &out)
+                    .ok());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::optional<Corpus> corpus_;
+  std::shared_ptr<const HashFamily> family_;
+  SketchStore store_;
+  std::optional<LshEnsemble> ensemble_;
+  std::vector<size_t> query_indices_;
+};
+
+TEST_F(ConcurrencyTest, ParallelQueriesMatchSerial) {
+  const double t_star = 0.5;
+  std::vector<std::vector<uint64_t>> expected;
+  expected.reserve(query_indices_.size());
+  for (size_t qi : query_indices_) {
+    expected.push_back(SerialAnswer(qi, t_star));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread walks the queries from a different starting offset.
+      for (size_t step = 0; step < query_indices_.size(); ++step) {
+        const size_t pos = (step + t) % query_indices_.size();
+        const Domain& query = corpus_->domain(query_indices_[pos]);
+        std::vector<uint64_t> out;
+        if (!ensemble_
+                 ->Query(MinHash::FromValues(family_, query.values),
+                         query.size(), t_star, &out)
+                 .ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        std::sort(out.begin(), out.end());
+        if (out != expected[pos]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, ParallelQueriesAcrossThresholds) {
+  // Different thresholds exercise different tuner cache keys concurrently.
+  const std::vector<double> thresholds = {0.1, 0.3, 0.5, 0.7, 0.9};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const double t_star = thresholds[t % thresholds.size()];
+      for (size_t qi : query_indices_) {
+        const Domain& query = corpus_->domain(qi);
+        std::vector<uint64_t> out;
+        if (!ensemble_
+                 ->Query(MinHash::FromValues(family_, query.values),
+                         query.size(), t_star, &out)
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, TunerCacheIsThreadSafe) {
+  Tuner::Options options;
+  options.max_b = 32;
+  options.max_r = 8;
+  auto tuner = Tuner::Create(options).value();
+  std::atomic<int> disagreements{0};
+  // All threads request overlapping (x/q, t*) keys; results must agree
+  // with a serially computed reference.
+  std::vector<TunedParams> reference;
+  for (int i = 0; i < 40; ++i) {
+    reference.push_back(tuner->Tune(100.0 + i * 37.0, 25.0, 0.05 * (i % 19 + 1)));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 40; ++i) {
+          const TunedParams params =
+              tuner->Tune(100.0 + i * 37.0, 25.0, 0.05 * (i % 19 + 1));
+          if (params.b != reference[i].b || params.r != reference[i].r) {
+            disagreements.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(disagreements.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, ParallelTopKSearchesAgree) {
+  TopKSearcher searcher(&*ensemble_, &store_);
+  const Domain& query = corpus_->domain(404);
+  const MinHash sketch = MinHash::FromValues(family_, query.values);
+  auto expected = searcher.Search(sketch, query.size(), 10);
+  ASSERT_TRUE(expected.ok());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        auto results = searcher.Search(sketch, query.size(), 10);
+        if (!results.ok() || *results != *expected) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, LoadedIndexServesConcurrentQueries) {
+  std::string image;
+  ASSERT_TRUE(SerializeEnsemble(*ensemble_, &image).ok());
+  auto loaded = DeserializeEnsemble(image);
+  ASSERT_TRUE(loaded.ok());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t qi : query_indices_) {
+        const Domain& query = corpus_->domain(qi);
+        std::vector<uint64_t> from_loaded;
+        if (!loaded
+                 ->Query(MinHash::FromValues(family_, query.values),
+                         query.size(), 0.6, &from_loaded)
+                 .ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        std::sort(from_loaded.begin(), from_loaded.end());
+        if (from_loaded != SerialAnswer(qi, 0.6)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ConcurrencyTest, DynamicEnsembleConcurrentReads) {
+  DynamicEnsembleOptions options;
+  options.base.num_partitions = 4;
+  options.base.num_hashes = kNumHashes;
+  options.base.tree_depth = 4;
+  auto index = DynamicLshEnsemble::Create(options, family_).value();
+  for (size_t i = 0; i < 500; ++i) {
+    const Domain& domain = corpus_->domain(i);
+    ASSERT_TRUE(index
+                    .Insert(domain.id, domain.size(),
+                            MinHash::FromValues(family_, domain.values))
+                    .ok());
+    if (i == 250) ASSERT_TRUE(index.Flush().ok());
+  }
+  // Half indexed, half in the delta; query concurrently (no mutation).
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t qi = 0; qi < 500; qi += 53) {
+        const Domain& query = corpus_->domain(qi);
+        std::vector<uint64_t> out;
+        if (!index
+                 .Query(MinHash::FromValues(family_, query.values),
+                        query.size(), 0.9, &out)
+                 .ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Every query domain is itself live, so it must be found.
+        if (std::find(out.begin(), out.end(), query.id) == out.end()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace lshensemble

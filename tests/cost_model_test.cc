@@ -1,0 +1,79 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace lshensemble {
+namespace {
+
+TEST(CostModelTest, Equation16Value) {
+  // M = N * (u - l + 1) / (2u) with u the largest size in [lower, upper).
+  const PartitionSpec partition{10, 101, 500};  // sizes 10..100
+  EXPECT_NEAR(FalsePositiveBound(partition), 500.0 * (100 - 10 + 1) / 200.0,
+              1e-12);
+}
+
+TEST(CostModelTest, SingletonIntervalCost) {
+  // A partition holding one size s has width 1: M = N / (2s).
+  const PartitionSpec partition{50, 51, 300};
+  EXPECT_NEAR(FalsePositiveBound(partition), 300.0 / 100.0, 1e-12);
+}
+
+TEST(CostModelTest, BoundIsMonotoneInUpperBound) {
+  double previous = 0.0;
+  for (uint64_t upper = 11; upper <= 100; ++upper) {
+    const PartitionSpec partition{10, upper, 100};
+    const double bound = FalsePositiveBound(partition);
+    EXPECT_GE(bound, previous - 1e-12) << "upper=" << upper;
+    previous = bound;
+  }
+}
+
+TEST(CostModelTest, BoundIsMonotoneInLowerBound) {
+  // Decreasing l (widening left) increases the bound.
+  double previous = 0.0;
+  for (uint64_t lower = 99; lower >= 10; --lower) {
+    const PartitionSpec partition{lower, 101, 100};
+    const double bound = FalsePositiveBound(partition);
+    EXPECT_GE(bound, previous - 1e-12) << "lower=" << lower;
+    previous = bound;
+  }
+}
+
+TEST(CostModelTest, BoundScalesLinearlyWithCount) {
+  const PartitionSpec small{10, 101, 100};
+  const PartitionSpec large{10, 101, 1000};
+  EXPECT_NEAR(FalsePositiveBound(large), 10.0 * FalsePositiveBound(small),
+              1e-9);
+}
+
+TEST(CostModelTest, ExpectedFpApproachesBoundForSmallQueries) {
+  // Eq. 14/15: exact denominator is 2(u + q); as q/u -> 0 it tends to the
+  // query-independent bound.
+  const PartitionSpec partition{10, 1001, 500};
+  const double bound = FalsePositiveBound(partition);
+  EXPECT_LT(ExpectedFalsePositives(partition, 100.0), bound);
+  EXPECT_NEAR(ExpectedFalsePositives(partition, 1.0), bound, bound * 0.01);
+}
+
+TEST(CostModelTest, PartitioningCostIsMax) {
+  const std::vector<PartitionSpec> partitions = {
+      {10, 101, 100},    // M = 100*91/200 = 45.5
+      {101, 201, 10},    // M = 10*100/400 = 2.5
+      {201, 1001, 400},  // M = 400*800/2000 = 160
+  };
+  EXPECT_NEAR(PartitioningCost(partitions), 160.0, 1e-9);
+}
+
+TEST(CostModelTest, EmptyPartitioningCostsZero) {
+  EXPECT_EQ(PartitioningCost({}), 0.0);
+}
+
+TEST(CostModelTest, WholeIntervalBoundApproachesHalfN) {
+  // For l=1, u large: M ~ N * u / (2u) = N/2 — the "no partitioning" cost
+  // the paper's partitioning attacks.
+  const PartitionSpec whole{1, 1000001, 1000};
+  EXPECT_NEAR(FalsePositiveBound(whole), 500.0, 1.0);
+}
+
+}  // namespace
+}  // namespace lshensemble

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/csv.h"
+#include "data/domain.h"
+#include "data/table.h"
+
+namespace lshensemble {
+namespace {
+
+// ----------------------------------------------------------------- domain
+
+TEST(DomainTest, FromValuesDeduplicatesAndSorts) {
+  Domain domain = Domain::FromValues(1, "d", {5, 3, 5, 1, 3});
+  EXPECT_EQ(domain.values, (std::vector<uint64_t>{1, 3, 5}));
+  EXPECT_EQ(domain.size(), 3u);
+  EXPECT_EQ(domain.id, 1u);
+  EXPECT_EQ(domain.name, "d");
+}
+
+TEST(DomainTest, FromStringsHashesDistinctly) {
+  const std::vector<std::string> values = {"Ontario", "Toronto", "Ontario"};
+  Domain domain = Domain::FromStrings(2, "q", values);
+  EXPECT_EQ(domain.size(), 2u);
+}
+
+TEST(DomainTest, ContainmentMatchesPaperExample) {
+  const std::vector<std::string> q = {"Ontario", "Toronto"};
+  const std::vector<std::string> provinces = {"Alberta", "Ontario",
+                                              "Manitoba"};
+  const std::vector<std::string> locations = {
+      "Illinois",    "Chicago",       "New York City", "New York",
+      "Nova Scotia", "Halifax",       "California",    "San Francisco",
+      "Seattle",     "Washington",    "Ontario",       "Toronto"};
+  Domain dq = Domain::FromStrings(0, "Q", q);
+  Domain dp = Domain::FromStrings(1, "Provinces", provinces);
+  Domain dl = Domain::FromStrings(2, "Locations", locations);
+
+  EXPECT_DOUBLE_EQ(dq.ContainmentIn(dp), 0.5);
+  EXPECT_DOUBLE_EQ(dq.ContainmentIn(dl), 1.0);
+  EXPECT_NEAR(dq.JaccardWith(dp), 0.25, 1e-12);
+  // |Q ∩ L| = 2 and |Q ∪ L| = 12, so Jaccard is 2/12. (The paper's prose
+  // quotes 0.083 = 1/12 — an arithmetic slip, since it also reports
+  // containment 1.0, which implies an intersection of 2. The qualitative
+  // point stands: 0.25 > 2/12, so Jaccard still favours the small
+  // Provinces domain.)
+  EXPECT_NEAR(dq.JaccardWith(dl), 2.0 / 12.0, 1e-12);
+}
+
+TEST(DomainTest, EmptyDomainEdgeCases) {
+  Domain empty = Domain::FromValues(0, "e", {});
+  Domain other = Domain::FromValues(1, "o", {1});
+  EXPECT_EQ(empty.ContainmentIn(other), 0.0);
+  EXPECT_EQ(empty.JaccardWith(other), 0.0);
+  EXPECT_EQ(empty.IntersectionSize(other), 0u);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(TableTest, NullTokensRecognized) {
+  EXPECT_TRUE(IsNullToken(""));
+  EXPECT_TRUE(IsNullToken("NULL"));
+  EXPECT_TRUE(IsNullToken("null"));
+  EXPECT_TRUE(IsNullToken("N/A"));
+  EXPECT_TRUE(IsNullToken("-"));
+  EXPECT_FALSE(IsNullToken("0"));
+  EXPECT_FALSE(IsNullToken("Ontario"));
+}
+
+Table MakeGrantsTable() {
+  Table table;
+  table.name = "grants.csv";
+  table.column_names = {"Identifier", "Partner", "Province"};
+  table.rows = {
+      {"1", "Acme Corp", "Ontario"},
+      {"2", "Beta Inc", "Quebec"},
+      {"3", "Acme Corp", "NULL"},
+      {"4", "", "Ontario"},
+  };
+  return table;
+}
+
+TEST(TableTest, ExtractDomainsProjectsAndDeduplicates) {
+  const Table table = MakeGrantsTable();
+  const auto domains = ExtractDomains(table, 100);
+  ASSERT_EQ(domains.size(), 3u);
+  EXPECT_EQ(domains[0].name, "grants.csv:Identifier");
+  EXPECT_EQ(domains[0].size(), 4u);
+  EXPECT_EQ(domains[1].name, "grants.csv:Partner");
+  EXPECT_EQ(domains[1].size(), 2u);  // Acme dedup'd, "" dropped
+  EXPECT_EQ(domains[2].name, "grants.csv:Province");
+  EXPECT_EQ(domains[2].size(), 2u);  // NULL dropped
+  EXPECT_EQ(domains[0].id, 100u);
+  EXPECT_EQ(domains[2].id, 102u);
+}
+
+TEST(TableTest, MinDomainSizeFilters) {
+  const Table table = MakeGrantsTable();
+  ExtractOptions options;
+  options.min_domain_size = 3;
+  const auto domains = ExtractDomains(table, 0, options);
+  ASSERT_EQ(domains.size(), 1u);  // only Identifier has >= 3 distinct
+  EXPECT_EQ(domains[0].name, "grants.csv:Identifier");
+}
+
+TEST(TableTest, KeepNullsWhenDisabled) {
+  const Table table = MakeGrantsTable();
+  ExtractOptions options;
+  options.skip_null_tokens = false;
+  const auto domains = ExtractDomains(table, 0, options);
+  EXPECT_EQ(domains[1].size(), 3u);  // "", Acme, Beta
+}
+
+// -------------------------------------------------------------------- csv
+
+TEST(CsvTest, BasicParse) {
+  auto table = ParseCsv("a,b,c\n1,2,3\n4,5,6\n", "t.csv");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column_names, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->rows[1][2], "6");
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapedQuotes) {
+  auto table = ParseCsv(
+      "name,quote\n\"Acme, Corp\",\"she said \"\"hi\"\"\"\nplain,ok\n",
+      "q.csv");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->rows[0][0], "Acme, Corp");
+  EXPECT_EQ(table->rows[0][1], "she said \"hi\"");
+}
+
+TEST(CsvTest, QuotedNewlineInsideField) {
+  auto table = ParseCsv("a,b\n\"line1\nline2\",x\n", "n.csv");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(table->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, CrlfAndMissingTrailingNewline) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n3,4", "crlf.csv");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->rows[1][1], "4");
+}
+
+TEST(CsvTest, ShortRowsPaddedLongRowsRejected) {
+  auto padded = ParseCsv("a,b,c\n1,2\n", "p.csv");
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded->rows[0][2], "");
+  auto overflow = ParseCsv("a,b\n1,2,3\n", "o.csv");
+  EXPECT_FALSE(overflow.ok());
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  CsvOptions options;
+  options.has_header = false;
+  auto table = ParseCsv("1,2\n3,4\n", "nh.csv", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column_names, (std::vector<std::string>{"col0", "col1"}));
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto table = ParseCsv("a;b\n1;2\n", "d.csv", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  EXPECT_FALSE(ParseCsv("a,b\n\"oops,2\n", "bad.csv").ok());
+}
+
+TEST(CsvTest, EmptyInput) {
+  auto table = ParseCsv("", "empty.csv");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 0u);
+  EXPECT_EQ(table->num_columns(), 0u);
+}
+
+TEST(CsvTest, ReadFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/lshe_csv_test.csv";
+  {
+    std::ofstream file(path);
+    file << "Partner,Province\nAcme,Ontario\nBeta,Quebec\n";
+  }
+  auto table = ReadCsvFile(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->name, "lshe_csv_test.csv");
+  EXPECT_EQ(table->num_rows(), 2u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCsvFile(path).ok());
+}
+
+// ----------------------------------------------------------------- corpus
+
+TEST(CorpusTest, SizesAndStats) {
+  Corpus corpus;
+  corpus.Add(Domain::FromValues(0, "a", {1, 2, 3}));
+  corpus.Add(Domain::FromValues(1, "b", {1}));
+  corpus.Add(Domain::FromValues(2, "c", {1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(corpus.size(), 3u);
+  EXPECT_EQ(corpus.Sizes(), (std::vector<uint64_t>{3, 1, 6}));
+  EXPECT_EQ(corpus.TotalValues(), 10u);
+  EXPECT_GT(corpus.SizeSkewness(), 0.0);  // right tail
+}
+
+TEST(CorpusTest, EmptyCorpus) {
+  Corpus corpus;
+  EXPECT_TRUE(corpus.empty());
+  EXPECT_EQ(corpus.SizeSkewness(), 0.0);
+  EXPECT_EQ(corpus.TotalValues(), 0u);
+}
+
+}  // namespace
+}  // namespace lshensemble

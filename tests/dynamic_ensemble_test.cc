@@ -1,0 +1,279 @@
+#include "core/dynamic_ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "baselines/exact_search.h"
+#include "data/corpus.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace lshensemble {
+namespace {
+
+constexpr int kNumHashes = 128;
+
+DynamicEnsembleOptions SmallOptions() {
+  DynamicEnsembleOptions options;
+  options.base.num_partitions = 4;
+  options.base.num_hashes = kNumHashes;
+  options.base.tree_depth = 4;
+  options.min_delta_for_rebuild = 64;
+  return options;
+}
+
+class DynamicEnsembleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    family_ = HashFamily::Create(kNumHashes, 21).value();
+    CorpusGenOptions gen;
+    gen.num_domains = 600;
+    gen.seed = 123;
+    corpus_ = CorpusGenerator(gen).Generate().value();
+  }
+
+  MinHash Sketch(size_t index) const {
+    return MinHash::FromValues(family_, corpus_->domain(index).values);
+  }
+
+  Status InsertDomain(DynamicLshEnsemble& index, size_t i) {
+    const Domain& domain = corpus_->domain(i);
+    return index.Insert(domain.id, domain.size(), Sketch(i));
+  }
+
+  std::shared_ptr<const HashFamily> family_;
+  std::optional<Corpus> corpus_;
+};
+
+TEST_F(DynamicEnsembleTest, CreateValidation) {
+  EXPECT_FALSE(DynamicLshEnsemble::Create(SmallOptions(), nullptr).ok());
+  DynamicEnsembleOptions bad = SmallOptions();
+  bad.rebuild_fraction = 0.0;
+  EXPECT_FALSE(DynamicLshEnsemble::Create(bad, family_).ok());
+  bad = SmallOptions();
+  bad.base.num_hashes = 64;  // mismatches the 128-hash family
+  EXPECT_FALSE(DynamicLshEnsemble::Create(bad, family_).ok());
+  EXPECT_TRUE(DynamicLshEnsemble::Create(SmallOptions(), family_).ok());
+}
+
+TEST_F(DynamicEnsembleTest, InsertIsImmediatelySearchable) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  ASSERT_TRUE(InsertDomain(*&index, 7).ok());
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(index.delta_size(), 1u);
+  EXPECT_EQ(index.indexed(), nullptr);  // no flush yet
+
+  std::vector<uint64_t> results;
+  ASSERT_TRUE(
+      index.Query(Sketch(7), corpus_->domain(7).size(), 0.9, &results).ok());
+  EXPECT_NE(std::find(results.begin(), results.end(), corpus_->domain(7).id),
+            results.end());
+}
+
+TEST_F(DynamicEnsembleTest, DuplicateInsertRejected) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  ASSERT_TRUE(InsertDomain(index, 0).ok());
+  EXPECT_TRUE(InsertDomain(index, 0).IsInvalidArgument());
+}
+
+TEST_F(DynamicEnsembleTest, InvalidInsertArguments) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  EXPECT_TRUE(index.Insert(1, 0, Sketch(0)).IsInvalidArgument());
+  EXPECT_TRUE(index.Insert(1, 5, MinHash()).IsInvalidArgument());
+  auto other_family = HashFamily::Create(kNumHashes, 999).value();
+  EXPECT_TRUE(index
+                  .Insert(1, 5,
+                          MinHash::FromValues(other_family,
+                                              corpus_->domain(0).values))
+                  .IsInvalidArgument());
+}
+
+TEST_F(DynamicEnsembleTest, FlushThenQueryMatchesOneShotBuild) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  LshEnsembleBuilder builder(SmallOptions().base, family_);
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(InsertDomain(index, i).ok());
+    const Domain& domain = corpus_->domain(i);
+    ASSERT_TRUE(builder.Add(domain.id, domain.size(), Sketch(i)).ok());
+  }
+  ASSERT_TRUE(index.Flush().ok());
+  auto one_shot = std::move(builder).Build().value();
+
+  EXPECT_EQ(index.delta_size(), 0u);
+  EXPECT_EQ(index.indexed_size(), 300u);
+  for (size_t qi = 0; qi < 300; qi += 37) {
+    for (double t_star : {0.3, 0.6, 0.9}) {
+      std::vector<uint64_t> dynamic_results, static_results;
+      const size_t q = corpus_->domain(qi).size();
+      ASSERT_TRUE(
+          index.Query(Sketch(qi), q, t_star, &dynamic_results).ok());
+      ASSERT_TRUE(
+          one_shot.Query(Sketch(qi), q, t_star, &static_results).ok());
+      std::sort(dynamic_results.begin(), dynamic_results.end());
+      std::sort(static_results.begin(), static_results.end());
+      EXPECT_EQ(dynamic_results, static_results)
+          << "query " << qi << " t*=" << t_star;
+    }
+  }
+}
+
+TEST_F(DynamicEnsembleTest, RemoveHidesIndexedDomain) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  for (size_t i = 0; i < 100; ++i) ASSERT_TRUE(InsertDomain(index, i).ok());
+  ASSERT_TRUE(index.Flush().ok());
+
+  const uint64_t target = corpus_->domain(42).id;
+  std::vector<uint64_t> results;
+  ASSERT_TRUE(
+      index.Query(Sketch(42), corpus_->domain(42).size(), 0.9, &results).ok());
+  ASSERT_NE(std::find(results.begin(), results.end(), target), results.end());
+
+  ASSERT_TRUE(index.Remove(target).ok());
+  EXPECT_EQ(index.tombstone_count(), 1u);
+  ASSERT_TRUE(
+      index.Query(Sketch(42), corpus_->domain(42).size(), 0.9, &results).ok());
+  EXPECT_EQ(std::find(results.begin(), results.end(), target), results.end());
+}
+
+TEST_F(DynamicEnsembleTest, RemoveDropsUnflushedDomainOutright) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  ASSERT_TRUE(InsertDomain(index, 5).ok());
+  ASSERT_TRUE(index.Remove(corpus_->domain(5).id).ok());
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.delta_size(), 0u);
+  EXPECT_EQ(index.tombstone_count(), 0u);  // was never indexed
+}
+
+TEST_F(DynamicEnsembleTest, RemoveUnknownIsNotFound) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  EXPECT_TRUE(index.Remove(12345).IsNotFound());
+}
+
+TEST_F(DynamicEnsembleTest, ReinsertAfterRemoveUsesNewVersion) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  for (size_t i = 0; i < 50; ++i) ASSERT_TRUE(InsertDomain(index, i).ok());
+  ASSERT_TRUE(index.Flush().ok());
+
+  const uint64_t id = corpus_->domain(10).id;
+  ASSERT_TRUE(index.Remove(id).ok());
+  // Re-insert under the same id with different content (another domain's
+  // values).
+  ASSERT_TRUE(
+      index.Insert(id, corpus_->domain(20).size(), Sketch(20)).ok());
+  EXPECT_EQ(index.SizeOf(id), corpus_->domain(20).size());
+
+  // A perfect query for the NEW content finds the id...
+  std::vector<uint64_t> results;
+  ASSERT_TRUE(
+      index.Query(Sketch(20), corpus_->domain(20).size(), 0.95, &results).ok());
+  EXPECT_NE(std::find(results.begin(), results.end(), id), results.end());
+  // ... and a flush folds the replacement into the rebuilt ensemble.
+  ASSERT_TRUE(index.Flush().ok());
+  EXPECT_EQ(index.tombstone_count(), 0u);
+  ASSERT_TRUE(
+      index.Query(Sketch(20), corpus_->domain(20).size(), 0.95, &results).ok());
+  EXPECT_NE(std::find(results.begin(), results.end(), id), results.end());
+}
+
+TEST_F(DynamicEnsembleTest, AutoRebuildTriggers) {
+  DynamicEnsembleOptions options = SmallOptions();
+  options.min_delta_for_rebuild = 32;
+  options.rebuild_fraction = 0.25;
+  auto index = DynamicLshEnsemble::Create(options, family_).value();
+  // First 32 inserts: delta reaches min threshold with indexed_count 0 ->
+  // rebuild on the 32nd insert.
+  for (size_t i = 0; i < 32; ++i) ASSERT_TRUE(InsertDomain(index, i).ok());
+  EXPECT_NE(index.indexed(), nullptr);
+  EXPECT_EQ(index.delta_size(), 0u);
+  EXPECT_EQ(index.indexed_size(), 32u);
+
+  // Now a rebuild needs max(32, 0.25 * 32) = 32 more inserts.
+  for (size_t i = 32; i < 63; ++i) ASSERT_TRUE(InsertDomain(index, i).ok());
+  EXPECT_EQ(index.delta_size(), 31u);
+  ASSERT_TRUE(InsertDomain(index, 63).ok());
+  EXPECT_EQ(index.delta_size(), 0u);
+  EXPECT_EQ(index.indexed_size(), 64u);
+}
+
+TEST_F(DynamicEnsembleTest, FlushOnEmptyIndexIsOk) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  EXPECT_TRUE(index.Flush().ok());
+  EXPECT_EQ(index.indexed(), nullptr);
+  // Insert then remove everything; flush drops the ensemble.
+  ASSERT_TRUE(InsertDomain(index, 0).ok());
+  ASSERT_TRUE(index.Flush().ok());
+  EXPECT_NE(index.indexed(), nullptr);
+  ASSERT_TRUE(index.Remove(corpus_->domain(0).id).ok());
+  ASSERT_TRUE(index.Flush().ok());
+  EXPECT_EQ(index.indexed(), nullptr);
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST_F(DynamicEnsembleTest, FlushIsIdempotent) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  for (size_t i = 0; i < 20; ++i) ASSERT_TRUE(InsertDomain(index, i).ok());
+  ASSERT_TRUE(index.Flush().ok());
+  const LshEnsemble* before = index.indexed();
+  ASSERT_TRUE(index.Flush().ok());  // nothing changed: no rebuild
+  EXPECT_EQ(index.indexed(), before);
+}
+
+TEST_F(DynamicEnsembleTest, MixedIndexedAndDeltaRecallAgainstExact) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  ExactSearch exact;
+  // Half indexed, half in the delta.
+  for (size_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(InsertDomain(index, i).ok());
+    ASSERT_TRUE(exact.Add(corpus_->domain(i).id, corpus_->domain(i).values).ok());
+    if (i == 199) ASSERT_TRUE(index.Flush().ok());
+  }
+  exact.Build();
+  EXPECT_GT(index.delta_size(), 0u);
+
+  double recall_sum = 0.0;
+  int queries = 0;
+  for (size_t qi = 0; qi < 400; qi += 41) {
+    const double t_star = 0.5;
+    std::vector<uint64_t> approx, truth;
+    ASSERT_TRUE(index
+                    .Query(Sketch(qi), corpus_->domain(qi).size(), t_star,
+                           &approx)
+                    .ok());
+    ASSERT_TRUE(exact.Query(corpus_->domain(qi).values, t_star, &truth).ok());
+    if (truth.empty()) continue;
+    std::sort(approx.begin(), approx.end());
+    size_t hits = 0;
+    for (uint64_t id : truth) {
+      hits += std::binary_search(approx.begin(), approx.end(), id) ? 1 : 0;
+    }
+    recall_sum += static_cast<double>(hits) / static_cast<double>(truth.size());
+    ++queries;
+  }
+  ASSERT_GT(queries, 0);
+  EXPECT_GE(recall_sum / queries, 0.85);
+}
+
+TEST_F(DynamicEnsembleTest, SideCarLookups) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  ASSERT_TRUE(InsertDomain(index, 3).ok());
+  const uint64_t id = corpus_->domain(3).id;
+  EXPECT_EQ(index.SizeOf(id), corpus_->domain(3).size());
+  EXPECT_NE(index.SignatureOf(id), nullptr);
+  EXPECT_EQ(index.SizeOf(999999), 0u);
+  EXPECT_EQ(index.SignatureOf(999999), nullptr);
+}
+
+TEST_F(DynamicEnsembleTest, QueryValidation) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  ASSERT_TRUE(InsertDomain(index, 0).ok());
+  std::vector<uint64_t> results;
+  EXPECT_TRUE(index.Query(Sketch(0), 10, 0.5, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(index.Query(Sketch(0), 10, 1.5, &results).IsInvalidArgument());
+  EXPECT_TRUE(index.Query(MinHash(), 10, 0.5, &results).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lshensemble

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "workload/generator.h"
+
+namespace lshensemble {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(FBetaTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(FBeta(1.0, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(FBeta(0.0, 0.0, 1.0), 0.0);
+  // F1 of (0.5, 1.0) = 2*0.5/1.5.
+  EXPECT_NEAR(FBeta(0.5, 1.0, 1.0), 2.0 / 3.0, 1e-12);
+  // F0.5 weighs precision more: with low precision, F0.5 < F1.
+  EXPECT_LT(FBeta(0.2, 1.0, 0.5), FBeta(0.2, 1.0, 1.0));
+}
+
+TEST(SortedIntersectionSizeTest, Basic) {
+  EXPECT_EQ(SortedIntersectionSize({1, 3, 5}, {2, 3, 5, 7}), 2u);
+  EXPECT_EQ(SortedIntersectionSize({}, {1}), 0u);
+  EXPECT_EQ(SortedIntersectionSize({1, 2}, {1, 2}), 2u);
+}
+
+TEST(AccuracyAccumulatorTest, PerfectResult) {
+  AccuracyAccumulator accumulator;
+  accumulator.AddQuery({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(accumulator.MeanPrecision(), 1.0);
+  EXPECT_DOUBLE_EQ(accumulator.MeanRecall(), 1.0);
+  EXPECT_DOUBLE_EQ(accumulator.F1(), 1.0);
+}
+
+TEST(AccuracyAccumulatorTest, MixedResults) {
+  AccuracyAccumulator accumulator;
+  // Precision 2/4, recall 2/2.
+  accumulator.AddQuery({1, 2, 8, 9}, {1, 2});
+  // Precision 1/2, recall 1/3.
+  accumulator.AddQuery({3, 4}, {3, 5, 6});
+  EXPECT_NEAR(accumulator.MeanPrecision(), 0.5, 1e-12);
+  EXPECT_NEAR(accumulator.MeanRecall(), (1.0 + 1.0 / 3.0) / 2, 1e-12);
+}
+
+TEST(AccuracyAccumulatorTest, EmptyResultExcludedFromPrecision) {
+  AccuracyAccumulator accumulator;
+  accumulator.AddQuery({}, {1, 2});      // empty result: skipped in precision
+  accumulator.AddQuery({1, 9}, {1, 2});  // precision 0.5
+  EXPECT_NEAR(accumulator.MeanPrecision(), 0.5, 1e-12);
+  EXPECT_EQ(accumulator.num_empty_results(), 1u);
+  // Recall counts both: (0 + 0.5) / 2.
+  EXPECT_NEAR(accumulator.MeanRecall(), 0.25, 1e-12);
+}
+
+TEST(AccuracyAccumulatorTest, EmptyTruthExcludedFromRecall) {
+  AccuracyAccumulator accumulator;
+  accumulator.AddQuery({1}, {});  // nothing to find
+  accumulator.AddQuery({1}, {1});
+  EXPECT_NEAR(accumulator.MeanRecall(), 1.0, 1e-12);
+  EXPECT_EQ(accumulator.num_empty_truths(), 1u);
+  // Precision counts both: (0 + 1) / 2.
+  EXPECT_NEAR(accumulator.MeanPrecision(), 0.5, 1e-12);
+}
+
+TEST(AccuracyAccumulatorTest, AllEmptyDefaultsToOne) {
+  AccuracyAccumulator accumulator;
+  accumulator.AddQuery({}, {});
+  EXPECT_DOUBLE_EQ(accumulator.MeanPrecision(), 1.0);
+  EXPECT_DOUBLE_EQ(accumulator.MeanRecall(), 1.0);
+}
+
+TEST(AccuracyAccumulatorTest, MergeCombinesCounts) {
+  AccuracyAccumulator a, b;
+  a.AddQuery({1}, {1});
+  b.AddQuery({2, 9}, {2});
+  a.Merge(b);
+  EXPECT_EQ(a.num_queries(), 2u);
+  EXPECT_NEAR(a.MeanPrecision(), 0.75, 1e-12);
+}
+
+// ----------------------------------------------------------- ground truth
+
+TEST(GroundTruthTest, ScoresMatchDirectComputation) {
+  CorpusGenOptions options;
+  options.num_domains = 500;
+  options.max_size = 2000;
+  options.seed = 31;
+  auto corpus = CorpusGenerator(options).Generate().value();
+
+  std::vector<size_t> index_indices(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) index_indices[i] = i;
+  const std::vector<size_t> query_indices = {3, 77, 214};
+  auto truth =
+      GroundTruth::Compute(corpus, query_indices, index_indices).value();
+  ASSERT_EQ(truth.num_queries(), 3u);
+
+  for (size_t qi = 0; qi < query_indices.size(); ++qi) {
+    const Domain& query = corpus.domain(query_indices[qi]);
+    for (const auto& [id, containment] : truth.Scores(qi)) {
+      EXPECT_NEAR(containment, query.ContainmentIn(corpus.domain(id)), 1e-12);
+    }
+    // Threshold filter is consistent with the raw scores.
+    const auto set = truth.TruthSet(qi, 0.5);
+    for (uint64_t id : set) {
+      EXPECT_GE(query.ContainmentIn(corpus.domain(id)), 0.5 - 1e-12);
+    }
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+    // Self is always in the truth set at threshold 1.0.
+    const auto self_set = truth.TruthSet(qi, 1.0);
+    EXPECT_TRUE(std::binary_search(self_set.begin(), self_set.end(),
+                                   query.id));
+  }
+}
+
+TEST(GroundTruthTest, ExternalQueries) {
+  CorpusGenOptions options;
+  options.num_domains = 200;
+  options.seed = 32;
+  auto corpus = CorpusGenerator(options).Generate().value();
+  std::vector<size_t> index_indices(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) index_indices[i] = i;
+
+  Rng rng(5);
+  // Full containment: every query value must come from the target, so the
+  // query can be no larger than the target domain.
+  const size_t query_size = std::min<size_t>(corpus.domain(10).size(), 20);
+  auto query = MakeQueryWithContainment(corpus.domain(10), query_size, 1.0,
+                                        777777, rng)
+                   .value();
+  auto truth =
+      GroundTruth::ComputeForQueries(corpus, {query}, index_indices).value();
+  const auto set = truth.TruthSet(0, 1.0);
+  EXPECT_TRUE(
+      std::binary_search(set.begin(), set.end(), corpus.domain(10).id));
+}
+
+// ------------------------------------------------------------- experiment
+
+TEST(AccuracyExperimentTest, EndToEndSmall) {
+  CorpusGenOptions gen_options;
+  gen_options.num_domains = 1200;
+  gen_options.max_size = 3000;
+  gen_options.seed = 33;
+  auto corpus = CorpusGenerator(gen_options).Generate().value();
+
+  std::vector<size_t> index_indices(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) index_indices[i] = i;
+  auto query_indices =
+      SampleQueryIndices(corpus, 60, QuerySizeBias::kUniform, 34);
+
+  AccuracyExperimentOptions options;
+  options.thresholds = {0.3, 0.6};
+  options.num_hashes = 128;
+  AccuracyExperiment experiment(corpus, index_indices, query_indices,
+                                options);
+  ASSERT_TRUE(experiment.Prepare().ok());
+
+  for (const IndexConfig& config :
+       {IndexConfig::Baseline(), IndexConfig::Asym(),
+        IndexConfig::Ensemble(8), IndexConfig::AsymPartitioned(8)}) {
+    auto cells = experiment.RunConfig(config);
+    ASSERT_TRUE(cells.ok()) << config.label;
+    ASSERT_EQ(cells->size(), 2u);
+    for (const AccuracyCell& cell : *cells) {
+      EXPECT_EQ(cell.config, config.label);
+      EXPECT_GE(cell.precision, 0.0);
+      EXPECT_LE(cell.precision, 1.0);
+      EXPECT_GE(cell.recall, 0.0);
+      EXPECT_LE(cell.recall, 1.0);
+      EXPECT_EQ(cell.num_queries, 60u);
+      EXPECT_GT(cell.mean_query_micros, 0.0);
+    }
+  }
+}
+
+TEST(AccuracyExperimentTest, PartitionedAsymImprovesOnPlainAsym) {
+  // Section 6.1 (unnumbered experiment): per-partition padding is smaller,
+  // so recall can only move toward the ensemble's.
+  CorpusGenOptions gen_options;
+  gen_options.num_domains = 2000;
+  gen_options.max_size = 20000;
+  gen_options.seed = 44;
+  auto corpus = CorpusGenerator(gen_options).Generate().value();
+  std::vector<size_t> index_indices(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) index_indices[i] = i;
+  auto query_indices =
+      SampleQueryIndices(corpus, 80, QuerySizeBias::kSmallestDecile, 45);
+
+  AccuracyExperimentOptions options;
+  options.thresholds = {0.5};
+  options.num_hashes = 128;
+  AccuracyExperiment experiment(corpus, index_indices, query_indices,
+                                options);
+  ASSERT_TRUE(experiment.Prepare().ok());
+  auto plain = experiment.RunConfig(IndexConfig::Asym());
+  auto partitioned = experiment.RunConfig(IndexConfig::AsymPartitioned(16));
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(partitioned.ok());
+  EXPECT_GE((*partitioned)[0].recall, (*plain)[0].recall - 0.05);
+  EXPECT_GT((*partitioned)[0].recall, 0.0);
+}
+
+TEST(AccuracyExperimentTest, PrepareRequiredAndValidation) {
+  CorpusGenOptions gen_options;
+  gen_options.num_domains = 100;
+  gen_options.seed = 35;
+  auto corpus = CorpusGenerator(gen_options).Generate().value();
+  std::vector<size_t> all(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) all[i] = i;
+
+  AccuracyExperiment unprepared(corpus, all, {0, 1},
+                                AccuracyExperimentOptions{});
+  EXPECT_FALSE(unprepared.RunConfig(IndexConfig::Baseline()).ok());
+
+  AccuracyExperiment empty(corpus, {}, {}, AccuracyExperimentOptions{});
+  EXPECT_FALSE(empty.Prepare().ok());
+}
+
+TEST(DefaultThresholdsTest, PaperSweep) {
+  const auto thresholds = DefaultThresholds();
+  ASSERT_EQ(thresholds.size(), 20u);
+  EXPECT_NEAR(thresholds.front(), 0.05, 1e-12);
+  EXPECT_NEAR(thresholds.back(), 1.0, 1e-12);
+}
+
+// ----------------------------------------------------------------- report
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"name", "value"});
+  printer.AddRow({"x", "1"});
+  printer.AddRow({"longer-name", "2.5"});
+  std::ostringstream out;
+  printer.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter printer({"a", "b", "c"});
+  printer.AddRow({"1"});
+  std::ostringstream out;
+  printer.Print(out);
+  EXPECT_NE(out.str().find("| 1"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(0.71349, 3), "0.713");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace lshensemble

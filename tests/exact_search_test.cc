@@ -1,0 +1,133 @@
+#include "baselines/exact_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace lshensemble {
+namespace {
+
+TEST(ExactSearchTest, LifecycleEnforced) {
+  ExactSearch engine;
+  std::vector<std::pair<uint64_t, double>> overlaps;
+  EXPECT_TRUE(engine.Overlaps({1}, &overlaps).IsFailedPrecondition());
+  ASSERT_TRUE(engine.Add(1, {1, 2, 3}).ok());
+  engine.Build();
+  EXPECT_TRUE(engine.Add(2, {4}).IsFailedPrecondition());
+  EXPECT_TRUE(engine.Overlaps({1}, &overlaps).ok());
+}
+
+TEST(ExactSearchTest, RejectsEmptyDomainAndQuery) {
+  ExactSearch engine;
+  EXPECT_FALSE(engine.Add(1, {}).ok());
+  ASSERT_TRUE(engine.Add(1, {1}).ok());
+  engine.Build();
+  std::vector<std::pair<uint64_t, double>> overlaps;
+  EXPECT_FALSE(engine.Overlaps({}, &overlaps).ok());
+  EXPECT_FALSE(engine.Overlaps({1}, nullptr).ok());
+}
+
+TEST(ExactSearchTest, PaperWorkedExample) {
+  // Section 2: Q = {Ontario, Toronto} against Provinces and Locations.
+  // Values stand in as integers: Ontario=1, Toronto=2, others distinct.
+  ExactSearch engine;
+  ASSERT_TRUE(engine.Add(/*Provinces=*/10, {3, 1, 4}).ok());
+  ASSERT_TRUE(
+      engine.Add(/*Locations=*/20, {5, 6, 7, 8, 9, 11, 12, 13, 14, 15, 1, 2})
+          .ok());
+  engine.Build();
+
+  std::vector<std::pair<uint64_t, double>> overlaps;
+  ASSERT_TRUE(engine.Overlaps({1, 2}, &overlaps).ok());
+  std::map<uint64_t, double> scores(overlaps.begin(), overlaps.end());
+  EXPECT_DOUBLE_EQ(scores[10], 0.5);  // t(Q, Provinces) = 0.5
+  EXPECT_DOUBLE_EQ(scores[20], 1.0);  // t(Q, Locations) = 1.0
+
+  std::vector<uint64_t> result;
+  ASSERT_TRUE(engine.Query({1, 2}, 0.75, &result).ok());
+  EXPECT_EQ(result, (std::vector<uint64_t>{20}));
+  ASSERT_TRUE(engine.Query({1, 2}, 0.5, &result).ok());
+  EXPECT_EQ(result, (std::vector<uint64_t>{10, 20}));
+}
+
+TEST(ExactSearchTest, DuplicatesInDomainAndQueryIgnored) {
+  ExactSearch engine;
+  ASSERT_TRUE(engine.Add(1, {7, 7, 7, 8}).ok());
+  engine.Build();
+  std::vector<std::pair<uint64_t, double>> overlaps;
+  ASSERT_TRUE(engine.Overlaps({7, 7, 9, 9}, &overlaps).ok());
+  ASSERT_EQ(overlaps.size(), 1u);
+  // Distinct query = {7, 9}; hit = {7} -> containment 0.5.
+  EXPECT_DOUBLE_EQ(overlaps[0].second, 0.5);
+}
+
+TEST(ExactSearchTest, NoOverlapMeansAbsent) {
+  ExactSearch engine;
+  ASSERT_TRUE(engine.Add(1, {1, 2}).ok());
+  ASSERT_TRUE(engine.Add(2, {3, 4}).ok());
+  engine.Build();
+  std::vector<std::pair<uint64_t, double>> overlaps;
+  ASSERT_TRUE(engine.Overlaps({1, 9}, &overlaps).ok());
+  ASSERT_EQ(overlaps.size(), 1u);
+  EXPECT_EQ(overlaps[0].first, 1u);
+}
+
+TEST(ExactSearchTest, ThresholdBoundaryInclusive) {
+  ExactSearch engine;
+  ASSERT_TRUE(engine.Add(1, {1, 2}).ok());
+  engine.Build();
+  std::vector<uint64_t> result;
+  // Containment exactly 0.5 with threshold 0.5 must be included (Def. 2).
+  ASSERT_TRUE(engine.Query({1, 3}, 0.5, &result).ok());
+  EXPECT_EQ(result.size(), 1u);
+}
+
+// Randomized differential test against a naive O(n*m) reference.
+TEST(ExactSearchTest, MatchesNaiveReference) {
+  Rng rng(18);
+  for (int trial = 0; trial < 10; ++trial) {
+    ExactSearch engine;
+    std::vector<std::set<uint64_t>> domains;
+    const size_t num_domains = 30 + rng.NextBounded(30);
+    for (size_t id = 0; id < num_domains; ++id) {
+      std::set<uint64_t> values;
+      const size_t size = 1 + rng.NextBounded(60);
+      while (values.size() < size) values.insert(rng.NextBounded(300));
+      domains.push_back(values);
+      ASSERT_TRUE(
+          engine
+              .Add(id, std::vector<uint64_t>(values.begin(), values.end()))
+              .ok());
+    }
+    engine.Build();
+
+    std::set<uint64_t> query_set;
+    const size_t query_size = 1 + rng.NextBounded(50);
+    while (query_set.size() < query_size) {
+      query_set.insert(rng.NextBounded(300));
+    }
+    const std::vector<uint64_t> query(query_set.begin(), query_set.end());
+
+    for (double threshold : {0.1, 0.5, 0.9}) {
+      std::vector<uint64_t> got;
+      ASSERT_TRUE(engine.Query(query, threshold, &got).ok());
+      std::vector<uint64_t> expected;
+      for (size_t id = 0; id < num_domains; ++id) {
+        size_t hits = 0;
+        for (uint64_t v : query) hits += domains[id].count(v);
+        const double containment =
+            static_cast<double>(hits) / static_cast<double>(query.size());
+        if (containment >= threshold) expected.push_back(id);
+      }
+      EXPECT_EQ(got, expected) << "trial " << trial << " t*=" << threshold;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lshensemble

@@ -1,0 +1,150 @@
+// End-to-end integration tests: miniature versions of the paper's
+// experiments, asserting the qualitative results the paper reports
+// (Section 6) on a scaled-down synthetic corpus:
+//   * LSH Ensemble improves precision over the single-LSH baseline while
+//     keeping recall high (Figure 4);
+//   * Asymmetric Minwise Hashing loses recall under heavy skew (Figures
+//     4/5);
+//   * partitioned queries return fewer candidates, the source of the
+//     paper's query-time speedups (Table 4).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "workload/generator.h"
+
+namespace lshensemble {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusGenOptions options;
+    options.num_domains = 8000;
+    options.min_size = 10;
+    options.max_size = 30000;
+    options.alpha = 2.0;
+    options.seed = 20160912;  // VLDB'16 :)
+    corpus_ = new Corpus(CorpusGenerator(options).Generate().value());
+
+    index_indices_ = new std::vector<size_t>(corpus_->size());
+    for (size_t i = 0; i < corpus_->size(); ++i) (*index_indices_)[i] = i;
+    query_indices_ = new std::vector<size_t>(
+        SampleQueryIndices(*corpus_, 150, QuerySizeBias::kUniform, 7));
+
+    AccuracyExperimentOptions options2;
+    options2.thresholds = {0.25, 0.5, 0.75};
+    experiment_ = new AccuracyExperiment(*corpus_, *index_indices_,
+                                         *query_indices_, options2);
+    ASSERT_TRUE(experiment_->Prepare().ok());
+
+    baseline_ = new std::vector<AccuracyCell>(
+        experiment_->RunConfig(IndexConfig::Baseline()).value());
+    asym_ = new std::vector<AccuracyCell>(
+        experiment_->RunConfig(IndexConfig::Asym()).value());
+    ensemble8_ = new std::vector<AccuracyCell>(
+        experiment_->RunConfig(IndexConfig::Ensemble(8)).value());
+    ensemble32_ = new std::vector<AccuracyCell>(
+        experiment_->RunConfig(IndexConfig::Ensemble(32)).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete ensemble32_;
+    delete ensemble8_;
+    delete asym_;
+    delete baseline_;
+    delete experiment_;
+    delete query_indices_;
+    delete index_indices_;
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static Corpus* corpus_;
+  static std::vector<size_t>* index_indices_;
+  static std::vector<size_t>* query_indices_;
+  static AccuracyExperiment* experiment_;
+  static std::vector<AccuracyCell>* baseline_;
+  static std::vector<AccuracyCell>* asym_;
+  static std::vector<AccuracyCell>* ensemble8_;
+  static std::vector<AccuracyCell>* ensemble32_;
+};
+
+Corpus* IntegrationTest::corpus_ = nullptr;
+std::vector<size_t>* IntegrationTest::index_indices_ = nullptr;
+std::vector<size_t>* IntegrationTest::query_indices_ = nullptr;
+AccuracyExperiment* IntegrationTest::experiment_ = nullptr;
+std::vector<AccuracyCell>* IntegrationTest::baseline_ = nullptr;
+std::vector<AccuracyCell>* IntegrationTest::asym_ = nullptr;
+std::vector<AccuracyCell>* IntegrationTest::ensemble8_ = nullptr;
+std::vector<AccuracyCell>* IntegrationTest::ensemble32_ = nullptr;
+
+TEST_F(IntegrationTest, CorpusIsSkewed) {
+  EXPECT_GT(corpus_->SizeSkewness(), 3.0);
+}
+
+TEST_F(IntegrationTest, EnsembleImprovesPrecisionOverBaseline) {
+  // Figure 4's headline: partitioning raises precision at every threshold.
+  for (size_t i = 0; i < baseline_->size(); ++i) {
+    EXPECT_GE((*ensemble32_)[i].precision,
+              (*baseline_)[i].precision - 0.02)
+        << "t*=" << (*baseline_)[i].threshold;
+  }
+  // And strictly so on aggregate.
+  double baseline_sum = 0, ensemble_sum = 0;
+  for (size_t i = 0; i < baseline_->size(); ++i) {
+    baseline_sum += (*baseline_)[i].precision;
+    ensemble_sum += (*ensemble32_)[i].precision;
+  }
+  EXPECT_GT(ensemble_sum, baseline_sum);
+}
+
+TEST_F(IntegrationTest, EnsembleKeepsRecallHigh) {
+  for (const AccuracyCell& cell : *ensemble32_) {
+    EXPECT_GT(cell.recall, 0.75) << "t*=" << cell.threshold;
+  }
+  for (const AccuracyCell& cell : *ensemble8_) {
+    EXPECT_GT(cell.recall, 0.75) << "t*=" << cell.threshold;
+  }
+}
+
+TEST_F(IntegrationTest, MorePartitionsMorePrecision) {
+  double sum8 = 0, sum32 = 0;
+  for (size_t i = 0; i < ensemble8_->size(); ++i) {
+    sum8 += (*ensemble8_)[i].precision;
+    sum32 += (*ensemble32_)[i].precision;
+  }
+  EXPECT_GE(sum32, sum8 - 0.05);
+}
+
+TEST_F(IntegrationTest, PartitioningCostsLittleRecall) {
+  // "Recall decreases by about 0.02 each time the number of partitions
+  // doubles" — allow a loose bound.
+  for (size_t i = 0; i < baseline_->size(); ++i) {
+    EXPECT_GE((*ensemble32_)[i].recall, (*baseline_)[i].recall - 0.15)
+        << "t*=" << (*baseline_)[i].threshold;
+  }
+}
+
+TEST_F(IntegrationTest, AsymRecallCollapsesOnSkewedData) {
+  // Section 6.1: on skewed Open Data, Asym's recall drops far below the
+  // ensemble's, and worsens with the threshold.
+  const AccuracyCell& asym_high = (*asym_)[2];        // t* = 0.75
+  const AccuracyCell& ensemble_high = (*ensemble32_)[2];
+  EXPECT_LT(asym_high.recall, ensemble_high.recall - 0.3);
+}
+
+TEST_F(IntegrationTest, EnsembleBeatsBaselineOnFScore) {
+  double baseline_sum = 0, ensemble_sum = 0;
+  for (size_t i = 0; i < baseline_->size(); ++i) {
+    baseline_sum += (*baseline_)[i].f05;
+    ensemble_sum += (*ensemble32_)[i].f05;
+  }
+  EXPECT_GT(ensemble_sum, baseline_sum);
+}
+
+}  // namespace
+}  // namespace lshensemble

@@ -1,0 +1,370 @@
+#include "core/lsh_ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "data/corpus.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace lshensemble {
+namespace {
+
+std::shared_ptr<const HashFamily> Family(int m = 256, uint64_t seed = 4) {
+  return HashFamily::Create(m, seed).value();
+}
+
+Corpus SmallCorpus(size_t num_domains = 2000, uint64_t seed = 5) {
+  CorpusGenOptions options;
+  options.num_domains = num_domains;
+  options.min_size = 10;
+  options.max_size = 5000;
+  options.seed = seed;
+  return CorpusGenerator(options).Generate().value();
+}
+
+Result<LshEnsemble> BuildEnsemble(const Corpus& corpus,
+                                  LshEnsembleOptions options,
+                                  std::shared_ptr<const HashFamily> family) {
+  LshEnsembleBuilder builder(options, family);
+  for (const Domain& domain : corpus.domains()) {
+    auto sketch = MinHash::FromValues(family, domain.values);
+    LSHE_RETURN_IF_ERROR(builder.Add(domain.id, domain.size(), sketch));
+  }
+  return std::move(builder).Build();
+}
+
+TEST(LshEnsembleOptionsTest, Validation) {
+  LshEnsembleOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.num_partitions = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = LshEnsembleOptions();
+  options.tree_depth = 7;  // does not divide 256
+  EXPECT_FALSE(options.Validate().ok());
+  options = LshEnsembleOptions();
+  options.integration_nodes = 2;
+  EXPECT_FALSE(options.Validate().ok());
+  options = LshEnsembleOptions();
+  options.interpolation_lambda = 2.0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(LshEnsembleBuilderTest, RejectsBadAdds) {
+  auto family = Family();
+  LshEnsembleBuilder builder(LshEnsembleOptions{}, family);
+  auto sketch = MinHash::FromValues(family, std::vector<uint64_t>{1, 2});
+  EXPECT_FALSE(builder.Add(1, 0, sketch).ok());  // zero size
+  EXPECT_FALSE(builder.Add(1, 2, MinHash()).ok());  // invalid sketch
+  auto other_family_sketch =
+      MinHash::FromValues(Family(256, 999), std::vector<uint64_t>{1});
+  EXPECT_FALSE(builder.Add(1, 1, other_family_sketch).ok());
+  EXPECT_TRUE(builder.Add(1, 2, sketch).ok());
+  EXPECT_EQ(builder.size(), 1u);
+}
+
+TEST(LshEnsembleBuilderTest, EmptyBuildFails) {
+  LshEnsembleBuilder builder(LshEnsembleOptions{}, Family());
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(LshEnsembleBuilderTest, MismatchedFamilySizeFails) {
+  auto family = Family(128);  // options default num_hashes = 256
+  LshEnsembleBuilder builder(LshEnsembleOptions{}, family);
+  auto sketch = MinHash::FromValues(family, std::vector<uint64_t>{1});
+  ASSERT_TRUE(builder.Add(1, 1, sketch).ok());
+  EXPECT_FALSE(std::move(builder).Build().ok());
+}
+
+TEST(LshEnsembleTest, PartitionsCoverCorpusAndAreOrdered) {
+  const Corpus corpus = SmallCorpus();
+  auto family = Family();
+  LshEnsembleOptions options;
+  options.num_partitions = 8;
+  auto ensemble = BuildEnsemble(corpus, options, family);
+  ASSERT_TRUE(ensemble.ok());
+  EXPECT_EQ(ensemble->size(), corpus.size());
+  size_t total = 0;
+  uint64_t previous_upper = 0;
+  for (const PartitionSpec& spec : ensemble->partitions()) {
+    EXPECT_GE(spec.lower, previous_upper);
+    EXPECT_GT(spec.count, 0u);
+    previous_upper = spec.upper;
+    total += spec.count;
+  }
+  EXPECT_EQ(total, corpus.size());
+  EXPECT_GT(ensemble->MemoryBytes(), 0u);
+}
+
+TEST(LshEnsembleTest, SelfQueryFindsSelfAtFullThreshold) {
+  const Corpus corpus = SmallCorpus(500);
+  auto family = Family();
+  LshEnsembleOptions options;
+  options.num_partitions = 8;
+  auto ensemble = BuildEnsemble(corpus, options, family);
+  ASSERT_TRUE(ensemble.ok());
+
+  size_t found = 0, tried = 0;
+  for (size_t i = 0; i < corpus.size(); i += 25) {
+    const Domain& domain = corpus.domain(i);
+    auto sketch = MinHash::FromValues(family, domain.values);
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(
+        ensemble->Query(sketch, domain.size(), 0.9, &out).ok());
+    ++tried;
+    if (std::find(out.begin(), out.end(), domain.id) != out.end()) ++found;
+  }
+  // Identical signatures collide deterministically in their own partition;
+  // the tuner picks (b, r) with near-1 probability at t = 1.
+  EXPECT_GE(found, tried * 9 / 10);
+}
+
+TEST(LshEnsembleTest, QueryValidation) {
+  const Corpus corpus = SmallCorpus(200);
+  auto family = Family();
+  auto ensemble = BuildEnsemble(corpus, LshEnsembleOptions{}, family);
+  ASSERT_TRUE(ensemble.ok());
+  auto sketch =
+      MinHash::FromValues(family, corpus.domain(0).values);
+  std::vector<uint64_t> out;
+  EXPECT_FALSE(ensemble->Query(sketch, 10, -0.1, &out).ok());
+  EXPECT_FALSE(ensemble->Query(sketch, 10, 1.1, &out).ok());
+  EXPECT_FALSE(ensemble->Query(MinHash(), 10, 0.5, &out).ok());
+  EXPECT_FALSE(ensemble->Query(sketch, 10, 0.5, nullptr).ok());
+  auto foreign =
+      MinHash::FromValues(Family(256, 321), corpus.domain(0).values);
+  EXPECT_FALSE(ensemble->Query(foreign, 10, 0.5, &out).ok());
+}
+
+TEST(LshEnsembleTest, ParallelAndSerialQueriesAgree) {
+  const Corpus corpus = SmallCorpus(1500, 6);
+  auto family = Family();
+  LshEnsembleOptions parallel_options;
+  parallel_options.num_partitions = 16;
+  parallel_options.parallel_query = true;
+  LshEnsembleOptions serial_options = parallel_options;
+  serial_options.parallel_query = false;
+  serial_options.parallel_build = false;
+  auto parallel_index = BuildEnsemble(corpus, parallel_options, family);
+  auto serial_index = BuildEnsemble(corpus, serial_options, family);
+  ASSERT_TRUE(parallel_index.ok());
+  ASSERT_TRUE(serial_index.ok());
+
+  for (size_t i = 0; i < corpus.size(); i += 100) {
+    const Domain& domain = corpus.domain(i);
+    auto sketch = MinHash::FromValues(family, domain.values);
+    std::vector<uint64_t> parallel_out, serial_out;
+    ASSERT_TRUE(
+        parallel_index->Query(sketch, domain.size(), 0.5, &parallel_out).ok());
+    ASSERT_TRUE(
+        serial_index->Query(sketch, domain.size(), 0.5, &serial_out).ok());
+    std::sort(parallel_out.begin(), parallel_out.end());
+    std::sort(serial_out.begin(), serial_out.end());
+    EXPECT_EQ(parallel_out, serial_out) << "query " << i;
+  }
+}
+
+TEST(LshEnsembleTest, PruningIntroducesNoFalseNegatives) {
+  const Corpus corpus = SmallCorpus(1500, 7);
+  auto family = Family();
+  LshEnsembleOptions pruned_options;
+  pruned_options.num_partitions = 16;
+  pruned_options.prune_unreachable_partitions = true;
+  LshEnsembleOptions unpruned_options = pruned_options;
+  unpruned_options.prune_unreachable_partitions = false;
+  auto pruned = BuildEnsemble(corpus, pruned_options, family);
+  auto unpruned = BuildEnsemble(corpus, unpruned_options, family);
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_TRUE(unpruned.ok());
+
+  for (size_t i = 0; i < corpus.size(); i += 50) {
+    const Domain& domain = corpus.domain(i);
+    auto sketch = MinHash::FromValues(family, domain.values);
+    std::vector<uint64_t> with_pruning, without_pruning;
+    QueryStats stats;
+    ASSERT_TRUE(pruned
+                    ->Query(sketch, domain.size(), 0.8, &with_pruning, &stats)
+                    .ok());
+    ASSERT_TRUE(
+        unpruned->Query(sketch, domain.size(), 0.8, &without_pruning).ok());
+    std::sort(with_pruning.begin(), with_pruning.end());
+    std::sort(without_pruning.begin(), without_pruning.end());
+    // Pruned partitions can only drop candidates whose size makes the
+    // threshold unreachable — never ground-truth positives. The candidate
+    // sets over reachable partitions must be identical.
+    std::vector<uint64_t> missing;
+    std::set_difference(with_pruning.begin(), with_pruning.end(),
+                        without_pruning.begin(), without_pruning.end(),
+                        std::back_inserter(missing));
+    EXPECT_TRUE(missing.empty()) << "pruning added candidates?!";
+    for (uint64_t id : without_pruning) {
+      if (!std::binary_search(with_pruning.begin(), with_pruning.end(), id)) {
+        // Dropped candidate must be too small to qualify.
+        const Domain& dropped = corpus.domain(id);
+        EXPECT_LT(static_cast<double>(dropped.size()),
+                  0.8 * static_cast<double>(domain.size()));
+      }
+    }
+  }
+}
+
+TEST(LshEnsembleTest, StatsReportProbedAndPruned) {
+  const Corpus corpus = SmallCorpus(1000, 8);
+  auto family = Family();
+  LshEnsembleOptions options;
+  options.num_partitions = 16;
+  auto ensemble = BuildEnsemble(corpus, options, family);
+  ASSERT_TRUE(ensemble.ok());
+
+  // A huge query with a high threshold prunes every partition whose largest
+  // domain is below t* * q.
+  const Domain& big = *std::max_element(
+      corpus.domains().begin(), corpus.domains().end(),
+      [](const Domain& a, const Domain& b) { return a.size() < b.size(); });
+  auto sketch = MinHash::FromValues(family, big.values);
+  std::vector<uint64_t> out;
+  QueryStats stats;
+  ASSERT_TRUE(ensemble->Query(sketch, big.size(), 1.0, &out, &stats).ok());
+  EXPECT_EQ(stats.query_size_used, big.size());
+  EXPECT_GT(stats.partitions_pruned, 0u);
+  EXPECT_EQ(stats.partitions_probed + stats.partitions_pruned,
+            ensemble->partitions().size());
+  EXPECT_EQ(stats.tuned.size(), stats.partitions_probed);
+  for (const TunedParams& params : stats.tuned) {
+    EXPECT_GE(params.b, 1);
+    EXPECT_LE(params.b, 32);
+    EXPECT_GE(params.r, 1);
+    EXPECT_LE(params.r, 8);
+  }
+}
+
+TEST(LshEnsembleTest, EstimatedQuerySizeCloseToExact) {
+  const Corpus corpus = SmallCorpus(800, 9);
+  auto family = Family();
+  auto ensemble = BuildEnsemble(corpus, LshEnsembleOptions{}, family);
+  ASSERT_TRUE(ensemble.ok());
+  const Domain& domain = corpus.domain(100);
+  auto sketch = MinHash::FromValues(family, domain.values);
+  QueryStats stats;
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(ensemble->Query(sketch, 0, 0.5, &out, &stats).ok());
+  const double relative_error =
+      std::abs(static_cast<double>(stats.query_size_used) -
+               static_cast<double>(domain.size())) /
+      static_cast<double>(domain.size());
+  EXPECT_LT(relative_error, 0.5);
+}
+
+TEST(LshEnsembleTest, SinglePartitionEqualsBaselineSemantics) {
+  const Corpus corpus = SmallCorpus(600, 10);
+  auto family = Family();
+  LshEnsembleOptions options;
+  options.num_partitions = 1;
+  auto ensemble = BuildEnsemble(corpus, options, family);
+  ASSERT_TRUE(ensemble.ok());
+  EXPECT_EQ(ensemble->partitions().size(), 1u);
+  const PartitionSpec& only = ensemble->partitions()[0];
+  EXPECT_EQ(only.count, corpus.size());
+}
+
+TEST(LshEnsembleTest, TuneForPartitionMatchesQueryStats) {
+  const Corpus corpus = SmallCorpus(600, 11);
+  auto family = Family();
+  LshEnsembleOptions options;
+  options.num_partitions = 8;
+  options.prune_unreachable_partitions = false;
+  auto ensemble = BuildEnsemble(corpus, options, family);
+  ASSERT_TRUE(ensemble.ok());
+  const Domain& domain = corpus.domain(5);
+  auto sketch = MinHash::FromValues(family, domain.values);
+  QueryStats stats;
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(ensemble->Query(sketch, domain.size(), 0.6, &out, &stats).ok());
+  ASSERT_EQ(stats.tuned.size(), ensemble->partitions().size());
+  for (size_t i = 0; i < ensemble->partitions().size(); ++i) {
+    auto expected = ensemble->TuneForPartition(
+        i, static_cast<double>(domain.size()), 0.6);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(stats.tuned[i].b, expected->b);
+    EXPECT_EQ(stats.tuned[i].r, expected->r);
+  }
+  EXPECT_FALSE(ensemble->TuneForPartition(99, 10, 0.5).ok());
+  EXPECT_FALSE(ensemble->TuneForPartition(0, 0, 0.5).ok());
+}
+
+// End-to-end recall against exact ground truth. The ensemble is
+// recall-biased by construction (conservative threshold conversion), so on
+// a realistic corpus recall should be high at every threshold.
+class EnsembleRecallProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(EnsembleRecallProperty, RecallStaysHigh) {
+  const double threshold = GetParam();
+  const Corpus corpus = SmallCorpus(3000, 12);
+  auto family = Family();
+  LshEnsembleOptions options;
+  options.num_partitions = 16;
+  auto ensemble = BuildEnsemble(corpus, options, family);
+  ASSERT_TRUE(ensemble.ok());
+
+  std::vector<size_t> query_indices, index_indices(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) index_indices[i] = i;
+  for (size_t i = 0; i < corpus.size(); i += 30) query_indices.push_back(i);
+  auto truth =
+      GroundTruth::Compute(corpus, query_indices, index_indices).value();
+
+  AccuracyAccumulator accumulator;
+  for (size_t qi = 0; qi < query_indices.size(); ++qi) {
+    const Domain& domain = corpus.domain(query_indices[qi]);
+    auto sketch = MinHash::FromValues(family, domain.values);
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(ensemble->Query(sketch, domain.size(), threshold, &out).ok());
+    std::sort(out.begin(), out.end());
+    accumulator.AddQuery(out, truth.TruthSet(qi, threshold));
+  }
+  EXPECT_GT(accumulator.MeanRecall(), 0.75) << "t*=" << threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(ThresholdSweep, EnsembleRecallProperty,
+                         ::testing::Values(0.2, 0.5, 0.8));
+
+TEST(LshEnsembleTest, MorePartitionsImprovePrecision) {
+  const Corpus corpus = SmallCorpus(4000, 13);
+  auto family = Family();
+  std::vector<size_t> query_indices, index_indices(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) index_indices[i] = i;
+  for (size_t i = 0; i < corpus.size(); i += 40) query_indices.push_back(i);
+  auto truth =
+      GroundTruth::Compute(corpus, query_indices, index_indices).value();
+
+  double precision_1 = 0, precision_16 = 0;
+  for (int partitions : {1, 16}) {
+    LshEnsembleOptions options;
+    options.num_partitions = partitions;
+    auto ensemble = BuildEnsemble(corpus, options, family);
+    ASSERT_TRUE(ensemble.ok());
+    AccuracyAccumulator accumulator;
+    for (size_t qi = 0; qi < query_indices.size(); ++qi) {
+      const Domain& domain = corpus.domain(query_indices[qi]);
+      auto sketch = MinHash::FromValues(family, domain.values);
+      std::vector<uint64_t> out;
+      ASSERT_TRUE(ensemble->Query(sketch, domain.size(), 0.5, &out).ok());
+      std::sort(out.begin(), out.end());
+      accumulator.AddQuery(out, truth.TruthSet(qi, 0.5));
+    }
+    if (partitions == 1) {
+      precision_1 = accumulator.MeanPrecision();
+    } else {
+      precision_16 = accumulator.MeanPrecision();
+    }
+  }
+  EXPECT_GT(precision_16, precision_1 - 0.02)
+      << "partitioning should not hurt precision";
+}
+
+}  // namespace
+}  // namespace lshensemble

@@ -1,0 +1,340 @@
+#include "core/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace lshensemble {
+namespace {
+
+std::vector<uint64_t> PowerLawSizes(size_t n, uint64_t seed = 1,
+                                    double alpha = 2.0) {
+  PowerLawSampler sampler(alpha, 10, 100000);
+  Rng rng(seed);
+  std::vector<uint64_t> sizes(n);
+  for (auto& size : sizes) size = sampler.Sample(rng);
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+// Every partitioning must cover all sizes with disjoint contiguous
+// intervals whose counts match the data.
+void CheckWellFormed(const std::vector<PartitionSpec>& partitions,
+                     const std::vector<uint64_t>& sorted_sizes) {
+  ASSERT_FALSE(partitions.empty());
+  size_t total = 0;
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    EXPECT_LT(partitions[i].lower, partitions[i].upper) << "partition " << i;
+    if (i > 0) {
+      EXPECT_EQ(partitions[i].lower, partitions[i - 1].upper)
+          << "gap/overlap at partition " << i;
+    }
+    total += partitions[i].count;
+  }
+  EXPECT_LE(partitions.front().lower, sorted_sizes.front());
+  EXPECT_GT(partitions.back().upper, sorted_sizes.back());
+  EXPECT_EQ(total, sorted_sizes.size());
+
+  // Counts match the actual number of sizes in each interval.
+  for (const PartitionSpec& partition : partitions) {
+    const size_t expected =
+        std::lower_bound(sorted_sizes.begin(), sorted_sizes.end(),
+                         partition.upper) -
+        std::lower_bound(sorted_sizes.begin(), sorted_sizes.end(),
+                         partition.lower);
+    EXPECT_EQ(partition.count, expected);
+  }
+}
+
+TEST(PartitionerTest, InputValidation) {
+  EXPECT_FALSE(EquiDepthPartitions({}, 4).ok());
+  EXPECT_FALSE(EquiDepthPartitions({1, 2, 3}, 0).ok());
+  EXPECT_FALSE(EquiDepthPartitions({0, 1}, 2).ok());       // size 0
+  EXPECT_FALSE(EquiDepthPartitions({3, 2, 1}, 2).ok());    // unsorted
+  EXPECT_TRUE(EquiDepthPartitions({1, 2, 3}, 2).ok());
+}
+
+TEST(PartitionerTest, SinglePartitionCoversEverything) {
+  const auto sizes = PowerLawSizes(1000);
+  for (auto maker : {EquiDepthPartitions, EquiWidthPartitions,
+                     MinimaxCostPartitions}) {
+    auto partitions = maker(sizes, 1);
+    ASSERT_TRUE(partitions.ok());
+    CheckWellFormed(*partitions, sizes);
+    EXPECT_EQ(partitions->size(), 1u);
+  }
+}
+
+TEST(PartitionerTest, EquiDepthBalancesCounts) {
+  const auto sizes = PowerLawSizes(64000);
+  auto partitions = EquiDepthPartitions(sizes, 16);
+  ASSERT_TRUE(partitions.ok());
+  CheckWellFormed(*partitions, sizes);
+  // Power-law data has heavy ties at small sizes; snapped cuts still keep
+  // most partitions within a factor of the nominal depth.
+  const double nominal = 64000.0 / 16.0;
+  size_t within = 0;
+  for (const auto& partition : *partitions) {
+    if (partition.count < nominal * 3) ++within;
+  }
+  EXPECT_GE(within, partitions->size() - 2);
+}
+
+TEST(PartitionerTest, EquiDepthHandlesMassiveTies) {
+  // 10k domains all of size 10, plus a few larger: snapping collapses the
+  // tied region into one partition rather than emitting overlapping bounds.
+  std::vector<uint64_t> sizes(10000, 10);
+  for (uint64_t s = 11; s < 100; ++s) sizes.push_back(s);
+  std::sort(sizes.begin(), sizes.end());
+  auto partitions = EquiDepthPartitions(sizes, 8);
+  ASSERT_TRUE(partitions.ok());
+  CheckWellFormed(*partitions, sizes);
+  EXPECT_EQ((*partitions)[0].lower, 10u);
+  EXPECT_GE((*partitions)[0].count, 10000u);
+}
+
+TEST(PartitionerTest, EquiDepthAllIdenticalSizes) {
+  std::vector<uint64_t> sizes(500, 42);
+  auto partitions = EquiDepthPartitions(sizes, 8);
+  ASSERT_TRUE(partitions.ok());
+  ASSERT_EQ(partitions->size(), 1u);
+  EXPECT_EQ((*partitions)[0].count, 500u);
+}
+
+TEST(PartitionerTest, EquiWidthEqualIntervalWidths) {
+  std::vector<uint64_t> sizes;
+  for (uint64_t s = 100; s < 1700; ++s) sizes.push_back(s);
+  auto partitions = EquiWidthPartitions(sizes, 16);
+  ASSERT_TRUE(partitions.ok());
+  CheckWellFormed(*partitions, sizes);
+  ASSERT_EQ(partitions->size(), 16u);
+  for (const auto& partition : *partitions) {
+    EXPECT_EQ(partition.upper - partition.lower, 100u);
+  }
+}
+
+TEST(PartitionerTest, EquiWidthKeepsEmptyIntervals) {
+  // Sizes clustered at both ends: middle equi-width intervals are empty but
+  // still reported (Figure 8 needs their zero counts).
+  std::vector<uint64_t> sizes;
+  for (int i = 0; i < 100; ++i) sizes.push_back(10);
+  for (int i = 0; i < 100; ++i) sizes.push_back(1000);
+  std::sort(sizes.begin(), sizes.end());
+  auto partitions = EquiWidthPartitions(sizes, 10);
+  ASSERT_TRUE(partitions.ok());
+  CheckWellFormed(*partitions, sizes);
+  size_t empties = 0;
+  for (const auto& partition : *partitions) {
+    if (partition.count == 0) ++empties;
+  }
+  EXPECT_GE(empties, 7u);
+}
+
+TEST(PartitionerTest, MinimaxNeverWorseThanAlternatives) {
+  const auto sizes = PowerLawSizes(20000, 7);
+  for (int n : {4, 8, 16}) {
+    auto minimax = MinimaxCostPartitions(sizes, n);
+    auto equi_depth = EquiDepthPartitions(sizes, n);
+    auto equi_width = EquiWidthPartitions(sizes, n);
+    ASSERT_TRUE(minimax.ok());
+    ASSERT_TRUE(equi_depth.ok());
+    ASSERT_TRUE(equi_width.ok());
+    CheckWellFormed(*minimax, sizes);
+    EXPECT_LE(minimax->size(), static_cast<size_t>(n));
+    EXPECT_LE(PartitioningCost(*minimax),
+              PartitioningCost(*equi_depth) + 1e-6);
+    EXPECT_LE(PartitioningCost(*minimax),
+              PartitioningCost(*equi_width) + 1e-6);
+  }
+}
+
+// Exhaustive optimality check on small inputs: enumerate all contiguous
+// partitionings of the distinct-size groups.
+double BruteForceBestCost(const std::vector<uint64_t>& sorted_sizes, int n) {
+  // Distinct size groups.
+  std::vector<std::pair<uint64_t, size_t>> groups;
+  for (uint64_t size : sorted_sizes) {
+    if (!groups.empty() && groups.back().first == size) {
+      ++groups.back().second;
+    } else {
+      groups.emplace_back(size, 1);
+    }
+  }
+  const size_t g = groups.size();
+  double best = std::numeric_limits<double>::infinity();
+  // Enumerate cut masks over g-1 possible boundaries.
+  const size_t masks = size_t{1} << (g - 1);
+  for (size_t mask = 0; mask < masks; ++mask) {
+    if (static_cast<size_t>(__builtin_popcountll(mask)) + 1 >
+        static_cast<size_t>(n)) {
+      continue;
+    }
+    double worst = 0.0;
+    size_t start = 0;
+    for (size_t i = 0; i < g; ++i) {
+      const bool cut_here = (i + 1 == g) || (mask >> i & 1);
+      if (!cut_here) continue;
+      size_t count = 0;
+      for (size_t j = start; j <= i; ++j) count += groups[j].second;
+      // Contiguous tiling: the upper bound is the next partition's lower.
+      const uint64_t upper =
+          (i + 1 < g) ? groups[i + 1].first : groups[i].first + 1;
+      const PartitionSpec spec{groups[start].first, upper, count};
+      worst = std::max(worst, FalsePositiveBound(spec));
+      start = i + 1;
+    }
+    best = std::min(best, worst);
+  }
+  return best;
+}
+
+class MinimaxOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimaxOptimality, MatchesBruteForceOnSmallInputs) {
+  const int n = GetParam();
+  Rng rng(100 + n);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint64_t> sizes;
+    const size_t distinct = 3 + rng.NextBounded(10);  // <= 12 groups
+    uint64_t size = 1 + rng.NextBounded(20);
+    for (size_t group = 0; group < distinct; ++group) {
+      const size_t count = 1 + rng.NextBounded(50);
+      for (size_t i = 0; i < count; ++i) sizes.push_back(size);
+      size += 1 + rng.NextBounded(30);
+    }
+    auto partitions = MinimaxCostPartitions(sizes, n);
+    ASSERT_TRUE(partitions.ok());
+    CheckWellFormed(*partitions, sizes);
+    const double brute = BruteForceBestCost(sizes, n);
+    EXPECT_LE(PartitioningCost(*partitions), brute * (1.0 + 1e-6) + 1e-9)
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionBudgets, MinimaxOptimality,
+                         ::testing::Values(2, 3, 4, 6));
+
+// Theorem 2: under a power law, equi-depth approximates the equi-M_i
+// (minimax-optimal) partitioning. The operative claim is about cost: the
+// equi-depth partitioning's minimax cost should be close to the true
+// optimum and far below equi-width's.
+TEST(PartitionerTest, Theorem2EquiDepthNearOptimalOnPowerLaw) {
+  const auto sizes = PowerLawSizes(200000, 13, 2.0);
+  auto equi_depth = EquiDepthPartitions(sizes, 16);
+  auto minimax = MinimaxCostPartitions(sizes, 16);
+  auto equi_width = EquiWidthPartitions(sizes, 16);
+  ASSERT_TRUE(equi_depth.ok());
+  ASSERT_TRUE(minimax.ok());
+  ASSERT_TRUE(equi_width.ok());
+  const double depth_cost = PartitioningCost(*equi_depth);
+  const double optimal_cost = PartitioningCost(*minimax);
+  const double width_cost = PartitioningCost(*equi_width);
+  EXPECT_GE(depth_cost, optimal_cost - 1e-9);
+  // Near-optimal: within a small constant factor of the optimum (measured
+  // ~4.2x here; sampled sizes and tie-snapped cuts keep it off the
+  // idealized continuous-power-law optimum) ...
+  EXPECT_LE(depth_cost, 8.0 * optimal_cost);
+  // ... and dramatically better than equi-width, whose tail partition
+  // holds nearly everything under a power law.
+  EXPECT_LT(depth_cost * 5, width_cost);
+}
+
+// Theorem 2's mechanism: in the heavy tail the per-domain bound
+// (u - l + 1) / (2u) approaches its limit 1/2, so equalizing counts
+// equalizes the bound there. (At the head, partitions are narrow and the
+// per-domain bound is far below 1/2 — costs there are smaller, which only
+// helps the minimax objective.)
+TEST(PartitionerTest, Theorem2TailPerDomainBoundApproachesHalf) {
+  const auto sizes = PowerLawSizes(200000, 13, 2.0);
+  auto partitions = EquiDepthPartitions(sizes, 16);
+  ASSERT_TRUE(partitions.ok());
+  ASSERT_GE(partitions->size(), 3u);
+  const PartitionSpec& last = partitions->back();
+  const double per_domain =
+      FalsePositiveBound(last) / static_cast<double>(last.count);
+  EXPECT_NEAR(per_domain, 0.5, 0.05);
+  // 1/2 is also the ceiling: (u - l + 1) / (2u) <= 1/2 + 1/(2u), so the
+  // widest (tail) partition carries the largest per-domain bound.
+  for (size_t i = 0; i < partitions->size(); ++i) {
+    const double bound = FalsePositiveBound((*partitions)[i]) /
+                         static_cast<double>((*partitions)[i].count);
+    EXPECT_LE(bound, 0.5 + 1.0 / (2.0 * static_cast<double>(
+                                            (*partitions)[i].upper - 1)))
+        << "partition " << i;
+    EXPECT_LE(bound, per_domain + 1e-9) << "partition " << i;
+  }
+}
+
+TEST(PartitionerTest, InterpolationEndpointsMatch) {
+  const auto sizes = PowerLawSizes(30000, 21);
+  auto equi_depth = EquiDepthPartitions(sizes, 16);
+  auto at_zero = InterpolatedPartitions(sizes, 16, 0.0);
+  auto equi_width = EquiWidthPartitions(sizes, 16);
+  auto at_one = InterpolatedPartitions(sizes, 16, 1.0);
+  ASSERT_TRUE(at_zero.ok());
+  ASSERT_TRUE(at_one.ok());
+  CheckWellFormed(*at_zero, sizes);
+  CheckWellFormed(*at_one, sizes);
+  // lambda = 1 reproduces equi-width cuts exactly.
+  ASSERT_TRUE(equi_width.ok());
+  EXPECT_EQ(at_one->size(), equi_width->size());
+  for (size_t i = 0; i < at_one->size(); ++i) {
+    EXPECT_EQ((*at_one)[i].lower, (*equi_width)[i].lower);
+  }
+  // lambda = 0 reproduces equi-depth counts approximately (the snapped
+  // cuts differ only under ties).
+  ASSERT_TRUE(equi_depth.ok());
+  const double stddev_zero = PartitionCountStdDev(*at_zero);
+  const double stddev_depth = PartitionCountStdDev(*equi_depth);
+  EXPECT_NEAR(stddev_zero, stddev_depth, stddev_depth * 0.5 + 200.0);
+}
+
+TEST(PartitionerTest, InterpolationIncreasesImbalance) {
+  // Figure 8's x-axis: moving toward equi-width raises the std-dev of
+  // partition counts on power-law data.
+  const auto sizes = PowerLawSizes(50000, 23);
+  double at_zero = 0, at_one = 0;
+  for (double lambda : {0.0, 1.0}) {
+    auto partitions = InterpolatedPartitions(sizes, 16, lambda);
+    ASSERT_TRUE(partitions.ok());
+    const double stddev = PartitionCountStdDev(*partitions);
+    if (lambda == 0.0) {
+      at_zero = stddev;
+    } else {
+      at_one = stddev;
+    }
+  }
+  EXPECT_GT(at_one, at_zero * 2);
+}
+
+TEST(PartitionerTest, InterpolationRejectsBadLambda) {
+  const auto sizes = PowerLawSizes(100);
+  EXPECT_FALSE(InterpolatedPartitions(sizes, 8, -0.5).ok());
+  EXPECT_FALSE(InterpolatedPartitions(sizes, 8, 1.5).ok());
+}
+
+TEST(PartitionsFromCutsTest, Validation) {
+  const std::vector<uint64_t> sizes = {5, 10, 20, 40};
+  EXPECT_FALSE(PartitionsFromCuts(sizes, {5}).ok());          // too few
+  EXPECT_FALSE(PartitionsFromCuts(sizes, {5, 5, 41}).ok());   // not strict
+  EXPECT_FALSE(PartitionsFromCuts(sizes, {6, 41}).ok());      // misses min
+  EXPECT_FALSE(PartitionsFromCuts(sizes, {5, 40}).ok());      // misses max
+  auto partitions = PartitionsFromCuts(sizes, {5, 15, 41});
+  ASSERT_TRUE(partitions.ok());
+  ASSERT_EQ(partitions->size(), 2u);
+  EXPECT_EQ((*partitions)[0].count, 2u);
+  EXPECT_EQ((*partitions)[1].count, 2u);
+}
+
+TEST(PartitionerTest, StrategyNames) {
+  EXPECT_STREQ(ToString(PartitioningStrategy::kEquiDepth), "equi-depth");
+  EXPECT_STREQ(ToString(PartitioningStrategy::kEquiWidth), "equi-width");
+  EXPECT_STREQ(ToString(PartitioningStrategy::kMinimaxCost), "minimax-cost");
+}
+
+}  // namespace
+}  // namespace lshensemble

@@ -1,0 +1,226 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace lshensemble {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool any_different = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    any_different |= (a2.Next() != c.Next());
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleOpenLowNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDoubleOpenLow();
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInBounds) {
+  Rng rng(99);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(4242);
+  constexpr uint64_t kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextBounded(kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.08) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextInRange(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= (v == 10);
+    saw_hi |= (v == 13);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(PowerLawSamplerTest, RespectsBounds) {
+  PowerLawSampler sampler(2.0, 10, 1000);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = sampler.Sample(rng);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 1000u);
+  }
+}
+
+TEST(PowerLawSamplerTest, DegenerateRange) {
+  PowerLawSampler sampler(2.5, 7, 7);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.Sample(rng), 7u);
+  }
+}
+
+// The CCDF of a power law with exponent alpha satisfies
+// log P(X >= x) ~ -(alpha - 1) log x; regress to recover alpha.
+TEST(PowerLawSamplerTest, TailExponentRecoverable) {
+  const double alpha = 2.0;
+  PowerLawSampler sampler(alpha, 10, 1000000);
+  Rng rng(20240611);
+  constexpr int kSamples = 200000;
+  std::vector<uint64_t> samples(kSamples);
+  for (auto& s : samples) s = sampler.Sample(rng);
+  std::sort(samples.begin(), samples.end());
+
+  // Estimate via the Hill estimator over the full bounded support's lower
+  // decades (far from the truncation point).
+  double log_sum = 0.0;
+  int count = 0;
+  const double x_min = 10.0;
+  for (uint64_t s : samples) {
+    if (s <= 10000) {  // stay well below the upper truncation
+      log_sum += std::log(static_cast<double>(s) / x_min);
+      ++count;
+    }
+  }
+  const double alpha_hat = 1.0 + static_cast<double>(count) / log_sum;
+  EXPECT_NEAR(alpha_hat, alpha, 0.15);
+}
+
+TEST(PowerLawSamplerTest, SmallSizesDominante) {
+  PowerLawSampler sampler(2.0, 10, 100000);
+  Rng rng(3);
+  int small = 0, total = 50000;
+  for (int i = 0; i < total; ++i) {
+    if (sampler.Sample(rng) < 100) ++small;
+  }
+  // For alpha=2 truncated at [10, 1e5]: P(X < 100) ~ 0.9.
+  EXPECT_GT(small, total * 8 / 10);
+}
+
+TEST(ZipfSamplerTest, RespectsRange) {
+  ZipfSampler sampler(1000, 1.2);
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = sampler.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 1000u);
+  }
+}
+
+TEST(ZipfSamplerTest, RankOneIsMostFrequent) {
+  ZipfSampler sampler(100, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[sampler.Sample(rng)];
+  for (int k = 2; k <= 100; ++k) {
+    EXPECT_GE(counts[1], counts[k]) << "rank " << k;
+  }
+}
+
+TEST(ZipfSamplerTest, FrequencyRatioMatchesExponent) {
+  const double s = 1.5;
+  ZipfSampler sampler(1000, s);
+  Rng rng(29);
+  std::vector<int> counts(1001, 0);
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) ++counts[sampler.Sample(rng)];
+  // P(1)/P(4) should be 4^s = 8.
+  const double ratio =
+      static_cast<double>(counts[1]) / static_cast<double>(counts[4]);
+  EXPECT_NEAR(ratio, std::pow(4.0, s), 1.2);
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  ZipfSampler sampler(1, 1.1);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(rng), 1u);
+}
+
+TEST(SampleDistinctTest, ProducesDistinctInRange) {
+  Rng rng(31);
+  for (uint64_t n : {1ULL, 5ULL, 100ULL, 10000ULL}) {
+    for (uint64_t k : {uint64_t{0}, uint64_t{1}, n / 2, n}) {
+      auto sample = SampleDistinct(rng, n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<uint64_t> distinct(sample.begin(), sample.end());
+      EXPECT_EQ(distinct.size(), k);
+      for (uint64_t v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(SampleDistinctTest, FullRangeIsPermutationOfSupport) {
+  Rng rng(37);
+  auto sample = SampleDistinct(rng, 100, 100);
+  std::sort(sample.begin(), sample.end());
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(SampleDistinctTest, UniformMembership) {
+  // Each element of [0, 20) should be included in a 10-of-20 sample with
+  // probability 1/2.
+  Rng rng(41);
+  std::vector<int> hits(20, 0);
+  constexpr int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (uint64_t v : SampleDistinct(rng, 20, 10)) ++hits[v];
+  }
+  for (int v = 0; v < 20; ++v) {
+    EXPECT_NEAR(hits[v], kTrials / 2, kTrials * 0.03) << "value " << v;
+  }
+}
+
+}  // namespace
+}  // namespace lshensemble

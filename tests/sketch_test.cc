@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sketch/bottom_k.h"
+#include "sketch/hyperloglog.h"
+#include "util/hashing.h"
+#include "util/random.h"
+
+namespace lshensemble {
+namespace {
+
+// ------------------------------------------------------------ HyperLogLog
+
+TEST(HyperLogLogTest, CreateValidation) {
+  EXPECT_FALSE(HyperLogLog::Create(3).ok());
+  EXPECT_FALSE(HyperLogLog::Create(19).ok());
+  EXPECT_TRUE(HyperLogLog::Create(4).ok());
+  EXPECT_TRUE(HyperLogLog::Create(18).ok());
+  EXPECT_EQ(HyperLogLog::Create(10)->num_registers(), 1024u);
+}
+
+TEST(HyperLogLogTest, EmptyEstimatesZero) {
+  auto sketch = HyperLogLog::Create(12).value();
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_NEAR(sketch.Estimate(), 0.0, 1e-9);
+}
+
+TEST(HyperLogLogTest, SmallExactRange) {
+  // Linear counting keeps small cardinalities near-exact.
+  auto sketch = HyperLogLog::Create(12).value();
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) sketch.Update(rng.Next());
+  EXPECT_FALSE(sketch.empty());
+  EXPECT_NEAR(sketch.Estimate(), 100.0, 5.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  auto sketch = HyperLogLog::Create(12).value();
+  for (int round = 0; round < 50; ++round) {
+    for (uint64_t v = 0; v < 200; ++v) sketch.Update(Mix64(v));
+  }
+  EXPECT_NEAR(sketch.Estimate(), 200.0, 10.0);
+}
+
+// Relative error sweep: the standard error of HLL at precision p is
+// ~1.04 / sqrt(2^p); assert within 5 standard errors across magnitudes.
+class HllAccuracy
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(HllAccuracy, WithinFiveStandardErrors) {
+  const auto [precision, cardinality] = GetParam();
+  auto sketch = HyperLogLog::Create(precision).value();
+  Rng rng(17 + precision);
+  for (uint64_t i = 0; i < cardinality; ++i) sketch.Update(rng.Next());
+  const double error = 1.04 / std::sqrt(std::ldexp(1.0, precision));
+  EXPECT_NEAR(sketch.Estimate(), static_cast<double>(cardinality),
+              5.0 * error * static_cast<double>(cardinality) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HllAccuracy,
+    ::testing::Combine(::testing::Values(10, 12, 14),
+                       ::testing::Values(uint64_t{1000}, uint64_t{10000},
+                                         uint64_t{100000},
+                                         uint64_t{1000000})));
+
+TEST(HyperLogLogTest, MergeEqualsUnion) {
+  auto a = HyperLogLog::Create(12).value();
+  auto b = HyperLogLog::Create(12).value();
+  auto both = HyperLogLog::Create(12).value();
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t value = rng.Next();
+    if (i % 2 == 0) a.Update(value);
+    if (i % 3 == 0) b.Update(value);
+    if (i % 2 == 0 || i % 3 == 0) both.Update(value);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_DOUBLE_EQ(a.Estimate(), both.Estimate());
+}
+
+TEST(HyperLogLogTest, MergePrecisionMismatch) {
+  auto a = HyperLogLog::Create(10).value();
+  auto b = HyperLogLog::Create(12).value();
+  EXPECT_TRUE(a.Merge(b).IsInvalidArgument());
+}
+
+TEST(HyperLogLogTest, StringUpdates) {
+  auto sketch = HyperLogLog::Create(12).value();
+  for (int i = 0; i < 1000; ++i) {
+    sketch.UpdateString("value-" + std::to_string(i));
+  }
+  EXPECT_NEAR(sketch.Estimate(), 1000.0, 120.0);
+}
+
+TEST(HyperLogLogTest, SerializationRoundTrip) {
+  auto sketch = HyperLogLog::Create(10).value();
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) sketch.Update(rng.Next());
+  std::string image;
+  sketch.SerializeTo(&image);
+  auto restored = HyperLogLog::Deserialize(image);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->Estimate(), sketch.Estimate());
+}
+
+TEST(HyperLogLogTest, DeserializeRejectsCorruption) {
+  auto sketch = HyperLogLog::Create(6).value();
+  sketch.Update(123);
+  std::string image;
+  sketch.SerializeTo(&image);
+  EXPECT_FALSE(HyperLogLog::Deserialize("").ok());
+  EXPECT_FALSE(
+      HyperLogLog::Deserialize(std::string_view(image).substr(0, 10)).ok());
+  std::string bad_precision = image;
+  bad_precision[0] = 25;
+  EXPECT_FALSE(HyperLogLog::Deserialize(bad_precision).ok());
+  std::string bad_register = image;
+  bad_register[1] = 70;  // rank > 64 - p + 1
+  EXPECT_FALSE(HyperLogLog::Deserialize(bad_register).ok());
+}
+
+// ---------------------------------------------------------------- BottomK
+
+TEST(BottomKTest, CreateValidation) {
+  EXPECT_FALSE(BottomK::Create(0).ok());
+  EXPECT_TRUE(BottomK::Create(1).ok());
+  EXPECT_EQ(BottomK::Create(64)->k(), 64);
+}
+
+TEST(BottomKTest, KeepsKSmallestDistinct) {
+  auto sketch = BottomK::Create(4).value();
+  for (uint64_t value : {50u, 10u, 30u, 10u, 20u, 40u, 5u}) {
+    sketch.Update(value);
+  }
+  EXPECT_TRUE(sketch.saturated());
+  EXPECT_EQ(sketch.hashes(), (std::vector<uint64_t>{5, 10, 20, 30}));
+}
+
+TEST(BottomKTest, ExactBelowSaturation) {
+  auto sketch = BottomK::Create(128).value();
+  for (uint64_t v = 0; v < 57; ++v) sketch.Update(Mix64(v));
+  EXPECT_FALSE(sketch.saturated());
+  EXPECT_DOUBLE_EQ(sketch.EstimateCardinality(), 57.0);
+}
+
+class BottomKAccuracy
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(BottomKAccuracy, CardinalityWithinFiveSigma) {
+  const auto [k, cardinality] = GetParam();
+  auto sketch = BottomK::Create(k).value();
+  Rng rng(29 + k);
+  for (uint64_t i = 0; i < cardinality; ++i) sketch.Update(rng.Next());
+  // Relative standard error of the bottom-k estimator is ~1/sqrt(k - 2).
+  const double sigma = 1.0 / std::sqrt(static_cast<double>(k - 2));
+  EXPECT_NEAR(sketch.EstimateCardinality(), static_cast<double>(cardinality),
+              5.0 * sigma * static_cast<double>(cardinality));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BottomKAccuracy,
+    ::testing::Combine(::testing::Values(64, 256, 1024),
+                       ::testing::Values(uint64_t{5000}, uint64_t{50000},
+                                         uint64_t{500000})));
+
+TEST(BottomKTest, JaccardEstimate) {
+  // Two sets with a planted 50% overlap.
+  auto a = BottomK::Create(256).value();
+  auto b = BottomK::Create(256).value();
+  for (uint64_t v = 0; v < 20000; ++v) a.Update(Mix64(v));
+  for (uint64_t v = 10000; v < 30000; ++v) b.Update(Mix64(v));
+  // |A ∩ B| = 10000, |A ∪ B| = 30000 -> J = 1/3.
+  auto jaccard = a.EstimateJaccard(b);
+  ASSERT_TRUE(jaccard.ok());
+  EXPECT_NEAR(*jaccard, 1.0 / 3.0, 0.12);
+}
+
+TEST(BottomKTest, ContainmentEstimate) {
+  // A ⊂ B: containment of A in B is 1.
+  auto a = BottomK::Create(256).value();
+  auto b = BottomK::Create(256).value();
+  for (uint64_t v = 0; v < 3000; ++v) a.Update(Mix64(v));
+  for (uint64_t v = 0; v < 30000; ++v) b.Update(Mix64(v));
+  auto containment = a.EstimateContainmentIn(b);
+  ASSERT_TRUE(containment.ok());
+  EXPECT_GT(*containment, 0.8);
+  // And B is only ~10% contained in A.
+  auto reverse = b.EstimateContainmentIn(a);
+  ASSERT_TRUE(reverse.ok());
+  EXPECT_LT(*reverse, 0.3);
+}
+
+TEST(BottomKTest, JaccardIdenticalAndDisjoint) {
+  auto a = BottomK::Create(64).value();
+  auto b = BottomK::Create(64).value();
+  auto c = BottomK::Create(64).value();
+  for (uint64_t v = 0; v < 1000; ++v) {
+    a.Update(Mix64(v));
+    b.Update(Mix64(v));
+    c.Update(Mix64(v + 1000000));
+  }
+  EXPECT_DOUBLE_EQ(a.EstimateJaccard(b).value(), 1.0);
+  EXPECT_DOUBLE_EQ(a.EstimateJaccard(c).value(), 0.0);
+}
+
+TEST(BottomKTest, KMismatchRejected) {
+  auto a = BottomK::Create(64).value();
+  auto b = BottomK::Create(128).value();
+  EXPECT_FALSE(a.EstimateJaccard(b).ok());
+  EXPECT_TRUE(a.Merge(b).IsInvalidArgument());
+}
+
+TEST(BottomKTest, MergeEqualsUnionSketch) {
+  auto a = BottomK::Create(128).value();
+  auto b = BottomK::Create(128).value();
+  auto both = BottomK::Create(128).value();
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t value = rng.Next();
+    if (i % 2 == 0) a.Update(value);
+    if (i % 3 == 0) b.Update(value);
+    if (i % 2 == 0 || i % 3 == 0) both.Update(value);
+  }
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.hashes(), both.hashes());
+}
+
+TEST(BottomKTest, EmptyEdgeCases) {
+  auto a = BottomK::Create(16).value();
+  auto b = BottomK::Create(16).value();
+  EXPECT_DOUBLE_EQ(a.EstimateCardinality(), 0.0);
+  EXPECT_DOUBLE_EQ(a.EstimateJaccard(b).value(), 1.0);  // both empty
+  b.Update(7);
+  EXPECT_DOUBLE_EQ(a.EstimateJaccard(b).value(), 0.0);
+  EXPECT_DOUBLE_EQ(a.EstimateContainmentIn(b).value(), 0.0);
+}
+
+TEST(BottomKTest, SerializationRoundTrip) {
+  auto sketch = BottomK::Create(64).value();
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) sketch.Update(rng.Next());
+  std::string image;
+  sketch.SerializeTo(&image);
+  auto restored = BottomK::Deserialize(image);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->hashes(), sketch.hashes());
+  EXPECT_EQ(restored->k(), sketch.k());
+}
+
+TEST(BottomKTest, DeserializeRejectsCorruption) {
+  auto sketch = BottomK::Create(8).value();
+  for (uint64_t v = 0; v < 20; ++v) sketch.Update(Mix64(v));
+  std::string image;
+  sketch.SerializeTo(&image);
+  EXPECT_FALSE(BottomK::Deserialize("").ok());
+  EXPECT_FALSE(
+      BottomK::Deserialize(std::string_view(image).substr(0, 5)).ok());
+  std::string trailing = image + "x";
+  EXPECT_FALSE(BottomK::Deserialize(trailing).ok());
+  // Break the ascending-order invariant.
+  std::string swapped = image;
+  std::swap_ranges(swapped.end() - 8, swapped.end(), swapped.end() - 16);
+  EXPECT_FALSE(BottomK::Deserialize(swapped).ok());
+}
+
+}  // namespace
+}  // namespace lshensemble

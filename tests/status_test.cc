@@ -1,0 +1,85 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace lshensemble {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad things");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(status.message(), "bad things");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad things");
+}
+
+TEST(StatusTest, EveryFactoryMatchesItsPredicate) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::IOError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+Status FailsThroughMacro() {
+  LSHE_RETURN_IF_ERROR(Status::Corruption("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailsThroughMacro().IsCorruption());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 7);
+  EXPECT_EQ(result.value(), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(3));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 3);
+}
+
+Status UsesAssignOrReturn(int* out) {
+  Result<int> good(5);
+  LSHE_ASSIGN_OR_RETURN(*out, std::move(good));
+  LSHE_ASSIGN_OR_RETURN(*out, Result<int>(Status::Internal("boom")));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnStopsOnError) {
+  int value = 0;
+  const Status status = UsesAssignOrReturn(&value);
+  EXPECT_EQ(value, 5);
+  EXPECT_TRUE(status.IsInternal());
+}
+
+}  // namespace
+}  // namespace lshensemble

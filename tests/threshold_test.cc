@@ -1,0 +1,118 @@
+#include "core/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace lshensemble {
+namespace {
+
+TEST(ThresholdTest, PaperWorkedExample) {
+  // Section 2: Q={Ontario,Toronto}, Locations has 12 values, Q fully
+  // contained: t=1, s=2/12.
+  EXPECT_NEAR(ContainmentToJaccard(1.0, 12, 2), 2.0 / 12.0, 1e-12);
+  // Provinces: |X|=3, overlap 1 of 2 -> t=0.5, s=1/4.
+  EXPECT_NEAR(ContainmentToJaccard(0.5, 3, 2), 0.25, 1e-12);
+}
+
+TEST(ThresholdTest, EqualSizesFullContainmentIsJaccardOne) {
+  EXPECT_DOUBLE_EQ(ContainmentToJaccard(1.0, 10, 10), 1.0);
+}
+
+TEST(ThresholdTest, ZeroContainmentIsZeroJaccard) {
+  EXPECT_DOUBLE_EQ(ContainmentToJaccard(0.0, 100, 10), 0.0);
+}
+
+// Round-trip property over a grid of (t, x, q).
+class ThresholdRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(ThresholdRoundTrip, ConversionsAreInverse) {
+  const auto [t, x, q] = GetParam();
+  const double s = ContainmentToJaccard(t, x, q);
+  if (t > (x / q + 1.0) / 2.0) {
+    // The raw Eq. 6 value exceeds 1 here (only possible for infeasible
+    // containment t > x/q, since t <= min(1, x/q) implies
+    // t <= (x/q + 1)/2); the conversion saturates and the round trip is
+    // not defined.
+    EXPECT_DOUBLE_EQ(s, 1.0) << "t=" << t << " x=" << x << " q=" << q;
+    return;
+  }
+  const double back = JaccardToContainment(s, x, q);
+  EXPECT_NEAR(back, t, 1e-9) << "t=" << t << " x=" << x << " q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ThresholdRoundTrip,
+    ::testing::Combine(::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0),
+                       ::testing::Values(1.0, 10.0, 1000.0, 1e6),
+                       ::testing::Values(1.0, 50.0, 1e4)));
+
+TEST(ThresholdTest, JaccardMonotoneDecreasingInX) {
+  // s-hat_{x,q}(t) decreases with x (Section 5.1), which is what makes the
+  // upper-bound conversion conservative.
+  double previous = 1.0;
+  for (double x : {1.0, 2.0, 5.0, 10.0, 100.0, 1e4}) {
+    const double s = ContainmentToJaccard(0.5, x, 10.0);
+    EXPECT_LE(s, previous + 1e-12);
+    previous = s;
+  }
+}
+
+TEST(ThresholdTest, PartitionThresholdNeverExceedsExact) {
+  // s* computed with the partition upper bound u >= x is <= the exact
+  // threshold, hence introduces no new false negatives.
+  const double q = 25.0, t_star = 0.6;
+  for (double u : {10.0, 100.0, 1000.0}) {
+    const double s_star = PartitionJaccardThreshold(t_star, u, q);
+    for (double x = 1.0; x <= u; x *= 2.0) {
+      EXPECT_LE(s_star, ContainmentToJaccard(t_star, x, q) + 1e-12)
+          << "u=" << u << " x=" << x;
+    }
+  }
+}
+
+TEST(ThresholdTest, EffectiveThresholdProposition1) {
+  // t_x = (x + q) t* / (u + q); at x = u it equals t*.
+  const double q = 5.0, u = 10.0, t_star = 0.5;
+  EXPECT_NEAR(EffectiveContainmentThreshold(t_star, u, q, u), t_star, 1e-12);
+  // Below u the effective threshold is below t* (the FP window).
+  const double tx = EffectiveContainmentThreshold(t_star, 1.0, q, u);
+  EXPECT_LT(tx, t_star);
+  EXPECT_NEAR(tx, (1.0 + 5.0) * 0.5 / (10.0 + 5.0), 1e-12);
+}
+
+TEST(ThresholdTest, EffectiveThresholdViaConversionAgreesExactly) {
+  // Prop. 1 in closed form equals the two-step conversion: t* -> s* using
+  // the upper bound u, then s* -> t using the true size x (algebraic
+  // identity; see the paper's Figure 2).
+  for (double q : {1.0, 7.0, 100.0}) {
+    for (double u : {10.0, 42.0, 5000.0}) {
+      for (double x : {1.0, 13.0, u}) {
+        if (x > u) continue;  // x is always within its partition's bound
+        for (double t_star : {0.1, 0.45, 0.9}) {
+          // The identity is algebraic; it holds whenever the t* -> s*
+          // conversion does not saturate its [0, 1] clamp (which only
+          // happens for t* infeasible w.r.t. the partition bound u).
+          if (t_star > (u / q + 1.0) / 2.0) continue;
+          const double s_star = PartitionJaccardThreshold(t_star, u, q);
+          const double via_conversion = JaccardToContainment(s_star, x, q);
+          const double closed_form =
+              EffectiveContainmentThreshold(t_star, x, q, u);
+          EXPECT_NEAR(closed_form, via_conversion, 1e-9)
+              << "q=" << q << " u=" << u << " x=" << x << " t*=" << t_star;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThresholdTest, Figure2Shape) {
+  // Figure 2 (u=3, x=1, q=1): the s-hat_{u,q} curve lies below s-hat_{x,q}.
+  for (double t = 0.05; t <= 1.0; t += 0.05) {
+    EXPECT_LE(ContainmentToJaccard(t, 3, 1), ContainmentToJaccard(t, 1, 1));
+  }
+}
+
+}  // namespace
+}  // namespace lshensemble

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/hashing.h"
+#include "util/math.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace lshensemble {
+namespace {
+
+// ---------------------------------------------------------------- hashing
+
+TEST(HashingTest, Mix64IsDeterministicAndDispersive) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);  // no collisions on consecutive ints
+}
+
+TEST(HashingTest, HashBytesVariesWithSeed) {
+  const std::string data = "partner name";
+  EXPECT_NE(HashString(data, 0), HashString(data, 1));
+  EXPECT_EQ(HashString(data, 5), HashString(data, 5));
+}
+
+TEST(HashingTest, HashBytesVariesWithLength) {
+  // Exercise every tail-length branch of MurmurHash64A.
+  std::set<uint64_t> hashes;
+  std::string data = "abcdefghijklmnop";
+  for (size_t len = 0; len <= data.size(); ++len) {
+    hashes.insert(HashBytes(data.data(), len));
+  }
+  EXPECT_EQ(hashes.size(), data.size() + 1);
+}
+
+TEST(HashingTest, EmptyInputIsValid) {
+  EXPECT_EQ(HashBytes(nullptr, 0), HashBytes(nullptr, 0));
+  EXPECT_NE(HashBytes(nullptr, 0, 1), HashBytes(nullptr, 0, 2));
+}
+
+TEST(HashingTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_EQ(HashCombine(1, 2), HashCombine(1, 2));
+}
+
+// ------------------------------------------------------------------- math
+
+TEST(MathTest, IntegrateConstant) {
+  EXPECT_NEAR(Integrate([](double) { return 3.0; }, 0.0, 2.0), 6.0, 1e-12);
+}
+
+TEST(MathTest, IntegratePolynomialExactly) {
+  // Simpson's rule is exact for cubics.
+  auto cubic = [](double x) { return 2 * x * x * x - x * x + 4 * x - 1; };
+  const double expected = 2.0 / 4 * 16 - 8.0 / 3 + 2 * 4 - 2;  // over [0,2]
+  EXPECT_NEAR(Integrate(cubic, 0.0, 2.0, 4), expected, 1e-10);
+}
+
+TEST(MathTest, IntegrateTranscendental) {
+  EXPECT_NEAR(Integrate([](double x) { return std::sin(x); }, 0.0, M_PI, 256),
+              2.0, 1e-8);
+}
+
+TEST(MathTest, IntegrateEmptyOrInvertedRange) {
+  EXPECT_EQ(Integrate([](double) { return 1.0; }, 1.0, 1.0), 0.0);
+  EXPECT_EQ(Integrate([](double) { return 1.0; }, 2.0, 1.0), 0.0);
+}
+
+TEST(MathTest, IntegrateOddStepsRoundedUp) {
+  EXPECT_NEAR(Integrate([](double x) { return x; }, 0.0, 1.0, 3), 0.5, 1e-12);
+}
+
+TEST(MathTest, MomentsOfKnownSample) {
+  const std::vector<double> values = {2, 4, 4, 4, 5, 5, 7, 9};
+  const Moments m = ComputeMoments(values);
+  EXPECT_EQ(m.count, 8u);
+  EXPECT_NEAR(m.mean, 5.0, 1e-12);
+  EXPECT_NEAR(m.m2, 4.0, 1e-12);  // classic textbook sample
+}
+
+TEST(MathTest, SkewnessSignMatchesTail) {
+  // Right-tailed sample: positive skewness.
+  std::vector<double> right_tailed;
+  for (int i = 0; i < 1000; ++i) right_tailed.push_back(1.0);
+  for (int i = 0; i < 10; ++i) right_tailed.push_back(1000.0);
+  EXPECT_GT(Skewness(right_tailed), 5.0);
+
+  // Symmetric sample: ~zero skewness.
+  std::vector<double> symmetric;
+  for (int i = -500; i <= 500; ++i) symmetric.push_back(i);
+  EXPECT_NEAR(Skewness(symmetric), 0.0, 1e-9);
+}
+
+TEST(MathTest, SkewnessDegenerateSamples) {
+  EXPECT_EQ(Skewness({}), 0.0);
+  EXPECT_EQ(Skewness({5.0}), 0.0);
+  EXPECT_EQ(Skewness({3.0, 3.0, 3.0}), 0.0);  // zero variance
+}
+
+TEST(MathTest, MeanAndStdDev) {
+  const std::vector<double> values = {1, 2, 3, 4};
+  EXPECT_NEAR(Mean(values), 2.5, 1e-12);
+  EXPECT_NEAR(StdDev(values), std::sqrt(1.25), 1e-12);
+}
+
+TEST(MathTest, Log2HistogramBuckets) {
+  const std::vector<uint64_t> values = {1, 2, 3, 4, 7, 8, 1024};
+  const auto histogram = Log2Histogram(values);
+  ASSERT_EQ(histogram.size(), 11u);
+  EXPECT_EQ(histogram[0], 1u);   // 1
+  EXPECT_EQ(histogram[1], 2u);   // 2, 3
+  EXPECT_EQ(histogram[2], 2u);   // 4, 7
+  EXPECT_EQ(histogram[3], 1u);   // 8
+  EXPECT_EQ(histogram[10], 1u);  // 1024
+}
+
+TEST(MathTest, Log2HistogramEmpty) {
+  EXPECT_TRUE(Log2Histogram({}).empty());
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto future = pool.Submit([&] { counter.fetch_add(1); });
+  future.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(1000, [&](size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingle) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ManyTasksStress) {
+  ThreadPool pool(8);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(500);
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& future : futures) future.wait();
+  EXPECT_EQ(sum.load(), 500L * 499 / 2);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsable) {
+  std::atomic<int> counter{0};
+  ThreadPool::Shared().ParallelFor(64, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+  EXPECT_GT(ThreadPool::Shared().num_threads(), 0u);
+}
+
+TEST(StopWatchTest, MeasuresElapsedTime) {
+  StopWatch watch;
+  const double first = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  // Consistency across units.
+  const double seconds = watch.ElapsedSeconds();
+  const double millis = watch.ElapsedMillis();
+  EXPECT_GE(millis, seconds * 1000.0 * 0.5);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace lshensemble

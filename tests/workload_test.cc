@@ -1,0 +1,211 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/math.h"
+
+namespace lshensemble {
+namespace {
+
+CorpusGenOptions SmallOptions() {
+  CorpusGenOptions options;
+  options.num_domains = 3000;
+  options.min_size = 10;
+  options.max_size = 10000;
+  options.seed = 99;
+  return options;
+}
+
+TEST(CorpusGeneratorTest, OptionsValidation) {
+  CorpusGenOptions options = SmallOptions();
+  options.num_domains = 0;
+  EXPECT_FALSE(CorpusGenerator(options).Generate().ok());
+  options = SmallOptions();
+  options.alpha = 1.0;
+  EXPECT_FALSE(CorpusGenerator(options).Generate().ok());
+  options = SmallOptions();
+  options.max_size = 5;  // < min_size
+  EXPECT_FALSE(CorpusGenerator(options).Generate().ok());
+  options = SmallOptions();
+  options.max_size = 1ULL << 25;  // over the 2^24 pool-offset space
+  EXPECT_FALSE(CorpusGenerator(options).Generate().ok());
+  options = SmallOptions();
+  options.min_fraction = 1.0;
+  EXPECT_FALSE(CorpusGenerator(options).Generate().ok());
+  options = SmallOptions();
+  options.domains_per_pool = 0;
+  EXPECT_FALSE(CorpusGenerator(options).Generate().ok());
+}
+
+TEST(CorpusGeneratorTest, DeterministicPerSeed) {
+  auto a = CorpusGenerator(SmallOptions()).Generate().value();
+  auto b = CorpusGenerator(SmallOptions()).Generate().value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a.domain(i).values, b.domain(i).values) << "domain " << i;
+  }
+  CorpusGenOptions other_seed = SmallOptions();
+  other_seed.seed = 100;
+  auto c = CorpusGenerator(other_seed).Generate().value();
+  bool any_different = false;
+  for (size_t i = 0; i < a.size(); i += 97) {
+    any_different |= (a.domain(i).values != c.domain(i).values);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(CorpusGeneratorTest, SizesWithinBoundsAndDistinctValues) {
+  auto corpus = CorpusGenerator(SmallOptions()).Generate().value();
+  ASSERT_EQ(corpus.size(), 3000u);
+  for (size_t i = 0; i < corpus.size(); i += 37) {
+    const Domain& domain = corpus.domain(i);
+    EXPECT_GE(domain.size(), 10u);
+    EXPECT_LE(domain.size(), 10000u);
+    // FromValues guarantees sorted distinct.
+    EXPECT_TRUE(
+        std::is_sorted(domain.values.begin(), domain.values.end()));
+    EXPECT_EQ(std::adjacent_find(domain.values.begin(), domain.values.end()),
+              domain.values.end());
+  }
+}
+
+TEST(CorpusGeneratorTest, SizeDistributionIsRightSkewed) {
+  auto corpus = CorpusGenerator(SmallOptions()).Generate().value();
+  EXPECT_GT(corpus.SizeSkewness(), 1.0);
+  // Median far below mean — heavy tail.
+  auto sizes = corpus.Sizes();
+  std::sort(sizes.begin(), sizes.end());
+  const double median = static_cast<double>(sizes[sizes.size() / 2]);
+  double mean = 0;
+  for (uint64_t s : sizes) mean += static_cast<double>(s);
+  mean /= static_cast<double>(sizes.size());
+  EXPECT_GT(mean, 1.5 * median);
+}
+
+TEST(CorpusGeneratorTest, ContainmentSpectrumCovered) {
+  // Within a pool, E[t(Q, X)] = |X| / pool size; check that high-threshold
+  // ground truth is non-empty for a reasonable share of queries.
+  auto corpus = CorpusGenerator(SmallOptions()).Generate().value();
+  size_t queries_with_high_containment = 0;
+  const size_t pool = 32;  // domains_per_pool default
+  for (size_t q = 0; q < 300; ++q) {
+    const Domain& query = corpus.domain(q);
+    const size_t pool_start = (q / pool) * pool;
+    for (size_t other = pool_start;
+         other < std::min(pool_start + pool, corpus.size()); ++other) {
+      if (other == q) continue;
+      if (query.ContainmentIn(corpus.domain(other)) >= 0.7) {
+        ++queries_with_high_containment;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(queries_with_high_containment, 100u);
+}
+
+TEST(CorpusGeneratorTest, CrossPoolValuesDisjoint) {
+  auto corpus = CorpusGenerator(SmallOptions()).Generate().value();
+  // Domains from different pools never share values (disjoint ranges).
+  const Domain& a = corpus.domain(0);    // pool 0
+  const Domain& b = corpus.domain(100);  // pool 3
+  EXPECT_EQ(a.IntersectionSize(b), 0u);
+}
+
+TEST(MakeQueryWithContainmentTest, ExactOverlap) {
+  auto corpus = CorpusGenerator(SmallOptions()).Generate().value();
+  Rng rng(7);
+  const Domain& target = corpus.domain(42);
+  for (double containment : {0.0, 0.25, 0.5, 1.0}) {
+    const size_t query_size = std::min<size_t>(target.size(), 40);
+    auto query = MakeQueryWithContainment(target, query_size, containment,
+                                          9999, rng);
+    ASSERT_TRUE(query.ok());
+    EXPECT_EQ(query->size(), query_size);
+    EXPECT_NEAR(query->ContainmentIn(target), containment,
+                1.0 / static_cast<double>(query_size) + 1e-9);
+  }
+}
+
+TEST(MakeQueryWithContainmentTest, Validation) {
+  Domain target = Domain::FromValues(1, "t", {1, 2, 3});
+  Rng rng(8);
+  EXPECT_FALSE(MakeQueryWithContainment(target, 0, 0.5, 1, rng).ok());
+  EXPECT_FALSE(MakeQueryWithContainment(target, 10, 1.5, 1, rng).ok());
+  // overlap = 10 > |target| = 3
+  EXPECT_FALSE(MakeQueryWithContainment(target, 10, 1.0, 1, rng).ok());
+}
+
+TEST(SampleQueryIndicesTest, UniformSamplesDistinct) {
+  auto corpus = CorpusGenerator(SmallOptions()).Generate().value();
+  auto indices =
+      SampleQueryIndices(corpus, 500, QuerySizeBias::kUniform, 1);
+  EXPECT_EQ(indices.size(), 500u);
+  std::set<size_t> distinct(indices.begin(), indices.end());
+  EXPECT_EQ(distinct.size(), 500u);
+  for (size_t i : indices) EXPECT_LT(i, corpus.size());
+}
+
+TEST(SampleQueryIndicesTest, DecileBiasesRespectSizes) {
+  auto corpus = CorpusGenerator(SmallOptions()).Generate().value();
+  auto sizes = corpus.Sizes();
+  std::sort(sizes.begin(), sizes.end());
+  const uint64_t p10 = sizes[sizes.size() / 10];
+  const uint64_t p90 = sizes[sizes.size() * 9 / 10];
+
+  auto small = SampleQueryIndices(corpus, 100,
+                                  QuerySizeBias::kSmallestDecile, 2);
+  for (size_t i : small) {
+    EXPECT_LE(corpus.domain(i).size(), p10 + 1);
+  }
+  auto large =
+      SampleQueryIndices(corpus, 100, QuerySizeBias::kLargestDecile, 2);
+  for (size_t i : large) {
+    EXPECT_GE(corpus.domain(i).size(), p90 - 1);
+  }
+}
+
+TEST(SampleQueryIndicesTest, RequestBeyondPopulationReturnsAll) {
+  auto corpus = CorpusGenerator(SmallOptions()).Generate().value();
+  auto all = SampleQueryIndices(corpus, corpus.size() + 100,
+                                QuerySizeBias::kUniform, 3);
+  EXPECT_EQ(all.size(), corpus.size());
+}
+
+TEST(NestedSizeSubsetsTest, NestedAndGrowing) {
+  auto corpus = CorpusGenerator(SmallOptions()).Generate().value();
+  auto subsets = NestedSizeSubsets(corpus, 20);
+  ASSERT_EQ(subsets.size(), 20u);
+  for (size_t j = 1; j < subsets.size(); ++j) {
+    EXPECT_GE(subsets[j].size(), subsets[j - 1].size());
+    // Nested: previous subset contained in the next.
+    std::set<size_t> bigger(subsets[j].begin(), subsets[j].end());
+    for (size_t i : subsets[j - 1]) {
+      EXPECT_TRUE(bigger.count(i)) << "subset " << j;
+    }
+  }
+  EXPECT_EQ(subsets.back().size(), corpus.size());
+}
+
+TEST(NestedSizeSubsetsTest, SkewnessIncreasesAcrossSubsets) {
+  // The Figure 5 x-axis: expanding size intervals raise skewness.
+  auto corpus = CorpusGenerator(SmallOptions()).Generate().value();
+  auto subsets = NestedSizeSubsets(corpus, 10);
+  std::vector<double> skews;
+  for (const auto& subset : subsets) {
+    std::vector<double> sizes;
+    sizes.reserve(subset.size());
+    for (size_t i : subset) {
+      sizes.push_back(static_cast<double>(corpus.domain(i).size()));
+    }
+    skews.push_back(Skewness(sizes));
+  }
+  EXPECT_LT(skews.front(), skews.back());
+  EXPECT_GT(skews.back(), 3.0);
+}
+
+}  // namespace
+}  // namespace lshensemble

@@ -1,0 +1,282 @@
+// lshe — command-line domain search over CSV files.
+//
+//   lshe index  --out idx.lshe --catalog idx.cat [options] file1.csv ...
+//   lshe query  --index idx.lshe --catalog idx.cat \
+//               --query-csv q.csv --column Partner [--threshold 0.5 | --topk 10]
+//   lshe stats  --index idx.lshe [--catalog idx.cat]
+//
+// `index` extracts every column of every CSV as a domain (paper Section 2:
+// dom(R) = projections on the attributes), sketches them, builds an LSH
+// Ensemble and writes the index image plus a catalog (names, sizes,
+// signatures). `query` sketches one column of a query CSV and reports the
+// indexed domains that contain it (threshold mode, Definition 2) or the
+// k best containers (top-k mode). `stats` prints the partition layout.
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/lsh_ensemble.h"
+#include "core/topk.h"
+#include "data/csv.h"
+#include "data/table.h"
+#include "io/catalog.h"
+#include "io/ensemble_io.h"
+#include "minhash/minhash.h"
+#include "util/timer.h"
+
+namespace lshensemble {
+namespace {
+
+struct Flags {
+  std::vector<std::string> positional;
+  std::string out;
+  std::string catalog;
+  std::string index;
+  std::string query_csv;
+  std::string column;
+  double threshold = 0.5;
+  int topk = 0;  // 0 = threshold mode
+  int partitions = 16;
+  int num_hashes = 256;
+  int tree_depth = 8;
+  size_t min_domain_size = 2;
+  uint64_t seed = 42;
+};
+
+void Usage() {
+  std::fprintf(stderr, R"(usage:
+  lshe index --out IDX --catalog CAT [--partitions N] [--hashes M]
+             [--tree-depth R] [--min-size K] [--seed S] CSV...
+  lshe query --index IDX --catalog CAT --query-csv FILE --column NAME
+             [--threshold T | --topk K]
+  lshe stats --index IDX [--catalog CAT]
+)");
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--out" && (value = next())) {
+      flags->out = value;
+    } else if (arg == "--catalog" && (value = next())) {
+      flags->catalog = value;
+    } else if (arg == "--index" && (value = next())) {
+      flags->index = value;
+    } else if (arg == "--query-csv" && (value = next())) {
+      flags->query_csv = value;
+    } else if (arg == "--column" && (value = next())) {
+      flags->column = value;
+    } else if (arg == "--threshold" && (value = next())) {
+      flags->threshold = std::atof(value);
+    } else if (arg == "--topk" && (value = next())) {
+      flags->topk = std::atoi(value);
+    } else if (arg == "--partitions" && (value = next())) {
+      flags->partitions = std::atoi(value);
+    } else if (arg == "--hashes" && (value = next())) {
+      flags->num_hashes = std::atoi(value);
+    } else if (arg == "--tree-depth" && (value = next())) {
+      flags->tree_depth = std::atoi(value);
+    } else if (arg == "--min-size" && (value = next())) {
+      flags->min_domain_size = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--seed" && (value = next())) {
+      flags->seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
+      return false;
+    } else {
+      flags->positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunIndex(const Flags& flags) {
+  if (flags.out.empty() || flags.catalog.empty() || flags.positional.empty()) {
+    Usage();
+    return 2;
+  }
+  auto family_result =
+      HashFamily::Create(flags.num_hashes, flags.seed);
+  if (!family_result.ok()) return Fail(family_result.status());
+  auto family = std::move(family_result).value();
+
+  LshEnsembleOptions options;
+  options.num_partitions = flags.partitions;
+  options.num_hashes = flags.num_hashes;
+  options.tree_depth = flags.tree_depth;
+  LshEnsembleBuilder builder(options, family);
+  Catalog catalog(family);
+
+  ExtractOptions extract;
+  extract.min_domain_size = flags.min_domain_size;
+  uint64_t next_id = 1;
+  StopWatch watch;
+  for (const std::string& path : flags.positional) {
+    auto table = ReadCsvFile(path);
+    if (!table.ok()) return Fail(table.status());
+    const std::vector<Domain> domains =
+        ExtractDomains(*table, next_id, extract);
+    for (const Domain& domain : domains) {
+      MinHash sketch = MinHash::FromValues(family, domain.values);
+      Status status = builder.Add(domain.id, domain.size(), sketch);
+      if (status.ok()) {
+        status = catalog.Add(domain.id, domain.name, domain.size(),
+                             std::move(sketch));
+      }
+      if (!status.ok()) return Fail(status);
+      next_id = std::max(next_id, domain.id + 1);
+    }
+    std::printf("%-40s %zu domains\n", table->name.c_str(), domains.size());
+  }
+  if (builder.size() == 0) {
+    std::fprintf(stderr, "no domains extracted (check --min-size)\n");
+    return 1;
+  }
+
+  auto ensemble = std::move(builder).Build();
+  if (!ensemble.ok()) return Fail(ensemble.status());
+  Status status = SaveEnsemble(*ensemble, flags.out);
+  if (status.ok()) status = catalog.Save(flags.catalog);
+  if (!status.ok()) return Fail(status);
+  std::printf(
+      "indexed %zu domains into %zu partitions in %.2fs\n  index:   %s\n"
+      "  catalog: %s\n",
+      ensemble->size(), ensemble->partitions().size(),
+      watch.ElapsedSeconds(), flags.out.c_str(), flags.catalog.c_str());
+  return 0;
+}
+
+int RunQuery(const Flags& flags) {
+  if (flags.index.empty() || flags.catalog.empty() ||
+      flags.query_csv.empty() || flags.column.empty()) {
+    Usage();
+    return 2;
+  }
+  auto ensemble = LoadEnsemble(flags.index);
+  if (!ensemble.ok()) return Fail(ensemble.status());
+  auto catalog = Catalog::Load(flags.catalog);
+  if (!catalog.ok()) return Fail(catalog.status());
+  if (!catalog->family()->SameAs(*ensemble->family())) {
+    return Fail(Status::InvalidArgument(
+        "catalog and index were built with different hash families"));
+  }
+
+  auto table = ReadCsvFile(flags.query_csv);
+  if (!table.ok()) return Fail(table.status());
+  int column = -1;
+  for (size_t c = 0; c < table->column_names.size(); ++c) {
+    if (table->column_names[c] == flags.column) {
+      column = static_cast<int>(c);
+    }
+  }
+  if (column < 0) {
+    return Fail(Status::NotFound("column '" + flags.column + "' not in " +
+                                 table->name));
+  }
+  std::vector<std::string> cells;
+  cells.reserve(table->num_rows());
+  for (const auto& row : table->rows) {
+    if (!IsNullToken(row[column])) cells.push_back(row[column]);
+  }
+  const Domain query = Domain::FromStrings(0, flags.column, cells);
+  if (query.empty()) {
+    return Fail(Status::InvalidArgument("query column has no values"));
+  }
+  const MinHash sketch =
+      MinHash::FromValues(ensemble->family(), query.values);
+
+  StopWatch watch;
+  if (flags.topk > 0) {
+    auto store = catalog->ToSketchStore();
+    if (!store.ok()) return Fail(store.status());
+    TopKSearcher searcher(&*ensemble, &*store);
+    auto results = searcher.Search(sketch, query.size(),
+                                   static_cast<size_t>(flags.topk));
+    if (!results.ok()) return Fail(results.status());
+    std::printf("top-%d containers of %s (|Q| = %zu, %.1f ms):\n",
+                flags.topk, flags.column.c_str(), query.size(),
+                watch.ElapsedSeconds() * 1e3);
+    for (const TopKResult& result : *results) {
+      std::printf("  %6.3f  %s\n", result.estimated_containment,
+                  catalog->NameOf(result.id).c_str());
+    }
+  } else {
+    std::vector<uint64_t> ids;
+    Status status = ensemble->Query(sketch, query.size(), flags.threshold,
+                                    &ids);
+    if (!status.ok()) return Fail(status);
+    std::printf(
+        "domains containing >= %.2f of %s (|Q| = %zu, %zu results, "
+        "%.1f ms):\n",
+        flags.threshold, flags.column.c_str(), query.size(), ids.size(),
+        watch.ElapsedSeconds() * 1e3);
+    for (uint64_t id : ids) {
+      std::printf("  %s\n", catalog->NameOf(id).c_str());
+    }
+  }
+  return 0;
+}
+
+int RunStats(const Flags& flags) {
+  if (flags.index.empty()) {
+    Usage();
+    return 2;
+  }
+  auto ensemble = LoadEnsemble(flags.index);
+  if (!ensemble.ok()) return Fail(ensemble.status());
+  std::printf("domains: %zu\n", ensemble->size());
+  std::printf("hash functions: %d, tree depth: %d\n",
+              ensemble->options().num_hashes,
+              ensemble->options().tree_depth);
+  std::printf("memory: %.2f MiB\n",
+              static_cast<double>(ensemble->MemoryBytes()) / (1 << 20));
+  std::printf("%-4s %12s %12s %10s\n", "#", "lower", "upper", "count");
+  const auto& partitions = ensemble->partitions();
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    std::printf("%-4zu %12llu %12llu %10zu\n", i,
+                static_cast<unsigned long long>(partitions[i].lower),
+                static_cast<unsigned long long>(partitions[i].upper),
+                partitions[i].count);
+  }
+  if (!flags.catalog.empty()) {
+    auto catalog = Catalog::Load(flags.catalog);
+    if (!catalog.ok()) return Fail(catalog.status());
+    std::printf("catalog entries: %zu\n", catalog->size());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "index") return RunIndex(flags);
+  if (command == "query") return RunQuery(flags);
+  if (command == "stats") return RunStats(flags);
+  Usage();
+  return 2;
+}
+
+}  // namespace
+}  // namespace lshensemble
+
+int main(int argc, char** argv) { return lshensemble::Main(argc, argv); }
