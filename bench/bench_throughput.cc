@@ -1,0 +1,178 @@
+// Query throughput: the batched engine (BatchQuery + reusable QueryContext)
+// against sequential single-query Query() calls, at batch sizes 1/64/4096.
+// Reports queries/sec and heap allocations per query (global operator new
+// is instrumented below), the two quantities the batching refactor targets:
+// a warm context makes the batch path allocation-free, while every Query()
+// call pays per-call scratch and (with parallel_query) a per-call pool
+// dispatch per partition fan-out.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/lsh_ensemble.h"
+#include "eval/report.h"
+#include "minhash/minhash.h"
+#include "util/timer.h"
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace lshensemble {
+namespace {
+
+struct Row {
+  const char* mode;
+  size_t batch_size;
+  size_t queries;
+  double seconds;
+  uint64_t allocations;
+};
+
+void PrintRows(const std::vector<Row>& rows) {
+  TablePrinter printer(
+      {"mode", "batch", "queries", "qps", "allocs", "allocs/query"});
+  for (const Row& row : rows) {
+    printer.AddRow({row.mode, std::to_string(row.batch_size),
+                    std::to_string(row.queries),
+                    FormatDouble(row.queries / row.seconds, 0),
+                    std::to_string(row.allocations),
+                    FormatDouble(static_cast<double>(row.allocations) /
+                                     static_cast<double>(row.queries),
+                                 2)});
+  }
+  printer.Print(std::cout);
+  for (const Row& row : rows) {
+    std::printf(
+        "{\"bench\": \"throughput\", \"mode\": \"%s\", \"batch_size\": %zu, "
+        "\"queries\": %zu, \"qps\": %.1f, \"allocations\": %llu, "
+        "\"allocs_per_query\": %.3f}\n",
+        row.mode, row.batch_size, row.queries, row.queries / row.seconds,
+        static_cast<unsigned long long>(row.allocations),
+        static_cast<double>(row.allocations) / row.queries);
+  }
+}
+
+int Main(int argc, char** argv) {
+  const auto num_domains =
+      static_cast<size_t>(bench::IntFlag(argc, argv, "domains", 8192));
+  const auto num_queries =
+      static_cast<size_t>(bench::IntFlag(argc, argv, "queries", 4096));
+  const auto num_hashes =
+      static_cast<int>(bench::IntFlag(argc, argv, "hashes", 256));
+  const double t_star = bench::IntFlag(argc, argv, "tstar-pct", 50) / 100.0;
+
+  const Corpus corpus = bench::WdcLikeCorpus(num_domains);
+  auto family = HashFamily::Create(num_hashes, bench::kBenchSeed).value();
+
+  LshEnsembleOptions options;
+  options.num_hashes = num_hashes;
+  LshEnsembleBuilder builder(options, family);
+  std::vector<MinHash> sketches;
+  sketches.reserve(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    sketches.push_back(MinHash::FromValues(family, corpus.domain(i).values));
+    if (!builder.Add(i + 1, corpus.domain(i).size(), sketches.back()).ok()) {
+      std::fprintf(stderr, "builder.Add failed\n");
+      return 1;
+    }
+  }
+  auto ensemble_result = std::move(builder).Build();
+  if (!ensemble_result.ok()) {
+    std::fprintf(stderr, "Build failed: %s\n",
+                 ensemble_result.status().ToString().c_str());
+    return 1;
+  }
+  const LshEnsemble& ensemble = *ensemble_result;
+
+  // Queries: corpus domains round-robin, exact cardinalities.
+  std::vector<QuerySpec> specs(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    const size_t pick = i % corpus.size();
+    specs[i] = QuerySpec{&sketches[pick], corpus.domain(pick).size(), t_star};
+  }
+
+  std::vector<Row> rows;
+  std::vector<std::vector<uint64_t>> outs(num_queries);
+
+  // --- sequential single-query baseline -------------------------------
+  auto run_single = [&]() {
+    for (size_t i = 0; i < num_queries; ++i) {
+      if (!ensemble.Query(*specs[i].query, specs[i].query_size, t_star,
+                          &outs[i]).ok()) {
+        std::fprintf(stderr, "Query failed\n");
+        std::exit(1);
+      }
+    }
+  };
+  run_single();  // warm up: tuner cache, out capacities
+  StopWatch watch;
+  uint64_t allocs_before = g_allocations.load();
+  run_single();
+  rows.push_back({"single", 1, num_queries, watch.ElapsedSeconds(),
+                  g_allocations.load() - allocs_before});
+
+  // --- batched engine at batch sizes 1 / 64 / 4096 --------------------
+  QueryContext ctx;
+  for (const size_t batch_size : {size_t{1}, size_t{64}, size_t{4096}}) {
+    auto run_batched = [&]() {
+      for (size_t begin = 0; begin < num_queries; begin += batch_size) {
+        const size_t len = std::min(batch_size, num_queries - begin);
+        const Status status = ensemble.BatchQuery(
+            std::span<const QuerySpec>(specs.data() + begin, len), &ctx,
+            outs.data() + begin);
+        if (!status.ok()) {
+          std::fprintf(stderr, "BatchQuery failed: %s\n",
+                       status.ToString().c_str());
+          std::exit(1);
+        }
+      }
+    };
+    run_batched();  // warm up the context
+    watch.Restart();
+    allocs_before = g_allocations.load();
+    run_batched();
+    rows.push_back({"batch", batch_size, num_queries, watch.ElapsedSeconds(),
+                    g_allocations.load() - allocs_before});
+  }
+
+  PrintRows(rows);
+
+  size_t total_results = 0;
+  for (const auto& out : outs) total_results += out.size();
+  std::printf("mean candidates/query: %.1f\n",
+              static_cast<double>(total_results) / num_queries);
+
+  const double single_qps = rows[0].queries / rows[0].seconds;
+  const double batch_qps = rows.back().queries / rows.back().seconds;
+  std::printf("\nBatchQuery(%zu) speedup over sequential Query(): %.2fx\n",
+              rows.back().batch_size, batch_qps / single_qps);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lshensemble
+
+int main(int argc, char** argv) { return lshensemble::Main(argc, argv); }

@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
     int index = 0;
     for (const PartitionSpec& spec : ensemble->partitions()) {
       printer.AddRow({std::to_string(index++),
-                      "[" + std::to_string(spec.lower) + ", " +
+                      std::string("[") + std::to_string(spec.lower) + ", " +
                           std::to_string(spec.upper) + ")",
                       std::to_string(spec.count)});
     }

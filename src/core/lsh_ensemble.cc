@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/instance_id.h"
 #include "util/thread_pool.h"
 
 namespace lshensemble {
@@ -27,6 +28,43 @@ Status LshEnsembleOptions::Validate() const {
     return Status::InvalidArgument("interpolation_lambda must be <= 1");
   }
   return Status::OK();
+}
+
+LshEnsemble::LshEnsemble(LshEnsembleOptions options,
+                         std::shared_ptr<const HashFamily> family)
+    : options_(options),
+      family_(std::move(family)),
+      instance_id_(NextInstanceId()) {}
+
+size_t QueryContext::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& shard : shards_) {
+    bytes += sizeof(Shard) + shard->probe.MemoryBytes() +
+             shard->tuned.capacity() * sizeof(TunedParams) +
+             shard->probed.capacity() +
+             shard->chunk_q.capacity() * sizeof(double);
+  }
+  for (const auto& partial : partials_) {
+    bytes += partial.capacity() * sizeof(uint64_t);
+  }
+  bytes += statuses_.capacity() * sizeof(Status);
+  return bytes;
+}
+
+QueryContext::Shard* QueryContext::AcquireShard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!free_.empty()) {
+    Shard* shard = free_.back();
+    free_.pop_back();
+    return shard;
+  }
+  shards_.push_back(std::make_unique<Shard>());
+  return shards_.back().get();
+}
+
+void QueryContext::ReleaseShard(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(shard);
 }
 
 LshEnsembleBuilder::LshEnsembleBuilder(LshEnsembleOptions options,
@@ -59,6 +97,19 @@ Result<LshEnsemble> LshEnsembleBuilder::Build() && {
   }
   if (records_.empty()) {
     return Status::FailedPrecondition("no domains added");
+  }
+
+  // The query path unions candidates across partitions without re-dedup,
+  // which is only sound when every id occurs once (see the invariant note
+  // on LshEnsemble). Enforce it here, where it is still cheap.
+  {
+    std::vector<uint64_t> ids;
+    ids.reserve(records_.size());
+    for (const Record& record : records_) ids.push_back(record.id);
+    std::sort(ids.begin(), ids.end());
+    if (std::adjacent_find(ids.begin(), ids.end()) != ids.end()) {
+      return Status::InvalidArgument("duplicate domain id added");
+    }
   }
 
   // Stage 1 (Section 5): partition by domain size.
@@ -150,79 +201,293 @@ Result<LshEnsemble> LshEnsembleBuilder::Build() && {
   return ensemble;
 }
 
+namespace {
+
+/// Debug-build check of the cross-partition uniqueness invariant (see the
+/// class comment): partitions are disjoint, so a query's candidate union
+/// must be duplicate-free.
+inline void AssertUniqueCandidates(const std::vector<uint64_t>& ids) {
+#ifndef NDEBUG
+  std::vector<uint64_t> sorted(ids);
+  std::sort(sorted.begin(), sorted.end());
+  assert(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end() &&
+         "partition candidate sets must be disjoint");
+#else
+  (void)ids;
+#endif
+}
+
+inline void FillStats(QueryStats* stats, size_t q,
+                      const std::vector<uint8_t>& probed,
+                      const std::vector<TunedParams>& tuned) {
+  if (stats == nullptr) return;
+  stats->query_size_used = q;
+  stats->partitions_probed = 0;
+  stats->partitions_pruned = 0;
+  stats->tuned.clear();
+  for (size_t i = 0; i < probed.size(); ++i) {
+    if (probed[i]) {
+      ++stats->partitions_probed;
+      stats->tuned.push_back(tuned[i]);
+    } else {
+      ++stats->partitions_pruned;
+    }
+  }
+}
+
+}  // namespace
+
+Status LshEnsemble::ValidateSpec(const QuerySpec& spec, size_t* q) const {
+  if (spec.query == nullptr) {
+    return Status::InvalidArgument("query must not be null");
+  }
+  if (!spec.query->valid() || !spec.query->family()->SameAs(*family_)) {
+    return Status::InvalidArgument(
+        "query signature does not belong to the index's hash family");
+  }
+  if (spec.t_star < 0.0 || spec.t_star > 1.0) {
+    return Status::InvalidArgument("t_star must be in [0, 1]");
+  }
+  // approx(|Q|) in Algorithm 1: fall back to the sketch estimate when the
+  // exact cardinality is not supplied.
+  *q = spec.query_size;
+  if (*q == 0) {
+    *q = static_cast<size_t>(std::max<int64_t>(
+        1, std::llround(spec.query->EstimateCardinality())));
+  }
+  return Status::OK();
+}
+
+Status LshEnsemble::QueryOne(const QuerySpec& spec, QueryContext::Shard* shard,
+                             std::vector<uint64_t>* out,
+                             QueryStats* stats) const {
+  size_t q = 0;
+  LSHE_RETURN_IF_ERROR(ValidateSpec(spec, &q));
+  out->clear();
+  const auto qd = static_cast<double>(q);
+  const size_t n = specs_.size();
+
+  // Batches often carry runs of queries with the same cardinality and
+  // threshold (uniform workloads, repeated queries); the tuned (b, r) per
+  // partition is then identical, so skip even the tuner's cache lookups.
+  // (The tuned.size() check guards the moved-from alias: a moved-from
+  // ensemble shares the id but has zero partitions.)
+  const bool memo_hit = shard->tuned_valid &&
+                        shard->last_index_id == instance_id_ &&
+                        shard->tuned.size() == n &&
+                        shard->last_q == qd &&
+                        shard->last_t_star == spec.t_star;
+  shard->tuned.resize(n);
+  shard->probed.assign(n, 0);
+  // Invalidate before mutating tuned[]: an error return mid-loop must not
+  // leave the old (q, t*) key paired with partially overwritten params.
+  shard->tuned_valid = false;
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto max_size = static_cast<double>(specs_[i].upper - 1);
+    // A domain of size x has containment at most x/q; if even the largest
+    // domain in the partition cannot reach t*, skip it (no false negatives).
+    if (options_.prune_unreachable_partitions &&
+        max_size + 1e-9 < spec.t_star * qd) {
+      continue;
+    }
+    if (!memo_hit) {
+      shard->tuned[i] = tuner_->Tune(max_size, qd, spec.t_star);
+    }
+    shard->probed[i] = 1;
+    LSHE_RETURN_IF_ERROR(forests_[i].Probe(*spec.query, shard->tuned[i].b,
+                                           shard->tuned[i].r, &shard->probe,
+                                           out));
+  }
+  shard->last_index_id = instance_id_;
+  shard->last_q = qd;
+  shard->last_t_star = spec.t_star;
+  shard->tuned_valid = true;
+
+  AssertUniqueCandidates(*out);
+  FillStats(stats, q, shard->probed, shard->tuned);
+  return Status::OK();
+}
+
+Status LshEnsemble::QueryChunk(std::span<const QuerySpec> specs,
+                               QueryContext::Shard* shard,
+                               std::vector<uint64_t>* outs,
+                               QueryStats* stats) const {
+  const size_t m = specs.size();
+  const size_t n = specs_.size();
+
+  shard->chunk_q.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    size_t q = 0;
+    LSHE_RETURN_IF_ERROR(ValidateSpec(specs[i], &q));
+    shard->chunk_q[i] = static_cast<double>(q);
+    outs[i].clear();
+    if (stats != nullptr) {
+      stats[i].query_size_used = q;
+      stats[i].partitions_probed = 0;
+      stats[i].partitions_pruned = 0;
+      stats[i].tuned.clear();
+    }
+  }
+
+  // Partition-major: each partition's trees are walked by every query of
+  // the chunk before moving on, so its arenas are read while still warm.
+  // Per query, partitions are still visited in ascending order, so each
+  // outs[i] matches the per-query path byte for byte.
+  for (size_t p = 0; p < n; ++p) {
+    const auto max_size = static_cast<double>(specs_[p].upper - 1);
+    const LshForest& forest = forests_[p];
+    // Within-pass tuning memo: runs of queries with equal (q, t*) — the
+    // common shape of service traffic — tune once per partition.
+    double memo_q = -1.0, memo_t = -1.0;
+    TunedParams memo_params;
+    for (size_t i = 0; i < m; ++i) {
+      const double qd = shard->chunk_q[i];
+      if (options_.prune_unreachable_partitions &&
+          max_size + 1e-9 < specs[i].t_star * qd) {
+        if (stats != nullptr) ++stats[i].partitions_pruned;
+        continue;
+      }
+      if (qd != memo_q || specs[i].t_star != memo_t) {
+        memo_params = tuner_->Tune(max_size, qd, specs[i].t_star);
+        memo_q = qd;
+        memo_t = specs[i].t_star;
+      }
+      LSHE_RETURN_IF_ERROR(forest.Probe(*specs[i].query, memo_params.b,
+                                        memo_params.r, &shard->probe,
+                                        &outs[i]));
+      if (stats != nullptr) {
+        ++stats[i].partitions_probed;
+        stats[i].tuned.push_back(memo_params);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < m; ++i) AssertUniqueCandidates(outs[i]);
+  return Status::OK();
+}
+
+Status LshEnsemble::QueryOnePartitionParallel(const QuerySpec& spec,
+                                              QueryContext* ctx,
+                                              std::vector<uint64_t>* out,
+                                              QueryStats* stats) const {
+  size_t q = 0;
+  LSHE_RETURN_IF_ERROR(ValidateSpec(spec, &q));
+  out->clear();
+  const auto qd = static_cast<double>(q);
+  const size_t n = specs_.size();
+
+  ctx->partials_.resize(n);
+  ctx->statuses_.clear();
+  ctx->statuses_.resize(n);
+  QueryContext::Shard* main_shard = ctx->AcquireShard();
+  main_shard->tuned.resize(n);
+  main_shard->probed.assign(n, 0);
+  main_shard->tuned_valid = false;  // tuned[] is written concurrently below
+
+  auto probe = [&](size_t i) {
+    ctx->partials_[i].clear();
+    const PartitionSpec& part = specs_[i];
+    const auto max_size = static_cast<double>(part.upper - 1);
+    if (options_.prune_unreachable_partitions &&
+        max_size + 1e-9 < spec.t_star * qd) {
+      return;
+    }
+    main_shard->tuned[i] = tuner_->Tune(max_size, qd, spec.t_star);
+    main_shard->probed[i] = 1;
+    QueryContext::Shard* shard = ctx->AcquireShard();
+    ctx->statuses_[i] =
+        forests_[i].Probe(*spec.query, main_shard->tuned[i].b,
+                          main_shard->tuned[i].r, &shard->probe,
+                          &ctx->partials_[i]);
+    ctx->ReleaseShard(shard);
+  };
+  ThreadPool::Shared().ParallelFor(n, probe);
+
+  Status first_error = Status::OK();
+  for (const Status& status : ctx->statuses_) {
+    if (!status.ok()) {
+      first_error = status;
+      break;
+    }
+  }
+  if (first_error.ok()) {
+    size_t total = 0;
+    for (const auto& partial : ctx->partials_) total += partial.size();
+    out->reserve(total);
+    for (const auto& partial : ctx->partials_) {
+      out->insert(out->end(), partial.begin(), partial.end());
+    }
+    AssertUniqueCandidates(*out);
+    FillStats(stats, q, main_shard->probed, main_shard->tuned);
+  }
+  ctx->ReleaseShard(main_shard);
+  return first_error;
+}
+
 Status LshEnsemble::Query(const MinHash& query, size_t query_size,
                           double t_star, std::vector<uint64_t>* out,
                           QueryStats* stats) const {
   if (out == nullptr) {
     return Status::InvalidArgument("out must not be null");
   }
-  if (!query.valid() || !query.family()->SameAs(*family_)) {
-    return Status::InvalidArgument(
-        "query signature does not belong to the index's hash family");
-  }
-  if (t_star < 0.0 || t_star > 1.0) {
-    return Status::InvalidArgument("t_star must be in [0, 1]");
-  }
-  out->clear();
+  QueryContext ctx;
+  const QuerySpec spec{&query, query_size, t_star};
+  return BatchQuery(std::span<const QuerySpec>(&spec, 1), &ctx, out, stats);
+}
 
-  // approx(|Q|) in Algorithm 1: fall back to the sketch estimate when the
-  // exact cardinality is not supplied.
-  size_t q = query_size;
-  if (q == 0) {
-    q = static_cast<size_t>(
-        std::max<int64_t>(1, std::llround(query.EstimateCardinality())));
+Status LshEnsemble::BatchQuery(std::span<const QuerySpec> specs,
+                               QueryContext* ctx, std::vector<uint64_t>* outs,
+                               QueryStats* stats) const {
+  if (ctx == nullptr) {
+    return Status::InvalidArgument("ctx must not be null");
   }
-  const auto qd = static_cast<double>(q);
+  if (specs.empty()) return Status::OK();
+  if (outs == nullptr) {
+    return Status::InvalidArgument("outs must not be null");
+  }
 
-  const size_t n = specs_.size();
-  std::vector<std::vector<uint64_t>> results(n);
-  std::vector<TunedParams> tuned(n);
-  std::vector<char> probed(n, 0);
-  std::vector<Status> statuses(n);
-
-  auto probe = [&](size_t i) {
-    const PartitionSpec& spec = specs_[i];
-    const auto max_size = static_cast<double>(spec.upper - 1);
-    // A domain of size x has containment at most x/q; if even the largest
-    // domain in the partition cannot reach t*, skip it (no false negatives).
-    if (options_.prune_unreachable_partitions &&
-        max_size + 1e-9 < t_star * qd) {
-      return;
+  // A batch of one cannot be spread across queries; preserve single-query
+  // latency by spreading its partitions instead (the seed engine's shape).
+  if (specs.size() == 1) {
+    if (options_.parallel_query && specs_.size() > 1) {
+      return QueryOnePartitionParallel(specs[0], ctx, &outs[0],
+                                       stats != nullptr ? &stats[0] : nullptr);
     }
-    tuned[i] = tuner_->Tune(max_size, qd, t_star);
-    probed[i] = 1;
-    statuses[i] = forests_[i].Query(query, tuned[i].b, tuned[i].r, &results[i]);
-  };
-  if (options_.parallel_query && n > 1) {
-    ThreadPool::Shared().ParallelFor(n, probe);
-  } else {
-    for (size_t i = 0; i < n; ++i) probe(i);
+    QueryContext::Shard* shard = ctx->AcquireShard();
+    const Status status =
+        QueryOne(specs[0], shard, &outs[0],
+                 stats != nullptr ? &stats[0] : nullptr);
+    ctx->ReleaseShard(shard);
+    return status;
   }
 
-  for (const Status& status : statuses) {
+  const size_t count = specs.size();
+  // Across-query parallelism: contiguous chunks keep one shard (and the
+  // partition arenas QueryChunk revisits) hot per worker while the 4x
+  // over-decomposition lets the pool balance uneven query costs.
+  const size_t participants = ThreadPool::Shared().num_threads() + 1;
+  const size_t chunks =
+      options_.parallel_query ? std::min(count, participants * 4) : 1;
+  if (chunks == 1) {
+    QueryContext::Shard* shard = ctx->AcquireShard();
+    const Status status = QueryChunk(specs, shard, outs, stats);
+    ctx->ReleaseShard(shard);
+    return status;
+  }
+  ctx->statuses_.clear();
+  ctx->statuses_.resize(chunks);
+  ThreadPool::Shared().ParallelFor(chunks, [&](size_t c) {
+    const size_t begin = c * count / chunks;
+    const size_t end = (c + 1) * count / chunks;
+    QueryContext::Shard* shard = ctx->AcquireShard();
+    ctx->statuses_[c] =
+        QueryChunk(specs.subspan(begin, end - begin), shard, outs + begin,
+                   stats != nullptr ? stats + begin : nullptr);
+    ctx->ReleaseShard(shard);
+  });
+  for (const Status& status : ctx->statuses_) {
     LSHE_RETURN_IF_ERROR(status);
-  }
-
-  size_t total = 0;
-  for (const auto& partial : results) total += partial.size();
-  out->reserve(total);
-  for (const auto& partial : results) {
-    out->insert(out->end(), partial.begin(), partial.end());
-  }
-
-  if (stats != nullptr) {
-    stats->query_size_used = q;
-    stats->partitions_probed = 0;
-    stats->partitions_pruned = 0;
-    stats->tuned.clear();
-    for (size_t i = 0; i < n; ++i) {
-      if (probed[i]) {
-        ++stats->partitions_probed;
-        stats->tuned.push_back(tuned[i]);
-      } else {
-        ++stats->partitions_pruned;
-      }
-    }
   }
   return Status::OK();
 }

@@ -6,8 +6,15 @@
 // Partitioned-Containment-Search): the containment threshold t* is
 // converted per partition to a conservative Jaccard threshold using the
 // partition's upper size bound, each partition's LSH is retuned to its own
-// optimal (b, r) (Eq. 26), all partitions are probed (in parallel), and the
-// candidate unions are returned.
+// optimal (b, r) (Eq. 26), all partitions are probed, and the candidate
+// unions are returned.
+//
+// The query engine is batched: BatchQuery() answers many queries per call,
+// parallelizing *across queries* on the shared ThreadPool and reusing all
+// per-query scratch through a caller-owned QueryContext, so the steady
+// state performs no allocation. Single-query Query() is a thin wrapper
+// over the same engine (a batch of one falls back to parallelizing across
+// partitions, preserving single-query latency on multicore machines).
 //
 // Typical use:
 //
@@ -19,12 +26,21 @@
 //   auto ensemble = std::move(builder).Build().value();
 //   std::vector<uint64_t> ids;
 //   ensemble.Query(query_sketch, query_size, /*t_star=*/0.5, &ids);
+//
+// High-throughput use:
+//
+//   QueryContext ctx;                        // reuse across batches
+//   std::vector<QuerySpec> specs = ...;      // one per query
+//   std::vector<std::vector<uint64_t>> outs(specs.size());
+//   ensemble.BatchQuery(specs, &ctx, outs.data());
 
 #ifndef LSHENSEMBLE_CORE_LSH_ENSEMBLE_H_
 #define LSHENSEMBLE_CORE_LSH_ENSEMBLE_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "core/cost_model.h"
@@ -58,13 +74,14 @@ struct LshEnsembleOptions {
   bool prune_unreachable_partitions = true;
   /// Build partition forests on the shared thread pool.
   bool parallel_build = true;
-  /// Probe partitions on the shared thread pool.
+  /// Parallelize queries on the shared thread pool: BatchQuery() spreads
+  /// queries over workers; a single-query call spreads its partitions.
   bool parallel_query = true;
 
   Status Validate() const;
 };
 
-/// \brief Per-query diagnostics (optional output of Query()).
+/// \brief Per-query diagnostics (optional output of Query()/BatchQuery()).
 struct QueryStats {
   /// The query cardinality actually used (exact or MinHash-estimated).
   size_t query_size_used = 0;
@@ -74,7 +91,74 @@ struct QueryStats {
   std::vector<TunedParams> tuned;
 };
 
+/// \brief One query of a BatchQuery() call. The referenced MinHash is
+/// borrowed, not owned; it must outlive the call.
+struct QuerySpec {
+  const MinHash* query = nullptr;
+  /// Exact |Q| if known; 0 means "use the MinHash cardinality estimate"
+  /// (`approx(|Q|)` in Algorithm 1).
+  size_t query_size = 0;
+  /// Containment threshold t* in [0, 1].
+  double t_star = 0.5;
+};
+
 class LshEnsemble;
+
+/// \brief Reusable query-path scratch: candidate dedup marks, tuned-params
+/// vectors, probe flags and per-partition buffers, pooled in per-worker
+/// shards so one context serves a whole BatchQuery() fan-out.
+///
+/// A context is bound to no particular ensemble — buffers grow to the
+/// largest index seen and are reused verbatim afterwards, so steady-state
+/// queries allocate nothing. One context must not be shared by concurrent
+/// BatchQuery() calls; give each calling thread its own (the shard pool
+/// only serves the internal across-query parallelism of a single call).
+class QueryContext {
+ public:
+  QueryContext() = default;
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  /// Approximate heap footprint of all pooled scratch, in bytes.
+  size_t MemoryBytes() const;
+  /// Number of internal shards created so far (one per concurrent worker
+  /// observed; for tests/introspection).
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  friend class LshEnsemble;
+
+  /// One worker's worth of scratch.
+  struct Shard {
+    LshForest::ProbeScratch probe;
+    std::vector<TunedParams> tuned;
+    std::vector<uint8_t> probed;
+    /// Effective per-query cardinalities of the current chunk.
+    std::vector<double> chunk_q;
+    // Memo of the last tuning pass: consecutive queries against the same
+    // ensemble with the same effective (q, t*) reuse `tuned` wholesale,
+    // skipping the tuner's shared cache entirely. Keyed on the ensemble's
+    // process-unique instance id (a context outlives any one ensemble, and
+    // addresses can be reused).
+    uint64_t last_index_id = 0;
+    double last_q = -1.0;
+    double last_t_star = -1.0;
+    bool tuned_valid = false;
+  };
+
+  Shard* AcquireShard();
+  void ReleaseShard(Shard* shard);
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Shard*> free_;
+
+  // Single-query partition-parallel path: per-partition candidate buffers
+  // (their capacity is retained across calls).
+  std::vector<std::vector<uint64_t>> partials_;
+  // Per-query (or per-partition) statuses of the current batch.
+  std::vector<Status> statuses_;
+};
 
 /// \brief Accumulates (id, size, signature) records and builds the
 /// immutable index in one pass (single-pass construction, §2).
@@ -86,13 +170,14 @@ class LshEnsembleBuilder {
 
   /// \brief Register a domain. `size` is the domain's exact distinct-value
   /// count (known during sketching); `signature` its MinHash.
-  /// Ids must be unique; sizes must be >= 1.
+  /// Ids must be unique (enforced by Build()); sizes must be >= 1.
   Status Add(uint64_t id, size_t size, MinHash signature);
 
   size_t size() const { return records_.size(); }
 
   /// \brief Partition, build and index every partition's forest. Consumes
-  /// the builder. Fails if no domain was added or options are invalid.
+  /// the builder. Fails if no domain was added, a duplicate id was added,
+  /// or options are invalid.
   Result<LshEnsemble> Build() &&;
 
  private:
@@ -109,6 +194,13 @@ class LshEnsembleBuilder {
 
 /// \brief The immutable LSH Ensemble index. Thread-safe for concurrent
 /// queries.
+///
+/// Candidate-uniqueness invariant: partitions hold disjoint id sets (ids
+/// are unique — Build() enforces it — and every domain lands in exactly
+/// one size partition), and each partition's forest dedups its own
+/// collisions, so the per-query union of partition candidates never
+/// repeats an id. Query()/BatchQuery() output relies on this rather than
+/// re-deduplicating; debug builds verify it with an assertion.
 class LshEnsemble {
  public:
   LshEnsemble(LshEnsemble&&) = default;
@@ -118,6 +210,9 @@ class LshEnsemble {
   /// partitions). Appends the ids of all candidate domains to `out`
   /// (order: by partition, then forest order; ids are unique).
   ///
+  /// A thin wrapper over BatchQuery() with a batch of one and a private
+  /// context; prefer BatchQuery() when issuing many queries.
+  ///
   /// \param query      MinHash of the query domain (same family).
   /// \param query_size exact |Q| if known; pass 0 to use the MinHash
   ///                   cardinality estimate (`approx(|Q|)` in Alg. 1).
@@ -125,6 +220,23 @@ class LshEnsemble {
   /// \param stats      optional per-query diagnostics.
   Status Query(const MinHash& query, size_t query_size, double t_star,
                std::vector<uint64_t>* out, QueryStats* stats = nullptr) const;
+
+  /// \brief Answer `specs.size()` queries in one call. Query i's candidates
+  /// are written to `outs[i]` (cleared first; order as in Query()); when
+  /// `stats` is non-null, query i's diagnostics go to `stats[i]`.
+  ///
+  /// `outs` (and `stats` if given) must point to arrays of at least
+  /// specs.size() elements. With options().parallel_query the batch is
+  /// spread across the shared ThreadPool in chunks; a batch of one falls
+  /// back to parallelizing across partitions. All scratch comes from `ctx`,
+  /// so a warm context makes the whole call allocation-free apart from
+  /// output growth.
+  ///
+  /// On error the first failing query's status is returned and the
+  /// contents of `outs`/`stats` are unspecified.
+  Status BatchQuery(std::span<const QuerySpec> specs, QueryContext* ctx,
+                    std::vector<uint64_t>* outs,
+                    QueryStats* stats = nullptr) const;
 
   /// The non-empty partitions, ascending by size interval.
   const std::vector<PartitionSpec>& partitions() const { return specs_; }
@@ -145,8 +257,30 @@ class LshEnsemble {
   friend class LshEnsembleBuilder;
   friend class EnsembleSerializer;  // io/ensemble_io.cc (save/load)
   LshEnsemble(LshEnsembleOptions options,
-              std::shared_ptr<const HashFamily> family)
-      : options_(options), family_(std::move(family)) {}
+              std::shared_ptr<const HashFamily> family);
+
+  /// Validates one spec against this index. Returns the effective query
+  /// cardinality through `q`.
+  Status ValidateSpec(const QuerySpec& spec, size_t* q) const;
+
+  /// Answers one query sequentially over all partitions using `shard`'s
+  /// scratch, appending candidates to `out` (cleared first).
+  Status QueryOne(const QuerySpec& spec, QueryContext::Shard* shard,
+                  std::vector<uint64_t>* out, QueryStats* stats) const;
+
+  /// Answers a contiguous run of queries partition-major (outer loop over
+  /// partitions, inner over queries) so each partition's key arenas stay
+  /// cache-hot across the whole run. Output identical to per-query
+  /// QueryOne() calls.
+  Status QueryChunk(std::span<const QuerySpec> specs,
+                    QueryContext::Shard* shard, std::vector<uint64_t>* outs,
+                    QueryStats* stats) const;
+
+  /// The seed engine's shape: one query, partitions probed in parallel
+  /// into per-partition buffers, then concatenated.
+  Status QueryOnePartitionParallel(const QuerySpec& spec, QueryContext* ctx,
+                                   std::vector<uint64_t>* out,
+                                   QueryStats* stats) const;
 
   LshEnsembleOptions options_;
   std::shared_ptr<const HashFamily> family_;
@@ -154,6 +288,10 @@ class LshEnsemble {
   std::vector<LshForest> forests_;    // parallel to specs_
   std::unique_ptr<Tuner> tuner_;
   size_t total_ = 0;
+  /// Process-unique identity (copied by moves; a moved-from ensemble is
+  /// left with no partitions, so its aliased id is inert). Keys the
+  /// QueryContext tuning memo across ensemble lifetimes.
+  uint64_t instance_id_;
 };
 
 }  // namespace lshensemble

@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <numeric>
-#include <unordered_set>
 
 #include "io/coding.h"
+#include "util/instance_id.h"
 
 namespace lshensemble {
+
+LshForest::LshForest(int num_trees, int tree_depth)
+    : num_trees_(num_trees),
+      tree_depth_(tree_depth),
+      instance_id_(NextInstanceId()) {}
 
 Result<LshForest> LshForest::Create(int num_trees, int tree_depth) {
   if (num_trees <= 0 || tree_depth <= 0) {
@@ -27,12 +33,11 @@ Status LshForest::Add(uint64_t id, const MinHash& signature) {
         "signature shorter than num_trees * tree_depth hash values");
   }
   const auto& mins = signature.values();
-  for (int t = 0; t < num_trees_; ++t) {
-    auto& keys = keys_[t];
-    const size_t base = static_cast<size_t>(t) * tree_depth_;
-    for (int d = 0; d < tree_depth_; ++d) {
-      keys.push_back(TruncateHash(mins[base + d]));
-    }
+  const size_t row = static_cast<size_t>(num_trees_) * tree_depth_;
+  // Record-major append: the whole row is contiguous, so one record costs
+  // at most one arena growth instead of num_trees_ vector touches.
+  for (size_t slot = 0; slot < row; ++slot) {
+    keys_.push_back(TruncateHash(mins[slot]));
   }
   ids_.push_back(id);
   return Status::OK();
@@ -42,28 +47,70 @@ void LshForest::Index() {
   if (indexed_) return;
   const size_t n = ids_.size();
   const size_t depth = static_cast<size_t>(tree_depth_);
+  const size_t row = static_cast<size_t>(num_trees_) * depth;
+
+  entry_of_.resize(static_cast<size_t>(num_trees_) * n);
+  // The record-major build arena is re-laid tree-major + sorted into a
+  // second arena; every tree needs the full build arena as sort input, so
+  // the rewrite cannot be done in place (peak memory is 2x the key arena
+  // for the duration of Index()).
+  std::vector<uint32_t> sorted(keys_.size());
   for (int t = 0; t < num_trees_; ++t) {
-    auto& entries = entry_of_[t];
-    entries.resize(n);
-    std::iota(entries.begin(), entries.end(), 0u);
-    const uint32_t* keys = keys_[t].data();
-    std::sort(entries.begin(), entries.end(),
-              [keys, depth](uint32_t a, uint32_t b) {
-                const uint32_t* ka = keys + static_cast<size_t>(a) * depth;
-                const uint32_t* kb = keys + static_cast<size_t>(b) * depth;
-                return std::lexicographical_compare(ka, ka + depth, kb,
-                                                    kb + depth);
-              });
+    uint32_t* entries = entry_of_.data() + static_cast<size_t>(t) * n;
+    std::iota(entries, entries + n, 0u);
+    const uint32_t* keys = keys_.data() + static_cast<size_t>(t) * depth;
+    std::sort(entries, entries + n, [keys, row, depth](uint32_t a, uint32_t b) {
+      const uint32_t* ka = keys + static_cast<size_t>(a) * row;
+      const uint32_t* kb = keys + static_cast<size_t>(b) * row;
+      return std::lexicographical_compare(ka, ka + depth, kb, kb + depth);
+    });
     // Apply the permutation so binary searches scan contiguous memory.
-    std::vector<uint32_t> sorted_keys(n * depth);
+    uint32_t* tree_out = sorted.data() + static_cast<size_t>(t) * n * depth;
     for (size_t pos = 0; pos < n; ++pos) {
-      std::memcpy(sorted_keys.data() + pos * depth,
-                  keys + static_cast<size_t>(entries[pos]) * depth,
+      std::memcpy(tree_out + pos * depth,
+                  keys + static_cast<size_t>(entries[pos]) * row,
                   depth * sizeof(uint32_t));
     }
-    keys_[t] = std::move(sorted_keys);
   }
+  keys_ = std::move(sorted);
+  BuildFirstKeys();
   indexed_ = true;
+}
+
+void LshForest::BuildFirstKeys() {
+  const size_t n = ids_.size();
+  const size_t depth = static_cast<size_t>(tree_depth_);
+  first_keys_.resize(static_cast<size_t>(num_trees_) * n);
+  for (int t = 0; t < num_trees_; ++t) {
+    const uint32_t* keys = keys_.data() + static_cast<size_t>(t) * n * depth;
+    uint32_t* first = first_keys_.data() + static_cast<size_t>(t) * n;
+    for (size_t pos = 0; pos < n; ++pos) first[pos] = keys[pos * depth];
+  }
+}
+
+void LshForest::ProbeScratch::Begin(uint64_t owner_id, size_t n) {
+  if (marks_.size() < n) {
+    marks_.assign(n, 0);
+    epoch_ = 0;
+  }
+  if (++epoch_ == 0) {
+    // Epoch counter wrapped: stale marks from 2^32 probes ago could alias
+    // the new epoch, so wipe once and restart.
+    std::fill(marks_.begin(), marks_.end(), 0u);
+    epoch_ = 1;
+  }
+  if (cache_owner_id_ != owner_id) {
+    cache_owner_id_ = owner_id;
+    owner_streak_ = 1;
+    if (++cache_gen_ == 0) {
+      // Generation wrapped: wipe the slots so entries stamped 2^32 forest
+      // switches ago cannot read as fresh.
+      std::fill(range_cache_.begin(), range_cache_.end(), RangeCacheSlot{});
+      cache_gen_ = 1;
+    }
+  } else if (owner_streak_ < 2) {
+    ++owner_streak_;
+  }
 }
 
 namespace {
@@ -77,12 +124,64 @@ inline int ComparePrefix(const uint32_t* key, const uint32_t* prefix, int r) {
   return 0;
 }
 
+// Phase 2 of a prefix lookup: given the slot-0 match range [*lo, *hi) of a
+// tree whose full rows start at `keys`, shrink it to the rows whose slots
+// 1..r-1 also match `prefix`. The range is sorted by the remaining slots,
+// so short ranges (the common case: a few 32-bit collisions) are filtered
+// by a linear scan that fits in a cache line or two, and long runs of a
+// popular value get the usual pair of binary searches.
+inline void RefinePrefixRange(const uint32_t* keys, size_t depth,
+                              const uint32_t* prefix, int r, size_t* lo,
+                              size_t* hi) {
+  size_t begin = *lo, end = *hi;
+  if (end - begin <= 8) {
+    while (begin < end &&
+           ComparePrefix(keys + begin * depth + 1, prefix + 1, r - 1) < 0) {
+      ++begin;
+    }
+    size_t match_end = begin;
+    while (match_end < end &&
+           ComparePrefix(keys + match_end * depth + 1, prefix + 1, r - 1) ==
+               0) {
+      ++match_end;
+    }
+    end = match_end;
+  } else {
+    size_t a = begin, b = end;
+    while (a < b) {
+      const size_t mid = a + (b - a) / 2;
+      if (ComparePrefix(keys + mid * depth + 1, prefix + 1, r - 1) < 0) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    begin = a;
+    b = end;
+    while (a < b) {
+      const size_t mid = a + (b - a) / 2;
+      if (ComparePrefix(keys + mid * depth + 1, prefix + 1, r - 1) <= 0) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    end = a;
+  }
+  *lo = begin;
+  *hi = end;
+}
+
 }  // namespace
 
-Status LshForest::Query(const MinHash& signature, int b, int r,
+Status LshForest::Probe(const MinHash& signature, int b, int r,
+                        ProbeScratch* scratch,
                         std::vector<uint64_t>* out) const {
   if (!indexed_) {
     return Status::FailedPrecondition("LshForest::Index() not called");
+  }
+  if (scratch == nullptr || out == nullptr) {
+    return Status::InvalidArgument("scratch and out must not be null");
   }
   if (b < 1 || b > num_trees_ || r < 1 || r > tree_depth_) {
     return Status::InvalidArgument("query (b, r) outside forest capacity");
@@ -93,49 +192,120 @@ Status LshForest::Query(const MinHash& signature, int b, int r,
         "signature shorter than num_trees * tree_depth hash values");
   }
 
-  const auto& mins = signature.values();
   const size_t n = ids_.size();
+  if (n == 0) return Status::OK();
+  const auto& mins = signature.values();
   const size_t depth = static_cast<size_t>(tree_depth_);
-  std::unordered_set<uint64_t> seen;
+  scratch->Begin(instance_id_, n);
+  scratch->prefix_.resize(static_cast<size_t>(r));
+  scratch->cursors_.resize(static_cast<size_t>(b));
+  scratch->slot0_keys_.resize(static_cast<size_t>(b));
+  scratch->range_lo_.resize(static_cast<size_t>(b));
+  scratch->range_hi_.resize(static_cast<size_t>(b));
+  scratch->pending_.clear();
+  uint32_t* prefix = scratch->prefix_.data();
+  const uint32_t** cursors = scratch->cursors_.data();
+  uint32_t* keys0 = scratch->slot0_keys_.data();
 
-  std::vector<uint32_t> prefix(static_cast<size_t>(r));
+  // Slot-0 equal ranges repeat heavily across probes of the same forest:
+  // popular values win the min in many domains (the paper's shared
+  // vocabulary, Section 6.3), so distinct first-slot keys are far fewer
+  // than queries. Under the batched engine's partition-major order the
+  // scratch stays on one forest for a whole chunk, and a small
+  // direct-mapped memo of (tree, key) -> [lo, hi) short-circuits most
+  // searches. The cache indexes positions as u32; absurdly large forests
+  // just bypass it.
+  const bool use_cache = scratch->owner_streak_ >= 2 &&
+                         n <= std::numeric_limits<uint32_t>::max();
+  if (use_cache && scratch->range_cache_.empty()) {
+    scratch->range_cache_.resize(ProbeScratch::kRangeCacheSlots);
+  }
+  const uint32_t gen = scratch->cache_gen_;
+
   for (int t = 0; t < b; ++t) {
-    const size_t base = static_cast<size_t>(t) * depth;
-    for (int d = 0; d < r; ++d) {
-      prefix[d] = TruncateHash(mins[base + d]);
-    }
-    const uint32_t* keys = keys_[t].data();
-
-    // lower bound: first position with key >= prefix (on the first r slots)
-    size_t lo = 0, hi = n;
-    while (lo < hi) {
-      const size_t mid = lo + (hi - lo) / 2;
-      if (ComparePrefix(keys + mid * depth, prefix.data(), r) < 0) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
+    const uint32_t p0 = TruncateHash(mins[static_cast<size_t>(t) * depth]);
+    keys0[t] = p0;
+    if (use_cache) {
+      const auto& slot = scratch->range_cache_[ProbeScratch::CacheIndex(
+          static_cast<uint32_t>(t), p0)];
+      if (slot.gen == gen && slot.tree == static_cast<uint32_t>(t) &&
+          slot.p0 == p0) {
+        scratch->range_lo_[t] = slot.lo;
+        scratch->range_hi_[t] = slot.hi;
+        continue;
       }
     }
-    const size_t begin = lo;
-    // upper bound: first position with key > prefix
-    hi = n;
-    while (lo < hi) {
-      const size_t mid = lo + (hi - lo) / 2;
-      if (ComparePrefix(keys + mid * depth, prefix.data(), r) <= 0) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    const size_t end = lo;
+    cursors[t] = TreeFirstKeys(t);
+    scratch->pending_.push_back(static_cast<uint32_t>(t));
+  }
 
-    const uint32_t* entries = entry_of_[t].data();
-    for (size_t pos = begin; pos < end; ++pos) {
-      const uint64_t id = ids_[entries[pos]];
-      if (seen.insert(id).second) out->push_back(id);
+  // Slot-0 lower bounds for all cache-missing trees, interleaved in
+  // lockstep (every tree holds the same element count, so the branchless
+  // halving schedule is identical): the loads of one round are
+  // independent, letting the core overlap their cache misses instead of
+  // serializing log2(n) dependent loads per tree.
+  const size_t pending = scratch->pending_.size();
+  size_t len = n;
+  while (len > 1) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < pending; ++i) {
+      const uint32_t t = scratch->pending_[i];
+      const uint32_t* cur = cursors[t];
+      cursors[t] = (cur[half - 1] < keys0[t]) ? cur + half : cur;
+    }
+    len -= half;
+  }
+  for (size_t i = 0; i < pending; ++i) {
+    const uint32_t t = scratch->pending_[i];
+    const uint32_t* first = TreeFirstKeys(static_cast<int>(t));
+    const uint32_t p0 = keys0[t];
+    const size_t lo =
+        static_cast<size_t>(cursors[t] - first) + (*cursors[t] < p0 ? 1 : 0);
+    // The matching slot-0 run is almost always short (a 32-bit collision
+    // plus whatever true duplicates the data carries), so find its end by
+    // scanning forward, falling back to a binary search when a popular
+    // value produces a long run.
+    size_t hi = lo;
+    size_t steps = 8;
+    while (hi < n && first[hi] == p0) {
+      if (--steps == 0) {
+        hi = std::upper_bound(first + hi, first + n, p0) - first;
+        break;
+      }
+      ++hi;
+    }
+    scratch->range_lo_[t] = lo;
+    scratch->range_hi_[t] = hi;
+    if (use_cache) {
+      auto& slot = scratch->range_cache_[ProbeScratch::CacheIndex(t, p0)];
+      slot = {p0, gen, t, static_cast<uint32_t>(lo),
+              static_cast<uint32_t>(hi)};
+    }
+  }
+
+  for (int t = 0; t < b; ++t) {
+    size_t lo = scratch->range_lo_[t];
+    size_t hi = scratch->range_hi_[t];
+    if (lo >= hi) continue;
+    if (r > 1) {
+      const size_t base = static_cast<size_t>(t) * depth;
+      prefix[0] = keys0[t];
+      for (int d = 1; d < r; ++d) prefix[d] = TruncateHash(mins[base + d]);
+      RefinePrefixRange(TreeKeys(t), depth, prefix, r, &lo, &hi);
+    }
+    const uint32_t* entries = TreeEntries(t);
+    for (size_t pos = lo; pos < hi; ++pos) {
+      const uint32_t entry = entries[pos];
+      if (scratch->MarkOnce(entry)) out->push_back(ids_[entry]);
     }
   }
   return Status::OK();
+}
+
+Status LshForest::Query(const MinHash& signature, int b, int r,
+                        std::vector<uint64_t>* out) const {
+  ProbeScratch scratch;
+  return Probe(signature, b, r, &scratch, out);
 }
 
 Status LshForest::SerializeTo(std::string* out) const {
@@ -143,13 +313,17 @@ Status LshForest::SerializeTo(std::string* out) const {
     return Status::FailedPrecondition(
         "only an indexed forest can be serialized");
   }
+  const size_t n = ids_.size();
+  const size_t depth = static_cast<size_t>(tree_depth_);
   PutVarint32(out, static_cast<uint32_t>(num_trees_));
   PutVarint32(out, static_cast<uint32_t>(tree_depth_));
-  PutVarint64(out, ids_.size());
+  PutVarint64(out, n);
   for (uint64_t id : ids_) PutFixed64(out, id);
   for (int t = 0; t < num_trees_; ++t) {
-    for (uint32_t key : keys_[t]) PutFixed32(out, key);
-    for (uint32_t entry : entry_of_[t]) PutFixed32(out, entry);
+    const uint32_t* keys = TreeKeys(t);
+    for (size_t i = 0; i < n * depth; ++i) PutFixed32(out, keys[i]);
+    const uint32_t* entries = TreeEntries(t);
+    for (size_t i = 0; i < n; ++i) PutFixed32(out, entries[i]);
   }
   return Status::OK();
 }
@@ -179,27 +353,29 @@ Result<LshForest> LshForest::Deserialize(std::string_view data) {
   if (!forest_result.ok()) return forest_result.status();
   LshForest forest = std::move(forest_result).value();
 
-  forest.ids_.resize(n);
+  const size_t count = static_cast<size_t>(n);
+  const size_t depth = static_cast<size_t>(tree_depth);
+  forest.ids_.resize(count);
   for (uint64_t& id : forest.ids_) {
     if (!cursor.GetFixed64(&id)) {
       return Status::Corruption("forest image: truncated ids");
     }
   }
+  forest.keys_.resize(count * num_trees * depth);
+  forest.entry_of_.resize(count * num_trees);
   for (uint32_t t = 0; t < num_trees; ++t) {
-    auto& keys = forest.keys_[t];
-    keys.resize(n * tree_depth);
-    for (uint32_t& key : keys) {
-      if (!cursor.GetFixed32(&key)) {
+    uint32_t* keys = forest.keys_.data() + static_cast<size_t>(t) * count * depth;
+    for (size_t i = 0; i < count * depth; ++i) {
+      if (!cursor.GetFixed32(&keys[i])) {
         return Status::Corruption("forest image: truncated keys");
       }
     }
-    auto& entries = forest.entry_of_[t];
-    entries.resize(n);
-    for (uint32_t& entry : entries) {
-      if (!cursor.GetFixed32(&entry)) {
+    uint32_t* entries = forest.entry_of_.data() + static_cast<size_t>(t) * count;
+    for (size_t i = 0; i < count; ++i) {
+      if (!cursor.GetFixed32(&entries[i])) {
         return Status::Corruption("forest image: truncated entries");
       }
-      if (entry >= n) {
+      if (entries[i] >= n) {
         return Status::Corruption("forest image: entry index out of range");
       }
     }
@@ -207,17 +383,16 @@ Result<LshForest> LshForest::Deserialize(std::string_view data) {
   if (!cursor.empty()) {
     return Status::Corruption("forest image: trailing bytes");
   }
+  forest.BuildFirstKeys();
   forest.indexed_ = true;
   return forest;
 }
 
 size_t LshForest::MemoryBytes() const {
-  size_t bytes = ids_.capacity() * sizeof(uint64_t);
-  for (const auto& keys : keys_) bytes += keys.capacity() * sizeof(uint32_t);
-  for (const auto& entries : entry_of_) {
-    bytes += entries.capacity() * sizeof(uint32_t);
-  }
-  return bytes;
+  return ids_.capacity() * sizeof(uint64_t) +
+         keys_.capacity() * sizeof(uint32_t) +
+         first_keys_.capacity() * sizeof(uint32_t) +
+         entry_of_.capacity() * sizeof(uint32_t);
 }
 
 }  // namespace lshensemble

@@ -11,6 +11,12 @@
 // depth r, but contiguous in memory. Keys keep the top 32 bits of each
 // 61-bit min-hash value: a spurious per-slot collision has probability
 // ~2^-32, far below the LSH's intrinsic error, and the index halves in size.
+//
+// All trees live in ONE contiguous key arena (tree-major after Index(),
+// record-major while building) plus one entry-permutation arena, so the
+// whole forest is two allocations and probes never chase per-tree vector
+// headers. The query path is allocation-free: Probe() appends into a
+// caller-owned output buffer and dedups through a reusable ProbeScratch.
 
 #ifndef LSHENSEMBLE_LSH_LSH_FOREST_H_
 #define LSHENSEMBLE_LSH_LSH_FOREST_H_
@@ -27,11 +33,93 @@ namespace lshensemble {
 /// \brief A forest of `num_trees` flattened prefix trees over MinHash
 /// signatures, supporting per-query (b, r) selection.
 ///
-/// Lifecycle: Add() signatures, then Index() once, then Query(). Add after
-/// Index() is rejected (rebuild instead; the paper's index is likewise built
-/// in a single pass over the data, Section 2).
+/// Lifecycle: Add() signatures, then Index() once, then Probe()/Query().
+/// Add after Index() is rejected (rebuild instead; the paper's index is
+/// likewise built in a single pass over the data, Section 2).
 class LshForest {
  public:
+  /// \brief Reusable per-thread scratch for Probe(): an epoch-stamped mark
+  /// array (one slot per forest entry) used to dedup collisions across
+  /// trees without allocating, the probe-prefix buffers, and a slot-0
+  /// range cache that pays off when many probes hit the same forest
+  /// back to back (the batched engine's partition-major order).
+  ///
+  /// A scratch may be reused across Probe() calls against *different*
+  /// forests (it grows to the largest forest seen and never shrinks), but
+  /// must not be used by two threads at once.
+  class ProbeScratch {
+   public:
+    ProbeScratch() = default;
+
+    /// Bytes held by the scratch buffers (for tests/introspection).
+    size_t MemoryBytes() const {
+      return marks_.capacity() * sizeof(uint32_t) +
+             prefix_.capacity() * sizeof(uint32_t) +
+             cursors_.capacity() * sizeof(const uint32_t*) +
+             (slot0_keys_.capacity() + pending_.capacity()) *
+                 sizeof(uint32_t) +
+             (range_lo_.capacity() + range_hi_.capacity()) * sizeof(size_t) +
+             range_cache_.capacity() * sizeof(RangeCacheSlot);
+    }
+
+   private:
+    friend class LshForest;
+
+    /// One memoized slot-0 equal range: probing tree `tree` of the current
+    /// owner forest with first-slot key `p0` yields sorted positions
+    /// [lo, hi). Valid iff `gen` matches the scratch's current generation
+    /// (bumped whenever the owner forest changes).
+    struct RangeCacheSlot {
+      uint32_t p0 = 0;
+      uint32_t gen = 0;
+      uint32_t tree = 0;
+      uint32_t lo = 0;
+      uint32_t hi = 0;
+    };
+    /// Cache size; 4096 20-byte slots keep the table L2-resident.
+    static constexpr size_t kRangeCacheSlots = 4096;
+
+    /// Direct-mapped slot index for (tree, p0).
+    static size_t CacheIndex(uint32_t tree, uint32_t p0) {
+      return (tree * 0x9E3779B9u ^ p0 * 0x85EBCA6Bu) &
+             (kRangeCacheSlots - 1);
+    }
+
+    /// Start a new probe over the forest with instance id `owner_id` and
+    /// `n` entries: grow the mark array if needed, open a fresh dedup
+    /// epoch (clearing only on epoch wrap), and invalidate the range
+    /// cache if the forest changed.
+    void Begin(uint64_t owner_id, size_t n);
+    /// True the first time `entry` is seen in the current epoch.
+    bool MarkOnce(uint32_t entry) {
+      if (marks_[entry] == epoch_) return false;
+      marks_[entry] = epoch_;
+      return true;
+    }
+
+    std::vector<uint32_t> marks_;
+    std::vector<uint32_t> prefix_;
+    // Interleaved first-slot search state: one cursor and key per probed
+    // tree (see Probe()), plus the list of trees that missed the cache.
+    std::vector<const uint32_t*> cursors_;
+    std::vector<uint32_t> slot0_keys_;
+    std::vector<uint32_t> pending_;
+    std::vector<size_t> range_lo_;
+    std::vector<size_t> range_hi_;
+    std::vector<RangeCacheSlot> range_cache_;
+    // Owner identity is the forest's process-unique instance id, not its
+    // address: a destroyed forest's address can be reallocated to a new
+    // one, which must not inherit its cached ranges.
+    uint64_t cache_owner_id_ = 0;
+    uint32_t cache_gen_ = 0;
+    // Consecutive probes against cache_owner_ (saturating). The cache only
+    // engages from the second probe on: one-shot probe patterns (the
+    // stateless single-query path visits each forest once) never pay for
+    // its allocation and fills.
+    uint32_t owner_streak_ = 0;
+    uint32_t epoch_ = 0;
+  };
+
   /// \param num_trees   b_max: maximum number of probe trees.
   /// \param tree_depth  r_max: hash values per tree (maximum prefix depth).
   /// Signatures must carry at least num_trees * tree_depth hash values.
@@ -48,9 +136,17 @@ class LshForest {
   /// Sort all trees; call once after the last Add. Idempotent.
   void Index();
 
-  /// \brief Probe the first `b` trees at prefix depth `r`; append the ids of
-  /// all colliding entries to `out` (deduplicated within this call).
+  /// \brief Probe the first `b` trees at prefix depth `r`; append the ids
+  /// of all colliding entries to `out`, each entry reported at most once
+  /// per call (deduplication is per entry: if the same id was Add()ed
+  /// more than once, each of its entries reports independently).
+  /// Performs no allocation beyond growing `out`.
   /// Requires indexed(), 1 <= b <= num_trees, 1 <= r <= tree_depth.
+  Status Probe(const MinHash& signature, int b, int r, ProbeScratch* scratch,
+               std::vector<uint64_t>* out) const;
+
+  /// \brief Convenience wrapper over Probe() with a private scratch
+  /// (allocates; prefer Probe() on hot paths). Appends to `out`.
   Status Query(const MinHash& signature, int b, int r,
                std::vector<uint64_t>* out) const;
 
@@ -60,6 +156,8 @@ class LshForest {
   /// \brief Append a binary image of this forest to `out`. Requires
   /// indexed(); the image contains the sorted key arrays, entry
   /// permutations and ids, so Deserialize() restores a query-ready forest.
+  /// The wire format is unchanged from the per-tree-vector layout: trees
+  /// are emitted one after another (keys, then entries).
   Status SerializeTo(std::string* out) const;
 
   /// \brief Rebuild a forest from a SerializeTo() image. Structural
@@ -68,27 +166,55 @@ class LshForest {
   static Result<LshForest> Deserialize(std::string_view data);
 
  private:
-  LshForest(int num_trees, int tree_depth)
-      : num_trees_(num_trees),
-        tree_depth_(tree_depth),
-        keys_(num_trees),
-        entry_of_(num_trees) {}
+  LshForest(int num_trees, int tree_depth);
 
   /// Truncate a 61-bit min-hash value to the forest's 32-bit key space.
   static uint32_t TruncateHash(uint64_t h) {
     return static_cast<uint32_t>(h >> 29);
   }
 
+  /// Tree t's keys inside the arena (valid after Index()): size() rows of
+  /// tree_depth_ u32 values each, sorted lexicographically.
+  const uint32_t* TreeKeys(int t) const {
+    return keys_.data() +
+           static_cast<size_t>(t) * ids_.size() * tree_depth_;
+  }
+  /// Tree t's sorted-position -> insertion-index permutation.
+  const uint32_t* TreeEntries(int t) const {
+    return entry_of_.data() + static_cast<size_t>(t) * ids_.size();
+  }
+
+  /// Tree t's dense first-slot array (valid after Index()): size() values,
+  /// first_keys[pos] == TreeKeys(t)[pos * tree_depth_]. Probes narrow on
+  /// this 4-bytes-per-entry array first (16 entries per cache line instead
+  /// of one row per line), then refine the match range on the full rows.
+  const uint32_t* TreeFirstKeys(int t) const {
+    return first_keys_.data() + static_cast<size_t>(t) * ids_.size();
+  }
+
+  /// Derive first_keys_ from the tree-major sorted key arena.
+  void BuildFirstKeys();
+
   int num_trees_;
   int tree_depth_;
   bool indexed_ = false;
+  /// Process-unique identity of this forest (copied by moves; the
+  /// moved-from forest is left empty, so its aliased id is inert). Keys
+  /// ProbeScratch's range cache across forest lifetimes.
+  uint64_t instance_id_;
 
-  // keys_[t] holds size() keys of tree_depth_ u32 values each. Before
-  // Index() they are in insertion order; after, sorted lexicographically.
-  // entry_of_[t][pos] is the insertion index of the key at sorted position
-  // `pos`, so ids_[entry_of_[t][pos]] is the owning id.
-  std::vector<std::vector<uint32_t>> keys_;
-  std::vector<std::vector<uint32_t>> entry_of_;
+  // One contiguous key arena of size() * num_trees_ * tree_depth_ values.
+  // While building (before Index()) it is record-major: record j's keys for
+  // tree t start at j * num_trees_ * tree_depth_ + t * tree_depth_. After
+  // Index() it is tree-major and sorted: see TreeKeys().
+  std::vector<uint32_t> keys_;
+  // Derived acceleration structure, rebuilt by Index()/Deserialize() and
+  // never serialized (the wire format predates it): see TreeFirstKeys().
+  std::vector<uint32_t> first_keys_;
+  // Tree-major permutation arena (filled by Index()): TreeEntries(t)[pos]
+  // is the insertion index of tree t's key at sorted position `pos`, so
+  // ids_[TreeEntries(t)[pos]] is the owning id.
+  std::vector<uint32_t> entry_of_;
   std::vector<uint64_t> ids_;
 };
 

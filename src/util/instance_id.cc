@@ -1,0 +1,12 @@
+#include "util/instance_id.h"
+
+#include <atomic>
+
+namespace lshensemble {
+
+uint64_t NextInstanceId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace lshensemble

@@ -63,7 +63,7 @@ TEST_F(CatalogTest, RejectsBadEntries) {
 TEST_F(CatalogTest, SerializationRoundTrip) {
   Catalog catalog(family_);
   for (uint64_t id = 1; id <= 20; ++id) {
-    ASSERT_TRUE(catalog.Add(id, "table:" + std::to_string(id), id * 3,
+    ASSERT_TRUE(catalog.Add(id, std::string("table:") + std::to_string(id), id * 3,
                             RandomSketch(id, id * 3)).ok());
   }
   std::string image;
@@ -95,7 +95,7 @@ TEST_F(CatalogTest, SaveLoadFile) {
 TEST_F(CatalogTest, CorruptionDetected) {
   Catalog catalog(family_);
   for (uint64_t id = 1; id <= 5; ++id) {
-    ASSERT_TRUE(catalog.Add(id, "t" + std::to_string(id), 10,
+    ASSERT_TRUE(catalog.Add(id, std::string("t") + std::to_string(id), 10,
                             RandomSketch(id, 10)).ok());
   }
   std::string image;

@@ -105,6 +105,113 @@ TEST_F(ConcurrencyTest, ParallelQueriesMatchSerial) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// Many threads, each driving its own BatchQuery() with a private
+// QueryContext against the shared immutable index, must agree with the
+// serial single-query answers exactly (BatchQuery is documented as
+// producing the same per-query output as Query()).
+TEST_F(ConcurrencyTest, ConcurrentBatchQueriesMatchSerial) {
+  const double t_star = 0.5;
+  std::vector<MinHash> sketches;
+  sketches.reserve(query_indices_.size());
+  std::vector<QuerySpec> specs;
+  std::vector<std::vector<uint64_t>> expected;
+  for (size_t qi : query_indices_) {
+    const Domain& query = corpus_->domain(qi);
+    sketches.push_back(MinHash::FromValues(family_, query.values));
+    specs.push_back(QuerySpec{&sketches.back(), query.size(), t_star});
+    expected.push_back(SerialAnswer(qi, t_star));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Every thread owns its context and output buffers, reused across
+      // rounds; thread t rotates the batch to vary chunk boundaries.
+      QueryContext ctx;
+      std::vector<QuerySpec> rotated(specs.size());
+      std::vector<std::vector<uint64_t>> outs(specs.size());
+      for (int round = 0; round < 3; ++round) {
+        for (size_t i = 0; i < specs.size(); ++i) {
+          rotated[i] = specs[(i + t + round) % specs.size()];
+        }
+        if (!ensemble_->BatchQuery(rotated, &ctx, outs.data()).ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < specs.size(); ++i) {
+          std::vector<uint64_t> sorted = outs[i];
+          std::sort(sorted.begin(), sorted.end());
+          if (sorted != expected[(i + t + round) % specs.size()]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// Batched and single-query traffic hammering the same index at once: the
+// shard pool inside each context and the shared tuner cache must not
+// interfere across the two entry points.
+TEST_F(ConcurrencyTest, MixedBatchAndSingleQueryTraffic) {
+  const double t_star = 0.3;
+  std::vector<MinHash> sketches;
+  sketches.reserve(query_indices_.size());
+  std::vector<QuerySpec> specs;
+  std::vector<std::vector<uint64_t>> expected;
+  for (size_t qi : query_indices_) {
+    const Domain& query = corpus_->domain(qi);
+    sketches.push_back(MinHash::FromValues(family_, query.values));
+    specs.push_back(QuerySpec{&sketches.back(), query.size(), t_star});
+    expected.push_back(SerialAnswer(qi, t_star));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      if (t % 2 == 0) {
+        QueryContext ctx;
+        std::vector<std::vector<uint64_t>> outs(specs.size());
+        for (int round = 0; round < 3; ++round) {
+          if (!ensemble_->BatchQuery(specs, &ctx, outs.data()).ok()) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          for (size_t i = 0; i < specs.size(); ++i) {
+            std::vector<uint64_t> sorted = outs[i];
+            std::sort(sorted.begin(), sorted.end());
+            if (sorted != expected[i]) mismatches.fetch_add(1);
+          }
+        }
+      } else {
+        for (int round = 0; round < 3; ++round) {
+          for (size_t i = 0; i < specs.size(); ++i) {
+            std::vector<uint64_t> out;
+            if (!ensemble_
+                     ->Query(*specs[i].query, specs[i].query_size, t_star,
+                             &out)
+                     .ok()) {
+              mismatches.fetch_add(1);
+              continue;
+            }
+            std::sort(out.begin(), out.end());
+            if (out != expected[i]) mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST_F(ConcurrencyTest, ParallelQueriesAcrossThresholds) {
   // Different thresholds exercise different tuner cache keys concurrently.
   const std::vector<double> thresholds = {0.1, 0.3, 0.5, 0.7, 0.9};
@@ -221,7 +328,9 @@ TEST_F(ConcurrencyTest, DynamicEnsembleConcurrentReads) {
                     .Insert(domain.id, domain.size(),
                             MinHash::FromValues(family_, domain.values))
                     .ok());
-    if (i == 250) ASSERT_TRUE(index.Flush().ok());
+    if (i == 250) {
+      ASSERT_TRUE(index.Flush().ok());
+    }
   }
   // Half indexed, half in the delta; query concurrently (no mutation).
   std::atomic<int> failures{0};

@@ -228,7 +228,9 @@ TEST_F(DynamicEnsembleTest, MixedIndexedAndDeltaRecallAgainstExact) {
   for (size_t i = 0; i < 400; ++i) {
     ASSERT_TRUE(InsertDomain(index, i).ok());
     ASSERT_TRUE(exact.Add(corpus_->domain(i).id, corpus_->domain(i).values).ok());
-    if (i == 199) ASSERT_TRUE(index.Flush().ok());
+    if (i == 199) {
+      ASSERT_TRUE(index.Flush().ok());
+    }
   }
   exact.Build();
   EXPECT_GT(index.delta_size(), 0u);

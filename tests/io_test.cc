@@ -267,6 +267,69 @@ TEST(LshForestSerializationTest, RoundTripPreservesQueries) {
   }
 }
 
+// The flattened key-arena layout must stay wire-compatible with the
+// original per-tree-vector layout: trees emitted one after another, keys
+// first, then the entry permutation. This test pins the byte stream
+// against an independently hand-assembled image.
+TEST(LshForestSerializationTest, WireFormatIsStable) {
+  auto family = HashFamily::Create(2, /*seed=*/3).value();
+  auto forest = LshForest::Create(/*num_trees=*/1, /*tree_depth=*/2).value();
+  Rng rng(13);
+  std::vector<MinHash> signatures;
+  const uint64_t ids[] = {7, 9, 4};
+  for (uint64_t id : ids) {
+    std::vector<uint64_t> values(10 + id);
+    for (auto& v : values) v = rng.Next();
+    signatures.push_back(MinHash::FromValues(family, values));
+    ASSERT_TRUE(forest.Add(id, signatures.back()).ok());
+  }
+  forest.Index();
+  std::string image;
+  ASSERT_TRUE(forest.SerializeTo(&image).ok());
+
+  // Hand-assemble the expected image: keys are the top 32 bits of the
+  // 61-bit minima, rows sorted lexicographically, entries the sort
+  // permutation over insertion indices.
+  auto key = [&](size_t record, size_t d) {
+    return static_cast<uint32_t>(signatures[record].values()[d] >> 29);
+  };
+  std::vector<uint32_t> order = {0, 1, 2};
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return std::make_pair(key(a, 0), key(a, 1)) <
+           std::make_pair(key(b, 0), key(b, 1));
+  });
+  std::string expected;
+  PutVarint32(&expected, 1);  // num_trees
+  PutVarint32(&expected, 2);  // tree_depth
+  PutVarint64(&expected, 3);  // entry count
+  for (uint64_t id : ids) PutFixed64(&expected, id);
+  for (uint32_t record : order) {
+    PutFixed32(&expected, key(record, 0));
+    PutFixed32(&expected, key(record, 1));
+  }
+  for (uint32_t record : order) PutFixed32(&expected, record);
+  EXPECT_EQ(image, expected);
+}
+
+TEST(LshForestSerializationTest, ReserializeIsByteIdentical) {
+  auto family = HashFamily::Create(64, /*seed=*/8).value();
+  auto forest = LshForest::Create(8, 8).value();
+  Rng rng(17);
+  for (uint64_t id = 0; id < 40; ++id) {
+    std::vector<uint64_t> values(15 + id);
+    for (auto& v : values) v = rng.Next();
+    ASSERT_TRUE(forest.Add(id, MinHash::FromValues(family, values)).ok());
+  }
+  forest.Index();
+  std::string image;
+  ASSERT_TRUE(forest.SerializeTo(&image).ok());
+  auto restored = LshForest::Deserialize(image);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  std::string image2;
+  ASSERT_TRUE(restored->SerializeTo(&image2).ok());
+  EXPECT_EQ(image2, image);
+}
+
 TEST(LshForestSerializationTest, UnindexedForestRejected) {
   auto forest = LshForest::Create(4, 4).value();
   std::string image;
@@ -371,6 +434,30 @@ TEST_F(EnsembleIoTest, LoadedIndexAnswersQueriesIdentically) {
       std::sort(actual.begin(), actual.end());
       EXPECT_EQ(actual, expected) << "query " << qi << " t*=" << t_star;
     }
+  }
+}
+
+TEST_F(EnsembleIoTest, LoadedIndexAnswersBatchQueriesIdentically) {
+  ASSERT_TRUE(SaveEnsemble(*ensemble_, path_).ok());
+  auto loaded = LoadEnsemble(path_);
+  ASSERT_TRUE(loaded.ok());
+
+  std::vector<MinHash> sketches;
+  std::vector<QuerySpec> specs;
+  sketches.reserve(16);
+  for (size_t qi = 0; qi < 16; ++qi) {
+    const size_t index = (qi * 53) % corpus_->size();
+    sketches.push_back(QuerySketch(index));
+    specs.push_back(
+        QuerySpec{&sketches.back(), corpus_->domain(index).size(), 0.5});
+  }
+  std::vector<std::vector<uint64_t>> expected(specs.size());
+  std::vector<std::vector<uint64_t>> actual(specs.size());
+  QueryContext ctx_a, ctx_b;
+  ASSERT_TRUE(ensemble_->BatchQuery(specs, &ctx_a, expected.data()).ok());
+  ASSERT_TRUE(loaded->BatchQuery(specs, &ctx_b, actual.data()).ok());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "query " << i;
   }
 }
 

@@ -366,5 +366,220 @@ TEST(LshEnsembleTest, MorePartitionsImprovePrecision) {
       << "partitioning should not hurt precision";
 }
 
+TEST(LshEnsembleBuilderTest, DuplicateIdsRejected) {
+  auto family = Family();
+  LshEnsembleBuilder builder(LshEnsembleOptions{}, family);
+  Rng rng(11);
+  for (uint64_t id : {uint64_t{1}, uint64_t{2}, uint64_t{1}}) {
+    MinHash sketch(family);
+    for (int v = 0; v < 20; ++v) sketch.Update(rng.Next());
+    ASSERT_TRUE(builder.Add(id, 20, sketch).ok());
+  }
+  auto ensemble = std::move(builder).Build();
+  EXPECT_FALSE(ensemble.ok());
+  EXPECT_TRUE(ensemble.status().IsInvalidArgument());
+}
+
+TEST(LshEnsembleTest, StatsAccountingHoldsAcrossPruningSweep) {
+  const Corpus corpus = SmallCorpus(1200, 21);
+  auto family = Family();
+  auto ensemble = BuildEnsemble(corpus, LshEnsembleOptions{}, family);
+  ASSERT_TRUE(ensemble.ok());
+
+  // Every (query, threshold) combination must account for every partition
+  // exactly once: partitions_probed + partitions_pruned == partitions().
+  for (const size_t index : {size_t{0}, size_t{500}, size_t{1100}}) {
+    const Domain& domain = corpus.domain(index);
+    auto sketch = MinHash::FromValues(family, domain.values);
+    for (const double t_star : {0.1, 0.5, 0.9, 1.0}) {
+      std::vector<uint64_t> out;
+      QueryStats stats;
+      ASSERT_TRUE(
+          ensemble->Query(sketch, domain.size(), t_star, &out, &stats).ok());
+      EXPECT_EQ(stats.partitions_probed + stats.partitions_pruned,
+                ensemble->partitions().size());
+      EXPECT_EQ(stats.tuned.size(), stats.partitions_probed);
+      EXPECT_EQ(stats.query_size_used, domain.size());
+    }
+  }
+
+  // With pruning disabled nothing may be skipped.
+  LshEnsembleOptions no_prune;
+  no_prune.prune_unreachable_partitions = false;
+  auto unpruned = BuildEnsemble(corpus, no_prune, family);
+  ASSERT_TRUE(unpruned.ok());
+  const Domain& big = *std::max_element(
+      corpus.domains().begin(), corpus.domains().end(),
+      [](const Domain& a, const Domain& b) { return a.size() < b.size(); });
+  auto sketch = MinHash::FromValues(family, big.values);
+  std::vector<uint64_t> out;
+  QueryStats stats;
+  ASSERT_TRUE(unpruned->Query(sketch, big.size(), 1.0, &out, &stats).ok());
+  EXPECT_EQ(stats.partitions_pruned, 0u);
+  EXPECT_EQ(stats.partitions_probed, unpruned->partitions().size());
+}
+
+TEST(LshEnsembleTest, QueryOutputHasNoDuplicateIds) {
+  const Corpus corpus = SmallCorpus(1500, 22);
+  auto family = Family();
+  auto ensemble = BuildEnsemble(corpus, LshEnsembleOptions{}, family);
+  ASSERT_TRUE(ensemble.ok());
+  for (const size_t index : {size_t{3}, size_t{700}, size_t{1400}}) {
+    const Domain& domain = corpus.domain(index);
+    auto sketch = MinHash::FromValues(family, domain.values);
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(ensemble->Query(sketch, domain.size(), 0.3, &out).ok());
+    std::vector<uint64_t> sorted = out;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+        << "partitions are disjoint, so the union must be duplicate-free";
+  }
+}
+
+TEST(LshEnsembleTest, BatchQueryMatchesSingleQueries) {
+  const Corpus corpus = SmallCorpus(1500, 23);
+  auto family = Family();
+  auto ensemble = BuildEnsemble(corpus, LshEnsembleOptions{}, family);
+  ASSERT_TRUE(ensemble.ok());
+
+  constexpr size_t kQueries = 64;
+  std::vector<MinHash> sketches;
+  std::vector<QuerySpec> specs;
+  sketches.reserve(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    const Domain& domain = corpus.domain((i * 17) % corpus.size());
+    sketches.push_back(MinHash::FromValues(family, domain.values));
+    specs.push_back(QuerySpec{&sketches.back(), domain.size(),
+                              i % 2 == 0 ? 0.5 : 0.8});
+  }
+
+  std::vector<std::vector<uint64_t>> batch_outs(kQueries);
+  std::vector<QueryStats> batch_stats(kQueries);
+  QueryContext ctx;
+  ASSERT_TRUE(
+      ensemble->BatchQuery(specs, &ctx, batch_outs.data(), batch_stats.data())
+          .ok());
+
+  for (size_t i = 0; i < kQueries; ++i) {
+    std::vector<uint64_t> single_out;
+    QueryStats single_stats;
+    ASSERT_TRUE(ensemble
+                    ->Query(*specs[i].query, specs[i].query_size,
+                            specs[i].t_star, &single_out, &single_stats)
+                    .ok());
+    EXPECT_EQ(batch_outs[i], single_out) << "query " << i;
+    EXPECT_EQ(batch_stats[i].query_size_used, single_stats.query_size_used);
+    EXPECT_EQ(batch_stats[i].partitions_probed,
+              single_stats.partitions_probed);
+    EXPECT_EQ(batch_stats[i].partitions_pruned,
+              single_stats.partitions_pruned);
+    ASSERT_EQ(batch_stats[i].tuned.size(), single_stats.tuned.size());
+    for (size_t p = 0; p < single_stats.tuned.size(); ++p) {
+      EXPECT_EQ(batch_stats[i].tuned[p].b, single_stats.tuned[p].b);
+      EXPECT_EQ(batch_stats[i].tuned[p].r, single_stats.tuned[p].r);
+    }
+  }
+
+  // A reused context must not leak state between batches: re-running the
+  // same batch yields the same answers.
+  std::vector<std::vector<uint64_t>> again(kQueries);
+  ASSERT_TRUE(ensemble->BatchQuery(specs, &ctx, again.data()).ok());
+  for (size_t i = 0; i < kQueries; ++i) EXPECT_EQ(again[i], batch_outs[i]);
+  EXPECT_GE(ctx.num_shards(), 1u);
+}
+
+// A QueryContext is documented as bound to no particular ensemble: its
+// internal memos (tuning, probe ranges) must not leak answers from one
+// index into another — even for indexes with the same partition count
+// queried with identical (q, t*), and even when a dead index's heap
+// address is reused.
+TEST(LshEnsembleTest, QueryContextReusableAcrossEnsembles) {
+  auto family = Family();
+  const Corpus small_corpus = SmallCorpus(600, 25);
+  CorpusGenOptions big_gen;
+  big_gen.num_domains = 600;
+  big_gen.min_size = 200;
+  big_gen.max_size = 50000;
+  big_gen.seed = 26;
+  const Corpus big_corpus = CorpusGenerator(big_gen).Generate().value();
+
+  LshEnsembleOptions options;
+  options.num_partitions = 8;
+  options.parallel_query = false;  // serial path: one shard carries memos
+  auto small_index = BuildEnsemble(small_corpus, options, family);
+  auto big_index = BuildEnsemble(big_corpus, options, family);
+  ASSERT_TRUE(small_index.ok());
+  ASSERT_TRUE(big_index.ok());
+  ASSERT_EQ(small_index->partitions().size(), big_index->partitions().size());
+
+  const MinHash sketch = MinHash::FromValues(family, big_corpus.domain(3).values);
+  const QuerySpec spec{&sketch, /*query_size=*/1000, /*t_star=*/0.5};
+  const std::span<const QuerySpec> specs(&spec, 1);
+
+  QueryContext shared_ctx;
+  std::vector<uint64_t> out;
+  // Warm the memo on the small index with the exact same (q, t*)...
+  ASSERT_TRUE(small_index->BatchQuery(specs, &shared_ctx, &out).ok());
+  // ...then the big index must re-tune, not replay the small index's
+  // (b, r): compare against a fresh context.
+  std::vector<uint64_t> shared_out;
+  QueryStats shared_stats;
+  ASSERT_TRUE(
+      big_index->BatchQuery(specs, &shared_ctx, &shared_out, &shared_stats)
+          .ok());
+  QueryContext fresh_ctx;
+  std::vector<uint64_t> fresh_out;
+  QueryStats fresh_stats;
+  ASSERT_TRUE(
+      big_index->BatchQuery(specs, &fresh_ctx, &fresh_out, &fresh_stats).ok());
+  EXPECT_EQ(shared_out, fresh_out);
+  ASSERT_EQ(shared_stats.tuned.size(), fresh_stats.tuned.size());
+  for (size_t p = 0; p < fresh_stats.tuned.size(); ++p) {
+    EXPECT_EQ(shared_stats.tuned[p].b, fresh_stats.tuned[p].b) << "p=" << p;
+    EXPECT_EQ(shared_stats.tuned[p].r, fresh_stats.tuned[p].r) << "p=" << p;
+  }
+
+  // Destroy-and-rebuild while the context lives: stale probe-range or
+  // tuning memos must not survive into the replacement index.
+  auto replacement = BuildEnsemble(big_corpus, options, family);
+  ASSERT_TRUE(replacement.ok());
+  small_index = std::move(replacement);  // old small index destroyed
+  std::vector<uint64_t> replay_out;
+  ASSERT_TRUE(small_index->BatchQuery(specs, &shared_ctx, &replay_out).ok());
+  EXPECT_EQ(replay_out, fresh_out);
+}
+
+TEST(LshEnsembleTest, BatchQueryValidation) {
+  const Corpus corpus = SmallCorpus(200, 24);
+  auto family = Family();
+  auto ensemble = BuildEnsemble(corpus, LshEnsembleOptions{}, family);
+  ASSERT_TRUE(ensemble.ok());
+
+  auto sketch = MinHash::FromValues(family, corpus.domain(0).values);
+  QuerySpec spec{&sketch, corpus.domain(0).size(), 0.5};
+  std::vector<std::vector<uint64_t>> outs(2);
+  QueryContext ctx;
+
+  // Empty batch is a no-op.
+  EXPECT_TRUE(
+      ensemble->BatchQuery(std::span<const QuerySpec>(), &ctx, outs.data())
+          .ok());
+  // Null context / outs are rejected.
+  EXPECT_FALSE(ensemble
+                   ->BatchQuery(std::span<const QuerySpec>(&spec, 1), nullptr,
+                                outs.data())
+                   .ok());
+  EXPECT_FALSE(ensemble
+                   ->BatchQuery(std::span<const QuerySpec>(&spec, 1), &ctx,
+                                nullptr)
+                   .ok());
+  // A bad spec inside a batch fails the call.
+  QuerySpec bad[2] = {spec, QuerySpec{nullptr, 10, 0.5}};
+  EXPECT_FALSE(ensemble->BatchQuery(bad, &ctx, outs.data()).ok());
+  QuerySpec bad_threshold[2] = {spec, QuerySpec{&sketch, 10, 1.5}};
+  EXPECT_FALSE(
+      ensemble->BatchQuery(bad_threshold, &ctx, outs.data()).ok());
+}
+
 }  // namespace
 }  // namespace lshensemble

@@ -243,5 +243,85 @@ TEST(LshForestTest, QueryAppendsAndMemoryReported) {
   EXPECT_GT(forest.MemoryBytes(), 0u);
 }
 
+TEST(LshForestTest, ProbeValidatesArguments) {
+  auto family = Family(64);
+  auto forest = LshForest::Create(8, 8).value();
+  Rng rng(31);
+  ASSERT_TRUE(forest.Add(1, RandomSketch(family, rng)).ok());
+  forest.Index();
+  const MinHash probe_sketch = RandomSketch(family, rng);
+  LshForest::ProbeScratch scratch;
+  std::vector<uint64_t> out;
+  EXPECT_TRUE(
+      forest.Probe(probe_sketch, 8, 8, nullptr, &out).IsInvalidArgument());
+  EXPECT_TRUE(
+      forest.Probe(probe_sketch, 8, 8, &scratch, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(forest.Probe(probe_sketch, 8, 8, &scratch, &out).ok());
+}
+
+// The same scratch reused across repeated probes (which engages the
+// slot-0 range cache) and across different forests must keep answering
+// exactly like a fresh scratch.
+TEST(LshForestTest, SharedScratchMatchesFreshScratch) {
+  auto family = Family(256);
+  Rng rng(33);
+  auto forest_a = LshForest::Create(32, 8).value();
+  auto forest_b = LshForest::Create(32, 8).value();
+  std::vector<MinHash> sketches;
+  for (uint64_t id = 0; id < 120; ++id) {
+    sketches.push_back(RandomSketch(family, rng, 30 + id % 40));
+    ASSERT_TRUE(forest_a.Add(id, sketches.back()).ok());
+    if (id % 2 == 0) {
+      ASSERT_TRUE(forest_b.Add(id, sketches.back()).ok());
+    }
+  }
+  forest_a.Index();
+  forest_b.Index();
+
+  LshForest::ProbeScratch shared;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t qi = 0; qi < sketches.size(); qi += 7) {
+      for (const auto* forest : {&forest_a, &forest_b}) {
+        const int b = 1 + static_cast<int>(qi) % 32;
+        const int r = 1 + static_cast<int>(qi) % 8;
+        std::vector<uint64_t> expected, actual;
+        LshForest::ProbeScratch fresh;
+        ASSERT_TRUE(
+            forest->Probe(sketches[qi], b, r, &fresh, &expected).ok());
+        ASSERT_TRUE(
+            forest->Probe(sketches[qi], b, r, &shared, &actual).ok());
+        EXPECT_EQ(actual, expected)
+            << "round " << round << " query " << qi << " b=" << b
+            << " r=" << r;
+      }
+    }
+  }
+  EXPECT_GT(shared.MemoryBytes(), 0u);
+}
+
+// Probing the same forest thousands of times with one scratch exercises
+// cache fills, hits, and (tree, key) slot collisions.
+TEST(LshForestTest, RepeatedProbesWithWarmScratchStayCorrect) {
+  auto family = Family(256);
+  Rng rng(35);
+  auto forest = LshForest::Create(32, 8).value();
+  std::vector<MinHash> sketches;
+  for (uint64_t id = 0; id < 200; ++id) {
+    sketches.push_back(RandomSketch(family, rng, 25 + id % 30));
+    ASSERT_TRUE(forest.Add(id, sketches.back()).ok());
+  }
+  forest.Index();
+
+  LshForest::ProbeScratch warm;
+  for (int round = 0; round < 20; ++round) {
+    for (size_t qi = 0; qi < sketches.size(); qi += 11) {
+      std::vector<uint64_t> expected, actual;
+      ASSERT_TRUE(forest.Query(sketches[qi], 32, 4, &expected).ok());
+      ASSERT_TRUE(forest.Probe(sketches[qi], 32, 4, &warm, &actual).ok());
+      ASSERT_EQ(actual, expected) << "round " << round << " query " << qi;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lshensemble

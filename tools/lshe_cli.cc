@@ -1,16 +1,20 @@
 // lshe — command-line domain search over CSV files.
 //
-//   lshe index  --out idx.lshe --catalog idx.cat [options] file1.csv ...
-//   lshe query  --index idx.lshe --catalog idx.cat \
-//               --query-csv q.csv --column Partner [--threshold 0.5 | --topk 10]
-//   lshe stats  --index idx.lshe [--catalog idx.cat]
+//   lshe index       --out idx.lshe --catalog idx.cat [options] file1.csv ...
+//   lshe query       --index idx.lshe --catalog idx.cat --query-csv q.csv
+//                    --column Partner [--threshold 0.5 | --topk 10]
+//   lshe batch-query --index idx.lshe --catalog idx.cat --query-csv q.csv
+//                    [--column Partner] [--threshold 0.5]
+//   lshe stats       --index idx.lshe [--catalog idx.cat]
 //
 // `index` extracts every column of every CSV as a domain (paper Section 2:
 // dom(R) = projections on the attributes), sketches them, builds an LSH
 // Ensemble and writes the index image plus a catalog (names, sizes,
 // signatures). `query` sketches one column of a query CSV and reports the
 // indexed domains that contain it (threshold mode, Definition 2) or the
-// k best containers (top-k mode). `stats` prints the partition layout.
+// k best containers (top-k mode). `batch-query` treats every column of the
+// query CSV as one query and answers them all in a single BatchQuery()
+// call on the batched engine. `stats` prints the partition layout.
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +56,8 @@ void Usage() {
              [--tree-depth R] [--min-size K] [--seed S] CSV...
   lshe query --index IDX --catalog CAT --query-csv FILE --column NAME
              [--threshold T | --topk K]
+  lshe batch-query --index IDX --catalog CAT --query-csv FILE
+             [--column NAME] [--threshold T] [--min-size K]
   lshe stats --index IDX [--catalog CAT]
 )");
 }
@@ -229,6 +235,73 @@ int RunQuery(const Flags& flags) {
   return 0;
 }
 
+int RunBatchQuery(const Flags& flags) {
+  if (flags.index.empty() || flags.catalog.empty() || flags.query_csv.empty()) {
+    Usage();
+    return 2;
+  }
+  auto ensemble = LoadEnsemble(flags.index);
+  if (!ensemble.ok()) return Fail(ensemble.status());
+  auto catalog = Catalog::Load(flags.catalog);
+  if (!catalog.ok()) return Fail(catalog.status());
+  if (!catalog->family()->SameAs(*ensemble->family())) {
+    return Fail(Status::InvalidArgument(
+        "catalog and index were built with different hash families"));
+  }
+
+  auto table = ReadCsvFile(flags.query_csv);
+  if (!table.ok()) return Fail(table.status());
+  ExtractOptions extract;
+  extract.min_domain_size = flags.min_domain_size;
+  std::vector<Domain> queries = ExtractDomains(*table, 1, extract);
+  if (!flags.column.empty()) {
+    std::erase_if(queries, [&](const Domain& domain) {
+      return domain.name != flags.column;
+    });
+  }
+  if (queries.empty()) {
+    return Fail(Status::InvalidArgument(
+        "no query columns extracted (check --column / --min-size)"));
+  }
+
+  std::vector<MinHash> sketches;
+  sketches.reserve(queries.size());
+  for (const Domain& query : queries) {
+    sketches.push_back(MinHash::FromValues(ensemble->family(), query.values));
+  }
+  std::vector<QuerySpec> specs(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    specs[i] = QuerySpec{&sketches[i], queries[i].size(), flags.threshold};
+  }
+  std::vector<std::vector<uint64_t>> outs(specs.size());
+
+  QueryContext ctx;
+  StopWatch watch;
+  Status status = ensemble->BatchQuery(specs, &ctx, outs.data());
+  if (!status.ok()) return Fail(status);
+  const double elapsed = watch.ElapsedSeconds();
+
+  size_t total = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    total += outs[i].size();
+    std::printf("%s (|Q| = %zu): %zu domains containing >= %.2f\n",
+                queries[i].name.c_str(), queries[i].size(), outs[i].size(),
+                flags.threshold);
+    constexpr size_t kMaxPrinted = 20;
+    for (size_t j = 0; j < outs[i].size() && j < kMaxPrinted; ++j) {
+      std::printf("  %s\n", catalog->NameOf(outs[i][j]).c_str());
+    }
+    if (outs[i].size() > kMaxPrinted) {
+      std::printf("  ... %zu more\n", outs[i].size() - kMaxPrinted);
+    }
+  }
+  std::printf(
+      "%zu queries, %zu candidates in %.1f ms (%.0f queries/sec)\n",
+      specs.size(), total, elapsed * 1e3,
+      static_cast<double>(specs.size()) / elapsed);
+  return 0;
+}
+
 int RunStats(const Flags& flags) {
   if (flags.index.empty()) {
     Usage();
@@ -271,6 +344,7 @@ int Main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "index") return RunIndex(flags);
   if (command == "query") return RunQuery(flags);
+  if (command == "batch-query") return RunBatchQuery(flags);
   if (command == "stats") return RunStats(flags);
   Usage();
   return 2;
