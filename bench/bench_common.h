@@ -10,10 +10,12 @@
 #define LSHENSEMBLE_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "data/corpus.h"
@@ -36,6 +38,101 @@ inline int64_t IntFlag(int argc, char** argv, std::string_view name,
   }
   return fallback;
 }
+
+/// Parse "--name=value" or "--name value" style string flags; returns
+/// `fallback` if absent.
+inline std::string StringFlag(int argc, char** argv, std::string_view name,
+                              std::string_view fallback = "") {
+  const std::string bare = std::string("--") + std::string(name);
+  const std::string prefix = bare + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::string(arg.substr(prefix.size()));
+    }
+    if (arg == bare && i + 1 < argc) return argv[i + 1];
+  }
+  return std::string(fallback);
+}
+
+/// \brief Machine-readable bench output: collects flat rows of key/value
+/// pairs and writes them as `{"bench": <name>, "rows": [...]}` to the path
+/// given by the --json flag (the perf-trajectory `BENCH_*.json` files).
+/// With no --json path every call is a no-op, so benches emit
+/// unconditionally.
+class JsonResultWriter {
+ public:
+  /// \param bench  short bench identifier, e.g. "minhash".
+  /// \param path   output file; empty disables the writer.
+  JsonResultWriter(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Start a new result row.
+  void BeginRow() {
+    if (enabled()) rows_.emplace_back();
+  }
+  void Add(std::string_view key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    AddRaw(key, buf);
+  }
+  void Add(std::string_view key, int64_t value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(std::string_view key, size_t value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(std::string_view key, std::string_view value) {
+    AddRaw(key, Quote(value));
+  }
+
+  /// Write the collected rows; returns false (with a message on stderr)
+  /// when the file cannot be written. Safe to call when disabled.
+  bool Write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write JSON results to %s\n",
+                   path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": %s, \"rows\": [", Quote(bench_).c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n  {", i == 0 ? "" : ",");
+      for (size_t j = 0; j < rows_[i].size(); ++j) {
+        std::fprintf(f, "%s%s: %s", j == 0 ? "" : ", ",
+                     Quote(rows_[i][j].first).c_str(),
+                     rows_[i][j].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("JSON results written to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Quote(std::string_view s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+  void AddRaw(std::string_view key, std::string value) {
+    if (!enabled()) return;
+    rows_.back().emplace_back(std::string(key), std::move(value));
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 inline constexpr uint64_t kBenchSeed = 20160905;  // VLDB'16 week
 

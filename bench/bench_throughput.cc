@@ -15,6 +15,7 @@
 
 #include "bench_common.h"
 #include "core/lsh_ensemble.h"
+#include "data/sketcher.h"
 #include "eval/report.h"
 #include "minhash/minhash.h"
 #include "util/timer.h"
@@ -51,7 +52,8 @@ struct Row {
   uint64_t allocations;
 };
 
-void PrintRows(const std::vector<Row>& rows) {
+void PrintRows(const std::vector<Row>& rows,
+               lshensemble::bench::JsonResultWriter* json) {
   TablePrinter printer(
       {"mode", "batch", "queries", "qps", "allocs", "allocs/query"});
   for (const Row& row : rows) {
@@ -62,17 +64,17 @@ void PrintRows(const std::vector<Row>& rows) {
                     FormatDouble(static_cast<double>(row.allocations) /
                                      static_cast<double>(row.queries),
                                  2)});
+    json->BeginRow();
+    json->Add("mode", std::string_view(row.mode));
+    json->Add("batch_size", row.batch_size);
+    json->Add("queries", row.queries);
+    json->Add("seconds", row.seconds);
+    json->Add("qps", row.queries / row.seconds);
+    json->Add("allocations", static_cast<size_t>(row.allocations));
+    json->Add("allocs_per_query",
+              static_cast<double>(row.allocations) / row.queries);
   }
   printer.Print(std::cout);
-  for (const Row& row : rows) {
-    std::printf(
-        "{\"bench\": \"throughput\", \"mode\": \"%s\", \"batch_size\": %zu, "
-        "\"queries\": %zu, \"qps\": %.1f, \"allocations\": %llu, "
-        "\"allocs_per_query\": %.3f}\n",
-        row.mode, row.batch_size, row.queries, row.queries / row.seconds,
-        static_cast<unsigned long long>(row.allocations),
-        static_cast<double>(row.allocations) / row.queries);
-  }
 }
 
 int Main(int argc, char** argv) {
@@ -83,6 +85,8 @@ int Main(int argc, char** argv) {
   const auto num_hashes =
       static_cast<int>(bench::IntFlag(argc, argv, "hashes", 256));
   const double t_star = bench::IntFlag(argc, argv, "tstar-pct", 50) / 100.0;
+  bench::JsonResultWriter json("throughput",
+                               bench::StringFlag(argc, argv, "json"));
 
   const Corpus corpus = bench::WdcLikeCorpus(num_domains);
   auto family = HashFamily::Create(num_hashes, bench::kBenchSeed).value();
@@ -90,11 +94,10 @@ int Main(int argc, char** argv) {
   LshEnsembleOptions options;
   options.num_hashes = num_hashes;
   LshEnsembleBuilder builder(options, family);
-  std::vector<MinHash> sketches;
-  sketches.reserve(corpus.size());
+  const ParallelSketcher sketcher(family);
+  std::vector<MinHash> sketches = sketcher.SketchCorpus(corpus);
   for (size_t i = 0; i < corpus.size(); ++i) {
-    sketches.push_back(MinHash::FromValues(family, corpus.domain(i).values));
-    if (!builder.Add(i + 1, corpus.domain(i).size(), sketches.back()).ok()) {
+    if (!builder.Add(i + 1, corpus.domain(i).size(), sketches[i]).ok()) {
       std::fprintf(stderr, "builder.Add failed\n");
       return 1;
     }
@@ -158,7 +161,7 @@ int Main(int argc, char** argv) {
                     g_allocations.load() - allocs_before});
   }
 
-  PrintRows(rows);
+  PrintRows(rows, &json);
 
   size_t total_results = 0;
   for (const auto& out : outs) total_results += out.size();
@@ -169,6 +172,7 @@ int Main(int argc, char** argv) {
   const double batch_qps = rows.back().queries / rows.back().seconds;
   std::printf("\nBatchQuery(%zu) speedup over sequential Query(): %.2fx\n",
               rows.back().batch_size, batch_qps / single_qps);
+  if (!json.Write()) return 1;
   return 0;
 }
 

@@ -50,6 +50,16 @@ Status DynamicLshEnsemble::Insert(uint64_t id, size_t size,
   return Status::OK();
 }
 
+Status DynamicLshEnsemble::Insert(uint64_t id,
+                                  std::span<const uint64_t> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("domain must have at least one value");
+  }
+  MinHash sketch(family_);
+  sketch.UpdateBatch(values);
+  return Insert(id, values.size(), std::move(sketch));
+}
+
 Status DynamicLshEnsemble::Remove(uint64_t id) {
   const auto it = records_.find(id);
   if (it == records_.end()) {
@@ -70,8 +80,15 @@ Status DynamicLshEnsemble::Remove(uint64_t id) {
 Status DynamicLshEnsemble::Query(const MinHash& query, size_t query_size,
                                  double t_star,
                                  std::vector<uint64_t>* out) const {
-  if (out == nullptr) {
-    return Status::InvalidArgument("out must not be null");
+  QueryContext ctx;
+  return Query(query, query_size, t_star, &ctx, out);
+}
+
+Status DynamicLshEnsemble::Query(const MinHash& query, size_t query_size,
+                                 double t_star, QueryContext* ctx,
+                                 std::vector<uint64_t>* out) const {
+  if (ctx == nullptr || out == nullptr) {
+    return Status::InvalidArgument("ctx and out must not be null");
   }
   if (!query.valid() || !query.family()->SameAs(*family_)) {
     return Status::InvalidArgument(
@@ -90,11 +107,20 @@ Status DynamicLshEnsemble::Query(const MinHash& query, size_t query_size,
   const auto qd = static_cast<double>(q);
 
   if (ensemble_.has_value()) {
-    std::vector<uint64_t> indexed_candidates;
-    LSHE_RETURN_IF_ERROR(
-        ensemble_->Query(query, q, t_star, &indexed_candidates));
-    for (uint64_t id : indexed_candidates) {
-      if (tombstones_.count(id) == 0) out->push_back(id);
+    const QuerySpec spec{&query, q, t_star};
+    const std::span<const QuerySpec> specs(&spec, 1);
+    if (tombstones_.empty()) {
+      // Nothing to filter: let the batched engine fill the caller's buffer
+      // directly (it clears the output vector itself).
+      LSHE_RETURN_IF_ERROR(ensemble_->BatchQuery(specs, ctx, out));
+    } else {
+      // Stage candidates in the context (capacity persists across calls)
+      // and copy through the tombstone filter.
+      std::vector<uint64_t>* staged = &ctx->dynamic_candidates_;
+      LSHE_RETURN_IF_ERROR(ensemble_->BatchQuery(specs, ctx, staged));
+      for (uint64_t id : *staged) {
+        if (tombstones_.count(id) == 0) out->push_back(id);
+      }
     }
   }
 

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -66,14 +67,30 @@ class DynamicLshEnsemble {
   /// live (re-inserting a Remove()d id is allowed). May trigger a rebuild.
   Status Insert(uint64_t id, size_t size, MinHash signature);
 
+  /// \brief Add a domain from its raw (pre-hashed, distinct) values: the
+  /// signature is built internally with the batched SIMD kernel and the
+  /// size taken from values.size(). Same semantics as Insert() above.
+  Status Insert(uint64_t id, std::span<const uint64_t> values);
+
   /// \brief Remove a live domain. Indexed domains are tombstoned until the
   /// next rebuild; unflushed (delta) domains are dropped outright.
   Status Remove(uint64_t id);
 
   /// \brief Domain search with set containment over indexed + delta
   /// domains, minus tombstones. Same contract as LshEnsemble::Query.
+  ///
+  /// A thin wrapper over the context-taking overload with a private
+  /// QueryContext (allocates); prefer that overload on hot paths.
   Status Query(const MinHash& query, size_t query_size, double t_star,
                std::vector<uint64_t>* out) const;
+
+  /// \brief Same search, routed through the batched engine with
+  /// caller-owned scratch: the indexed probe reuses `ctx` (pooled shards,
+  /// probe scratch, candidate staging), so a warm context makes the whole
+  /// call — delta scan included — allocation-free apart from output
+  /// growth. One context must not be used by concurrent callers.
+  Status Query(const MinHash& query, size_t query_size, double t_star,
+               QueryContext* ctx, std::vector<uint64_t>* out) const;
 
   /// \brief Rebuild the ensemble over all live domains now. No-op when
   /// nothing changed since the last build. Clears the delta and tombstones.

@@ -48,6 +48,7 @@ size_t QueryContext::MemoryBytes() const {
     bytes += partial.capacity() * sizeof(uint64_t);
   }
   bytes += statuses_.capacity() * sizeof(Status);
+  bytes += dynamic_candidates_.capacity() * sizeof(uint64_t);
   return bytes;
 }
 

@@ -127,6 +127,7 @@ class QueryContext {
 
  private:
   friend class LshEnsemble;
+  friend class DynamicLshEnsemble;  // candidate buffer for delta merging
 
   /// One worker's worth of scratch.
   struct Shard {
@@ -158,6 +159,10 @@ class QueryContext {
   std::vector<std::vector<uint64_t>> partials_;
   // Per-query (or per-partition) statuses of the current batch.
   std::vector<Status> statuses_;
+  // DynamicLshEnsemble's indexed-candidate staging buffer (tombstone
+  // filtering needs the raw candidates before they reach the caller).
+  // Separate from partials_, which the inner BatchQuery call may use.
+  std::vector<uint64_t> dynamic_candidates_;
 };
 
 /// \brief Accumulates (id, size, signature) records and builds the

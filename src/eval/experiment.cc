@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "baselines/asym_minhash.h"
+#include "data/sketcher.h"
 #include "eval/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -69,15 +70,19 @@ Status AccuracyExperiment::Prepare() {
   if (!family.ok()) return family.status();
   family_ = std::move(family).value();
 
-  // Sketch every domain referenced by the experiment, in parallel.
+  // Sketch every domain referenced by the experiment, in parallel through
+  // the batched kernel.
   std::vector<char> needed(corpus_.size(), 0);
   for (size_t i : index_indices_) needed[i] = 1;
   for (size_t i : query_indices_) needed[i] = 1;
+  std::vector<size_t> needed_indices;
+  needed_indices.reserve(corpus_.size());
+  for (size_t i = 0; i < corpus_.size(); ++i) {
+    if (needed[i]) needed_indices.push_back(i);
+  }
   sketches_.assign(corpus_.size(), MinHash());
-  ThreadPool::Shared().ParallelFor(corpus_.size(), [&](size_t i) {
-    if (!needed[i]) return;
-    sketches_[i] = MinHash::FromValues(family_, corpus_.domain(i).values);
-  });
+  const ParallelSketcher sketcher(family_);
+  sketcher.SketchSubset(corpus_, needed_indices, &sketches_);
 
   LSHE_ASSIGN_OR_RETURN(
       truth_, GroundTruth::Compute(corpus_, query_indices_, index_indices_));

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "io/coding.h"
+#include "minhash/hash_kernel.h"
 #include "util/instance_id.h"
 
 namespace lshensemble {
@@ -113,67 +114,6 @@ void LshForest::ProbeScratch::Begin(uint64_t owner_id, size_t n) {
   }
 }
 
-namespace {
-
-// Compares the first `r` values of `key` against `prefix`:
-// negative if key < prefix, 0 on prefix match, positive if key > prefix.
-inline int ComparePrefix(const uint32_t* key, const uint32_t* prefix, int r) {
-  for (int d = 0; d < r; ++d) {
-    if (key[d] != prefix[d]) return key[d] < prefix[d] ? -1 : 1;
-  }
-  return 0;
-}
-
-// Phase 2 of a prefix lookup: given the slot-0 match range [*lo, *hi) of a
-// tree whose full rows start at `keys`, shrink it to the rows whose slots
-// 1..r-1 also match `prefix`. The range is sorted by the remaining slots,
-// so short ranges (the common case: a few 32-bit collisions) are filtered
-// by a linear scan that fits in a cache line or two, and long runs of a
-// popular value get the usual pair of binary searches.
-inline void RefinePrefixRange(const uint32_t* keys, size_t depth,
-                              const uint32_t* prefix, int r, size_t* lo,
-                              size_t* hi) {
-  size_t begin = *lo, end = *hi;
-  if (end - begin <= 8) {
-    while (begin < end &&
-           ComparePrefix(keys + begin * depth + 1, prefix + 1, r - 1) < 0) {
-      ++begin;
-    }
-    size_t match_end = begin;
-    while (match_end < end &&
-           ComparePrefix(keys + match_end * depth + 1, prefix + 1, r - 1) ==
-               0) {
-      ++match_end;
-    }
-    end = match_end;
-  } else {
-    size_t a = begin, b = end;
-    while (a < b) {
-      const size_t mid = a + (b - a) / 2;
-      if (ComparePrefix(keys + mid * depth + 1, prefix + 1, r - 1) < 0) {
-        a = mid + 1;
-      } else {
-        b = mid;
-      }
-    }
-    begin = a;
-    b = end;
-    while (a < b) {
-      const size_t mid = a + (b - a) / 2;
-      if (ComparePrefix(keys + mid * depth + 1, prefix + 1, r - 1) <= 0) {
-        a = mid + 1;
-      } else {
-        b = mid;
-      }
-    }
-    end = a;
-  }
-  *lo = begin;
-  *hi = end;
-}
-
-}  // namespace
-
 Status LshForest::Probe(const MinHash& signature, int b, int r,
                         ProbeScratch* scratch,
                         std::vector<uint64_t>* out) const {
@@ -196,6 +136,10 @@ Status LshForest::Probe(const MinHash& signature, int b, int r,
   if (n == 0) return Status::OK();
   const auto& mins = signature.values();
   const size_t depth = static_cast<size_t>(tree_depth_);
+  // Prefix refinement is dispatched once per probe: the AVX2 kernel
+  // compares a whole depth-(r-1) suffix with one masked 256-bit load and
+  // movemask instead of a scalar slot loop (minhash/hash_kernel.h).
+  const HashKernelOps& kernel = ActiveKernelOps();
   scratch->Begin(instance_id_, n);
   scratch->prefix_.resize(static_cast<size_t>(r));
   scratch->cursors_.resize(static_cast<size_t>(b));
@@ -291,7 +235,7 @@ Status LshForest::Probe(const MinHash& signature, int b, int r,
       const size_t base = static_cast<size_t>(t) * depth;
       prefix[0] = keys0[t];
       for (int d = 1; d < r; ++d) prefix[d] = TruncateHash(mins[base + d]);
-      RefinePrefixRange(TreeKeys(t), depth, prefix, r, &lo, &hi);
+      kernel.refine_prefix_range(TreeKeys(t), depth, prefix, r, &lo, &hi);
     }
     const uint32_t* entries = TreeEntries(t);
     for (size_t pos = lo; pos < hi; ++pos) {

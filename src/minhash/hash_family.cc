@@ -1,5 +1,6 @@
 #include "minhash/hash_family.h"
 
+#include "minhash/hash_kernel.h"
 #include "util/random.h"
 
 namespace lshensemble {
@@ -21,14 +22,14 @@ Result<std::shared_ptr<const HashFamily>> HashFamily::Create(int num_hashes,
 }
 
 void HashFamily::UpdateMins(uint64_t value, uint64_t* mins) const {
-  const uint64_t reduced = Reduce(value);
-  const size_t m = mul_.size();
-  const uint64_t* mul = mul_.data();
-  const uint64_t* add = add_.data();
-  for (size_t i = 0; i < m; ++i) {
-    const uint64_t h = AddMod61(MulMod61(mul[i], reduced), add[i]);
-    if (h < mins[i]) mins[i] = h;
-  }
+  ActiveKernelOps().update_one(mul_.data(), add_.data(), mul_.size(), value,
+                               mins);
+}
+
+void HashFamily::UpdateMinsBatch(const uint64_t* values, size_t n,
+                                 uint64_t* mins) const {
+  ActiveKernelOps().update_batch(mul_.data(), add_.data(), mul_.size(),
+                                 values, n, mins);
 }
 
 }  // namespace lshensemble

@@ -39,6 +39,16 @@ inline uint64_t AddMod61(uint64_t a, uint64_t b) {
   return sum;
 }
 
+/// \brief Reduce an arbitrary 64-bit value into [0, 2^61 - 1). The single
+/// definition shared by the hash family and every SIMD kernel — the
+/// bit-identical-signature guarantee depends on all paths folding values
+/// the same way.
+inline uint64_t ReduceMod61(uint64_t value) {
+  uint64_t folded = (value & kMersennePrime61) + (value >> 61);
+  if (folded >= kMersennePrime61) folded -= kMersennePrime61;
+  return folded;
+}
+
 /// \brief A seeded family of `num_hashes` independent minwise hash
 /// functions. Immutable after creation; shared (via shared_ptr) by all
 /// signatures of a corpus.
@@ -56,15 +66,27 @@ class HashFamily {
   int num_hashes() const { return static_cast<int>(mul_.size()); }
   uint64_t seed() const { return seed_; }
 
+  /// The raw coefficient arrays a_i / b_i, exposed so kernel benches and
+  /// parity tests can drive a specific HashKernelOps table directly.
+  const std::vector<uint64_t>& multipliers() const { return mul_; }
+  const std::vector<uint64_t>& offsets() const { return add_; }
+
   /// The i-th hash of `value`. `value` may be any 64-bit base hash.
   uint64_t HashOne(uint64_t value, int i) const {
-    return AddMod61(MulMod61(mul_[i], Reduce(value)), add_[i]);
+    return AddMod61(MulMod61(mul_[i], ReduceMod61(value)), add_[i]);
   }
 
   /// \brief Fold `value` into a running minimum signature:
   /// mins[i] = min(mins[i], h_i(value)) for all i. `mins` must have
-  /// num_hashes() elements.
+  /// num_hashes() elements. Dispatches to the active SIMD kernel
+  /// (minhash/hash_kernel.h); results are identical on every CPU.
   void UpdateMins(uint64_t value, uint64_t* mins) const;
+
+  /// \brief Fold `n` values into `mins` in one call. Equivalent to calling
+  /// UpdateMins() per value but substantially faster: the kernel blocks
+  /// the work so min-registers stay in registers across the whole batch.
+  void UpdateMinsBatch(const uint64_t* values, size_t n,
+                       uint64_t* mins) const;
 
   /// True iff `other` was created with the same seed and size (and thus
   /// produces identical hash values).
@@ -76,13 +98,6 @@ class HashFamily {
   HashFamily(std::vector<uint64_t> mul, std::vector<uint64_t> add,
              uint64_t seed)
       : mul_(std::move(mul)), add_(std::move(add)), seed_(seed) {}
-
-  /// Reduce an arbitrary 64-bit value into [0, p).
-  static uint64_t Reduce(uint64_t value) {
-    uint64_t folded = (value & kMersennePrime61) + (value >> 61);
-    if (folded >= kMersennePrime61) folded -= kMersennePrime61;
-    return folded;
-  }
 
   std::vector<uint64_t> mul_;  // a_i in [1, p-1]
   std::vector<uint64_t> add_;  // b_i in [0, p-1]

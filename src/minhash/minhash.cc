@@ -1,5 +1,6 @@
 #include "minhash/minhash.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -16,7 +17,7 @@ MinHash::MinHash(std::shared_ptr<const HashFamily> family)
 MinHash MinHash::FromValues(std::shared_ptr<const HashFamily> family,
                             std::span<const uint64_t> values) {
   MinHash sketch(std::move(family));
-  for (uint64_t v : values) sketch.Update(v);
+  sketch.UpdateBatch(values);
   return sketch;
 }
 
@@ -68,6 +69,11 @@ void MinHash::UpdateString(std::string_view value) {
   Update(HashString(value));
 }
 
+void MinHash::UpdateBatch(std::span<const uint64_t> values) {
+  assert(valid());
+  family_->UpdateMinsBatch(values.data(), values.size(), mins_.data());
+}
+
 Result<double> MinHash::EstimateJaccard(const MinHash& other) const {
   if (!valid() || !other.valid()) {
     return Status::InvalidArgument("comparing invalid MinHash");
@@ -76,10 +82,16 @@ Result<double> MinHash::EstimateJaccard(const MinHash& other) const {
     return Status::InvalidArgument(
         "MinHash signatures built from different hash families");
   }
+  // Branchless mask-sum: this runs once per candidate on the top-k
+  // verification hot path, where the compare outcomes are near-random and
+  // a per-element branch would mispredict constantly.
   const size_t m = mins_.size();
+  const uint64_t* a = mins_.data();
+  const uint64_t* b = other.mins_.data();
   size_t collisions = 0;
   for (size_t i = 0; i < m; ++i) {
-    if (mins_[i] == other.mins_[i] && mins_[i] != kEmptySlot) ++collisions;
+    collisions +=
+        static_cast<size_t>(a[i] == b[i]) & static_cast<size_t>(a[i] != kEmptySlot);
   }
   return static_cast<double>(collisions) / static_cast<double>(m);
 }
@@ -106,8 +118,12 @@ Status MinHash::Merge(const MinHash& other) {
     return Status::InvalidArgument(
         "cannot merge MinHash signatures from different hash families");
   }
+  // Branchless slot-wise min (cmov/vectorizable), same rationale as the
+  // EstimateJaccard mask-sum above.
+  const uint64_t* src = other.mins_.data();
+  uint64_t* dst = mins_.data();
   for (size_t i = 0; i < mins_.size(); ++i) {
-    if (other.mins_[i] < mins_[i]) mins_[i] = other.mins_[i];
+    dst[i] = std::min(dst[i], src[i]);
   }
   return Status::OK();
 }

@@ -62,6 +62,10 @@ class MinHash {
   void Update(uint64_t value);
   /// Add one raw string value to the sketched set.
   void UpdateString(std::string_view value);
+  /// \brief Add many pre-hashed values in one call. Equivalent to calling
+  /// Update() per value, but runs the batched SIMD kernel (the minima stay
+  /// in registers across the batch); this is the ingest fast path.
+  void UpdateBatch(std::span<const uint64_t> values);
 
   /// \brief Unbiased Jaccard similarity estimate (fraction of colliding
   /// slots, paper Eq. 4). Returns InvalidArgument if the families differ.

@@ -277,5 +277,71 @@ TEST_F(DynamicEnsembleTest, QueryValidation) {
   EXPECT_TRUE(index.Query(MinHash(), 10, 0.5, &results).IsInvalidArgument());
 }
 
+TEST_F(DynamicEnsembleTest, ContextQueryMatchesPlainQuery) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  // Enough inserts to trigger at least one rebuild, so queries see both
+  // the built ensemble and a delta buffer; remove a few for tombstones.
+  for (size_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(InsertDomain(index, i).ok());
+  }
+  for (size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(index.Remove(corpus_->domain(i * 7).id).ok());
+  }
+  ASSERT_GT(index.delta_size(), 0u);
+  ASSERT_GT(index.tombstone_count(), 0u);
+
+  QueryContext ctx;
+  for (size_t qi : {0ul, 5ul, 42ul, 150ul}) {
+    std::vector<uint64_t> plain, with_ctx;
+    const MinHash query = Sketch(qi);
+    const size_t q = corpus_->domain(qi).size();
+    ASSERT_TRUE(index.Query(query, q, 0.5, &plain).ok());
+    ASSERT_TRUE(index.Query(query, q, 0.5, &ctx, &with_ctx).ok());
+    EXPECT_EQ(plain, with_ctx);
+  }
+  std::vector<uint64_t> unused;
+  EXPECT_TRUE(
+      index.Query(Sketch(0), 10, 0.5, nullptr, &unused).IsInvalidArgument());
+}
+
+TEST_F(DynamicEnsembleTest, ContextQueryIsWarmAfterFirstCall) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(InsertDomain(index, i).ok());
+  }
+  ASSERT_TRUE(index.Remove(corpus_->domain(1).id).ok());
+
+  QueryContext ctx;
+  std::vector<uint64_t> results;
+  // Warm the context (shard pool sizing can settle over the first few
+  // calls when workers race for shards), then require it to stop growing.
+  for (int rep = 0; rep < 8; ++rep) {
+    ASSERT_TRUE(index.Query(Sketch(2), corpus_->domain(2).size(), 0.5, &ctx,
+                            &results)
+                    .ok());
+  }
+  const size_t warm_bytes = ctx.MemoryBytes();
+  for (int rep = 0; rep < 5; ++rep) {
+    ASSERT_TRUE(index.Query(Sketch(2), corpus_->domain(2).size(), 0.5, &ctx,
+                            &results)
+                    .ok());
+  }
+  EXPECT_EQ(ctx.MemoryBytes(), warm_bytes);
+}
+
+TEST_F(DynamicEnsembleTest, InsertFromRawValues) {
+  auto index = DynamicLshEnsemble::Create(SmallOptions(), family_).value();
+  const Domain& domain = corpus_->domain(4);
+  ASSERT_TRUE(index.Insert(domain.id, domain.values).ok());
+  EXPECT_EQ(index.SizeOf(domain.id), domain.size());
+  // The internally built signature must match the explicit sketch.
+  const MinHash* stored = index.SignatureOf(domain.id);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->values(), Sketch(4).values());
+
+  EXPECT_TRUE(index.Insert(domain.id + 1, std::span<const uint64_t>())
+                  .IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace lshensemble

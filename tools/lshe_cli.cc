@@ -25,6 +25,7 @@
 #include "core/lsh_ensemble.h"
 #include "core/topk.h"
 #include "data/csv.h"
+#include "data/sketcher.h"
 #include "data/table.h"
 #include "io/catalog.h"
 #include "io/ensemble_io.h"
@@ -127,24 +128,27 @@ int RunIndex(const Flags& flags) {
 
   ExtractOptions extract;
   extract.min_domain_size = flags.min_domain_size;
+  const ParallelSketcher sketcher(family);
   uint64_t next_id = 1;
   StopWatch watch;
   for (const std::string& path : flags.positional) {
     auto table = ReadCsvFile(path);
     if (!table.ok()) return Fail(table.status());
-    const std::vector<Domain> domains =
-        ExtractDomains(*table, next_id, extract);
-    for (const Domain& domain : domains) {
-      MinHash sketch = MinHash::FromValues(family, domain.values);
-      Status status = builder.Add(domain.id, domain.size(), sketch);
+    // Sketch the whole file's domains in one parallel, batch-kernel pass.
+    const Corpus file_corpus(ExtractDomains(*table, next_id, extract));
+    std::vector<MinHash> sketches = sketcher.SketchCorpus(file_corpus);
+    for (size_t i = 0; i < file_corpus.size(); ++i) {
+      const Domain& domain = file_corpus.domain(i);
+      Status status = builder.Add(domain.id, domain.size(), sketches[i]);
       if (status.ok()) {
         status = catalog.Add(domain.id, domain.name, domain.size(),
-                             std::move(sketch));
+                             std::move(sketches[i]));
       }
       if (!status.ok()) return Fail(status);
       next_id = std::max(next_id, domain.id + 1);
     }
-    std::printf("%-40s %zu domains\n", table->name.c_str(), domains.size());
+    std::printf("%-40s %zu domains\n", table->name.c_str(),
+                file_corpus.size());
   }
   if (builder.size() == 0) {
     std::fprintf(stderr, "no domains extracted (check --min-size)\n");
@@ -264,14 +268,14 @@ int RunBatchQuery(const Flags& flags) {
         "no query columns extracted (check --column / --min-size)"));
   }
 
-  std::vector<MinHash> sketches;
-  sketches.reserve(queries.size());
-  for (const Domain& query : queries) {
-    sketches.push_back(MinHash::FromValues(ensemble->family(), query.values));
-  }
-  std::vector<QuerySpec> specs(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    specs[i] = QuerySpec{&sketches[i], queries[i].size(), flags.threshold};
+  const ParallelSketcher sketcher(ensemble->family());
+  const Corpus query_corpus(std::move(queries));
+  std::vector<MinHash> sketches = sketcher.SketchCorpus(query_corpus);
+  const std::vector<Domain>& query_domains = query_corpus.domains();
+  std::vector<QuerySpec> specs(query_domains.size());
+  for (size_t i = 0; i < query_domains.size(); ++i) {
+    specs[i] =
+        QuerySpec{&sketches[i], query_domains[i].size(), flags.threshold};
   }
   std::vector<std::vector<uint64_t>> outs(specs.size());
 
@@ -282,10 +286,11 @@ int RunBatchQuery(const Flags& flags) {
   const double elapsed = watch.ElapsedSeconds();
 
   size_t total = 0;
-  for (size_t i = 0; i < queries.size(); ++i) {
+  for (size_t i = 0; i < query_domains.size(); ++i) {
     total += outs[i].size();
     std::printf("%s (|Q| = %zu): %zu domains containing >= %.2f\n",
-                queries[i].name.c_str(), queries[i].size(), outs[i].size(),
+                query_domains[i].name.c_str(), query_domains[i].size(),
+                outs[i].size(),
                 flags.threshold);
     constexpr size_t kMaxPrinted = 20;
     for (size_t j = 0; j < outs[i].size() && j < kMaxPrinted; ++j) {
