@@ -1,8 +1,15 @@
-// Batched domain search: build an index over a synthetic corpus, then
-// answer a whole workload of containment queries with one BatchQuery()
-// call per batch, reusing a QueryContext so the steady state allocates
-// nothing. This is the serving-path shape: one context per worker thread,
-// batches drained from a request queue.
+// The unified batched query surface: build an index over a synthetic
+// corpus, then answer a whole workload of containment queries with one
+// BatchQuery() call per batch, reusing a QueryContext so the steady state
+// allocates nothing. This is the serving-path shape: one context per
+// worker thread, batches drained from a request queue.
+//
+// The same shape covers all three query modes:
+//   * static     — LshEnsemble::BatchQuery
+//   * dynamic    — DynamicLshEnsemble::BatchQuery (indexed + delta domains,
+//                  the delta scanned once per batch)
+//   * top-k      — TopKSearcher::BatchSearch (lockstep threshold descents,
+//                  one BatchQuery per round)
 //
 // Build & run:
 //   cmake --build build --target example_batch_search
@@ -11,7 +18,9 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/dynamic_ensemble.h"
 #include "core/lsh_ensemble.h"
+#include "core/topk.h"
 #include "minhash/minhash.h"
 #include "util/timer.h"
 #include "workload/generator.h"
@@ -79,5 +88,61 @@ int main() {
       specs.size(), elapsed * 1e3, specs.size() / elapsed,
       static_cast<double>(candidates) / specs.size(),
       static_cast<double>(ctx.MemoryBytes()) / 1024.0);
+
+  // --- the same batch against a live (dynamic) index -------------------
+  // 90% of the corpus indexed, 10% freshly inserted (unindexed delta):
+  // DynamicLshEnsemble::BatchQuery answers the identical workload, the
+  // delta scanned once per batch with the kernel's batch compare.
+  DynamicEnsembleOptions dyn_options;
+  dyn_options.min_delta_for_rebuild = corpus.size() + 1;  // keep the delta
+  auto dynamic =
+      DynamicLshEnsemble::Create(dyn_options, family).value();
+  const size_t indexed_count = corpus.size() - corpus.size() / 10;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const Domain& domain = corpus.domain(i);
+    if (!dynamic.Insert(domain.id, domain.size(), sketches[i]).ok() ||
+        (i + 1 == indexed_count && !dynamic.Flush().ok())) {
+      std::fprintf(stderr, "dynamic build failed\n");
+      return 1;
+    }
+  }
+  watch.Restart();
+  for (size_t begin = 0; begin < specs.size(); begin += kBatch) {
+    const size_t len = std::min(kBatch, specs.size() - begin);
+    if (!dynamic
+             .BatchQuery(std::span<const QuerySpec>(specs.data() + begin, len),
+                         &ctx, outs.data() + begin)
+             .ok()) {
+      std::fprintf(stderr, "dynamic BatchQuery failed\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "dynamic (%zu indexed + %zu delta): same workload in %.1f ms "
+      "(%.0f queries/sec)\n",
+      dynamic.indexed_size(), dynamic.delta_size(),
+      watch.ElapsedSeconds() * 1e3, specs.size() / watch.ElapsedSeconds());
+
+  // --- batched top-k over the dynamic index ----------------------------
+  // The dynamic index's records side-car doubles as the top-k sketch
+  // store, so the searcher binds to it directly; one BatchSearch call
+  // advances every query's threshold descent in lockstep.
+  TopKSearcher searcher(&dynamic);
+  std::vector<TopKQuery> topk_queries;
+  for (size_t i = 0; i < corpus.size(); i += 500) {
+    topk_queries.push_back(TopKQuery{&sketches[i], corpus.domain(i).size()});
+  }
+  std::vector<std::vector<TopKResult>> rankings(topk_queries.size());
+  watch.Restart();
+  if (!searcher.BatchSearch(topk_queries, /*k=*/5, &ctx, rankings.data())
+           .ok()) {
+    std::fprintf(stderr, "BatchSearch failed\n");
+    return 1;
+  }
+  std::printf("top-5 of %zu queries in one BatchSearch: %.1f ms; best "
+              "containment of query 0: %.3f\n",
+              topk_queries.size(), watch.ElapsedSeconds() * 1e3,
+              rankings[0].empty() ? 0.0
+                                  : rankings[0].front().estimated_containment);
   return 0;
 }

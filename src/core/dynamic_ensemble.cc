@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "core/threshold.h"
+#include "minhash/hash_kernel.h"
+#include "util/instance_id.h"
+#include "util/thread_pool.h"
 
 namespace lshensemble {
 
@@ -25,7 +28,9 @@ Result<DynamicLshEnsemble> DynamicLshEnsemble::Create(
     return Status::InvalidArgument(
         "options.base.num_hashes does not match the hash family");
   }
-  return DynamicLshEnsemble(std::move(options), std::move(family));
+  DynamicLshEnsemble index(std::move(options), std::move(family));
+  index.instance_id_ = NextInstanceId();
+  return index;
 }
 
 Status DynamicLshEnsemble::Insert(uint64_t id, size_t size,
@@ -44,6 +49,7 @@ Status DynamicLshEnsemble::Insert(uint64_t id, size_t size,
   // the new version is authoritative in the delta until the next rebuild.
   records_.emplace(id, Record{size, std::move(signature)});
   delta_.push_back(id);
+  ++mutation_epoch_;
   if (ShouldRebuild()) {
     return Flush();
   }
@@ -66,6 +72,7 @@ Status DynamicLshEnsemble::Remove(uint64_t id) {
     return Status::NotFound("id is not live");
   }
   records_.erase(it);
+  ++mutation_epoch_;
   const auto delta_it = std::find(delta_.begin(), delta_.end(), id);
   if (delta_it != delta_.end()) {
     delta_.erase(delta_it);
@@ -87,54 +94,188 @@ Status DynamicLshEnsemble::Query(const MinHash& query, size_t query_size,
 Status DynamicLshEnsemble::Query(const MinHash& query, size_t query_size,
                                  double t_star, QueryContext* ctx,
                                  std::vector<uint64_t>* out) const {
-  if (ctx == nullptr || out == nullptr) {
+  if (out == nullptr) {
     return Status::InvalidArgument("ctx and out must not be null");
   }
-  if (!query.valid() || !query.family()->SameAs(*family_)) {
-    return Status::InvalidArgument(
-        "query signature does not belong to the index's hash family");
-  }
-  if (t_star < 0.0 || t_star > 1.0) {
-    return Status::InvalidArgument("t_star must be in [0, 1]");
-  }
-  out->clear();
+  const QuerySpec spec{&query, query_size, t_star};
+  return BatchQuery(std::span<const QuerySpec>(&spec, 1), ctx, out);
+}
 
-  size_t q = query_size;
-  if (q == 0) {
-    q = static_cast<size_t>(
-        std::max<int64_t>(1, std::llround(query.EstimateCardinality())));
+Status DynamicLshEnsemble::BatchQuery(std::span<const QuerySpec> specs,
+                                      QueryContext* ctx,
+                                      std::vector<uint64_t>* outs,
+                                      QueryStats* stats) const {
+  if (ctx == nullptr) {
+    return Status::InvalidArgument("ctx must not be null");
   }
-  const auto qd = static_cast<double>(q);
+  if (specs.empty()) return Status::OK();
+  if (outs == nullptr) {
+    return Status::InvalidArgument("outs must not be null");
+  }
+  const size_t count = specs.size();
+
+  // Validate the whole batch and resolve every query's effective
+  // cardinality up front, re-staging the specs with the resolved
+  // cardinalities: the conservative-threshold conversion's per-query
+  // terms are hoisted out of the per-record delta loop below (only the
+  // record-size term x/q remains per pair), and the inner engine sees
+  // exact sizes, so it never re-runs the cardinality estimate.
+  ctx->dynamic_q_.resize(count);
+  ctx->dynamic_specs_.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    const QuerySpec& spec = specs[i];
+    if (spec.query == nullptr || !spec.query->valid() ||
+        !spec.query->family()->SameAs(*family_)) {
+      return Status::InvalidArgument(
+          "query signature does not belong to the index's hash family");
+    }
+    if (spec.t_star < 0.0 || spec.t_star > 1.0) {
+      return Status::InvalidArgument("t_star must be in [0, 1]");
+    }
+    size_t q = spec.query_size;
+    if (q == 0) {
+      q = static_cast<size_t>(std::max<int64_t>(
+          1, std::llround(spec.query->EstimateCardinality())));
+    }
+    ctx->dynamic_q_[i] = static_cast<double>(q);
+    ctx->dynamic_specs_[i] = QuerySpec{spec.query, q, spec.t_star};
+  }
+  const std::span<const QuerySpec> resolved(ctx->dynamic_specs_.data(),
+                                            count);
 
   if (ensemble_.has_value()) {
-    const QuerySpec spec{&query, q, t_star};
-    const std::span<const QuerySpec> specs(&spec, 1);
     if (tombstones_.empty()) {
-      // Nothing to filter: let the batched engine fill the caller's buffer
-      // directly (it clears the output vector itself).
-      LSHE_RETURN_IF_ERROR(ensemble_->BatchQuery(specs, ctx, out));
+      // Nothing to filter: let the batched engine fill the caller's
+      // buffers directly (it clears each output vector itself).
+      LSHE_RETURN_IF_ERROR(ensemble_->BatchQuery(resolved, ctx, outs, stats));
     } else {
-      // Stage candidates in the context (capacity persists across calls)
-      // and copy through the tombstone filter.
-      std::vector<uint64_t>* staged = &ctx->dynamic_candidates_;
-      LSHE_RETURN_IF_ERROR(ensemble_->BatchQuery(specs, ctx, staged));
-      for (uint64_t id : *staged) {
-        if (tombstones_.count(id) == 0) out->push_back(id);
+      // Stage the indexed candidates in the context (capacities persist
+      // across calls) and copy through the tombstone filter.
+      if (ctx->dynamic_outs_.size() < count) ctx->dynamic_outs_.resize(count);
+      LSHE_RETURN_IF_ERROR(
+          ensemble_->BatchQuery(resolved, ctx, ctx->dynamic_outs_.data(),
+                                stats));
+      for (size_t i = 0; i < count; ++i) {
+        outs[i].clear();
+        for (uint64_t id : ctx->dynamic_outs_[i]) {
+          if (tombstones_.count(id) == 0) outs[i].push_back(id);
+        }
+      }
+    }
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      outs[i].clear();
+      if (stats != nullptr) {
+        stats[i].query_size_used = static_cast<size_t>(ctx->dynamic_q_[i]);
+        stats[i].partitions_probed = 0;
+        stats[i].partitions_pruned = 0;
+        stats[i].tuned.clear();
       }
     }
   }
 
-  // Exact scan of the delta buffer: admit a domain when its estimated
-  // Jaccard reaches the same conservative threshold the ensemble would
-  // apply, computed with the domain's exact size (tighter than any
-  // partition bound, still no new false negatives beyond sketch error).
-  for (uint64_t id : delta_) {
-    const Record& record = records_.at(id);
-    const double s_star =
-        ContainmentToJaccard(t_star, static_cast<double>(record.size), qd);
-    Result<double> jaccard = query.EstimateJaccard(record.signature);
-    if (!jaccard.ok()) return jaccard.status();
-    if (*jaccard + 1e-12 >= s_star) out->push_back(id);
+  if (delta_.empty()) return Status::OK();
+
+  // Exact scan of the delta buffer, ONCE per batch. A domain is admitted
+  // when its estimated Jaccard reaches the same conservative threshold
+  // the ensemble would apply, computed with the domain's exact size
+  // (tighter than any partition bound, still no new false negatives
+  // beyond sketch error).
+  const auto& kernel = ActiveKernelOps();
+  const auto num_hashes = static_cast<size_t>(family_->num_hashes());
+  const auto m = static_cast<double>(num_hashes);
+  const size_t num_delta = delta_.size();
+
+  const bool flatten_hit = ctx->dynamic_delta_valid_ &&
+                           ctx->dynamic_delta_index_id_ == instance_id_ &&
+                           ctx->dynamic_delta_epoch_ == mutation_epoch_;
+  if (!flatten_hit && count == 1) {
+    // One-shot path (cold cache, single query): scan the records in
+    // place — flattening would copy more bytes than the scan reads.
+    const uint64_t* query_sig = specs[0].query->values().data();
+    const double q = ctx->dynamic_q_[0];
+    for (uint64_t id : delta_) {
+      const Record& record = records_.at(id);
+      const double s_star = ContainmentToJaccardHoisted(
+          specs[0].t_star, static_cast<double>(record.size) / q);
+      const size_t collisions = kernel.count_collisions(
+          query_sig, record.signature.values().data(), num_hashes);
+      if (static_cast<double>(collisions) / m + 1e-12 >= s_star) {
+        outs[0].push_back(id);
+      }
+    }
+    return Status::OK();
+  }
+
+  // Flatten the records (sizes + a contiguous signature arena, in delta
+  // order) so the hot loop walks dense arrays instead of chasing the hash
+  // map. Cached in the context, keyed on (instance id, mutation epoch):
+  // consecutive batches and top-k descent rounds against an unchanged
+  // index skip this entirely.
+  if (!flatten_hit) {
+    ctx->dynamic_delta_valid_ = false;
+    ctx->dynamic_delta_x_.resize(num_delta);
+    ctx->dynamic_delta_arena_.resize(num_delta * num_hashes);
+    for (size_t r = 0; r < num_delta; ++r) {
+      const Record& record = records_.at(delta_[r]);
+      ctx->dynamic_delta_x_[r] = static_cast<double>(record.size);
+      std::copy(record.signature.values().begin(),
+                record.signature.values().end(),
+                ctx->dynamic_delta_arena_.begin() + r * num_hashes);
+    }
+    ctx->dynamic_delta_index_id_ = instance_id_;
+    ctx->dynamic_delta_epoch_ = mutation_epoch_;
+    ctx->dynamic_delta_valid_ = true;
+  }
+  // Records in the outer loop, queries inner, tiled: a block of record
+  // signatures small enough to stay cache-resident (~128 KiB) is scored
+  // against every query of the chunk before the next block is touched, so
+  // each query signature is streamed once per block instead of once per
+  // record. One batch-compare kernel call scores the whole block against a
+  // query (families were checked above, so the kernel works on raw slot
+  // arrays and reproduces exactly the count EstimateJaccard uses). Per
+  // query, records are still visited in delta order.
+  constexpr size_t kMaxBlock = 512;
+  const size_t block_records = std::min(
+      kMaxBlock,
+      std::max<size_t>(1, (static_cast<size_t>(128) << 10) /
+                              (num_hashes * sizeof(uint64_t))));
+  auto scan_queries = [&](size_t query_begin, size_t query_end) {
+    uint32_t counts[kMaxBlock];
+    for (size_t base = 0; base < num_delta; base += block_records) {
+      const size_t block_len = std::min(block_records, num_delta - base);
+      const uint64_t* block_sigs =
+          ctx->dynamic_delta_arena_.data() + base * num_hashes;
+      for (size_t i = query_begin; i < query_end; ++i) {
+        kernel.count_collisions_many(specs[i].query->values().data(),
+                                     block_sigs, num_hashes, block_len,
+                                     counts);
+        const double q = ctx->dynamic_q_[i];
+        const double t_star = specs[i].t_star;
+        std::vector<uint64_t>& out = outs[i];
+        for (size_t r = 0; r < block_len; ++r) {
+          const double s_star = ContainmentToJaccardHoisted(
+              t_star, ctx->dynamic_delta_x_[base + r] / q);
+          if (static_cast<double>(counts[r]) / m + 1e-12 >= s_star) {
+            out.push_back(delta_[base + r]);
+          }
+        }
+      }
+    }
+  };
+
+  // Spread query chunks over the pool when the scan is worth it; each
+  // chunk writes only its own outs[] range.
+  const size_t participants = ThreadPool::Shared().num_threads() + 1;
+  const size_t chunks = options_.base.parallel_query && participants > 1
+                            ? std::min(count, participants * 4)
+                            : 1;
+  if (chunks <= 1 || num_delta * count < 4096) {
+    scan_queries(0, count);
+  } else {
+    ThreadPool::Shared().ParallelFor(chunks, [&](size_t c) {
+      scan_queries(c * count / chunks, (c + 1) * count / chunks);
+    });
   }
   return Status::OK();
 }
@@ -146,6 +287,7 @@ Status DynamicLshEnsemble::Flush() {
     indexed_count_ = 0;
     delta_.clear();
     tombstones_.clear();
+    ++mutation_epoch_;
     return Status::OK();
   }
   if (delta_.empty() && tombstones_.empty() && ensemble_.has_value()) {
@@ -161,6 +303,7 @@ Status DynamicLshEnsemble::Flush() {
   indexed_count_ = records_.size();
   delta_.clear();
   tombstones_.clear();
+  ++mutation_epoch_;
   return Status::OK();
 }
 

@@ -85,12 +85,27 @@ class DynamicLshEnsemble {
                std::vector<uint64_t>* out) const;
 
   /// \brief Same search, routed through the batched engine with
-  /// caller-owned scratch: the indexed probe reuses `ctx` (pooled shards,
-  /// probe scratch, candidate staging), so a warm context makes the whole
-  /// call — delta scan included — allocation-free apart from output
-  /// growth. One context must not be used by concurrent callers.
+  /// caller-owned scratch: a thin wrapper over BatchQuery() with a batch
+  /// of one. One context must not be used by concurrent callers.
   Status Query(const MinHash& query, size_t query_size, double t_star,
                QueryContext* ctx, std::vector<uint64_t>* out) const;
+
+  /// \brief Answer `specs.size()` queries in one call, same per-query
+  /// contract as LshEnsemble::BatchQuery (query i's live candidates go to
+  /// `outs[i]`, cleared first; optional per-query `stats`).
+  ///
+  /// The indexed portion rides the underlying ensemble's batched engine;
+  /// the delta buffer is then scanned ONCE for the whole batch — records
+  /// in the outer loop, queries in the inner loop, so each unindexed
+  /// signature is compared against every query while cache-resident (via
+  /// the dispatched collision-count kernel). Per-query threshold terms are
+  /// hoisted out of the record loop, and all staging (tombstone filtering,
+  /// hoisted terms) lives in `ctx`, so a warm context makes the whole call
+  /// allocation-free apart from output growth. Thread-safe between
+  /// mutations; give each calling thread its own context.
+  Status BatchQuery(std::span<const QuerySpec> specs, QueryContext* ctx,
+                    std::vector<uint64_t>* outs,
+                    QueryStats* stats = nullptr) const;
 
   /// \brief Rebuild the ensemble over all live domains now. No-op when
   /// nothing changed since the last build. Clears the delta and tombstones.
@@ -140,6 +155,14 @@ class DynamicLshEnsemble {
 
   std::optional<LshEnsemble> ensemble_;
   size_t indexed_count_ = 0;
+
+  /// Process-unique identity + mutation counter: together they key the
+  /// QueryContext's flattened-delta cache, so consecutive batches (and
+  /// top-k descent rounds) against an unchanged index skip re-flattening
+  /// the delta. Copied by moves; a moved-from index has an empty delta,
+  /// so its aliased id is inert (same convention as LshEnsemble).
+  uint64_t instance_id_ = 0;
+  uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace lshensemble

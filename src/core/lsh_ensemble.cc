@@ -48,7 +48,13 @@ size_t QueryContext::MemoryBytes() const {
     bytes += partial.capacity() * sizeof(uint64_t);
   }
   bytes += statuses_.capacity() * sizeof(Status);
-  bytes += dynamic_candidates_.capacity() * sizeof(uint64_t);
+  bytes += dynamic_q_.capacity() * sizeof(double);
+  bytes += dynamic_specs_.capacity() * sizeof(QuerySpec);
+  bytes += dynamic_delta_x_.capacity() * sizeof(double);
+  bytes += dynamic_delta_arena_.capacity() * sizeof(uint64_t);
+  for (const auto& staged : dynamic_outs_) {
+    bytes += sizeof(staged) + staged.capacity() * sizeof(uint64_t);
+  }
   return bytes;
 }
 

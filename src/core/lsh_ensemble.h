@@ -159,10 +159,26 @@ class QueryContext {
   std::vector<std::vector<uint64_t>> partials_;
   // Per-query (or per-partition) statuses of the current batch.
   std::vector<Status> statuses_;
-  // DynamicLshEnsemble's indexed-candidate staging buffer (tombstone
-  // filtering needs the raw candidates before they reach the caller).
-  // Separate from partials_, which the inner BatchQuery call may use.
-  std::vector<uint64_t> dynamic_candidates_;
+  // DynamicLshEnsemble::BatchQuery scratch: the batch's effective query
+  // cardinalities (resolved once per batch, reused across every delta
+  // record), the specs re-staged with those resolved cardinalities (so
+  // the inner engine skips re-estimating them), and per-query staging
+  // buffers for the indexed candidates when tombstone filtering is
+  // active. Separate from partials_, which the inner call may use.
+  std::vector<double> dynamic_q_;
+  std::vector<QuerySpec> dynamic_specs_;
+  std::vector<std::vector<uint64_t>> dynamic_outs_;
+  // Flattened view of the delta buffer (sizes + a contiguous signature
+  // arena in delta order) so the scan's hot loop walks dense arrays with
+  // the kernel's batch compare instead of chasing the record hash map.
+  // Cached across calls, keyed on the index's (instance id, mutation
+  // epoch): consecutive batches and top-k descent rounds against an
+  // unchanged index reuse it verbatim.
+  std::vector<double> dynamic_delta_x_;
+  std::vector<uint64_t> dynamic_delta_arena_;
+  uint64_t dynamic_delta_index_id_ = 0;
+  uint64_t dynamic_delta_epoch_ = 0;
+  bool dynamic_delta_valid_ = false;
 };
 
 /// \brief Accumulates (id, size, signature) records and builds the

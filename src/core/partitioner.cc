@@ -142,8 +142,10 @@ Result<std::vector<PartitionSpec>> EquiDepthPartitions(
   cuts.push_back(sorted_sizes.front());
   for (int i = 1; i < num_partitions; ++i) {
     // Nominal equal-count cut; snapped forward to the next distinct size so
-    // intervals stay disjoint under ties.
-    size_t idx = n * static_cast<size_t>(i) / num_partitions;
+    // intervals stay disjoint under ties. Never below 1: index 0 is already
+    // covered by the leading cut (and the tie-snap reads idx - 1).
+    size_t idx = std::max<size_t>(
+        1, n * static_cast<size_t>(i) / static_cast<size_t>(num_partitions));
     while (idx < n && sorted_sizes[idx] == sorted_sizes[idx - 1]) ++idx;
     if (idx >= n) break;
     if (sorted_sizes[idx] > cuts.back()) cuts.push_back(sorted_sizes[idx]);

@@ -8,9 +8,7 @@ namespace lshensemble {
 double ContainmentToJaccard(double t, double x, double q) {
   assert(x > 0 && q > 0);
   assert(t >= 0.0 && t <= 1.0);
-  const double denominator = x / q + 1.0 - t;
-  if (denominator <= 0.0) return 1.0;  // only reachable when t = 1 and x = 0
-  return std::clamp(t / denominator, 0.0, 1.0);
+  return ContainmentToJaccardHoisted(t, x / q);
 }
 
 double JaccardToContainment(double s, double x, double q) {

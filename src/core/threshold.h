@@ -9,6 +9,8 @@
 #ifndef LSHENSEMBLE_CORE_THRESHOLD_H_
 #define LSHENSEMBLE_CORE_THRESHOLD_H_
 
+#include <algorithm>
+
 namespace lshensemble {
 
 /// \brief s-hat_{x,q}(t): Jaccard similarity implied by containment `t` for
@@ -19,6 +21,17 @@ double ContainmentToJaccard(double t, double x, double q);
 /// \brief t-hat_{x,q}(s): containment implied by Jaccard `s` (Eq. 6, right).
 /// Preconditions: x > 0, q > 0, s >= 0.
 double JaccardToContainment(double s, double x, double q);
+
+/// \brief The hoisted form of ContainmentToJaccard for batch scans that
+/// precompute x/q: bit-identical to ContainmentToJaccard(t, x, q) by
+/// construction (same expression, same association, same guard and
+/// clamp) — ContainmentToJaccard delegates here, so there is exactly one
+/// copy of the Eq. 6 conversion.
+inline double ContainmentToJaccardHoisted(double t, double x_over_q) {
+  const double denominator = x_over_q + 1.0 - t;
+  if (denominator <= 0.0) return 1.0;  // only reachable when t = 1 and x = 0
+  return std::clamp(t / denominator, 0.0, 1.0);
+}
 
 /// \brief The conservative per-partition Jaccard threshold s* = s-hat_{u,q}(t*)
 /// (Eq. 7), using the partition upper bound u so no new false negatives are

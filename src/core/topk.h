@@ -16,12 +16,21 @@
 //
 // Ranking needs the indexed signatures, which the ensemble itself does not
 // retain; callers keep them in a SketchStore (built during sketching, or
-// reloaded alongside a persisted index).
+// reloaded alongside a persisted index). A DynamicLshEnsemble already
+// retains sizes and signatures for every live domain (its rebuild side-car
+// is exactly a sketch store), so a searcher can bind to one directly —
+// top-k then ranks over indexed + delta domains, minus tombstones.
+//
+// The search is batched: BatchSearch() advances many queries' threshold
+// descents in lockstep — every round issues ONE BatchQuery() over the
+// still-active queries, retiring each query as soon as its k-th best
+// estimate clears the current threshold. Search() is a batch of one.
 
 #ifndef LSHENSEMBLE_CORE_TOPK_H_
 #define LSHENSEMBLE_CORE_TOPK_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +40,8 @@
 #include "util/status.h"
 
 namespace lshensemble {
+
+class DynamicLshEnsemble;
 
 /// \brief Sizes and signatures of indexed domains, keyed by id; the
 /// side-car data top-k ranking needs.
@@ -65,10 +76,20 @@ struct TopKResult {
   friend bool operator==(const TopKResult&, const TopKResult&) = default;
 };
 
-/// \brief Top-k searcher over an ensemble + sketch store.
+/// \brief One query of a BatchSearch() call. The referenced MinHash is
+/// borrowed, not owned; it must outlive the call.
+struct TopKQuery {
+  const MinHash* query = nullptr;
+  /// Exact |Q| if known; 0 means "use the MinHash cardinality estimate".
+  size_t query_size = 0;
+};
+
+/// \brief Top-k searcher over an ensemble + sketch store, or over a
+/// DynamicLshEnsemble (which carries its own side-car).
 ///
-/// Both referenced objects must outlive the searcher. Thread-safe: Search
-/// only reads shared state.
+/// All referenced objects must outlive the searcher. Thread-safe:
+/// Search/BatchSearch only read shared state (each BatchSearch call needs
+/// its own QueryContext, like any batched query).
 class TopKSearcher {
  public:
   struct Options {
@@ -88,9 +109,15 @@ class TopKSearcher {
   TopKSearcher(const LshEnsemble* ensemble, const SketchStore* store);
   TopKSearcher(const LshEnsemble* ensemble, const SketchStore* store,
                Options options);
+  /// Binds to a dynamic index: candidates come from its batched query path
+  /// (indexed + delta, minus tombstones) and ranking data from its records
+  /// side-car. No separate SketchStore needed.
+  explicit TopKSearcher(const DynamicLshEnsemble* index);
+  TopKSearcher(const DynamicLshEnsemble* index, Options options);
 
   /// \brief The k domains with the highest estimated containment of the
-  /// query, sorted by descending estimate (ties by ascending id).
+  /// query, sorted by descending estimate (ties by ascending id). A thin
+  /// wrapper over BatchSearch() with a batch of one and a private context.
   ///
   /// \param query      MinHash of the query domain (ensemble's family).
   /// \param query_size exact |Q|, or 0 to use the sketch estimate.
@@ -99,9 +126,30 @@ class TopKSearcher {
   Result<std::vector<TopKResult>> Search(const MinHash& query,
                                          size_t query_size, size_t k) const;
 
+  /// \brief Rank `queries.size()` top-k queries in one call; query i's
+  /// results (contract as in Search()) are written to `outs[i]`.
+  ///
+  /// All queries descend the same threshold schedule in lockstep: each
+  /// round issues one BatchQuery() over the still-active queries on the
+  /// batched engine, scores the new candidates, and retires a query once
+  /// its k-th best estimate reaches the round's threshold. Results are
+  /// identical to calling Search() per query. `outs` must point to at
+  /// least queries.size() vectors; `ctx` must not be shared by concurrent
+  /// callers. On error the contents of `outs` are unspecified.
+  Status BatchSearch(std::span<const TopKQuery> queries, size_t k,
+                     QueryContext* ctx, std::vector<TopKResult>* outs) const;
+
  private:
-  const LshEnsemble* ensemble_;
-  const SketchStore* store_;
+  /// Candidate generation on whichever engine the searcher is bound to.
+  Status EngineBatchQuery(std::span<const QuerySpec> specs, QueryContext* ctx,
+                          std::vector<uint64_t>* outs) const;
+  /// Side-car lookups (SketchStore or the dynamic index's records).
+  size_t SideCarSizeOf(uint64_t id) const;
+  const MinHash* SideCarSignatureOf(uint64_t id) const;
+
+  const LshEnsemble* ensemble_ = nullptr;
+  const SketchStore* store_ = nullptr;
+  const DynamicLshEnsemble* dynamic_ = nullptr;
   Options options_;
 };
 

@@ -66,6 +66,25 @@ void ScalarUpdateBatch(const uint64_t* mul, const uint64_t* add, size_t m,
   }
 }
 
+size_t ScalarCountCollisions(const uint64_t* a, const uint64_t* b, size_t m) {
+  // Branchless mask-sum: collision outcomes are near-random on the top-k
+  // verification path, so a per-element branch would mispredict constantly.
+  size_t collisions = 0;
+  for (size_t i = 0; i < m; ++i) {
+    collisions += static_cast<size_t>(a[i] == b[i]) &
+                  static_cast<size_t>(a[i] != kMersennePrime61);
+  }
+  return collisions;
+}
+
+void ScalarCountCollisionsMany(const uint64_t* query, const uint64_t* sigs,
+                               size_t m, size_t n, uint32_t* out_counts) {
+  for (size_t j = 0; j < n; ++j) {
+    out_counts[j] =
+        static_cast<uint32_t>(ScalarCountCollisions(query, sigs + j * m, m));
+  }
+}
+
 // Compares the first `r` values of `key` against `prefix`:
 // negative if key < prefix, 0 on prefix match, positive if key > prefix.
 inline int ComparePrefix(const uint32_t* key, const uint32_t* prefix, int r) {
@@ -404,6 +423,146 @@ LSHE_TARGET_AVX512 void Avx512UpdateBatch(const uint64_t* mul,
   }
 }
 
+/// 4 lanes per compare: equal-and-not-empty lanes drop out of a movemask
+/// whose set bits are popcounted. Both signatures are canonical Mersenne-61
+/// residues (< 2^61), so the signed 64-bit lane compare is exact.
+LSHE_TARGET_AVX2 size_t Avx2CountCollisions(const uint64_t* a,
+                                            const uint64_t* b, size_t m) {
+  const __m256i empty =
+      _mm256_set1_epi64x(static_cast<long long>(kMersennePrime61));
+  size_t collisions = 0;
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i eq = _mm256_cmpeq_epi64(va, vb);
+    const __m256i hit =
+        _mm256_andnot_si256(_mm256_cmpeq_epi64(va, empty), eq);
+    collisions += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(hit)))));
+  }
+  for (; i < m; ++i) {
+    collisions += static_cast<size_t>(a[i] == b[i]) &
+                  static_cast<size_t>(a[i] != kMersennePrime61);
+  }
+  return collisions;
+}
+
+/// 8 lanes per compare with the two mask registers combined directly.
+LSHE_TARGET_AVX512 size_t Avx512CountCollisions(const uint64_t* a,
+                                                const uint64_t* b, size_t m) {
+  const __m512i empty =
+      _mm512_set1_epi64(static_cast<long long>(kMersennePrime61));
+  size_t collisions = 0;
+  size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    const __mmask8 hit = _mm512_cmpeq_epu64_mask(va, vb) &
+                         _mm512_cmpneq_epu64_mask(va, empty);
+    collisions += static_cast<size_t>(__builtin_popcount(hit));
+  }
+  for (; i < m; ++i) {
+    collisions += static_cast<size_t>(a[i] == b[i]) &
+                  static_cast<size_t>(a[i] != kMersennePrime61);
+  }
+  return collisions;
+}
+
+/// Record pairs share each query-vector load and its not-empty mask, so
+/// the arena walk is load/compare/popcount bound.
+LSHE_TARGET_AVX2 void Avx2CountCollisionsMany(const uint64_t* query,
+                                              const uint64_t* sigs, size_t m,
+                                              size_t n, uint32_t* out_counts) {
+  const __m256i empty =
+      _mm256_set1_epi64x(static_cast<long long>(kMersennePrime61));
+  size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const uint64_t* b0 = sigs + j * m;
+    const uint64_t* b1 = b0 + m;
+    uint32_t c0 = 0, c1 = 0;
+    size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(query + i));
+      const __m256i nonempty = _mm256_cmpeq_epi64(va, empty);  // inverted
+      const __m256i eq0 = _mm256_andnot_si256(
+          nonempty,
+          _mm256_cmpeq_epi64(va, _mm256_loadu_si256(
+                                     reinterpret_cast<const __m256i*>(b0 + i))));
+      const __m256i eq1 = _mm256_andnot_si256(
+          nonempty,
+          _mm256_cmpeq_epi64(va, _mm256_loadu_si256(
+                                     reinterpret_cast<const __m256i*>(b1 + i))));
+      c0 += static_cast<uint32_t>(__builtin_popcount(static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(eq0)))));
+      c1 += static_cast<uint32_t>(__builtin_popcount(static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(eq1)))));
+    }
+    for (; i < m; ++i) {
+      const uint64_t qv = query[i];
+      const bool live = qv != kMersennePrime61;
+      c0 += static_cast<uint32_t>(qv == b0[i]) & static_cast<uint32_t>(live);
+      c1 += static_cast<uint32_t>(qv == b1[i]) & static_cast<uint32_t>(live);
+    }
+    out_counts[j] = c0;
+    out_counts[j + 1] = c1;
+  }
+  for (; j < n; ++j) {
+    out_counts[j] =
+        static_cast<uint32_t>(Avx2CountCollisions(query, sigs + j * m, m));
+  }
+}
+
+LSHE_TARGET_AVX512 void Avx512CountCollisionsMany(const uint64_t* query,
+                                                  const uint64_t* sigs,
+                                                  size_t m, size_t n,
+                                                  uint32_t* out_counts) {
+  const __m512i empty =
+      _mm512_set1_epi64(static_cast<long long>(kMersennePrime61));
+  size_t j = 0;
+  // 4 records per query pass: one query load + not-empty mask serves four
+  // compare/popcount chains, keeping the port-5 compares saturated.
+  for (; j + 4 <= n; j += 4) {
+    const uint64_t* b0 = sigs + j * m;
+    const uint64_t* b1 = b0 + m;
+    const uint64_t* b2 = b1 + m;
+    const uint64_t* b3 = b2 + m;
+    uint32_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    size_t i = 0;
+    for (; i + 8 <= m; i += 8) {
+      const __m512i va = _mm512_loadu_si512(query + i);
+      const __mmask8 nonempty = _mm512_cmpneq_epu64_mask(va, empty);
+      c0 += static_cast<uint32_t>(__builtin_popcount(
+          _mm512_cmpeq_epu64_mask(va, _mm512_loadu_si512(b0 + i)) & nonempty));
+      c1 += static_cast<uint32_t>(__builtin_popcount(
+          _mm512_cmpeq_epu64_mask(va, _mm512_loadu_si512(b1 + i)) & nonempty));
+      c2 += static_cast<uint32_t>(__builtin_popcount(
+          _mm512_cmpeq_epu64_mask(va, _mm512_loadu_si512(b2 + i)) & nonempty));
+      c3 += static_cast<uint32_t>(__builtin_popcount(
+          _mm512_cmpeq_epu64_mask(va, _mm512_loadu_si512(b3 + i)) & nonempty));
+    }
+    for (; i < m; ++i) {
+      const uint64_t qv = query[i];
+      const auto live = static_cast<uint32_t>(qv != kMersennePrime61);
+      c0 += static_cast<uint32_t>(qv == b0[i]) & live;
+      c1 += static_cast<uint32_t>(qv == b1[i]) & live;
+      c2 += static_cast<uint32_t>(qv == b2[i]) & live;
+      c3 += static_cast<uint32_t>(qv == b3[i]) & live;
+    }
+    out_counts[j] = c0;
+    out_counts[j + 1] = c1;
+    out_counts[j + 2] = c2;
+    out_counts[j + 3] = c3;
+  }
+  for (; j < n; ++j) {
+    out_counts[j] =
+        static_cast<uint32_t>(Avx512CountCollisions(query, sigs + j * m, m));
+  }
+}
+
 /// Per-lane load masks for _mm256_maskload_epi32: row `8 - count` of this
 /// table enables the first `count` lanes.
 alignas(32) constexpr int32_t kLaneMaskTable[16] = {-1, -1, -1, -1, -1, -1,
@@ -489,16 +648,23 @@ LSHE_TARGET_AVX2 void Avx2RefinePrefixRange(const uint32_t* keys,
 
 #endif  // LSHE_KERNEL_HAVE_AVX2
 
-constexpr HashKernelOps kScalarOps = {
-    "scalar", &ScalarUpdateOne, &ScalarUpdateBatch, &ScalarRefinePrefixRange};
+constexpr HashKernelOps kScalarOps = {"scalar", &ScalarUpdateOne,
+                                      &ScalarUpdateBatch,
+                                      &ScalarCountCollisions,
+                                      &ScalarCountCollisionsMany,
+                                      &ScalarRefinePrefixRange};
 
 #if defined(LSHE_KERNEL_HAVE_AVX2)
 constexpr HashKernelOps kAvx2Ops = {"avx2", &Avx2UpdateOne, &Avx2UpdateBatch,
+                                    &Avx2CountCollisions,
+                                    &Avx2CountCollisionsMany,
                                     &Avx2RefinePrefixRange};
 // The probe-refine kernel is search-bound, not ALU-bound; 256-bit compares
 // already cover the whole suffix, so the AVX-512 table reuses them.
 constexpr HashKernelOps kAvx512Ops = {"avx512", &Avx512UpdateOne,
                                       &Avx512UpdateBatch,
+                                      &Avx512CountCollisions,
+                                      &Avx512CountCollisionsMany,
                                       &Avx2RefinePrefixRange};
 #endif
 

@@ -41,6 +41,21 @@ struct HashKernelOps {
   void (*update_batch)(const uint64_t* mul, const uint64_t* add, size_t m,
                        const uint64_t* values, size_t n, uint64_t* mins);
 
+  /// Number of slots where a[i] == b[i] and the slot has seen a value
+  /// (a[i] != 2^61 - 1, the MinHash empty sentinel) — the collision count
+  /// behind the Jaccard estimator (paper Eq. 4). Hot in top-k candidate
+  /// verification and the dynamic delta scan, where one record signature
+  /// is compared against a whole batch of query signatures.
+  size_t (*count_collisions)(const uint64_t* a, const uint64_t* b, size_t m);
+
+  /// Batch form: out_counts[j] = count_collisions(query, sigs + j*m, m) for
+  /// j in [0, n), over a contiguous arena of n m-slot signatures. One call
+  /// scores a whole record block against one query — the dynamic delta
+  /// scan's inner loop — amortizing dispatch overhead and letting each
+  /// implementation keep its constants and the query signature hot.
+  void (*count_collisions_many)(const uint64_t* query, const uint64_t* sigs,
+                                size_t m, size_t n, uint32_t* out_counts);
+
   /// Phase 2 of an LshForest prefix lookup: given the slot-0 match range
   /// [*lo, *hi) of a tree whose full rows (of `depth` u32 keys) start at
   /// `keys`, shrink it to the rows whose slots 1..r-1 also match `prefix`.

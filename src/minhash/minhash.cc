@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "minhash/hash_kernel.h"
 #include "util/hashing.h"
 
 namespace lshensemble {
@@ -82,17 +83,12 @@ Result<double> MinHash::EstimateJaccard(const MinHash& other) const {
     return Status::InvalidArgument(
         "MinHash signatures built from different hash families");
   }
-  // Branchless mask-sum: this runs once per candidate on the top-k
-  // verification hot path, where the compare outcomes are near-random and
-  // a per-element branch would mispredict constantly.
+  // Dispatched collision count (scalar/AVX2/AVX-512, identical results):
+  // this runs once per candidate on the top-k verification and dynamic
+  // delta-scan hot paths.
   const size_t m = mins_.size();
-  const uint64_t* a = mins_.data();
-  const uint64_t* b = other.mins_.data();
-  size_t collisions = 0;
-  for (size_t i = 0; i < m; ++i) {
-    collisions +=
-        static_cast<size_t>(a[i] == b[i]) & static_cast<size_t>(a[i] != kEmptySlot);
-  }
+  const size_t collisions = ActiveKernelOps().count_collisions(
+      mins_.data(), other.mins_.data(), m);
   return static_cast<double>(collisions) / static_cast<double>(m);
 }
 

@@ -316,6 +316,125 @@ TEST_F(ConcurrencyTest, LoadedIndexServesConcurrentQueries) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// One shared mid-rebuild dynamic index (built ensemble + delta +
+// tombstones), hammered by per-thread BatchQuery calls with per-thread
+// contexts: the batched delta scan reads shared records while the inner
+// engine leases shards from each thread's own context — TSan checks the
+// shared-scratch invariants, the equality checks the results.
+TEST_F(ConcurrencyTest, DynamicBatchQueryConcurrentReaders) {
+  DynamicEnsembleOptions options;
+  options.base.num_partitions = 4;
+  options.base.num_hashes = kNumHashes;
+  options.base.tree_depth = 4;
+  options.min_delta_for_rebuild = 1000000;
+  auto index = DynamicLshEnsemble::Create(options, family_).value();
+  for (size_t i = 0; i < 600; ++i) {
+    const Domain& domain = corpus_->domain(i);
+    ASSERT_TRUE(index
+                    .Insert(domain.id, domain.size(),
+                            MinHash::FromValues(family_, domain.values))
+                    .ok());
+    if (i == 399) {
+      ASSERT_TRUE(index.Flush().ok());
+    }
+  }
+  for (size_t i : {5ul, 100ul, 450ul}) {
+    ASSERT_TRUE(index.Remove(corpus_->domain(i).id).ok());
+  }
+  ASSERT_GT(index.delta_size(), 0u);
+  ASSERT_GT(index.tombstone_count(), 0u);
+
+  // Two-pass spec build: sketches filled before any address is taken.
+  std::vector<size_t> batch_indices;
+  for (size_t qi = 0; qi < 600; qi += 20) batch_indices.push_back(qi);
+  std::vector<MinHash> sketches;
+  for (size_t qi : batch_indices) {
+    sketches.push_back(MinHash::FromValues(family_, corpus_->domain(qi).values));
+  }
+  std::vector<QuerySpec> specs;
+  for (size_t i = 0; i < batch_indices.size(); ++i) {
+    specs.push_back(QuerySpec{
+        &sketches[i], corpus_->domain(batch_indices[i]).size(), 0.5});
+  }
+  // Serial reference with a private context.
+  std::vector<std::vector<uint64_t>> expected(specs.size());
+  {
+    QueryContext ctx;
+    ASSERT_TRUE(index.BatchQuery(specs, &ctx, expected.data()).ok());
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      QueryContext ctx;  // per-thread, reused across rounds
+      std::vector<QuerySpec> rotated(specs.size());
+      std::vector<std::vector<uint64_t>> outs(specs.size());
+      for (int round = 0; round < 3; ++round) {
+        for (size_t i = 0; i < specs.size(); ++i) {
+          rotated[i] = specs[(i + t + round) % specs.size()];
+        }
+        if (!index.BatchQuery(rotated, &ctx, outs.data()).ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < specs.size(); ++i) {
+          if (outs[i] != expected[(i + t + round) % specs.size()]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// Concurrent lockstep top-k descents over the shared static index: each
+// thread drives its own BatchSearch with a private context and must get
+// the serial per-query answers.
+TEST_F(ConcurrencyTest, ConcurrentBatchTopKSearchesAgree) {
+  TopKSearcher searcher(&*ensemble_, &store_);
+  std::vector<size_t> batch_indices;
+  for (size_t qi = 0; qi < 10 * 271; qi += 271) batch_indices.push_back(qi);
+  std::vector<MinHash> sketches;
+  for (size_t qi : batch_indices) {
+    sketches.push_back(MinHash::FromValues(family_, corpus_->domain(qi).values));
+  }
+  std::vector<TopKQuery> queries;
+  for (size_t i = 0; i < batch_indices.size(); ++i) {
+    queries.push_back(TopKQuery{
+        &sketches[i], corpus_->domain(batch_indices[i]).size()});
+  }
+  std::vector<std::vector<TopKResult>> expected(queries.size());
+  {
+    QueryContext ctx;
+    ASSERT_TRUE(searcher.BatchSearch(queries, 10, &ctx, expected.data()).ok());
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      QueryContext ctx;
+      std::vector<std::vector<TopKResult>> outs(queries.size());
+      for (int round = 0; round < 3; ++round) {
+        if (!searcher.BatchSearch(queries, 10, &ctx, outs.data()).ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < queries.size(); ++i) {
+          if (outs[i] != expected[i]) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST_F(ConcurrencyTest, DynamicEnsembleConcurrentReads) {
   DynamicEnsembleOptions options;
   options.base.num_partitions = 4;

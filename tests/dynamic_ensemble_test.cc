@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "baselines/exact_search.h"
+#include "core/threshold.h"
 #include "data/corpus.h"
 #include "util/random.h"
 #include "workload/generator.h"
@@ -325,6 +328,243 @@ TEST_F(DynamicEnsembleTest, ContextQueryIsWarmAfterFirstCall) {
     ASSERT_TRUE(index.Query(Sketch(2), corpus_->domain(2).size(), 0.5, &ctx,
                             &results)
                     .ok());
+  }
+  EXPECT_EQ(ctx.MemoryBytes(), warm_bytes);
+}
+
+// ------------------------------------------------------- batched queries
+
+class DynamicBatchQueryTest : public DynamicEnsembleTest {
+ protected:
+  // A mid-rebuild index: 150 indexed domains, ~90 in the delta, removals
+  // on both sides (tombstones + dropped delta entries). Rebuilds are
+  // disabled so the mixed state stays put. Pass parallel_query = false
+  // for tests that need deterministic scratch sizing: the shard pool
+  // grows to the number of concurrent workers *observed*, which is racy.
+  void BuildMixedIndex(bool parallel_query = true) {
+    DynamicEnsembleOptions options = SmallOptions();
+    options.min_delta_for_rebuild = 100000;
+    options.base.parallel_query = parallel_query;
+    index_.emplace(DynamicLshEnsemble::Create(options, family_).value());
+    for (size_t i = 0; i < 240; ++i) {
+      ASSERT_TRUE(InsertDomain(*index_, i).ok());
+      if (i == 149) {
+        ASSERT_TRUE(index_->Flush().ok());
+      }
+    }
+    for (size_t i : {9ul, 30ul, 77ul, 120ul}) {  // indexed -> tombstoned
+      ASSERT_TRUE(index_->Remove(corpus_->domain(i).id).ok());
+      removed_.insert(corpus_->domain(i).id);
+    }
+    for (size_t i : {155ul, 200ul}) {  // delta -> dropped outright
+      ASSERT_TRUE(index_->Remove(corpus_->domain(i).id).ok());
+      removed_.insert(corpus_->domain(i).id);
+    }
+    for (size_t i = 150; i < 240; ++i) {
+      if (removed_.count(corpus_->domain(i).id) == 0) {
+        delta_indices_.push_back(i);
+      }
+    }
+    ASSERT_GT(index_->delta_size(), 0u);
+    ASSERT_GT(index_->tombstone_count(), 0u);
+  }
+
+  // The pre-batching reference: indexed candidates minus tombstones, then
+  // the seed delta scan (ContainmentToJaccard per record + EstimateJaccard)
+  // in delta order. Guards the hoisted-threshold rewrite (results must be
+  // unchanged) as well as the batch path.
+  std::vector<uint64_t> ReferenceAnswer(const MinHash& query, size_t q,
+                                        double t_star) const {
+    std::vector<uint64_t> out;
+    if (index_->indexed() != nullptr) {
+      std::vector<uint64_t> indexed;
+      EXPECT_TRUE(index_->indexed()->Query(query, q, t_star, &indexed).ok());
+      for (uint64_t id : indexed) {
+        if (removed_.count(id) == 0) out.push_back(id);
+      }
+    }
+    const auto qd = static_cast<double>(q);
+    for (size_t i : delta_indices_) {
+      const Domain& domain = corpus_->domain(i);
+      const double s_star = ContainmentToJaccard(
+          t_star, static_cast<double>(domain.size()), qd);
+      const MinHash* signature = index_->SignatureOf(domain.id);
+      EXPECT_NE(signature, nullptr);
+      const double jaccard = query.EstimateJaccard(*signature).value();
+      if (jaccard + 1e-12 >= s_star) out.push_back(domain.id);
+    }
+    return out;
+  }
+
+  std::optional<DynamicLshEnsemble> index_;
+  std::unordered_set<uint64_t> removed_;
+  std::vector<size_t> delta_indices_;
+};
+
+TEST_F(DynamicBatchQueryTest, BatchMatchesSequentialAndSeedReference) {
+  BuildMixedIndex();
+  // Two-pass spec build: fill the sketch vector completely before taking
+  // any addresses, so the specs never dangle on a reallocation.
+  std::vector<size_t> query_indices;
+  for (size_t qi = 0; qi < 240; qi += 5) query_indices.push_back(qi);
+  std::vector<MinHash> sketches;
+  for (size_t qi : query_indices) sketches.push_back(Sketch(qi));
+  std::vector<QuerySpec> specs;
+  for (size_t i = 0; i < query_indices.size(); ++i) {
+    const size_t qi = query_indices[i];
+    const double t_star = 0.2 + 0.15 * static_cast<double>(qi % 5);
+    specs.push_back(
+        QuerySpec{&sketches[i], corpus_->domain(qi).size(), t_star});
+  }
+
+  QueryContext ctx;
+  std::vector<std::vector<uint64_t>> outs(specs.size());
+  ASSERT_TRUE(index_->BatchQuery(specs, &ctx, outs.data()).ok());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    std::vector<uint64_t> sequential;
+    ASSERT_TRUE(index_
+                    ->Query(*specs[i].query, specs[i].query_size,
+                            specs[i].t_star, &sequential)
+                    .ok());
+    EXPECT_EQ(outs[i], sequential) << "query " << i;
+    EXPECT_EQ(outs[i], ReferenceAnswer(*specs[i].query, specs[i].query_size,
+                                       specs[i].t_star))
+        << "query " << i;
+  }
+}
+
+TEST_F(DynamicBatchQueryTest, BatchWithEmptyDelta) {
+  BuildMixedIndex();
+  ASSERT_TRUE(index_->Flush().ok());  // folds the delta in, clears tombstones
+  ASSERT_EQ(index_->delta_size(), 0u);
+  delta_indices_.clear();
+  removed_.clear();
+
+  std::vector<size_t> query_indices;
+  for (size_t qi = 0; qi < 240; qi += 31) query_indices.push_back(qi);
+  std::vector<MinHash> sketches;
+  for (size_t qi : query_indices) sketches.push_back(Sketch(qi));
+  std::vector<QuerySpec> specs;
+  for (size_t i = 0; i < query_indices.size(); ++i) {
+    specs.push_back(QuerySpec{
+        &sketches[i], corpus_->domain(query_indices[i]).size(), 0.5});
+  }
+  QueryContext ctx;
+  std::vector<std::vector<uint64_t>> outs(specs.size());
+  ASSERT_TRUE(index_->BatchQuery(specs, &ctx, outs.data()).ok());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(outs[i], ReferenceAnswer(*specs[i].query, specs[i].query_size,
+                                       specs[i].t_star))
+        << "query " << i;
+  }
+}
+
+TEST_F(DynamicBatchQueryTest, BatchBeforeFirstFlush) {
+  DynamicEnsembleOptions options = SmallOptions();
+  options.min_delta_for_rebuild = 100000;
+  auto index = DynamicLshEnsemble::Create(options, family_).value();
+  for (size_t i = 0; i < 40; ++i) ASSERT_TRUE(InsertDomain(index, i).ok());
+  ASSERT_EQ(index.indexed(), nullptr);
+
+  std::vector<size_t> query_indices;
+  for (size_t qi = 0; qi < 40; qi += 9) query_indices.push_back(qi);
+  std::vector<MinHash> sketches;
+  for (size_t qi : query_indices) sketches.push_back(Sketch(qi));
+  std::vector<QuerySpec> specs;
+  for (size_t i = 0; i < query_indices.size(); ++i) {
+    specs.push_back(QuerySpec{
+        &sketches[i], corpus_->domain(query_indices[i]).size(), 0.8});
+  }
+  QueryContext ctx;
+  std::vector<std::vector<uint64_t>> outs(specs.size());
+  std::vector<QueryStats> stats(specs.size());
+  ASSERT_TRUE(index.BatchQuery(specs, &ctx, outs.data(), stats.data()).ok());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    std::vector<uint64_t> sequential;
+    ASSERT_TRUE(index
+                    .Query(*specs[i].query, specs[i].query_size,
+                           specs[i].t_star, &sequential)
+                    .ok());
+    EXPECT_EQ(outs[i], sequential);
+    // Each query domain is in the delta, so a near-1 threshold self-query
+    // must find itself.
+    const uint64_t self = corpus_->domain(query_indices[i]).id;
+    EXPECT_NE(std::find(outs[i].begin(), outs[i].end(), self), outs[i].end());
+    EXPECT_EQ(stats[i].query_size_used, specs[i].query_size);
+    EXPECT_EQ(stats[i].partitions_probed, 0u);  // nothing indexed yet
+  }
+}
+
+TEST_F(DynamicBatchQueryTest, BatchStatsRideTheEngine) {
+  BuildMixedIndex();
+  const MinHash query = Sketch(3);
+  const QuerySpec spec{&query, corpus_->domain(3).size(), 0.4};
+  QueryContext ctx;
+  std::vector<uint64_t> out;
+  QueryStats stats;
+  ASSERT_TRUE(index_
+                  ->BatchQuery(std::span<const QuerySpec>(&spec, 1), &ctx,
+                               &out, &stats)
+                  .ok());
+  EXPECT_EQ(stats.query_size_used, corpus_->domain(3).size());
+  EXPECT_GT(stats.partitions_probed + stats.partitions_pruned, 0u);
+}
+
+TEST_F(DynamicBatchQueryTest, BatchValidationAndEmptyBatch) {
+  BuildMixedIndex();
+  QueryContext ctx;
+  const MinHash query = Sketch(0);
+  std::vector<uint64_t> out;
+  const QuerySpec good{&query, 10, 0.5};
+
+  EXPECT_TRUE(index_->BatchQuery({}, &ctx, nullptr).ok());  // empty is a no-op
+  EXPECT_TRUE(index_
+                  ->BatchQuery(std::span<const QuerySpec>(&good, 1), nullptr,
+                               &out)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(index_
+                  ->BatchQuery(std::span<const QuerySpec>(&good, 1), &ctx,
+                               nullptr)
+                  .IsInvalidArgument());
+  const QuerySpec bad_t{&query, 10, 1.5};
+  EXPECT_TRUE(index_
+                  ->BatchQuery(std::span<const QuerySpec>(&bad_t, 1), &ctx,
+                               &out)
+                  .IsInvalidArgument());
+  const QuerySpec null_query{nullptr, 10, 0.5};
+  EXPECT_TRUE(index_
+                  ->BatchQuery(std::span<const QuerySpec>(&null_query, 1),
+                               &ctx, &out)
+                  .IsInvalidArgument());
+  auto other_family = HashFamily::Create(kNumHashes, 4321).value();
+  const MinHash foreign =
+      MinHash::FromValues(other_family, corpus_->domain(0).values);
+  const QuerySpec wrong_family{&foreign, 10, 0.5};
+  EXPECT_TRUE(index_
+                  ->BatchQuery(std::span<const QuerySpec>(&wrong_family, 1),
+                               &ctx, &out)
+                  .IsInvalidArgument());
+}
+
+TEST_F(DynamicBatchQueryTest, WarmContextStopsGrowing) {
+  BuildMixedIndex(/*parallel_query=*/false);
+  std::vector<size_t> query_indices;
+  for (size_t qi = 0; qi < 240; qi += 15) query_indices.push_back(qi);
+  std::vector<MinHash> sketches;
+  for (size_t qi : query_indices) sketches.push_back(Sketch(qi));
+  std::vector<QuerySpec> specs;
+  for (size_t i = 0; i < query_indices.size(); ++i) {
+    specs.push_back(QuerySpec{
+        &sketches[i], corpus_->domain(query_indices[i]).size(), 0.5});
+  }
+  QueryContext ctx;
+  std::vector<std::vector<uint64_t>> outs(specs.size());
+  for (int rep = 0; rep < 8; ++rep) {
+    ASSERT_TRUE(index_->BatchQuery(specs, &ctx, outs.data()).ok());
+  }
+  const size_t warm_bytes = ctx.MemoryBytes();
+  for (int rep = 0; rep < 5; ++rep) {
+    ASSERT_TRUE(index_->BatchQuery(specs, &ctx, outs.data()).ok());
   }
   EXPECT_EQ(ctx.MemoryBytes(), warm_bytes);
 }

@@ -78,6 +78,91 @@ TEST(HashKernelTest, AllKernelsBitIdentical) {
   }
 }
 
+TEST(HashKernelTest, CountCollisionsParityAcrossKernels) {
+  // Signature pairs with planted collisions and empty-slot runs; every
+  // kernel must reproduce the brute-force count exactly (it feeds the
+  // Jaccard estimator, so an off-by-one would skew every ranking).
+  for (const int m : {1, 3, 4, 7, 8, 9, 16, 31, 64, 127, 128, 250, 256}) {
+    Rng rng(m * 131 + 7);
+    std::vector<uint64_t> a(m), b(m);
+    for (int i = 0; i < m; ++i) {
+      a[i] = rng.Next() % kMersennePrime61;
+      switch (rng.Next() % 4) {
+        case 0:  b[i] = a[i]; break;                      // collision
+        case 1:  b[i] = rng.Next() % kMersennePrime61; break;
+        case 2:  a[i] = MinHash::kEmptySlot; b[i] = MinHash::kEmptySlot;
+                 break;                                   // both empty: no hit
+        default: b[i] = MinHash::kEmptySlot; break;
+      }
+    }
+    size_t expected = 0;
+    for (int i = 0; i < m; ++i) {
+      if (a[i] == b[i] && a[i] != MinHash::kEmptySlot) ++expected;
+    }
+    for (const HashKernelOps* ops : AvailableKernels()) {
+      SCOPED_TRACE(::testing::Message() << ops->name << " m=" << m);
+      EXPECT_EQ(ops->count_collisions(a.data(), b.data(), a.size()),
+                expected);
+    }
+  }
+}
+
+TEST(HashKernelTest, CountCollisionsManyMatchesSingle) {
+  // The arena form must agree with per-pair counts for every kernel, at
+  // odd arena lengths (the record-pair unroll has a tail) and odd m.
+  for (const int m : {1, 4, 7, 8, 16, 128, 250, 256}) {
+    Rng rng(m * 997 + 3);
+    std::vector<uint64_t> query(m);
+    for (auto& v : query) {
+      v = (rng.Next() % 8 == 0) ? MinHash::kEmptySlot
+                                : rng.Next() % kMersennePrime61;
+    }
+    for (const size_t n : {1ul, 2ul, 3ul, 5ul, 17ul}) {
+      std::vector<uint64_t> arena(n * m);
+      for (size_t j = 0; j < n; ++j) {
+        for (int i = 0; i < m; ++i) {
+          // Plant frequent collisions so counts are non-trivial.
+          arena[j * m + i] = (rng.Next() % 3 == 0)
+                                 ? query[i]
+                                 : rng.Next() % kMersennePrime61;
+        }
+      }
+      std::vector<uint32_t> expected(n);
+      for (size_t j = 0; j < n; ++j) {
+        expected[j] = static_cast<uint32_t>(ScalarKernelOps().count_collisions(
+            query.data(), arena.data() + j * m, m));
+      }
+      for (const HashKernelOps* ops : AvailableKernels()) {
+        SCOPED_TRACE(::testing::Message()
+                     << ops->name << " m=" << m << " n=" << n);
+        std::vector<uint32_t> counts(n, 12345);
+        ops->count_collisions_many(query.data(), arena.data(), m, n,
+                                   counts.data());
+        EXPECT_EQ(counts, expected);
+      }
+    }
+  }
+}
+
+TEST(HashKernelTest, EstimateJaccardMatchesBruteForce) {
+  auto family = HashFamily::Create(128, 77).value();
+  const std::vector<uint64_t> shared = RandomValues(400, 11);
+  std::vector<uint64_t> left(shared.begin(), shared.begin() + 300);
+  std::vector<uint64_t> right(shared.begin() + 100, shared.end());
+  const MinHash a = MinHash::FromValues(family, left);
+  const MinHash b = MinHash::FromValues(family, right);
+  size_t collisions = 0;
+  for (size_t i = 0; i < a.values().size(); ++i) {
+    if (a.values()[i] == b.values()[i] &&
+        a.values()[i] != MinHash::kEmptySlot) {
+      ++collisions;
+    }
+  }
+  const double expected = static_cast<double>(collisions) / 128.0;
+  EXPECT_EQ(a.EstimateJaccard(b).value(), expected);
+  EXPECT_EQ(b.EstimateJaccard(a).value(), expected);
+}
+
 TEST(HashKernelTest, BatchSplitsArbitrarily) {
   // Feeding a batch in uneven pieces (including chunk-boundary straddles)
   // must land on the same signature.

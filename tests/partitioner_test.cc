@@ -97,6 +97,26 @@ TEST(PartitionerTest, EquiDepthHandlesMassiveTies) {
   EXPECT_GE((*partitions)[0].count, 10000u);
 }
 
+TEST(PartitionerTest, EquiDepthFewerDomainsThanPartitions) {
+  // n < num_partitions makes every nominal cut index 0; the snap loop must
+  // not read below the array (caught by the ASan CI job on a 1-domain
+  // build). One domain -> one partition.
+  const std::vector<uint64_t> one = {7};
+  auto partitions = EquiDepthPartitions(one, 4);
+  ASSERT_TRUE(partitions.ok());
+  ASSERT_EQ(partitions->size(), 1u);
+  EXPECT_EQ((*partitions)[0].count, 1u);
+  CheckWellFormed(*partitions, one);
+
+  std::vector<uint64_t> three = {3, 9, 27};
+  auto more = EquiDepthPartitions(three, 8);
+  ASSERT_TRUE(more.ok());
+  CheckWellFormed(*more, three);
+  size_t total = 0;
+  for (const PartitionSpec& spec : *more) total += spec.count;
+  EXPECT_EQ(total, 3u);
+}
+
 TEST(PartitionerTest, EquiDepthAllIdenticalSizes) {
   std::vector<uint64_t> sizes(500, 42);
   auto partitions = EquiDepthPartitions(sizes, 8);

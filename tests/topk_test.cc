@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "baselines/exact_search.h"
+#include "core/dynamic_ensemble.h"
 #include "data/corpus.h"
 #include "minhash/minhash.h"
 #include "util/random.h"
@@ -231,6 +234,156 @@ TEST_F(TopKSearchTest, EstimatedQuerySizeWorks) {
     self_found = self_found || result.id == query.id;
   }
   EXPECT_TRUE(self_found) << "self not in top-5";
+}
+
+// --------------------------------------------------------- batch search
+
+TEST_F(TopKSearchTest, BatchSearchMatchesRepeatedSearch) {
+  TopKSearcher searcher(&*ensemble_, &store_);
+  // Two-pass query build: fill the sketch vector completely before taking
+  // any addresses, so the queries never dangle on a reallocation.
+  std::vector<size_t> query_indices;
+  for (size_t qi = 0; qi < corpus_->size(); qi += 101) {
+    query_indices.push_back(qi);
+  }
+  std::vector<MinHash> sketches;
+  for (size_t qi : query_indices) {
+    sketches.push_back(MinHash::FromValues(family_, corpus_->domain(qi).values));
+  }
+  std::vector<TopKQuery> queries;
+  for (size_t i = 0; i < query_indices.size(); ++i) {
+    queries.push_back(
+        TopKQuery{&sketches[i], corpus_->domain(query_indices[i]).size()});
+  }
+  for (const size_t k : {1ul, 5ul, 20ul}) {
+    QueryContext ctx;
+    std::vector<std::vector<TopKResult>> outs(queries.size());
+    ASSERT_TRUE(searcher.BatchSearch(queries, k, &ctx, outs.data()).ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto sequential =
+          searcher.Search(*queries[i].query, queries[i].query_size, k);
+      ASSERT_TRUE(sequential.ok());
+      EXPECT_EQ(outs[i], *sequential) << "query " << i << " k=" << k;
+    }
+  }
+}
+
+TEST_F(TopKSearchTest, BatchSearchEstimatedSizesMatch) {
+  // query_size = 0 resolves through the sketch estimate, batched and
+  // sequentially alike.
+  TopKSearcher searcher(&*ensemble_, &store_);
+  std::vector<MinHash> sketches;
+  for (size_t qi = 0; qi < 5 * 331; qi += 331) {
+    sketches.push_back(
+        MinHash::FromValues(family_, corpus_->domain(qi).values));
+  }
+  std::vector<TopKQuery> queries;
+  for (const MinHash& sketch : sketches) {
+    queries.push_back(TopKQuery{&sketch, 0});
+  }
+  QueryContext ctx;
+  std::vector<std::vector<TopKResult>> outs(queries.size());
+  ASSERT_TRUE(searcher.BatchSearch(queries, 7, &ctx, outs.data()).ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto sequential = searcher.Search(*queries[i].query, 0, 7);
+    ASSERT_TRUE(sequential.ok());
+    EXPECT_EQ(outs[i], *sequential) << "query " << i;
+  }
+}
+
+TEST_F(TopKSearchTest, BatchSearchValidation) {
+  TopKSearcher searcher(&*ensemble_, &store_);
+  QueryContext ctx;
+  const MinHash sketch =
+      MinHash::FromValues(family_, corpus_->domain(0).values);
+  const TopKQuery query{&sketch, 10};
+  std::vector<TopKResult> out;
+  const std::span<const TopKQuery> one(&query, 1);
+
+  EXPECT_TRUE(searcher.BatchSearch({}, 5, &ctx, nullptr).ok());  // empty
+  EXPECT_TRUE(searcher.BatchSearch(one, 0, &ctx, &out).IsInvalidArgument());
+  EXPECT_TRUE(searcher.BatchSearch(one, 5, nullptr, &out).IsInvalidArgument());
+  EXPECT_TRUE(searcher.BatchSearch(one, 5, &ctx, nullptr).IsInvalidArgument());
+  const TopKQuery null_query{nullptr, 10};
+  EXPECT_TRUE(searcher
+                  .BatchSearch(std::span<const TopKQuery>(&null_query, 1), 5,
+                               &ctx, &out)
+                  .IsInvalidArgument());
+  TopKSearcher unbound(nullptr, nullptr);
+  EXPECT_TRUE(unbound.BatchSearch(one, 5, &ctx, &out).IsFailedPrecondition());
+}
+
+// --------------------------------------------- dynamic-backed searcher
+
+TEST_F(TopKSearchTest, DynamicBackedSearcherRanksDeltaAndSkipsTombstones) {
+  // A dynamic index in mid-rebuild state: most domains indexed, a tail in
+  // the delta, a few removed. The dynamic-backed searcher must rank over
+  // exactly the live set — batch and sequential agreeing.
+  DynamicEnsembleOptions options;
+  options.base.num_partitions = 8;
+  options.base.num_hashes = kNumHashes;
+  options.base.tree_depth = 4;
+  options.min_delta_for_rebuild = 1000000;
+  auto family = family_;
+  auto index = DynamicLshEnsemble::Create(options, family).value();
+  constexpr size_t kLive = 1200;
+  for (size_t i = 0; i < kLive; ++i) {
+    const Domain& domain = corpus_->domain(i);
+    ASSERT_TRUE(index
+                    .Insert(domain.id, domain.size(),
+                            MinHash::FromValues(family, domain.values))
+                    .ok());
+    if (i == 999) {
+      ASSERT_TRUE(index.Flush().ok());
+    }
+  }
+  std::unordered_set<uint64_t> removed;
+  for (size_t i : {17ul, 423ul, 1005ul}) {  // two indexed, one delta
+    ASSERT_TRUE(index.Remove(corpus_->domain(i).id).ok());
+    removed.insert(corpus_->domain(i).id);
+  }
+  ASSERT_GT(index.delta_size(), 0u);
+  ASSERT_GT(index.tombstone_count(), 0u);
+
+  TopKSearcher searcher(&index);
+  // Self-queries for a tombstoned domain (17), indexed domains, and delta
+  // domains (>= 1000); sketches filled before any address is taken.
+  const std::vector<size_t> query_indices = {17,  202,  404,  606,
+                                             808, 1001, 1100, 1199};
+  std::vector<MinHash> sketches;
+  for (size_t qi : query_indices) {
+    sketches.push_back(MinHash::FromValues(family, corpus_->domain(qi).values));
+  }
+  std::vector<TopKQuery> queries;
+  for (size_t i = 0; i < query_indices.size(); ++i) {
+    queries.push_back(
+        TopKQuery{&sketches[i], corpus_->domain(query_indices[i]).size()});
+  }
+
+  QueryContext ctx;
+  std::vector<std::vector<TopKResult>> outs(queries.size());
+  ASSERT_TRUE(searcher.BatchSearch(queries, 10, &ctx, outs.data()).ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto sequential =
+        searcher.Search(*queries[i].query, queries[i].query_size, 10);
+    ASSERT_TRUE(sequential.ok());
+    EXPECT_EQ(outs[i], *sequential) << "query " << i;
+    for (const TopKResult& result : outs[i]) {
+      EXPECT_EQ(removed.count(result.id), 0u)
+          << "tombstoned id " << result.id << " surfaced in query " << i;
+    }
+  }
+  // A live delta self-query must rank (near-)perfect containment first.
+  ASSERT_FALSE(outs[5].empty());
+  EXPECT_GT(outs[5].front().estimated_containment, 0.8);
+
+  // An unbound side-car never happens on the dynamic path: every candidate
+  // is live, so every result is rankable.
+  for (const auto& out : outs) {
+    for (const TopKResult& result : out) {
+      EXPECT_NE(index.SignatureOf(result.id), nullptr);
+    }
+  }
 }
 
 // ------------------------------------------------------- exact TopK unit

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Gate bench results against checked-in baselines.
+
+Compares the rows of a fresh `--json` bench run (e.g. BENCH_throughput.json)
+against a baseline file committed under bench/baselines/, matching rows by
+identity keys (default: mode + batch_size) and failing on a throughput
+regression beyond the allowed fraction.
+
+Two comparison modes:
+
+  * relative (default): each file's metric is normalized by the geometric
+    mean of the metric over the matched (gated) rows before comparing.
+    A machine-speed factor multiplies every row equally, so it cancels
+    exactly — the gate then checks the *structure* of the results (batch
+    speedup over single-query, dynamic cost over static), which transfers
+    across runners of different speeds. Using the geomean rather than one
+    designated reference row keeps a single noisy row from poisoning
+    every comparison.
+  * absolute: raw metric values are compared. Use when baseline and
+    candidate come from the same machine (perf-trajectory tracking).
+
+`--min-batch N` restricts gating to rows with batch_size >= N: per-query
+rows (batch_size 1) are dominated by thread-pool wakeup noise on small
+runners, while the batched rows are stable — CI gates with --min-batch 2.
+Ungated rows are still printed for the log.
+
+Exit status: 0 when every gated row passes, 1 on any regression or
+missing/empty input. New rows absent from the baseline are reported but do
+not fail the gate (refresh the baseline in the same PR that adds them).
+
+Typical CI usage:
+  python3 tools/bench_gate.py \
+      --baseline bench/baselines/BENCH_throughput.json \
+      --candidate BENCH_throughput.json --min-batch 2
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"bench_gate: cannot read {path}: {error}")
+    rows = payload.get("rows", [])
+    if not rows:
+        sys.exit(f"bench_gate: {path} contains no rows")
+    return payload.get("bench", "?"), rows
+
+
+def row_key(row, keys):
+    return tuple(str(row.get(k)) for k in keys)
+
+
+def batch_size(row):
+    try:
+        return int(float(row.get("batch_size", 0)))
+    except (TypeError, ValueError):
+        return 0
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON (bench/baselines/...)")
+    parser.add_argument("--candidate", required=True,
+                        help="fresh bench --json output")
+    parser.add_argument("--metric", default="qps",
+                        help="row field to gate on (default: qps)")
+    parser.add_argument("--keys", default="mode,batch_size",
+                        help="comma-separated identity fields (default: "
+                             "mode,batch_size)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional drop (default: 0.25)")
+    parser.add_argument("--mode", choices=["relative", "absolute"],
+                        default="relative",
+                        help="normalize by the gated rows' geometric mean "
+                             "(relative, default) or compare raw values")
+    parser.add_argument("--min-batch", type=int, default=1,
+                        help="gate only rows with batch_size >= N "
+                             "(default: 1 = all rows)")
+    args = parser.parse_args()
+
+    keys = [k.strip() for k in args.keys.split(",") if k.strip()]
+    base_name, base_rows = load_rows(args.baseline)
+    cand_name, cand_rows = load_rows(args.candidate)
+    if base_name != cand_name:
+        sys.exit(f"bench_gate: bench name mismatch: baseline is "
+                 f"'{base_name}', candidate is '{cand_name}'")
+
+    baseline_by_key = {row_key(r, keys): r for r in base_rows}
+
+    # The gated set: candidate rows that match a baseline row, carry the
+    # metric, and clear the batch-size floor.
+    gated, skipped, new_rows = [], [], []
+    for row in cand_rows:
+        if args.metric not in row:
+            continue
+        key = row_key(row, keys)
+        base = baseline_by_key.get(key)
+        if base is None or args.metric not in base:
+            new_rows.append(key)
+            continue
+        entry = (key, float(base[args.metric]), float(row[args.metric]))
+        if batch_size(row) >= args.min_batch:
+            gated.append(entry)
+        else:
+            skipped.append(entry)
+    if not gated:
+        sys.exit("bench_gate: no candidate row matched the baseline "
+                 "(after --min-batch filtering)")
+
+    base_norm = cand_norm = 1.0
+    if args.mode == "relative":
+        base_norm = geomean([b for _, b, _ in gated])
+        cand_norm = geomean([c for _, _, c in gated])
+
+    print(f"bench_gate: '{cand_name}' | metric={args.metric} "
+          f"mode={args.mode} max-regression={args.max_regression:.0%} "
+          f"min-batch={args.min_batch}")
+    failures = []
+    for key, base_value, cand_value in gated:
+        normalized_base = base_value / base_norm
+        normalized_cand = cand_value / cand_norm
+        ratio = (normalized_cand / normalized_base if normalized_base
+                 else float("inf"))
+        verdict = "ok"
+        if ratio < 1.0 - args.max_regression:
+            verdict = "REGRESSION"
+            failures.append(key)
+        print(f"  {'/'.join(key):24s} baseline={normalized_base:10.3f} "
+              f"candidate={normalized_cand:10.3f} ratio={ratio:5.2f}  "
+              f"{verdict}")
+    for key, base_value, cand_value in skipped:
+        ratio = cand_value / base_value if base_value else float("inf")
+        print(f"  {'/'.join(key):24s} raw ratio={ratio:5.2f}  "
+              f"(below --min-batch, not gated)")
+    for key in new_rows:
+        print(f"  {'/'.join(key):24s} (new row, no baseline — refresh "
+              f"bench/baselines/ in this PR)")
+
+    if failures:
+        print(f"bench_gate: FAIL — {len(failures)}/{len(gated)} gated rows "
+              f"regressed more than {args.max_regression:.0%}",
+              file=sys.stderr)
+        return 1
+    print(f"bench_gate: PASS — {len(gated)} gated rows within "
+          f"{args.max_regression:.0%} of baseline"
+          + (f", {len(new_rows)} new" if new_rows else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,8 @@
 //   lshe query       --index idx.lshe --catalog idx.cat --query-csv q.csv
 //                    --column Partner [--threshold 0.5 | --topk 10]
 //   lshe batch-query --index idx.lshe --catalog idx.cat --query-csv q.csv
-//                    [--column Partner] [--threshold 0.5]
+//                    [--column Partner] [--threshold 0.5 | --topk 10]
+//                    [--delta extra.csv]
 //   lshe stats       --index idx.lshe [--catalog idx.cat]
 //
 // `index` extracts every column of every CSV as a domain (paper Section 2:
@@ -13,15 +14,22 @@
 // signatures). `query` sketches one column of a query CSV and reports the
 // indexed domains that contain it (threshold mode, Definition 2) or the
 // k best containers (top-k mode). `batch-query` treats every column of the
-// query CSV as one query and answers them all in a single BatchQuery()
-// call on the batched engine. `stats` prints the partition layout.
+// query CSV as one query and answers them all in one batched call:
+// threshold mode rides BatchQuery(), `--topk K` ranks every query in one
+// lockstep BatchSearch(), and `--delta FILE` first layers FILE's columns
+// as unindexed delta domains on a DynamicLshEnsemble rebuilt from the
+// catalog (the paper's dynamic-data scenario, Section 6.2) so both modes
+// search indexed + just-arrived data. `stats` prints the partition layout.
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/dynamic_ensemble.h"
 #include "core/lsh_ensemble.h"
 #include "core/topk.h"
 #include "data/csv.h"
@@ -42,6 +50,7 @@ struct Flags {
   std::string index;
   std::string query_csv;
   std::string column;
+  std::string delta_csv;
   double threshold = 0.5;
   int topk = 0;  // 0 = threshold mode
   int partitions = 16;
@@ -58,7 +67,8 @@ void Usage() {
   lshe query --index IDX --catalog CAT --query-csv FILE --column NAME
              [--threshold T | --topk K]
   lshe batch-query --index IDX --catalog CAT --query-csv FILE
-             [--column NAME] [--threshold T] [--min-size K]
+             [--column NAME] [--threshold T | --topk K] [--min-size K]
+             [--delta FILE]
   lshe stats --index IDX [--catalog CAT]
 )");
 }
@@ -80,6 +90,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->query_csv = value;
     } else if (arg == "--column" && (value = next())) {
       flags->column = value;
+    } else if (arg == "--delta" && (value = next())) {
+      flags->delta_csv = value;
     } else if (arg == "--threshold" && (value = next())) {
       flags->threshold = std::atof(value);
     } else if (arg == "--topk" && (value = next())) {
@@ -272,6 +284,86 @@ int RunBatchQuery(const Flags& flags) {
   const Corpus query_corpus(std::move(queries));
   std::vector<MinHash> sketches = sketcher.SketchCorpus(query_corpus);
   const std::vector<Domain>& query_domains = query_corpus.domains();
+
+  // Optional dynamic layer (--delta): rebuild a DynamicLshEnsemble from
+  // the catalog's side-car, then insert the delta file's columns as
+  // unindexed domains — immediately searchable, exactly the paper's
+  // dynamic-data scenario.
+  std::optional<DynamicLshEnsemble> dynamic;
+  std::unordered_map<uint64_t, std::string> delta_names;
+  if (!flags.delta_csv.empty()) {
+    DynamicEnsembleOptions dyn_options;
+    dyn_options.base = ensemble->options();
+    dyn_options.min_delta_for_rebuild = std::numeric_limits<size_t>::max();
+    auto dyn = DynamicLshEnsemble::Create(dyn_options, catalog->family());
+    if (!dyn.ok()) return Fail(dyn.status());
+    dynamic.emplace(std::move(dyn).value());
+    uint64_t max_id = 0;
+    for (const CatalogEntry& entry : catalog->entries()) {
+      Status status = dynamic->Insert(entry.id, entry.size, entry.signature);
+      if (!status.ok()) return Fail(status);
+      max_id = std::max(max_id, entry.id);
+    }
+    Status status = dynamic->Flush();
+    if (!status.ok()) return Fail(status);
+    auto delta_table = ReadCsvFile(flags.delta_csv);
+    if (!delta_table.ok()) return Fail(delta_table.status());
+    const std::vector<Domain> delta_domains =
+        ExtractDomains(*delta_table, max_id + 1, extract);
+    if (delta_domains.empty()) {
+      return Fail(Status::InvalidArgument(
+          "no delta columns extracted from " + flags.delta_csv));
+    }
+    for (const Domain& domain : delta_domains) {
+      status = dynamic->Insert(domain.id, domain.values);
+      if (!status.ok()) return Fail(status);
+      delta_names.emplace(domain.id, domain.name);
+    }
+    std::printf("dynamic index: %zu indexed + %zu delta domains\n",
+                dynamic->indexed_size(), dynamic->delta_size());
+  }
+  auto name_of = [&](uint64_t id) -> const std::string& {
+    const auto it = delta_names.find(id);
+    return it != delta_names.end() ? it->second : catalog->NameOf(id);
+  };
+
+  if (flags.topk > 0) {
+    // One lockstep BatchSearch ranks every query column.
+    std::optional<SketchStore> store;
+    std::optional<TopKSearcher> searcher;
+    if (dynamic.has_value()) {
+      searcher.emplace(&*dynamic);
+    } else {
+      auto built = catalog->ToSketchStore();
+      if (!built.ok()) return Fail(built.status());
+      store.emplace(std::move(built).value());
+      searcher.emplace(&*ensemble, &*store);
+    }
+    std::vector<TopKQuery> topk_queries(query_domains.size());
+    for (size_t i = 0; i < query_domains.size(); ++i) {
+      topk_queries[i] = TopKQuery{&sketches[i], query_domains[i].size()};
+    }
+    std::vector<std::vector<TopKResult>> outs(topk_queries.size());
+    QueryContext ctx;
+    StopWatch watch;
+    Status status = searcher->BatchSearch(
+        topk_queries, static_cast<size_t>(flags.topk), &ctx, outs.data());
+    if (!status.ok()) return Fail(status);
+    const double elapsed = watch.ElapsedSeconds();
+    for (size_t i = 0; i < query_domains.size(); ++i) {
+      std::printf("top-%d containers of %s (|Q| = %zu):\n", flags.topk,
+                  query_domains[i].name.c_str(), query_domains[i].size());
+      for (const TopKResult& result : outs[i]) {
+        std::printf("  %6.3f  %s\n", result.estimated_containment,
+                    name_of(result.id).c_str());
+      }
+    }
+    std::printf("%zu top-%d queries in %.1f ms (%.0f queries/sec)\n",
+                topk_queries.size(), flags.topk, elapsed * 1e3,
+                static_cast<double>(topk_queries.size()) / elapsed);
+    return 0;
+  }
+
   std::vector<QuerySpec> specs(query_domains.size());
   for (size_t i = 0; i < query_domains.size(); ++i) {
     specs[i] =
@@ -281,7 +373,9 @@ int RunBatchQuery(const Flags& flags) {
 
   QueryContext ctx;
   StopWatch watch;
-  Status status = ensemble->BatchQuery(specs, &ctx, outs.data());
+  Status status = dynamic.has_value()
+                      ? dynamic->BatchQuery(specs, &ctx, outs.data())
+                      : ensemble->BatchQuery(specs, &ctx, outs.data());
   if (!status.ok()) return Fail(status);
   const double elapsed = watch.ElapsedSeconds();
 
@@ -294,7 +388,7 @@ int RunBatchQuery(const Flags& flags) {
                 flags.threshold);
     constexpr size_t kMaxPrinted = 20;
     for (size_t j = 0; j < outs[i].size() && j < kMaxPrinted; ++j) {
-      std::printf("  %s\n", catalog->NameOf(outs[i][j]).c_str());
+      std::printf("  %s\n", name_of(outs[i][j]).c_str());
     }
     if (outs[i].size() > kMaxPrinted) {
       std::printf("  ... %zu more\n", outs[i].size() - kMaxPrinted);
