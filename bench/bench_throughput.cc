@@ -1,8 +1,10 @@
 // Query throughput across the unified batched surface: the batched engine
 // (BatchQuery + reusable QueryContext) against sequential single-query
 // Query() calls at batch sizes 1/64/4096, then the same comparison on a
-// dynamic index carrying a 10% unindexed delta (DynamicLshEnsemble), and
-// on lockstep top-k descents (TopKSearcher::BatchSearch). Reports
+// dynamic index carrying a 10% unindexed delta (DynamicLshEnsemble), on
+// lockstep top-k descents (TopKSearcher::BatchSearch), and on the sharded
+// serving layer at S = 1/2/4 shards (shard-batch / shard-topk rows, each
+// shard an independent dynamic engine with the same 10% delta). Reports
 // queries/sec and heap allocations per query (global operator new is
 // instrumented below). The dynamic batch path is REQUIRED to be
 // allocation-free on a warm context (the run fails otherwise) — that is
@@ -18,6 +20,7 @@
 #include "bench_common.h"
 #include "core/dynamic_ensemble.h"
 #include "core/lsh_ensemble.h"
+#include "core/sharded_ensemble.h"
 #include "core/topk.h"
 #include "data/sketcher.h"
 #include "eval/report.h"
@@ -55,14 +58,16 @@ struct Row {
   size_t queries;
   double seconds;
   uint64_t allocations;
+  size_t shards = 0;  // shard count for shard-* rows; 0 elsewhere
 };
 
 void PrintRows(const std::vector<Row>& rows,
                lshensemble::bench::JsonResultWriter* json) {
   TablePrinter printer(
-      {"mode", "batch", "queries", "qps", "allocs", "allocs/query"});
+      {"mode", "shards", "batch", "queries", "qps", "allocs", "allocs/query"});
   for (const Row& row : rows) {
-    printer.AddRow({row.mode, std::to_string(row.batch_size),
+    printer.AddRow({row.mode, std::to_string(row.shards),
+                    std::to_string(row.batch_size),
                     std::to_string(row.queries),
                     FormatDouble(row.queries / row.seconds, 0),
                     std::to_string(row.allocations),
@@ -78,6 +83,7 @@ void PrintRows(const std::vector<Row>& rows,
     json->Add("allocations", static_cast<size_t>(row.allocations));
     json->Add("allocs_per_query",
               static_cast<double>(row.allocations) / row.queries);
+    if (row.shards > 0) json->Add("shards", row.shards);
   }
   printer.Print(std::cout);
 }
@@ -302,6 +308,79 @@ int Main(int argc, char** argv) {
   run_topk_batched();
   rows.push_back({"topk-batch", num_topk, num_topk, watch.ElapsedSeconds(),
                   g_allocations.load() - allocs_before});
+
+  // --- sharded serving layer at S = 1 / 2 / 4 --------------------------
+  // Same corpus and query stream through the scatter/gather layer: every
+  // shard is an independent dynamic engine (10% delta, like dyn-batch),
+  // so shard-batch vs dyn-batch is the cost/benefit of the sharded wave
+  // and shard-batch across S shows the scaling on multi-core runners.
+  for (const size_t num_shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    ShardedEnsembleOptions shard_options;
+    shard_options.base.base = options;
+    shard_options.base.min_delta_for_rebuild = num_domains + 1;
+    shard_options.num_shards = num_shards;
+    auto sharded_result = ShardedEnsemble::Create(shard_options, family);
+    if (!sharded_result.ok()) {
+      std::fprintf(stderr, "ShardedEnsemble::Create failed: %s\n",
+                   sharded_result.status().ToString().c_str());
+      return 1;
+    }
+    ShardedEnsemble& sharded = *sharded_result;
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      if (!sharded.Insert(i + 1, corpus.domain(i).size(), sketches[i]).ok()) {
+        std::fprintf(stderr, "sharded Insert failed\n");
+        return 1;
+      }
+      if (i + 1 == indexed_count && !sharded.Flush().ok()) {
+        std::fprintf(stderr, "sharded Flush failed\n");
+        return 1;
+      }
+    }
+
+    auto run_shard_batched = [&]() {
+      for (size_t begin = 0; begin < num_queries; begin += kDynBatch) {
+        const size_t len = std::min(kDynBatch, num_queries - begin);
+        const Status status = sharded.BatchQuery(
+            std::span<const QuerySpec>(specs.data() + begin, len),
+            outs.data() + begin);
+        if (!status.ok()) {
+          std::fprintf(stderr, "sharded BatchQuery failed: %s\n",
+                       status.ToString().c_str());
+          std::exit(1);
+        }
+      }
+    };
+    run_shard_batched();  // warm shard scratch pools and output capacities
+    double shard_seconds = 0.0;
+    uint64_t shard_allocs = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      watch.Restart();
+      allocs_before = g_allocations.load();
+      run_shard_batched();
+      const double seconds = watch.ElapsedSeconds();
+      const uint64_t allocs = g_allocations.load() - allocs_before;
+      if (rep == 0 || seconds < shard_seconds) shard_seconds = seconds;
+      if (rep == 0 || allocs < shard_allocs) shard_allocs = allocs;
+    }
+    rows.push_back({"shard-batch", kDynBatch, num_queries, shard_seconds,
+                    shard_allocs, num_shards});
+
+    auto run_shard_topk = [&]() {
+      const Status status =
+          sharded.BatchSearch(topk_queries, topk_k, topk_outs.data());
+      if (!status.ok()) {
+        std::fprintf(stderr, "sharded BatchSearch failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    };
+    run_shard_topk();
+    watch.Restart();
+    allocs_before = g_allocations.load();
+    run_shard_topk();
+    rows.push_back({"shard-topk", num_topk, num_topk, watch.ElapsedSeconds(),
+                    g_allocations.load() - allocs_before, num_shards});
+  }
 
   PrintRows(rows, &json);
 

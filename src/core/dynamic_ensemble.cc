@@ -281,6 +281,20 @@ Status DynamicLshEnsemble::BatchQuery(std::span<const QuerySpec> specs,
 }
 
 Status DynamicLshEnsemble::Flush() {
+  if (!records_.empty() && delta_.empty() && tombstones_.empty() &&
+      ensemble_.has_value()) {
+    return Status::OK();  // already up to date
+  }
+  return Rebuild(options_.base);
+}
+
+Status DynamicLshEnsemble::Flush(std::vector<PartitionSpec> pinned) {
+  LshEnsembleOptions build_options = options_.base;
+  build_options.pinned_partitions = std::move(pinned);
+  return Rebuild(build_options);
+}
+
+Status DynamicLshEnsemble::Rebuild(const LshEnsembleOptions& build_options) {
   if (records_.empty()) {
     // Nothing live: drop the ensemble entirely.
     ensemble_.reset();
@@ -290,10 +304,7 @@ Status DynamicLshEnsemble::Flush() {
     ++mutation_epoch_;
     return Status::OK();
   }
-  if (delta_.empty() && tombstones_.empty() && ensemble_.has_value()) {
-    return Status::OK();  // already up to date
-  }
-  LshEnsembleBuilder builder(options_.base, family_);
+  LshEnsembleBuilder builder(build_options, family_);
   for (const auto& [id, record] : records_) {
     LSHE_RETURN_IF_ERROR(builder.Add(id, record.size, record.signature));
   }
@@ -307,6 +318,13 @@ Status DynamicLshEnsemble::Flush() {
   return Status::OK();
 }
 
+void DynamicLshEnsemble::AppendLiveSizes(std::vector<uint64_t>* out) const {
+  out->reserve(out->size() + records_.size());
+  for (const auto& [id, record] : records_) {
+    out->push_back(record.size);
+  }
+}
+
 size_t DynamicLshEnsemble::indexed_size() const { return indexed_count_; }
 
 size_t DynamicLshEnsemble::SizeOf(uint64_t id) const {
@@ -317,6 +335,14 @@ size_t DynamicLshEnsemble::SizeOf(uint64_t id) const {
 const MinHash* DynamicLshEnsemble::SignatureOf(uint64_t id) const {
   const auto it = records_.find(id);
   return it == records_.end() ? nullptr : &it->second.signature;
+}
+
+const MinHash* DynamicLshEnsemble::FindRecord(uint64_t id,
+                                              size_t* size) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return nullptr;
+  *size = it->second.size;
+  return &it->second.signature;
 }
 
 bool DynamicLshEnsemble::ShouldRebuild() const {

@@ -111,6 +111,19 @@ class DynamicLshEnsemble {
   /// nothing changed since the last build. Clears the delta and tombstones.
   Status Flush();
 
+  /// \brief Rebuild with partition boundaries pinned to `pinned` instead of
+  /// partitioning this index's own size distribution (see
+  /// LshEnsembleOptions::pinned_partitions). Always rebuilds — the caller
+  /// changes the boundaries, so "nothing changed" cannot be inferred here.
+  /// The sharded serving layer drives every shard's rebuilds through this
+  /// with one corpus-global partitioning.
+  Status Flush(std::vector<PartitionSpec> pinned);
+
+  /// \brief Append every live domain's size to `out` (unspecified order).
+  /// The sharded layer aggregates these across shards to compute the
+  /// corpus-global partitioning it pins rebuilds to.
+  void AppendLiveSizes(std::vector<uint64_t>* out) const;
+
   /// Number of live (searchable) domains.
   size_t size() const { return records_.size(); }
   /// Domains in the built ensemble (including tombstoned ones).
@@ -129,6 +142,9 @@ class DynamicLshEnsemble {
   size_t SizeOf(uint64_t id) const;
   /// Signature of a live domain (nullptr if not live).
   const MinHash* SignatureOf(uint64_t id) const;
+  /// Signature and exact size in one lookup (nullptr / size untouched if
+  /// not live) — one map probe per ranked top-k candidate.
+  const MinHash* FindRecord(uint64_t id, size_t* size) const;
 
  private:
   struct Record {
@@ -141,6 +157,8 @@ class DynamicLshEnsemble {
       : options_(std::move(options)), family_(std::move(family)) {}
 
   bool ShouldRebuild() const;
+  /// Rebuild over all live records with `build_options` (Flush plumbing).
+  Status Rebuild(const LshEnsembleOptions& build_options);
 
   DynamicEnsembleOptions options_;
   std::shared_ptr<const HashFamily> family_;

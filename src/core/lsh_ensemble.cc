@@ -27,12 +27,64 @@ Status LshEnsembleOptions::Validate() const {
   if (interpolation_lambda > 1.0) {
     return Status::InvalidArgument("interpolation_lambda must be <= 1");
   }
+  for (size_t i = 0; i < pinned_partitions.size(); ++i) {
+    if (pinned_partitions[i].upper <= pinned_partitions[i].lower) {
+      return Status::InvalidArgument(
+          "pinned partitions must have upper > lower");
+    }
+    if (i > 0 && pinned_partitions[i].lower < pinned_partitions[i - 1].upper) {
+      return Status::InvalidArgument(
+          "pinned partitions must be ascending and disjoint");
+    }
+  }
   return Status::OK();
+}
+
+Result<std::vector<PartitionSpec>> ComputePartitions(
+    const std::vector<uint64_t>& sorted_sizes,
+    const LshEnsembleOptions& options) {
+  if (sorted_sizes.empty()) {
+    return Status::InvalidArgument("no domain sizes to partition");
+  }
+  if (!options.pinned_partitions.empty()) {
+    // Recompute counts for the pinned intervals and require full coverage:
+    // a size falling between intervals would silently vanish from the
+    // index otherwise.
+    std::vector<PartitionSpec> specs = options.pinned_partitions;
+    size_t covered = 0;
+    for (PartitionSpec& spec : specs) {
+      const auto begin = std::lower_bound(sorted_sizes.begin(),
+                                          sorted_sizes.end(), spec.lower);
+      const auto end =
+          std::lower_bound(sorted_sizes.begin(), sorted_sizes.end(),
+                           spec.upper);
+      spec.count = static_cast<size_t>(end - begin);
+      covered += spec.count;
+    }
+    if (covered != sorted_sizes.size()) {
+      return Status::InvalidArgument(
+          "pinned partitions do not cover every domain size");
+    }
+    return specs;
+  }
+  if (options.interpolation_lambda >= 0.0) {
+    return InterpolatedPartitions(sorted_sizes, options.num_partitions,
+                                  options.interpolation_lambda);
+  }
+  switch (options.strategy) {
+    case PartitioningStrategy::kEquiDepth:
+      return EquiDepthPartitions(sorted_sizes, options.num_partitions);
+    case PartitioningStrategy::kEquiWidth:
+      return EquiWidthPartitions(sorted_sizes, options.num_partitions);
+    case PartitioningStrategy::kMinimaxCost:
+      return MinimaxCostPartitions(sorted_sizes, options.num_partitions);
+  }
+  return Status::InvalidArgument("unknown partitioning strategy");
 }
 
 LshEnsemble::LshEnsemble(LshEnsembleOptions options,
                          std::shared_ptr<const HashFamily> family)
-    : options_(options),
+    : options_(std::move(options)),
       family_(std::move(family)),
       instance_id_(NextInstanceId()) {}
 
@@ -76,7 +128,7 @@ void QueryContext::ReleaseShard(Shard* shard) {
 
 LshEnsembleBuilder::LshEnsembleBuilder(LshEnsembleOptions options,
                                        std::shared_ptr<const HashFamily> family)
-    : options_(options), family_(std::move(family)) {}
+    : options_(std::move(options)), family_(std::move(family)) {}
 
 Status LshEnsembleBuilder::Add(uint64_t id, size_t size, MinHash signature) {
   if (family_ == nullptr) {
@@ -126,26 +178,7 @@ Result<LshEnsemble> LshEnsembleBuilder::Build() && {
   std::sort(sizes.begin(), sizes.end());
 
   std::vector<PartitionSpec> all_specs;
-  if (options_.interpolation_lambda >= 0.0) {
-    LSHE_ASSIGN_OR_RETURN(
-        all_specs, InterpolatedPartitions(sizes, options_.num_partitions,
-                                          options_.interpolation_lambda));
-  } else {
-    switch (options_.strategy) {
-      case PartitioningStrategy::kEquiDepth:
-        LSHE_ASSIGN_OR_RETURN(
-            all_specs, EquiDepthPartitions(sizes, options_.num_partitions));
-        break;
-      case PartitioningStrategy::kEquiWidth:
-        LSHE_ASSIGN_OR_RETURN(
-            all_specs, EquiWidthPartitions(sizes, options_.num_partitions));
-        break;
-      case PartitioningStrategy::kMinimaxCost:
-        LSHE_ASSIGN_OR_RETURN(
-            all_specs, MinimaxCostPartitions(sizes, options_.num_partitions));
-        break;
-    }
-  }
+  LSHE_ASSIGN_OR_RETURN(all_specs, ComputePartitions(sizes, options_));
 
   LshEnsemble ensemble(options_, family_);
   for (const PartitionSpec& spec : all_specs) {

@@ -69,6 +69,16 @@ struct LshEnsembleOptions {
   double interpolation_lambda = -1.0;
   /// Lattice size for the tuner's FP/FN integrals.
   int integration_nodes = 256;
+  /// When non-empty, partition boundaries are pinned to exactly these
+  /// [lower, upper) intervals instead of being derived from the indexed
+  /// sizes (`strategy` / `interpolation_lambda` are ignored; counts are
+  /// recomputed at build time and empty intervals are dropped). Intervals
+  /// must be ascending and disjoint, and every added domain's size must
+  /// fall inside one of them. The sharded serving layer pins every shard
+  /// to one corpus-global partitioning so per-partition tuning — and with
+  /// it the candidate set — is independent of how domains were sharded.
+  /// Never serialized: a persisted image stores the built partitions.
+  std::vector<PartitionSpec> pinned_partitions = {};
   /// Skip partitions whose largest domain cannot reach the containment
   /// threshold (max size < t* * q). Introduces no false negatives.
   bool prune_unreachable_partitions = true;
@@ -180,6 +190,16 @@ class QueryContext {
   uint64_t dynamic_delta_epoch_ = 0;
   bool dynamic_delta_valid_ = false;
 };
+
+/// \brief The partition layout `options` selects for `sorted_sizes`
+/// (ascending, non-empty): the pinned intervals with recomputed counts when
+/// `options.pinned_partitions` is set, otherwise the configured strategy /
+/// interpolation. Build() routes through this, and the sharded serving
+/// layer calls it on the corpus-global size distribution to derive the
+/// boundaries it pins every shard to.
+Result<std::vector<PartitionSpec>> ComputePartitions(
+    const std::vector<uint64_t>& sorted_sizes,
+    const LshEnsembleOptions& options);
 
 /// \brief Accumulates (id, size, signature) records and builds the
 /// immutable index in one pass (single-pass construction, §2).

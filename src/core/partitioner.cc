@@ -128,8 +128,8 @@ Result<std::vector<PartitionSpec>> PartitionsFromCuts(
   std::vector<PartitionSpec> partitions;
   partitions.reserve(cuts.size() - 1);
   for (size_t i = 0; i + 1 < cuts.size(); ++i) {
-    partitions.push_back(
-        {cuts[i], cuts[i + 1], CountInRange(sorted_sizes, cuts[i], cuts[i + 1])});
+    partitions.push_back({cuts[i], cuts[i + 1],
+                          CountInRange(sorted_sizes, cuts[i], cuts[i + 1])});
   }
   return partitions;
 }

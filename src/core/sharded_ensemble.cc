@@ -1,0 +1,342 @@
+#include "core/sharded_ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/hashing.h"
+#include "util/thread_pool.h"
+
+namespace lshensemble {
+
+Status ShardedEnsembleOptions::Validate() const {
+  LSHE_RETURN_IF_ERROR(base.Validate());
+  LSHE_RETURN_IF_ERROR(topk.Validate());
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<ShardedEnsemble> ShardedEnsemble::Create(
+    ShardedEnsembleOptions options, std::shared_ptr<const HashFamily> family) {
+  LSHE_RETURN_IF_ERROR(options.Validate());
+  if (family == nullptr) {
+    return Status::InvalidArgument("family must not be null");
+  }
+  // Shards are the unit of parallelism: their engines must stay off the
+  // pool (a shard task dispatching a nested wave could deadlock it), and
+  // their rebuild schedule is driven globally from this layer.
+  DynamicEnsembleOptions shard_options = options.base;
+  shard_options.base.parallel_build = false;
+  shard_options.base.parallel_query = false;
+  shard_options.min_delta_for_rebuild = std::numeric_limits<size_t>::max();
+
+  ShardedEnsemble index(std::move(options), family);
+  index.shards_.reserve(index.options_.num_shards);
+  for (size_t s = 0; s < index.options_.num_shards; ++s) {
+    auto engine = DynamicLshEnsemble::Create(shard_options, family);
+    if (!engine.ok()) return engine.status();
+    index.shards_.push_back(
+        std::make_unique<Shard>(std::move(engine).value()));
+  }
+  return index;
+}
+
+size_t ShardedEnsemble::ShardOf(uint64_t id) const {
+  return static_cast<size_t>(Mix64(id) % shards_.size());
+}
+
+Status ShardedEnsemble::GuardNotInWorker(const char* what) const {
+  if (ThreadPool::Shared().InWorkerThread()) {
+    return Status::FailedPrecondition(
+        std::string(what) +
+        " must not be called from a thread-pool worker: the shard "
+        "scatter would submit pool work from inside the pool");
+  }
+  return Status::OK();
+}
+
+bool ShardedEnsemble::ShouldRebuild() const {
+  // The unsharded policy, evaluated on corpus-global counts: with the
+  // same insert sequence, a sharded index rebuilds exactly when the
+  // unsharded one would. The counters make this O(1) per insert; the
+  // unlocked read is the same momentary snapshot a lock-and-sum would
+  // give.
+  const size_t delta = counters_->delta.load(std::memory_order_relaxed);
+  const size_t indexed = counters_->indexed.load(std::memory_order_relaxed);
+  if (delta < options_.base.min_delta_for_rebuild) return false;
+  return static_cast<double>(delta) >=
+         options_.base.rebuild_fraction * static_cast<double>(indexed);
+}
+
+Status ShardedEnsemble::Insert(uint64_t id, size_t size, MinHash signature) {
+  {
+    Shard& shard = *shards_[ShardOf(id)];
+    std::unique_lock lock(shard.mutex);
+    LSHE_RETURN_IF_ERROR(shard.engine.Insert(id, size, std::move(signature)));
+    // Bump while still holding the shard lock: a concurrent FlushLocked
+    // (which holds every shard lock while it re-anchors the counters)
+    // must either see this record still in the delta or see the bump —
+    // never miss both and leave the counter drifted.
+    counters_->delta.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (ShouldRebuild()) return FlushLocked();
+  return Status::OK();
+}
+
+Status ShardedEnsemble::Insert(uint64_t id, std::span<const uint64_t> values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("domain must have at least one value");
+  }
+  MinHash sketch(family_);
+  sketch.UpdateBatch(values);
+  return Insert(id, values.size(), std::move(sketch));
+}
+
+Status ShardedEnsemble::Remove(uint64_t id) {
+  Shard& shard = *shards_[ShardOf(id)];
+  std::unique_lock lock(shard.mutex);
+  const size_t delta_before = shard.engine.delta_size();
+  LSHE_RETURN_IF_ERROR(shard.engine.Remove(id));
+  // An unflushed (delta) domain is dropped outright; an indexed one is
+  // tombstoned, which leaves both counters unchanged (indexed counts
+  // tombstoned domains until the next rebuild, like the unsharded
+  // engine's indexed_size()).
+  if (shard.engine.delta_size() < delta_before) {
+    counters_->delta.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status ShardedEnsemble::Flush() { return FlushLocked(); }
+
+Status ShardedEnsemble::FlushLocked() {
+  // Exclusive locks on every shard, in index order (the only place more
+  // than one shard lock is held, so the order cannot deadlock). Rebuilds
+  // run serially on this thread: holding locks across a pool dispatch is
+  // forbidden — a waiting ParallelFor caller helps with queued tasks, and
+  // helping a reader task that wants one of these locks would deadlock.
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+
+  const bool all_clean = std::all_of(
+      shards_.begin(), shards_.end(), [](const std::unique_ptr<Shard>& s) {
+        return s->engine.delta_size() == 0 && s->engine.tombstone_count() == 0;
+      });
+  if (all_clean) {
+    const bool any_built = std::any_of(
+        shards_.begin(), shards_.end(),
+        [](const std::unique_ptr<Shard>& s) { return s->engine.size() > 0; });
+    const bool all_built = std::all_of(
+        shards_.begin(), shards_.end(), [](const std::unique_ptr<Shard>& s) {
+          return s->engine.size() == 0 || s->engine.indexed() != nullptr;
+        });
+    // Nothing pending anywhere and every non-empty shard is built: the
+    // live set — hence the global partitioning — is what the last flush
+    // saw, so rebuilding would reproduce the same shards. Re-anchor the
+    // counters anyway (still under every shard lock) so the clean path
+    // also heals any drift.
+    if (!any_built || all_built) {
+      size_t indexed = 0;
+      for (const auto& shard : shards_) {
+        indexed += shard->engine.indexed_size();
+      }
+      counters_->delta.store(0, std::memory_order_relaxed);
+      counters_->indexed.store(indexed, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+
+  std::vector<uint64_t> sizes;
+  for (const auto& shard : shards_) shard->engine.AppendLiveSizes(&sizes);
+  if (sizes.empty()) {
+    // Nothing live: drop every shard's ensemble.
+    for (const auto& shard : shards_) {
+      LSHE_RETURN_IF_ERROR(shard->engine.Flush());
+    }
+    counters_->delta.store(0, std::memory_order_relaxed);
+    counters_->indexed.store(0, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  std::sort(sizes.begin(), sizes.end());
+  std::vector<PartitionSpec> global;
+  LSHE_ASSIGN_OR_RETURN(global, ComputePartitions(sizes, options_.base.base));
+  for (const auto& shard : shards_) {
+    LSHE_RETURN_IF_ERROR(shard->engine.Flush(global));
+  }
+  // Re-anchor the O(1) trigger counters to the rebuilt state (still
+  // holding every shard's write lock, so the sums are exact).
+  size_t indexed = 0;
+  for (const auto& shard : shards_) indexed += shard->engine.indexed_size();
+  counters_->delta.store(0, std::memory_order_relaxed);
+  counters_->indexed.store(indexed, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+ShardedEnsemble::Shard::Scratch* ShardedEnsemble::Shard::AcquireScratch()
+    const {
+  std::lock_guard<std::mutex> lock(scratch_mutex);
+  if (!scratch_free.empty()) {
+    Scratch* scratch = scratch_free.back();
+    scratch_free.pop_back();
+    return scratch;
+  }
+  scratch_pool.push_back(std::make_unique<Scratch>());
+  return scratch_pool.back().get();
+}
+
+void ShardedEnsemble::Shard::ReleaseScratch(Scratch* scratch) const {
+  std::lock_guard<std::mutex> lock(scratch_mutex);
+  scratch_free.push_back(scratch);
+}
+
+Status ShardedEnsemble::BatchQuery(std::span<const QuerySpec> specs,
+                                   std::vector<uint64_t>* outs) const {
+  return BatchQueryImpl(specs, outs, /*sort_outputs=*/true);
+}
+
+Status ShardedEnsemble::BatchQueryImpl(std::span<const QuerySpec> specs,
+                                       std::vector<uint64_t>* outs,
+                                       bool sort_outputs) const {
+  LSHE_RETURN_IF_ERROR(GuardNotInWorker("ShardedEnsemble::BatchQuery"));
+  if (specs.empty()) return Status::OK();
+  if (outs == nullptr) {
+    return Status::InvalidArgument("outs must not be null");
+  }
+  const size_t count = specs.size();
+  const size_t num_shards = shards_.size();
+
+  // Resolve every query's effective cardinality once, up front, so the S
+  // shard engines don't re-estimate it S times each.
+  std::vector<QuerySpec> resolved(specs.begin(), specs.end());
+  for (QuerySpec& spec : resolved) {
+    if (spec.query == nullptr) {
+      return Status::InvalidArgument("query must not be null");
+    }
+    if (!spec.query->valid() || !spec.query->family()->SameAs(*family_)) {
+      return Status::InvalidArgument(
+          "query signature does not belong to the index's hash family");
+    }
+    if (spec.query_size == 0) {
+      spec.query_size = static_cast<size_t>(std::max<int64_t>(
+          1, std::llround(spec.query->EstimateCardinality())));
+    }
+  }
+
+  // Scatter: ONE wave over the shards. Each shard task takes its shard's
+  // read lock, borrows pinned scratch, and walks the whole batch
+  // sequentially (the shard engines have pool parallelism off, so the
+  // wave never nests a dispatch). Queries inside the shard are chunked by
+  // the engine's partition-major QueryChunk walk.
+  std::vector<Shard::Scratch*> scratch(num_shards, nullptr);
+  std::vector<Status> statuses(num_shards);
+  ThreadPool::Shared().ParallelFor(num_shards, [&](size_t s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock lock(shard.mutex);
+    Shard::Scratch* mine = shard.AcquireScratch();
+    scratch[s] = mine;
+    if (mine->outs.size() < count) mine->outs.resize(count);
+    statuses[s] = shard.engine.BatchQuery(resolved, &mine->ctx,
+                                          mine->outs.data());
+  });
+
+  Status first_error = Status::OK();
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      first_error = status;
+      break;
+    }
+  }
+  if (first_error.ok()) {
+    // Gather: per query, concatenate the shard candidate sets (disjoint —
+    // every id lives in exactly one shard) and canonicalize to ascending
+    // id so the output is independent of shard count and merge order.
+    for (size_t i = 0; i < count; ++i) {
+      std::vector<uint64_t>& out = outs[i];
+      out.clear();
+      size_t total = 0;
+      for (size_t s = 0; s < num_shards; ++s) {
+        total += scratch[s]->outs[i].size();
+      }
+      out.reserve(total);
+      for (size_t s = 0; s < num_shards; ++s) {
+        const std::vector<uint64_t>& part = scratch[s]->outs[i];
+        out.insert(out.end(), part.begin(), part.end());
+      }
+      if (sort_outputs) std::sort(out.begin(), out.end());
+    }
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (scratch[s] != nullptr) shards_[s]->ReleaseScratch(scratch[s]);
+  }
+  return first_error;
+}
+
+Status ShardedEnsemble::BatchSearch(std::span<const TopKQuery> queries,
+                                    size_t k,
+                                    std::vector<TopKResult>* outs) const {
+  LSHE_RETURN_IF_ERROR(GuardNotInWorker("ShardedEnsemble::BatchSearch"));
+  // The searcher's lockstep descent drives BatchQuery() above every
+  // round; its per-query retire check IS the cross-shard k-th-best merge.
+  const TopKSearcher searcher(this, options_.topk);
+  return searcher.BatchSearch(queries, k, nullptr, outs);
+}
+
+size_t ShardedEnsemble::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    total += shard->engine.size();
+  }
+  return total;
+}
+
+size_t ShardedEnsemble::indexed_size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    total += shard->engine.indexed_size();
+  }
+  return total;
+}
+
+size_t ShardedEnsemble::delta_size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    total += shard->engine.delta_size();
+  }
+  return total;
+}
+
+size_t ShardedEnsemble::tombstone_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    total += shard->engine.tombstone_count();
+  }
+  return total;
+}
+
+size_t ShardedEnsemble::SizeOf(uint64_t id) const {
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::shared_lock lock(shard.mutex);
+  return shard.engine.SizeOf(id);
+}
+
+const MinHash* ShardedEnsemble::SignatureOf(uint64_t id) const {
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::shared_lock lock(shard.mutex);
+  return shard.engine.SignatureOf(id);
+}
+
+const MinHash* ShardedEnsemble::FindRecord(uint64_t id, size_t* size) const {
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::shared_lock lock(shard.mutex);
+  return shard.engine.FindRecord(id, size);
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,222 @@
+// Shard-per-core serving layer over the batched engine.
+//
+// The paper's premise is internet-scale corpora; one monolithic index on
+// one thread pool stops scaling at a single socket's memory bandwidth.
+// Distributed LSH layouts (Bahmani et al.; Teixeira et al.) partition the
+// corpus across independent index replicas and answer queries by
+// scatter/gather. This module is that layout inside one process:
+//
+//  * The corpus is hash-partitioned by domain id into S shards, each
+//    backed by its own DynamicLshEnsemble — every shard keeps the full
+//    static + delta + tombstone lifecycle, guarded by a per-shard
+//    reader/writer lock, so queries run concurrently with inserts.
+//  * Rebuilds are corpus-global: the serving layer gathers every live
+//    size across shards, computes ONE partitioning with the configured
+//    strategy, and pins each shard's rebuild to those boundaries
+//    (LshEnsembleOptions::pinned_partitions). Per-partition tuning then
+//    depends only on the global boundaries, so the union of shard
+//    candidates equals the unsharded engine's candidate set exactly —
+//    sharding changes throughput, never results.
+//  * BatchQuery() scatters the batch to all shards in ONE thread-pool
+//    wave (shards in the outer, parallel loop; each shard walks its query
+//    chunks sequentially inside its task — shard engines are built with
+//    pool parallelism off, so a wave never nests a dispatch), gathers the
+//    per-shard outputs, and merges them into caller-order results, each
+//    query's candidates in canonical ascending-id order.
+//  * BatchSearch() runs the lockstep top-k descent (TopKSearcher bound to
+//    this layer): each round's threshold probe is one scatter/gather over
+//    the shards, and every query's retire decision comes from the k-th
+//    best estimate of the cross-shard merge, so the ranked output is
+//    identical to the unsharded TopKSearcher.
+//
+// Per-shard scratch (QueryContext + gather staging) is pooled per shard,
+// never shared across shards: a context's tuning memo and flattened-delta
+// cache are keyed on one index's identity, so pinning scratch to its shard
+// keeps those caches hot across calls and descent rounds.
+//
+// Threading contract: Insert/Remove/Flush are safe concurrently with
+// BatchQuery (per-shard locks); concurrent mutators are serialized per
+// shard. BatchSearch's side-car ranking reads are lock-protected, but the
+// signature pointers it ranks from are only stable while no concurrent
+// Remove() of the same id runs. The scatter paths — BatchQuery and
+// BatchSearch — must never be issued from inside a thread-pool worker
+// (the shard wave would submit pool work from within the pool, which can
+// deadlock it); they fail with FailedPrecondition if they are — see
+// ThreadPool::InWorkerThread(). Rebuilds deliberately run serially on the
+// flushing thread: holding every shard's write lock across a pool
+// dispatch could deadlock against a waiting caller that "helps" with a
+// queued reader task.
+
+#ifndef LSHENSEMBLE_CORE_SHARDED_ENSEMBLE_H_
+#define LSHENSEMBLE_CORE_SHARDED_ENSEMBLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "core/dynamic_ensemble.h"
+#include "core/lsh_ensemble.h"
+#include "core/topk.h"
+#include "minhash/minhash.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief Configuration of a ShardedEnsemble.
+struct ShardedEnsembleOptions {
+  /// Per-shard build/query options plus the global rebuild policy. The
+  /// rebuild trigger is evaluated on corpus-global counts (total delta vs
+  /// total indexed), matching the unsharded engine's schedule on the same
+  /// insert sequence. Pool parallelism flags are overridden per shard
+  /// (shards are the unit of parallelism here).
+  DynamicEnsembleOptions base;
+  /// Number of shards S; hash(id) mod S picks a domain's shard.
+  size_t num_shards = 1;
+  /// Ranking options used by BatchSearch().
+  TopKSearcher::Options topk;
+
+  Status Validate() const;
+};
+
+/// \brief Scatter/gather serving layer: S independent dynamic shards, one
+/// global partitioning, results identical to the unsharded engine.
+class ShardedEnsemble {
+ public:
+  /// \param family the hash family all inserted signatures must share.
+  static Result<ShardedEnsemble> Create(
+      ShardedEnsembleOptions options,
+      std::shared_ptr<const HashFamily> family);
+
+  ShardedEnsemble(ShardedEnsemble&&) = default;
+  ShardedEnsemble& operator=(ShardedEnsemble&&) = default;
+
+  /// \brief Add a domain to its shard; searchable immediately (delta).
+  /// Same id contract as DynamicLshEnsemble::Insert. May trigger a global
+  /// rebuild.
+  Status Insert(uint64_t id, size_t size, MinHash signature);
+
+  /// \brief Add a domain from its raw (pre-hashed, distinct) values.
+  Status Insert(uint64_t id, std::span<const uint64_t> values);
+
+  /// \brief Remove a live domain from its shard (tombstone or delta drop).
+  Status Remove(uint64_t id);
+
+  /// \brief Rebuild every shard now against one corpus-global partitioning
+  /// (no-op when every shard is clean and boundaries cannot have changed).
+  Status Flush();
+
+  /// \brief Answer `specs.size()` queries in one scatter/gather wave.
+  /// Query i's live candidates across all shards go to `outs[i]` (cleared
+  /// first) in ascending-id order — a canonical order, so results are
+  /// byte-identical for every shard count, including S = 1 vs unsharded
+  /// (after the same ordering). Safe concurrently with mutations; must
+  /// not be called from a pool worker.
+  Status BatchQuery(std::span<const QuerySpec> specs,
+                    std::vector<uint64_t>* outs) const;
+
+  /// \brief Rank `queries.size()` top-k queries in one lockstep descent
+  /// over the shards; query i's ranked results go to `outs[i]`. Identical
+  /// output to an unsharded TopKSearcher with the same options. Safe
+  /// concurrently with Insert (not Remove); must not be called from a
+  /// pool worker.
+  Status BatchSearch(std::span<const TopKQuery> queries, size_t k,
+                     std::vector<TopKResult>* outs) const;
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Shard owning `id` (stable hash, independent of corpus content).
+  size_t ShardOf(uint64_t id) const;
+
+  /// Live (searchable) domains across all shards.
+  size_t size() const;
+  /// Domains in built shard ensembles (including tombstoned ones).
+  size_t indexed_size() const;
+  /// Domains awaiting the next global rebuild, across all shards.
+  size_t delta_size() const;
+  /// Tombstoned (removed but still indexed) domains, across all shards.
+  size_t tombstone_count() const;
+
+  /// Exact size of a live domain (0 if not live) — owner-shard lookup.
+  size_t SizeOf(uint64_t id) const;
+  /// Signature of a live domain (nullptr if not live). The pointer is
+  /// stable until the domain is Remove()d or this object is destroyed.
+  const MinHash* SignatureOf(uint64_t id) const;
+  /// Signature and exact size in one owner-shard lookup (nullptr / size
+  /// untouched if not live): one lock acquisition per ranked top-k
+  /// candidate instead of two. Same pointer-stability contract as
+  /// SignatureOf().
+  const MinHash* FindRecord(uint64_t id, size_t* size) const;
+
+  /// Shard introspection for tests and benches (not locked; do not call
+  /// concurrently with mutations).
+  const DynamicLshEnsemble& shard(size_t index) const {
+    return shards_[index]->engine;
+  }
+
+ private:
+  /// The top-k descent gathers unsorted: its ranking dedups by id and
+  /// orders by (estimate, id), so the canonical sort below would be pure
+  /// per-round waste.
+  friend class TopKSearcher;
+
+  /// One shard: its engine, its reader/writer lock, and its scratch pool.
+  struct Shard {
+    explicit Shard(DynamicLshEnsemble e) : engine(std::move(e)) {}
+
+    DynamicLshEnsemble engine;
+    /// Guards `engine` (shared for queries, exclusive for mutation).
+    mutable std::shared_mutex mutex;
+    /// Pooled per-call scratch, pinned to this shard so each context's
+    /// tuning memo / delta cache stays keyed to this shard's engine.
+    struct Scratch {
+      QueryContext ctx;
+      std::vector<std::vector<uint64_t>> outs;  // gather staging
+    };
+    mutable std::mutex scratch_mutex;
+    mutable std::vector<std::unique_ptr<Scratch>> scratch_pool;
+    mutable std::vector<Scratch*> scratch_free;
+
+    Scratch* AcquireScratch() const;
+    void ReleaseScratch(Scratch* scratch) const;
+  };
+
+  ShardedEnsemble(ShardedEnsembleOptions options,
+                  std::shared_ptr<const HashFamily> family)
+      : options_(std::move(options)), family_(std::move(family)) {}
+
+  /// BatchQuery body; `sort_outputs` selects the public canonical
+  /// ascending-id order vs the descent's cheaper unsorted gather.
+  Status BatchQueryImpl(std::span<const QuerySpec> specs,
+                        std::vector<uint64_t>* outs, bool sort_outputs) const;
+
+  /// FailedPrecondition when called from a pool worker (see file comment).
+  Status GuardNotInWorker(const char* what) const;
+  /// The global rebuild trigger, mirroring DynamicLshEnsemble's policy on
+  /// corpus-global counts (read from the O(1) counters below).
+  bool ShouldRebuild() const;
+  /// Lock every shard exclusively (in index order) and rebuild all of
+  /// them against one freshly computed global partitioning.
+  Status FlushLocked();
+
+  /// Corpus-global delta / indexed totals, maintained on Insert/Remove
+  /// and reset by rebuilds, so the per-insert rebuild check reads two
+  /// atomics instead of locking and summing all S shards. Heap-allocated
+  /// to keep the index movable.
+  struct Counters {
+    std::atomic<size_t> delta{0};
+    std::atomic<size_t> indexed{0};
+  };
+
+  ShardedEnsembleOptions options_;
+  std::shared_ptr<const HashFamily> family_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<Counters> counters_ = std::make_unique<Counters>();
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_CORE_SHARDED_ENSEMBLE_H_

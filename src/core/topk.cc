@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/dynamic_ensemble.h"
+#include "core/sharded_ensemble.h"
 #include "core/threshold.h"
 
 namespace lshensemble {
@@ -35,6 +36,13 @@ const MinHash* SketchStore::SignatureOf(uint64_t id) const {
   return it == entries_.end() ? nullptr : &it->second.signature;
 }
 
+const MinHash* SketchStore::FindRecord(uint64_t id, size_t* size) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  *size = it->second.size;
+  return &it->second.signature;
+}
+
 Status TopKSearcher::Options::Validate() const {
   if (initial_threshold <= 0.0 || initial_threshold > 1.0) {
     return Status::InvalidArgument("initial_threshold must be in (0, 1]");
@@ -63,20 +71,29 @@ TopKSearcher::TopKSearcher(const DynamicLshEnsemble* index)
 TopKSearcher::TopKSearcher(const DynamicLshEnsemble* index, Options options)
     : dynamic_(index), options_(options) {}
 
+TopKSearcher::TopKSearcher(const ShardedEnsemble* index)
+    : TopKSearcher(index, Options()) {}
+
+TopKSearcher::TopKSearcher(const ShardedEnsemble* index, Options options)
+    : sharded_(index), options_(options) {}
+
 Status TopKSearcher::EngineBatchQuery(std::span<const QuerySpec> specs,
                                       QueryContext* ctx,
                                       std::vector<uint64_t>* outs) const {
+  if (sharded_ != nullptr) {
+    // Unsorted gather: the ranking below dedups by id and orders by
+    // (estimate, id), so the public contract's canonical sort would be
+    // paid once per descent round for nothing.
+    return sharded_->BatchQueryImpl(specs, outs, /*sort_outputs=*/false);
+  }
   if (dynamic_ != nullptr) return dynamic_->BatchQuery(specs, ctx, outs);
   return ensemble_->BatchQuery(specs, ctx, outs);
 }
 
-size_t TopKSearcher::SideCarSizeOf(uint64_t id) const {
-  return dynamic_ != nullptr ? dynamic_->SizeOf(id) : store_->SizeOf(id);
-}
-
-const MinHash* TopKSearcher::SideCarSignatureOf(uint64_t id) const {
-  return dynamic_ != nullptr ? dynamic_->SignatureOf(id)
-                             : store_->SignatureOf(id);
+const MinHash* TopKSearcher::SideCarLookup(uint64_t id, size_t* size) const {
+  if (sharded_ != nullptr) return sharded_->FindRecord(id, size);
+  if (dynamic_ != nullptr) return dynamic_->FindRecord(id, size);
+  return store_->FindRecord(id, size);
 }
 
 Result<std::vector<TopKResult>> TopKSearcher::Search(const MinHash& query,
@@ -106,7 +123,7 @@ Status TopKSearcher::BatchSearch(std::span<const TopKQuery> queries, size_t k,
                                  QueryContext* ctx,
                                  std::vector<TopKResult>* outs) const {
   const bool store_bound = ensemble_ != nullptr && store_ != nullptr;
-  if (!store_bound && dynamic_ == nullptr) {
+  if (!store_bound && dynamic_ == nullptr && sharded_ == nullptr) {
     return Status::FailedPrecondition("searcher not bound to an index");
   }
   if (k < 1) {
@@ -115,7 +132,8 @@ Status TopKSearcher::BatchSearch(std::span<const TopKQuery> queries, size_t k,
   LSHE_RETURN_IF_ERROR(options_.Validate());
   const size_t count = queries.size();
   if (count == 0) return Status::OK();
-  if (ctx == nullptr || outs == nullptr) {
+  // A sharded binding pins scratch per shard, so it never touches `ctx`.
+  if ((ctx == nullptr && sharded_ == nullptr) || outs == nullptr) {
     return Status::InvalidArgument("ctx and outs must not be null");
   }
 
@@ -144,7 +162,7 @@ Status TopKSearcher::BatchSearch(std::span<const TopKQuery> queries, size_t k,
   }
 
   std::vector<QuerySpec> specs;
-  std::vector<size_t> active_index;  // specs[j] belongs to query active_index[j]
+  std::vector<size_t> active_index;  // specs[j] is query active_index[j]
   specs.reserve(count);
   active_index.reserve(count);
   std::vector<std::vector<uint64_t>> candidates(count);
@@ -168,9 +186,10 @@ Status TopKSearcher::BatchSearch(std::span<const TopKQuery> queries, size_t k,
       const MinHash& query = *queries[active_index[j]].query;
       for (uint64_t id : candidates[j]) {
         if (!state.seen.insert(id).second) continue;
-        const MinHash* signature = SideCarSignatureOf(id);
+        size_t x_size = 0;
+        const MinHash* signature = SideCarLookup(id, &x_size);
         if (signature == nullptr) continue;  // not side-car'd; unrankable
-        const auto x = static_cast<double>(SideCarSizeOf(id));
+        const auto x = static_cast<double>(x_size);
         Result<double> jaccard = query.EstimateJaccard(*signature);
         if (!jaccard.ok()) return jaccard.status();
         // Eq. 6 with the candidate's exact size; containment can never

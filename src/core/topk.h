@@ -42,6 +42,7 @@
 namespace lshensemble {
 
 class DynamicLshEnsemble;
+class ShardedEnsemble;
 
 /// \brief Sizes and signatures of indexed domains, keyed by id; the
 /// side-car data top-k ranking needs.
@@ -58,6 +59,9 @@ class SketchStore {
   size_t SizeOf(uint64_t id) const;
   /// Signature for `id`; nullptr when unknown.
   const MinHash* SignatureOf(uint64_t id) const;
+  /// Signature and exact size in one lookup (nullptr / size untouched
+  /// when unknown) — the shape the top-k ranking loop wants.
+  const MinHash* FindRecord(uint64_t id, size_t* size) const;
 
  private:
   struct Entry {
@@ -114,6 +118,14 @@ class TopKSearcher {
   /// side-car. No separate SketchStore needed.
   explicit TopKSearcher(const DynamicLshEnsemble* index);
   TopKSearcher(const DynamicLshEnsemble* index, Options options);
+  /// Binds to a sharded serving layer: every descent round's candidate
+  /// probe is one scatter/gather wave over the shards, and ranking data
+  /// comes from the owning shard's side-car — the cross-shard k-th-best
+  /// merge that keeps sharded top-k identical to unsharded. BatchSearch's
+  /// `ctx` is unused on this path (shards pin their own scratch) and may
+  /// be null. Must not be driven from inside a thread-pool worker.
+  explicit TopKSearcher(const ShardedEnsemble* index);
+  TopKSearcher(const ShardedEnsemble* index, Options options);
 
   /// \brief The k domains with the highest estimated containment of the
   /// query, sorted by descending estimate (ties by ascending id). A thin
@@ -143,13 +155,16 @@ class TopKSearcher {
   /// Candidate generation on whichever engine the searcher is bound to.
   Status EngineBatchQuery(std::span<const QuerySpec> specs, QueryContext* ctx,
                           std::vector<uint64_t>* outs) const;
-  /// Side-car lookups (SketchStore or the dynamic index's records).
-  size_t SideCarSizeOf(uint64_t id) const;
-  const MinHash* SideCarSignatureOf(uint64_t id) const;
+  /// One side-car lookup per candidate: the signature (nullptr when the
+  /// id is unrankable) and, on success, its exact size through `size`.
+  /// Single lookup — and on the sharded binding a single owner-shard
+  /// lock acquisition — per ranked candidate.
+  const MinHash* SideCarLookup(uint64_t id, size_t* size) const;
 
   const LshEnsemble* ensemble_ = nullptr;
   const SketchStore* store_ = nullptr;
   const DynamicLshEnsemble* dynamic_ = nullptr;
+  const ShardedEnsemble* sharded_ = nullptr;
   Options options_;
 };
 

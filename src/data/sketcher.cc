@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/lsh_ensemble.h"
+#include "core/sharded_ensemble.h"
 #include "util/thread_pool.h"
 
 namespace lshensemble {
@@ -58,6 +59,23 @@ Status AddCorpus(const Corpus& corpus, const ParallelSketcher& sketcher,
     const Domain& domain = corpus.domain(i);
     LSHE_RETURN_IF_ERROR(builder->Add(domain.id, domain.size(),
                                       std::move(sketches[i])));
+  }
+  return Status::OK();
+}
+
+Status AddCorpus(const Corpus& corpus, const ParallelSketcher& sketcher,
+                 ShardedEnsemble* index) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("index must not be null");
+  }
+  // Sketch on the pool, then move each signature straight into its shard:
+  // the ingest wave and the shard inserts never run concurrently, so the
+  // inserts (which may trigger a global rebuild) stay off the pool.
+  std::vector<MinHash> sketches = sketcher.SketchCorpus(corpus);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const Domain& domain = corpus.domain(i);
+    LSHE_RETURN_IF_ERROR(index->Insert(domain.id, domain.size(),
+                                       std::move(sketches[i])));
   }
   return Status::OK();
 }

@@ -21,6 +21,7 @@
 namespace lshensemble {
 
 class LshEnsembleBuilder;
+class ShardedEnsemble;
 
 /// \brief Configuration of a ParallelSketcher.
 struct SketcherOptions {
@@ -67,6 +68,13 @@ class ParallelSketcher {
 /// one call.
 Status AddCorpus(const Corpus& corpus, const ParallelSketcher& sketcher,
                  LshEnsembleBuilder* builder);
+
+/// \brief Sketch the whole corpus in parallel and feed every domain to its
+/// shard of `index`: each signature is sketched once on the pool and MOVED
+/// into the owning shard's records — no intermediate copy of the sketch
+/// arena between the sketcher and the serving layer.
+Status AddCorpus(const Corpus& corpus, const ParallelSketcher& sketcher,
+                 ShardedEnsemble* index);
 
 }  // namespace lshensemble
 

@@ -45,7 +45,8 @@ bool DecodeCursor::GetFixed32(uint32_t* value) {
   if (data_.size() < 4) return false;
   const auto* p = reinterpret_cast<const unsigned char*>(data_.data());
   *value = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
-           static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
   data_.remove_prefix(4);
   return true;
 }

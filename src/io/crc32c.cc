@@ -40,7 +40,8 @@ uint32_t Extend(uint32_t crc, const void* data, size_t n) {
   // Process 4 bytes at a time.
   while (n >= 4) {
     crc ^= static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
-           static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
     crc = kTables.t[3][crc & 0xFF] ^ kTables.t[2][(crc >> 8) & 0xFF] ^
           kTables.t[1][(crc >> 16) & 0xFF] ^ kTables.t[0][crc >> 24];
     p += 4;

@@ -308,13 +308,15 @@ Result<LshForest> LshForest::Deserialize(std::string_view data) {
   forest.keys_.resize(count * num_trees * depth);
   forest.entry_of_.resize(count * num_trees);
   for (uint32_t t = 0; t < num_trees; ++t) {
-    uint32_t* keys = forest.keys_.data() + static_cast<size_t>(t) * count * depth;
+    uint32_t* keys =
+        forest.keys_.data() + static_cast<size_t>(t) * count * depth;
     for (size_t i = 0; i < count * depth; ++i) {
       if (!cursor.GetFixed32(&keys[i])) {
         return Status::Corruption("forest image: truncated keys");
       }
     }
-    uint32_t* entries = forest.entry_of_.data() + static_cast<size_t>(t) * count;
+    uint32_t* entries =
+        forest.entry_of_.data() + static_cast<size_t>(t) * count;
     for (size_t i = 0; i < count; ++i) {
       if (!cursor.GetFixed32(&entries[i])) {
         return Status::Corruption("forest image: truncated entries");

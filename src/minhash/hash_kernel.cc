@@ -41,7 +41,9 @@ void ScalarUpdateBatch(const uint64_t* mul, const uint64_t* add, size_t m,
   uint64_t reduced[kValueChunk];
   for (size_t begin = 0; begin < n; begin += kValueChunk) {
     const size_t chunk = std::min(kValueChunk, n - begin);
-    for (size_t j = 0; j < chunk; ++j) reduced[j] = ReduceMod61(values[begin + j]);
+    for (size_t j = 0; j < chunk; ++j) {
+      reduced[j] = ReduceMod61(values[begin + j]);
+    }
 
     size_t i = 0;
     for (; i + kHashBlock <= m; i += kHashBlock) {
@@ -229,7 +231,8 @@ LSHE_TARGET_AVX2 void Avx2UpdateOne(const uint64_t* mul, const uint64_t* add,
   const __m256i v_lo = _mm256_set1_epi64x(static_cast<long long>(lo));
   const __m256i v_hi = _mm256_set1_epi64x(static_cast<long long>(hi));
   const __m256i v_sum = _mm256_set1_epi64x(static_cast<long long>(lo + hi));
-  const __m256i p = _mm256_set1_epi64x(static_cast<long long>(kMersennePrime61));
+  const __m256i p =
+      _mm256_set1_epi64x(static_cast<long long>(kMersennePrime61));
   const __m256i p_minus_1 =
       _mm256_set1_epi64x(static_cast<long long>(kMersennePrime61 - 1));
   const __m256i mask30 =
@@ -254,7 +257,8 @@ LSHE_TARGET_AVX2 void Avx2UpdateBatch(const uint64_t* mul,
                                       const uint64_t* add, size_t m,
                                       const uint64_t* values, size_t n,
                                       uint64_t* mins) {
-  const __m256i p = _mm256_set1_epi64x(static_cast<long long>(kMersennePrime61));
+  const __m256i p =
+      _mm256_set1_epi64x(static_cast<long long>(kMersennePrime61));
   const __m256i p_minus_1 =
       _mm256_set1_epi64x(static_cast<long long>(kMersennePrime61 - 1));
   const __m256i mask30 =
@@ -387,8 +391,10 @@ LSHE_TARGET_AVX512 void Avx512UpdateBatch(const uint64_t* mul,
       __m512i mn0 = _mm512_loadu_si512(mins + i);
       __m512i mn1 = _mm512_loadu_si512(mins + i + 8);
       for (size_t j = 0; j < chunk; ++j) {
-        const __m512i bv_lo = _mm512_set1_epi64(static_cast<long long>(v_lo[j]));
-        const __m512i bv_hi = _mm512_set1_epi64(static_cast<long long>(v_hi[j]));
+        const __m512i bv_lo =
+            _mm512_set1_epi64(static_cast<long long>(v_lo[j]));
+        const __m512i bv_hi =
+            _mm512_set1_epi64(static_cast<long long>(v_hi[j]));
         const __m512i bv_sum =
             _mm512_set1_epi64(static_cast<long long>(v_sum[j]));
         mn0 = _mm512_min_epu64(mn0,
@@ -403,8 +409,10 @@ LSHE_TARGET_AVX512 void Avx512UpdateBatch(const uint64_t* mul,
       const Avx512Coeffs c = LoadCoeffsAvx512(mul, add, i);
       __m512i mn = _mm512_loadu_si512(mins + i);
       for (size_t j = 0; j < chunk; ++j) {
-        const __m512i bv_lo = _mm512_set1_epi64(static_cast<long long>(v_lo[j]));
-        const __m512i bv_hi = _mm512_set1_epi64(static_cast<long long>(v_hi[j]));
+        const __m512i bv_lo =
+            _mm512_set1_epi64(static_cast<long long>(v_lo[j]));
+        const __m512i bv_hi =
+            _mm512_set1_epi64(static_cast<long long>(v_hi[j]));
         const __m512i bv_sum =
             _mm512_set1_epi64(static_cast<long long>(v_sum[j]));
         mn = _mm512_min_epu64(mn,
@@ -490,12 +498,14 @@ LSHE_TARGET_AVX2 void Avx2CountCollisionsMany(const uint64_t* query,
       const __m256i nonempty = _mm256_cmpeq_epi64(va, empty);  // inverted
       const __m256i eq0 = _mm256_andnot_si256(
           nonempty,
-          _mm256_cmpeq_epi64(va, _mm256_loadu_si256(
-                                     reinterpret_cast<const __m256i*>(b0 + i))));
+          _mm256_cmpeq_epi64(
+              va, _mm256_loadu_si256(
+                      reinterpret_cast<const __m256i*>(b0 + i))));
       const __m256i eq1 = _mm256_andnot_si256(
           nonempty,
-          _mm256_cmpeq_epi64(va, _mm256_loadu_si256(
-                                     reinterpret_cast<const __m256i*>(b1 + i))));
+          _mm256_cmpeq_epi64(
+              va, _mm256_loadu_si256(
+                      reinterpret_cast<const __m256i*>(b1 + i))));
       c0 += static_cast<uint32_t>(__builtin_popcount(static_cast<unsigned>(
           _mm256_movemask_pd(_mm256_castsi256_pd(eq0)))));
       c1 += static_cast<uint32_t>(__builtin_popcount(static_cast<unsigned>(

@@ -45,8 +45,8 @@ double Rng::NextDoubleOpenLow() {
 uint64_t Rng::NextBounded(uint64_t bound) {
   assert(bound > 0);
   // Lemire's multiply-shift rejection method (unbiased).
-  unsigned __int128 m =
-      static_cast<unsigned __int128>(Next()) * static_cast<unsigned __int128>(bound);
+  unsigned __int128 m = static_cast<unsigned __int128>(Next()) *
+                        static_cast<unsigned __int128>(bound);
   auto low = static_cast<uint64_t>(m);
   if (low < bound) {
     const uint64_t threshold = -bound % bound;

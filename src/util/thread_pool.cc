@@ -1,15 +1,35 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdlib>
 #include <memory>
 
 namespace lshensemble {
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::thread::hardware_concurrency();
-    if (num_threads == 0) num_threads = 4;
+namespace {
+// Which pool (if any) owns the calling thread; set for a worker's whole
+// lifetime. Backs InWorkerThread() — the submit-from-worker guard.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
+size_t ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("LSHE_THREADS")) {
+    char* end = nullptr;
+    errno = 0;  // detect strtol overflow (ERANGE returns LONG_MAX > 0)
+    const long value = std::strtol(env, &end, 10);
+    if (errno == 0 && end != env && *end == '\0' && value > 0) {
+      return static_cast<size_t>(value);
+    }
   }
+  const size_t hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 4 : hardware;
+}
+
+bool ThreadPool::InWorkerThread() const { return t_worker_pool == this; }
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -26,6 +46,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {

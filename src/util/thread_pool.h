@@ -23,7 +23,7 @@ namespace lshensemble {
 /// thread then participates in the work instead of blocking on the pool.
 class ThreadPool {
  public:
-  /// \param num_threads number of workers; 0 means hardware_concurrency().
+  /// \param num_threads number of workers; 0 means DefaultThreads().
   explicit ThreadPool(size_t num_threads = 0);
   ~ThreadPool();
 
@@ -31,6 +31,22 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t num_threads() const { return workers_.size(); }
+
+  /// \brief The worker count an unsized pool gets: the LSHE_THREADS
+  /// environment variable when set to a positive integer (CI runners and
+  /// deployments vary; the override makes the width reproducible
+  /// end-to-end), otherwise hardware_concurrency().
+  static size_t DefaultThreads();
+
+  /// \brief True when the calling thread is one of THIS pool's workers.
+  ///
+  /// The submit-from-worker guard: a worker that enqueues pool work and
+  /// blocks on its completion can deadlock (every worker may end up
+  /// waiting on a task only a worker can run). ParallelFor is re-entrant
+  /// because the caller participates; anything that dispatches a wave and
+  /// joins it by other means — the sharded serving layer's shard scatter —
+  /// must check this first.
+  bool InWorkerThread() const;
 
   /// Enqueue a task; the future resolves when it completes.
   std::future<void> Submit(std::function<void()> task);
@@ -40,7 +56,8 @@ class ThreadPool {
   /// also executes work, so this is safe to call from within a pool task.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
-  /// Process-wide shared pool (lazily constructed, hardware concurrency).
+  /// Process-wide shared pool (lazily constructed at DefaultThreads()
+  /// width — set LSHE_THREADS before first use to pin it).
   static ThreadPool& Shared();
 
  private:

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_gate.py.
+
+Exercises the gate as a subprocess (the same surface CI uses): pass /
+regression verdicts in relative and absolute mode, the --min-batch filter,
+and the row-drift rules — added rows are informational, removed rows are an
+explicit error.
+
+Run directly or via ctest (registered as BenchGateTest.Python).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GATE = os.path.join(REPO_ROOT, "tools", "bench_gate.py")
+
+
+def write_bench(path, rows, bench="throughput"):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"bench": bench, "rows": rows}, f)
+
+
+def run_gate(baseline, candidate, *extra):
+    return subprocess.run(
+        [sys.executable, GATE, "--baseline", baseline,
+         "--candidate", candidate, *extra],
+        capture_output=True, text=True, check=False)
+
+
+def row(mode, batch_size, qps, shards=None):
+    entry = {"mode": mode, "batch_size": batch_size, "qps": qps}
+    if shards is not None:
+        entry["shards"] = shards
+    return entry
+
+
+class BenchGateTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.baseline = os.path.join(self.dir.name, "baseline.json")
+        self.candidate = os.path.join(self.dir.name, "candidate.json")
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def test_identical_rows_pass(self):
+        rows = [row("batch", 64, 1000.0), row("batch", 4096, 2000.0)]
+        write_bench(self.baseline, rows)
+        write_bench(self.candidate, rows)
+        result = run_gate(self.baseline, self.candidate)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("PASS", result.stdout)
+
+    def test_uniform_speedup_passes_in_relative_mode(self):
+        write_bench(self.baseline,
+                    [row("batch", 64, 1000.0), row("batch", 4096, 2000.0)])
+        write_bench(self.candidate,
+                    [row("batch", 64, 3000.0), row("batch", 4096, 6000.0)])
+        result = run_gate(self.baseline, self.candidate)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_structural_regression_fails(self):
+        write_bench(self.baseline,
+                    [row("batch", 64, 1000.0), row("batch", 4096, 2000.0)])
+        # The 4096 row collapses relative to the 64 row: a structure change
+        # that relative normalization must catch.
+        write_bench(self.candidate,
+                    [row("batch", 64, 1000.0), row("batch", 4096, 500.0)])
+        result = run_gate(self.baseline, self.candidate)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_absolute_mode_regression_fails(self):
+        write_bench(self.baseline, [row("batch", 64, 1000.0)])
+        write_bench(self.candidate, [row("batch", 64, 500.0)])
+        result = run_gate(self.baseline, self.candidate, "--mode", "absolute")
+        self.assertEqual(result.returncode, 1)
+
+    def test_min_batch_skips_noisy_rows(self):
+        write_bench(self.baseline,
+                    [row("single", 1, 1000.0), row("batch", 64, 1000.0)])
+        # The single-query row tanks, but it is below the gating floor.
+        write_bench(self.candidate,
+                    [row("single", 1, 10.0), row("batch", 64, 1000.0)])
+        result = run_gate(self.baseline, self.candidate, "--min-batch", "2")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("not gated", result.stdout)
+
+    def test_added_row_is_informational(self):
+        write_bench(self.baseline, [row("batch", 64, 1000.0)])
+        write_bench(self.candidate,
+                    [row("batch", 64, 1000.0),
+                     row("shard-batch", 4096, 900.0, shards=2)])
+        result = run_gate(self.baseline, self.candidate)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("new row", result.stdout)
+        self.assertIn("refresh bench/baselines/", result.stdout)
+
+    def test_removed_row_is_an_error(self):
+        write_bench(self.baseline,
+                    [row("batch", 64, 1000.0),
+                     row("shard-batch", 4096, 900.0, shards=2)])
+        write_bench(self.candidate, [row("batch", 64, 1000.0)])
+        result = run_gate(self.baseline, self.candidate)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REMOVED", result.stderr)
+        self.assertIn("missing from the candidate", result.stderr)
+
+    def test_shard_rows_are_keyed_by_shard_count(self):
+        # Same mode and batch size at different shard counts must gate
+        # independently: a 2-shard candidate row must not be compared
+        # against the 4-shard baseline row.
+        write_bench(self.baseline,
+                    [row("shard-batch", 4096, 1000.0, shards=2),
+                     row("shard-batch", 4096, 2000.0, shards=4)])
+        write_bench(self.candidate,
+                    [row("shard-batch", 4096, 1000.0, shards=2),
+                     row("shard-batch", 4096, 2000.0, shards=4)])
+        result = run_gate(self.baseline, self.candidate)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("2 gated rows", result.stdout)
+
+    def test_bench_name_mismatch_fails(self):
+        write_bench(self.baseline, [row("batch", 64, 1000.0)], bench="a")
+        write_bench(self.candidate, [row("batch", 64, 1000.0)], bench="b")
+        result = run_gate(self.baseline, self.candidate)
+        self.assertNotEqual(result.returncode, 0)
+
+    def test_empty_candidate_fails(self):
+        write_bench(self.baseline, [row("batch", 64, 1000.0)])
+        write_bench(self.candidate, [])
+        result = run_gate(self.baseline, self.candidate)
+        self.assertNotEqual(result.returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

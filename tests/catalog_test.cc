@@ -63,7 +63,8 @@ TEST_F(CatalogTest, RejectsBadEntries) {
 TEST_F(CatalogTest, SerializationRoundTrip) {
   Catalog catalog(family_);
   for (uint64_t id = 1; id <= 20; ++id) {
-    ASSERT_TRUE(catalog.Add(id, std::string("table:") + std::to_string(id), id * 3,
+    ASSERT_TRUE(catalog.Add(id, std::string("table:") + std::to_string(id),
+                            id * 3,
                             RandomSketch(id, id * 3)).ok());
   }
   std::string image;

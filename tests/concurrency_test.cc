@@ -246,7 +246,8 @@ TEST_F(ConcurrencyTest, TunerCacheIsThreadSafe) {
   // with a serially computed reference.
   std::vector<TunedParams> reference;
   for (int i = 0; i < 40; ++i) {
-    reference.push_back(tuner->Tune(100.0 + i * 37.0, 25.0, 0.05 * (i % 19 + 1)));
+    reference.push_back(
+        tuner->Tune(100.0 + i * 37.0, 25.0, 0.05 * (i % 19 + 1)));
   }
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
@@ -349,7 +350,8 @@ TEST_F(ConcurrencyTest, DynamicBatchQueryConcurrentReaders) {
   for (size_t qi = 0; qi < 600; qi += 20) batch_indices.push_back(qi);
   std::vector<MinHash> sketches;
   for (size_t qi : batch_indices) {
-    sketches.push_back(MinHash::FromValues(family_, corpus_->domain(qi).values));
+    sketches.push_back(
+        MinHash::FromValues(family_, corpus_->domain(qi).values));
   }
   std::vector<QuerySpec> specs;
   for (size_t i = 0; i < batch_indices.size(); ++i) {
@@ -400,7 +402,8 @@ TEST_F(ConcurrencyTest, ConcurrentBatchTopKSearchesAgree) {
   for (size_t qi = 0; qi < 10 * 271; qi += 271) batch_indices.push_back(qi);
   std::vector<MinHash> sketches;
   for (size_t qi : batch_indices) {
-    sketches.push_back(MinHash::FromValues(family_, corpus_->domain(qi).values));
+    sketches.push_back(
+        MinHash::FromValues(family_, corpus_->domain(qi).values));
   }
   std::vector<TopKQuery> queries;
   for (size_t i = 0; i < batch_indices.size(); ++i) {

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/coverage_gate.py.
+
+Feeds hand-written lcov tracefiles through the gate as a subprocess: floor
+pass/fail verdicts, LF/LH vs DA-derived counting, path filtering, and the
+empty-match error.
+
+Run directly or via ctest (registered as CoverageGateTest.Python).
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GATE = os.path.join(REPO_ROOT, "tools", "coverage_gate.py")
+
+
+def run_gate(tracefile, *extra):
+    return subprocess.run(
+        [sys.executable, GATE, "--tracefile", tracefile, *extra],
+        capture_output=True, text=True, check=False)
+
+
+class CoverageGateTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.tracefile = os.path.join(self.dir.name, "coverage.info")
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, text):
+        with open(self.tracefile, "w", encoding="utf-8") as f:
+            f.write(text)
+
+    def test_pass_above_floor(self):
+        # 9 of 10 lines hit = 90%.
+        self.write("SF:/repo/src/core/lsh_ensemble.cc\n"
+                   + "".join(f"DA:{i},1\n" for i in range(1, 10))
+                   + "DA:10,0\n"
+                   + "LF:10\nLH:9\nend_of_record\n")
+        result = run_gate(self.tracefile, "--floor", "85")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("PASS", result.stdout)
+        self.assertIn("90.0%", result.stdout)
+
+    def test_fail_below_floor(self):
+        self.write("SF:/repo/src/core/topk.cc\n"
+                   "DA:1,1\nDA:2,0\nDA:3,0\nDA:4,0\n"
+                   "LF:4\nLH:1\nend_of_record\n")
+        result = run_gate(self.tracefile, "--floor", "85")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL", result.stderr)
+
+    def test_da_lines_used_when_summary_absent(self):
+        self.write("SF:/repo/src/core/partitioner.cc\n"
+                   "DA:1,5\nDA:2,0\nend_of_record\n")
+        result = run_gate(self.tracefile, "--floor", "40")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("50.0%", result.stdout)
+
+    def test_negative_counts_are_not_hits(self):
+        # gcov mismatches can leave negative counts (CI captures with
+        # --ignore-errors negative); they must not inflate coverage.
+        self.write("SF:/repo/src/core/partitioner.cc\n"
+                   "DA:1,1\nDA:2,-1\nDA:3,-5\nDA:4,0\nend_of_record\n")
+        result = run_gate(self.tracefile, "--floor", "50")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("25.0%", result.stdout)
+
+    def test_path_filter_excludes_other_directories(self):
+        # The uncovered util file must not drag src/core below the floor.
+        self.write("SF:/repo/src/core/tuning.cc\n"
+                   "DA:1,1\nDA:2,1\nLF:2\nLH:2\nend_of_record\n"
+                   "SF:/repo/src/util/status.cc\n"
+                   "DA:1,0\nDA:2,0\nLF:2\nLH:0\nend_of_record\n")
+        result = run_gate(self.tracefile, "--path", "src/core",
+                          "--floor", "95")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertNotIn("util", result.stdout)
+
+    def test_no_matching_files_is_an_error(self):
+        self.write("SF:/repo/src/util/status.cc\n"
+                   "DA:1,1\nLF:1\nLH:1\nend_of_record\n")
+        result = run_gate(self.tracefile, "--path", "src/core")
+        self.assertNotEqual(result.returncode, 0)
+
+    def test_unreadable_tracefile_is_an_error(self):
+        result = run_gate(os.path.join(self.dir.name, "missing.info"))
+        self.assertNotEqual(result.returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

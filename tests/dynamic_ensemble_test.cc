@@ -230,7 +230,8 @@ TEST_F(DynamicEnsembleTest, MixedIndexedAndDeltaRecallAgainstExact) {
   // Half indexed, half in the delta.
   for (size_t i = 0; i < 400; ++i) {
     ASSERT_TRUE(InsertDomain(index, i).ok());
-    ASSERT_TRUE(exact.Add(corpus_->domain(i).id, corpus_->domain(i).values).ok());
+    ASSERT_TRUE(
+        exact.Add(corpus_->domain(i).id, corpus_->domain(i).values).ok());
     if (i == 199) {
       ASSERT_TRUE(index.Flush().ok());
     }

@@ -55,6 +55,71 @@ TEST(LshEnsembleOptionsTest, Validation) {
   EXPECT_FALSE(options.Validate().ok());
 }
 
+TEST(LshEnsembleOptionsTest, PinnedPartitionValidation) {
+  LshEnsembleOptions options;
+  options.pinned_partitions = {{10, 100, 0}, {100, 500, 0}};
+  EXPECT_TRUE(options.Validate().ok());
+  options.pinned_partitions = {{10, 10, 0}};  // empty interval
+  EXPECT_FALSE(options.Validate().ok());
+  options.pinned_partitions = {{10, 100, 0}, {50, 500, 0}};  // overlap
+  EXPECT_FALSE(options.Validate().ok());
+  options.pinned_partitions = {{100, 500, 0}, {10, 100, 0}};  // descending
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(LshEnsembleTest, ComputePartitionsHonorsPinnedBoundaries) {
+  const std::vector<uint64_t> sizes = {2, 3, 5, 8, 13, 21, 34};
+  LshEnsembleOptions options;
+  options.pinned_partitions = {{1, 8, 0}, {8, 35, 0}};
+  auto specs = ComputePartitions(sizes, options);
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs->size(), 2u);
+  EXPECT_EQ((*specs)[0].count, 3u);  // 2, 3, 5
+  EXPECT_EQ((*specs)[1].count, 4u);  // 8, 13, 21, 34
+
+  // Intervals that miss a size must fail, not silently drop domains.
+  options.pinned_partitions = {{1, 8, 0}, {8, 34, 0}};  // 34 uncovered
+  EXPECT_FALSE(ComputePartitions(sizes, options).ok());
+
+  // Without pinning, the configured strategy is in charge.
+  options.pinned_partitions.clear();
+  options.num_partitions = 3;
+  auto derived = ComputePartitions(sizes, options);
+  ASSERT_TRUE(derived.ok());
+  size_t covered = 0;
+  for (const PartitionSpec& spec : *derived) covered += spec.count;
+  EXPECT_EQ(covered, sizes.size());
+}
+
+TEST(LshEnsembleTest, PinnedBuildMatchesDerivedBuild) {
+  const Corpus corpus = SmallCorpus(400);
+  auto family = Family(128);
+  LshEnsembleOptions options;
+  options.num_partitions = 4;
+  options.num_hashes = 128;
+  auto derived = BuildEnsemble(corpus, options, family);
+  ASSERT_TRUE(derived.ok());
+
+  // Pinning the exact boundaries the strategy derived must reproduce the
+  // same partitions and the same candidates.
+  LshEnsembleOptions pinned_options = options;
+  pinned_options.pinned_partitions = derived->partitions();
+  auto pinned = BuildEnsemble(corpus, pinned_options, family);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned->partitions(), derived->partitions());
+
+  for (size_t i = 0; i < 10; ++i) {
+    const Domain& domain = corpus.domain(i * 31 % corpus.size());
+    const MinHash sketch = MinHash::FromValues(family, domain.values);
+    std::vector<uint64_t> expected, actual;
+    ASSERT_TRUE(derived->Query(sketch, domain.size(), 0.5, &expected).ok());
+    ASSERT_TRUE(pinned->Query(sketch, domain.size(), 0.5, &actual).ok());
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
 TEST(LshEnsembleBuilderTest, RejectsBadAdds) {
   auto family = Family();
   LshEnsembleBuilder builder(LshEnsembleOptions{}, family);
@@ -512,7 +577,8 @@ TEST(LshEnsembleTest, QueryContextReusableAcrossEnsembles) {
   ASSERT_TRUE(big_index.ok());
   ASSERT_EQ(small_index->partitions().size(), big_index->partitions().size());
 
-  const MinHash sketch = MinHash::FromValues(family, big_corpus.domain(3).values);
+  const MinHash sketch =
+      MinHash::FromValues(family, big_corpus.domain(3).values);
   const QuerySpec spec{&sketch, /*query_size=*/1000, /*t_star=*/0.5};
   const std::span<const QuerySpec> specs(&spec, 1);
 

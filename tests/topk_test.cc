@@ -248,7 +248,8 @@ TEST_F(TopKSearchTest, BatchSearchMatchesRepeatedSearch) {
   }
   std::vector<MinHash> sketches;
   for (size_t qi : query_indices) {
-    sketches.push_back(MinHash::FromValues(family_, corpus_->domain(qi).values));
+    sketches.push_back(
+        MinHash::FromValues(family_, corpus_->domain(qi).values));
   }
   std::vector<TopKQuery> queries;
   for (size_t i = 0; i < query_indices.size(); ++i) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -160,6 +161,54 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
     pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
   });
   EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsRespectsEnvOverride) {
+  // Setting LSHE_THREADS pins the width of every unsized pool (CI runners
+  // vary); garbage values fall back to hardware concurrency.
+  ASSERT_EQ(setenv("LSHE_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 3u);
+  {
+    ThreadPool pool;  // unsized: picks up the override end-to-end
+    EXPECT_EQ(pool.num_threads(), 3u);
+  }
+  ASSERT_EQ(setenv("LSHE_THREADS", "not-a-number", 1), 0);
+  const size_t fallback = ThreadPool::DefaultThreads();
+  ASSERT_EQ(setenv("LSHE_THREADS", "0", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), fallback);
+  ASSERT_EQ(setenv("LSHE_THREADS", "-2", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), fallback);
+  // strtol overflow saturates to LONG_MAX with ERANGE; must fall back,
+  // not try to spawn 9e18 workers.
+  ASSERT_EQ(setenv("LSHE_THREADS", "99999999999999999999", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), fallback);
+  ASSERT_EQ(unsetenv("LSHE_THREADS"), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), fallback);
+  // An explicit size always wins over the environment.
+  ASSERT_EQ(setenv("LSHE_THREADS", "5", 1), 0);
+  {
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.num_threads(), 2u);
+  }
+  ASSERT_EQ(unsetenv("LSHE_THREADS"), 0);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadDistinguishesPools) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.InWorkerThread());  // calling thread is not a worker
+  bool in_own = false, in_other = true;
+  pool.Submit([&] {
+      in_own = pool.InWorkerThread();
+      in_other = other.InWorkerThread();
+    }).wait();
+  EXPECT_TRUE(in_own);
+  EXPECT_FALSE(in_other);
+  // A ParallelFor caller participates in the work without becoming a
+  // worker: the guard must not trip for it.
+  bool caller_flagged = false;
+  pool.ParallelFor(1, [&](size_t) { caller_flagged = pool.InWorkerThread(); });
+  EXPECT_FALSE(caller_flagged);
 }
 
 TEST(ThreadPoolTest, ManyTasksStress) {

@@ -24,9 +24,19 @@ rows (batch_size 1) are dominated by thread-pool wakeup noise on small
 runners, while the batched rows are stable — CI gates with --min-batch 2.
 Ungated rows are still printed for the log.
 
-Exit status: 0 when every gated row passes, 1 on any regression or
-missing/empty input. New rows absent from the baseline are reported but do
-not fail the gate (refresh the baseline in the same PR that adds them).
+Row-set drift is asymmetric by design:
+
+  * Added rows (candidate rows with no baseline match) are informational:
+    a PR that introduces a bench mode should not fail until the baseline
+    is refreshed — but the refresh belongs in the same PR, and the gate
+    says so.
+  * Removed rows (baseline rows with no candidate match) are an explicit
+    error: a silently vanished row usually means a renamed mode or a
+    crashed bench section, and letting it pass would hollow the gate out
+    one row at a time.
+
+Exit status: 0 when every gated row passes and no baseline row went
+missing; 1 on any regression, removed row, or missing/empty input.
 
 Typical CI usage:
   python3 tools/bench_gate.py \
@@ -75,9 +85,11 @@ def main():
                         help="fresh bench --json output")
     parser.add_argument("--metric", default="qps",
                         help="row field to gate on (default: qps)")
-    parser.add_argument("--keys", default="mode,batch_size",
+    parser.add_argument("--keys", default="mode,batch_size,shards",
                         help="comma-separated identity fields (default: "
-                             "mode,batch_size)")
+                             "mode,batch_size,shards; absent fields "
+                             "compare equal, so rows without a shards "
+                             "field still match)")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional drop (default: 0.25)")
     parser.add_argument("--mode", choices=["relative", "absolute"],
@@ -101,10 +113,12 @@ def main():
     # The gated set: candidate rows that match a baseline row, carry the
     # metric, and clear the batch-size floor.
     gated, skipped, new_rows = [], [], []
+    seen_keys = set()
     for row in cand_rows:
         if args.metric not in row:
             continue
         key = row_key(row, keys)
+        seen_keys.add(key)
         base = baseline_by_key.get(key)
         if base is None or args.metric not in base:
             new_rows.append(key)
@@ -114,6 +128,11 @@ def main():
             gated.append(entry)
         else:
             skipped.append(entry)
+    # Baseline rows the candidate no longer produces: an explicit error
+    # (renamed mode, crashed bench section, or a baseline that needs
+    # refreshing) — never a silent pass.
+    removed_rows = [key for key, base in baseline_by_key.items()
+                    if args.metric in base and key not in seen_keys]
     if not gated:
         sys.exit("bench_gate: no candidate row matched the baseline "
                  "(after --min-batch filtering)")
@@ -144,13 +163,22 @@ def main():
         print(f"  {'/'.join(key):24s} raw ratio={ratio:5.2f}  "
               f"(below --min-batch, not gated)")
     for key in new_rows:
-        print(f"  {'/'.join(key):24s} (new row, no baseline — refresh "
-              f"bench/baselines/ in this PR)")
+        print(f"  {'/'.join(key):24s} (new row, no baseline — informational; "
+              f"refresh bench/baselines/ in this PR)")
+    for key in removed_rows:
+        print(f"  {'/'.join(key):24s} (REMOVED: present in the baseline, "
+              f"missing from the candidate)", file=sys.stderr)
 
     if failures:
         print(f"bench_gate: FAIL — {len(failures)}/{len(gated)} gated rows "
               f"regressed more than {args.max_regression:.0%}",
               file=sys.stderr)
+        return 1
+    if removed_rows:
+        print(f"bench_gate: FAIL — {len(removed_rows)} baseline row(s) "
+              f"missing from the candidate. If the removal is intentional, "
+              f"refresh bench/baselines/ in this PR; otherwise a bench "
+              f"section stopped reporting.", file=sys.stderr)
         return 1
     print(f"bench_gate: PASS — {len(gated)} gated rows within "
           f"{args.max_regression:.0%} of baseline"

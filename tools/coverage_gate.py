@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Gate line coverage of the core engine against a checked-in floor.
+
+Parses an lcov tracefile (the `.info` produced by `lcov --capture`) without
+needing lcov itself, restricts it to the files whose path contains
+`--path` (default: src/core), and fails when the aggregate line coverage
+drops below `--floor` percent.
+
+The floor is a ratchet, not a target: it is set a few points below the
+measured coverage so incidental drift passes but a PR that lands
+substantial untested core code fails. Raise it in the PR that raises
+coverage.
+
+Tracefile records look like:
+
+  SF:/abs/or/rel/path/to/file.cc
+  DA:<line>,<execution count>
+  LF:<lines instrumented>      (optional; derived from DA: when absent)
+  LH:<lines hit>               (optional; derived from DA: when absent)
+  end_of_record
+
+Exit status: 0 when coverage >= floor, 1 on a miss or unreadable/empty
+input.
+
+Typical CI usage:
+  python3 tools/coverage_gate.py --tracefile coverage.info \
+      --path src/core --floor 85
+"""
+
+import argparse
+import sys
+
+
+def parse_tracefile(path):
+    """Returns {source_file: (lines_hit, lines_found)}."""
+    per_file = {}
+    current = None
+    da_found = 0
+    da_hit = 0
+    lf = lh = None
+
+    def flush():
+        nonlocal current, da_found, da_hit, lf, lh
+        if current is not None:
+            found = lf if lf is not None else da_found
+            hit = lh if lh is not None else da_hit
+            prev_hit, prev_found = per_file.get(current, (0, 0))
+            per_file[current] = (prev_hit + hit, prev_found + found)
+        current = None
+        da_found = da_hit = 0
+        lf = lh = None
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line.startswith("SF:"):
+                    flush()
+                    current = line[len("SF:"):]
+                elif line.startswith("DA:"):
+                    da_found += 1
+                    parts = line[len("DA:"):].split(",")
+                    # Hit only on a positive count: gcov mismatches can
+                    # leave negative counts in the tracefile (CI captures
+                    # with --ignore-errors negative), and those must not
+                    # inflate coverage against the floor.
+                    try:
+                        count = int(parts[1]) if len(parts) >= 2 else 0
+                    except ValueError:
+                        count = 0
+                    if count > 0:
+                        da_hit += 1
+                elif line.startswith("LF:"):
+                    lf = int(line[len("LF:"):])
+                elif line.startswith("LH:"):
+                    lh = int(line[len("LH:"):])
+                elif line == "end_of_record":
+                    flush()
+    except OSError as error:
+        sys.exit(f"coverage_gate: cannot read {path}: {error}")
+    flush()
+    return per_file
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tracefile", required=True,
+                        help="lcov .info tracefile")
+    parser.add_argument("--path", default="src/core",
+                        help="gate files whose path contains this substring "
+                             "(default: src/core)")
+    parser.add_argument("--floor", type=float, default=85.0,
+                        help="minimum line coverage percent (default: 85)")
+    args = parser.parse_args()
+
+    per_file = parse_tracefile(args.tracefile)
+    gated = {f: c for f, c in per_file.items() if args.path in f}
+    if not gated:
+        sys.exit(f"coverage_gate: no file matching '{args.path}' in "
+                 f"{args.tracefile}")
+
+    total_hit = total_found = 0
+    print(f"coverage_gate: line coverage over '{args.path}' "
+          f"(floor {args.floor:.1f}%)")
+    for source, (hit, found) in sorted(gated.items()):
+        pct = 100.0 * hit / found if found else 100.0
+        print(f"  {source:60s} {hit:6d}/{found:<6d} {pct:6.1f}%")
+        total_hit += hit
+        total_found += found
+    if total_found == 0:
+        sys.exit("coverage_gate: matched files contain no instrumented lines")
+
+    total_pct = 100.0 * total_hit / total_found
+    if total_pct < args.floor:
+        print(f"coverage_gate: FAIL — {total_pct:.1f}% < floor "
+              f"{args.floor:.1f}% ({total_hit}/{total_found} lines)",
+              file=sys.stderr)
+        return 1
+    print(f"coverage_gate: PASS — {total_pct:.1f}% >= floor "
+          f"{args.floor:.1f}% ({total_hit}/{total_found} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,7 @@
 //                    --column Partner [--threshold 0.5 | --topk 10]
 //   lshe batch-query --index idx.lshe --catalog idx.cat --query-csv q.csv
 //                    [--column Partner] [--threshold 0.5 | --topk 10]
-//                    [--delta extra.csv]
+//                    [--delta extra.csv] [--shards 4]
 //   lshe stats       --index idx.lshe [--catalog idx.cat]
 //
 // `index` extracts every column of every CSV as a domain (paper Section 2:
@@ -16,10 +16,13 @@
 // k best containers (top-k mode). `batch-query` treats every column of the
 // query CSV as one query and answers them all in one batched call:
 // threshold mode rides BatchQuery(), `--topk K` ranks every query in one
-// lockstep BatchSearch(), and `--delta FILE` first layers FILE's columns
-// as unindexed delta domains on a DynamicLshEnsemble rebuilt from the
+// lockstep BatchSearch(), `--delta FILE` first layers FILE's columns as
+// unindexed delta domains on a DynamicLshEnsemble rebuilt from the
 // catalog (the paper's dynamic-data scenario, Section 6.2) so both modes
-// search indexed + just-arrived data. `stats` prints the partition layout.
+// search indexed + just-arrived data, and `--shards N` serves everything
+// from an N-shard scatter/gather ShardedEnsemble instead (results are
+// identical; throughput scales with cores). `stats` prints the partition
+// layout.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +34,7 @@
 
 #include "core/dynamic_ensemble.h"
 #include "core/lsh_ensemble.h"
+#include "core/sharded_ensemble.h"
 #include "core/topk.h"
 #include "data/csv.h"
 #include "data/sketcher.h"
@@ -52,7 +56,8 @@ struct Flags {
   std::string column;
   std::string delta_csv;
   double threshold = 0.5;
-  int topk = 0;  // 0 = threshold mode
+  int topk = 0;    // 0 = threshold mode
+  int shards = 0;  // 0 = unsharded engines
   int partitions = 16;
   int num_hashes = 256;
   int tree_depth = 8;
@@ -68,7 +73,7 @@ void Usage() {
              [--threshold T | --topk K]
   lshe batch-query --index IDX --catalog CAT --query-csv FILE
              [--column NAME] [--threshold T | --topk K] [--min-size K]
-             [--delta FILE]
+             [--delta FILE] [--shards N]
   lshe stats --index IDX [--catalog CAT]
 )");
 }
@@ -96,6 +101,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->threshold = std::atof(value);
     } else if (arg == "--topk" && (value = next())) {
       flags->topk = std::atoi(value);
+    } else if (arg == "--shards" && (value = next())) {
+      flags->shards = std::atoi(value);
     } else if (arg == "--partitions" && (value = next())) {
       flags->partitions = std::atoi(value);
     } else if (arg == "--hashes" && (value = next())) {
@@ -285,42 +292,71 @@ int RunBatchQuery(const Flags& flags) {
   std::vector<MinHash> sketches = sketcher.SketchCorpus(query_corpus);
   const std::vector<Domain>& query_domains = query_corpus.domains();
 
-  // Optional dynamic layer (--delta): rebuild a DynamicLshEnsemble from
-  // the catalog's side-car, then insert the delta file's columns as
-  // unindexed domains — immediately searchable, exactly the paper's
-  // dynamic-data scenario.
+  // Optional serving-layer overrides. --shards N rebuilds the catalog
+  // into a sharded serving layer (hash-partitioned scatter/gather across
+  // N independent dynamic shards); --delta FILE layers the file's columns
+  // as unindexed delta domains on top of whichever engine serves — the
+  // paper's dynamic-data scenario (Section 6.2). Both start from the
+  // catalog's side-car (names, sizes, signatures).
   std::optional<DynamicLshEnsemble> dynamic;
+  std::optional<ShardedEnsemble> sharded;
   std::unordered_map<uint64_t, std::string> delta_names;
-  if (!flags.delta_csv.empty()) {
-    DynamicEnsembleOptions dyn_options;
-    dyn_options.base = ensemble->options();
-    dyn_options.min_delta_for_rebuild = std::numeric_limits<size_t>::max();
-    auto dyn = DynamicLshEnsemble::Create(dyn_options, catalog->family());
-    if (!dyn.ok()) return Fail(dyn.status());
-    dynamic.emplace(std::move(dyn).value());
+  if (flags.shards > 0 || !flags.delta_csv.empty()) {
+    if (flags.shards > 0) {
+      ShardedEnsembleOptions sharded_options;
+      sharded_options.base.base = ensemble->options();
+      sharded_options.base.min_delta_for_rebuild =
+          std::numeric_limits<size_t>::max();
+      sharded_options.num_shards = static_cast<size_t>(flags.shards);
+      auto built = ShardedEnsemble::Create(sharded_options, catalog->family());
+      if (!built.ok()) return Fail(built.status());
+      sharded.emplace(std::move(built).value());
+    } else {
+      DynamicEnsembleOptions dyn_options;
+      dyn_options.base = ensemble->options();
+      dyn_options.min_delta_for_rebuild = std::numeric_limits<size_t>::max();
+      auto dyn = DynamicLshEnsemble::Create(dyn_options, catalog->family());
+      if (!dyn.ok()) return Fail(dyn.status());
+      dynamic.emplace(std::move(dyn).value());
+    }
+    auto insert = [&](uint64_t id, size_t size, const MinHash& signature) {
+      return sharded.has_value() ? sharded->Insert(id, size, signature)
+                                 : dynamic->Insert(id, size, signature);
+    };
     uint64_t max_id = 0;
     for (const CatalogEntry& entry : catalog->entries()) {
-      Status status = dynamic->Insert(entry.id, entry.size, entry.signature);
+      Status status = insert(entry.id, entry.size, entry.signature);
       if (!status.ok()) return Fail(status);
       max_id = std::max(max_id, entry.id);
     }
-    Status status = dynamic->Flush();
+    Status status = sharded.has_value() ? sharded->Flush() : dynamic->Flush();
     if (!status.ok()) return Fail(status);
-    auto delta_table = ReadCsvFile(flags.delta_csv);
-    if (!delta_table.ok()) return Fail(delta_table.status());
-    const std::vector<Domain> delta_domains =
-        ExtractDomains(*delta_table, max_id + 1, extract);
-    if (delta_domains.empty()) {
-      return Fail(Status::InvalidArgument(
-          "no delta columns extracted from " + flags.delta_csv));
+    if (!flags.delta_csv.empty()) {
+      auto delta_table = ReadCsvFile(flags.delta_csv);
+      if (!delta_table.ok()) return Fail(delta_table.status());
+      const std::vector<Domain> delta_domains =
+          ExtractDomains(*delta_table, max_id + 1, extract);
+      if (delta_domains.empty()) {
+        return Fail(Status::InvalidArgument(
+            "no delta columns extracted from " + flags.delta_csv));
+      }
+      for (const Domain& domain : delta_domains) {
+        status = sharded.has_value()
+                     ? sharded->Insert(domain.id, domain.values)
+                     : dynamic->Insert(domain.id, domain.values);
+        if (!status.ok()) return Fail(status);
+        delta_names.emplace(domain.id, domain.name);
+      }
     }
-    for (const Domain& domain : delta_domains) {
-      status = dynamic->Insert(domain.id, domain.values);
-      if (!status.ok()) return Fail(status);
-      delta_names.emplace(domain.id, domain.name);
+    if (sharded.has_value()) {
+      std::printf("sharded index: %d shards, %zu indexed + %zu delta "
+                  "domains\n",
+                  flags.shards, sharded->indexed_size(),
+                  sharded->delta_size());
+    } else {
+      std::printf("dynamic index: %zu indexed + %zu delta domains\n",
+                  dynamic->indexed_size(), dynamic->delta_size());
     }
-    std::printf("dynamic index: %zu indexed + %zu delta domains\n",
-                dynamic->indexed_size(), dynamic->delta_size());
   }
   auto name_of = [&](uint64_t id) -> const std::string& {
     const auto it = delta_names.find(id);
@@ -331,7 +367,9 @@ int RunBatchQuery(const Flags& flags) {
     // One lockstep BatchSearch ranks every query column.
     std::optional<SketchStore> store;
     std::optional<TopKSearcher> searcher;
-    if (dynamic.has_value()) {
+    if (sharded.has_value()) {
+      searcher.emplace(&*sharded);
+    } else if (dynamic.has_value()) {
       searcher.emplace(&*dynamic);
     } else {
       auto built = catalog->ToSketchStore();
@@ -373,9 +411,10 @@ int RunBatchQuery(const Flags& flags) {
 
   QueryContext ctx;
   StopWatch watch;
-  Status status = dynamic.has_value()
-                      ? dynamic->BatchQuery(specs, &ctx, outs.data())
-                      : ensemble->BatchQuery(specs, &ctx, outs.data());
+  Status status =
+      sharded.has_value() ? sharded->BatchQuery(specs, outs.data())
+      : dynamic.has_value() ? dynamic->BatchQuery(specs, &ctx, outs.data())
+                            : ensemble->BatchQuery(specs, &ctx, outs.data());
   if (!status.ok()) return Fail(status);
   const double elapsed = watch.ElapsedSeconds();
 
