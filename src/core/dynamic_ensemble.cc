@@ -42,7 +42,7 @@ Status DynamicLshEnsemble::Insert(uint64_t id, size_t size,
     return Status::InvalidArgument(
         "signature does not belong to the index's hash family");
   }
-  if (records_.count(id) > 0) {
+  if (records_.count(id) > 0 || MappedLive(id)) {
     return Status::InvalidArgument("id is already live");
   }
   // A re-insert after Remove(): the stale indexed entry stays tombstoned;
@@ -69,6 +69,14 @@ Status DynamicLshEnsemble::Insert(uint64_t id,
 Status DynamicLshEnsemble::Remove(uint64_t id) {
   const auto it = records_.find(id);
   if (it == records_.end()) {
+    // Not in the overlay; a snapshot-resident record is tombstoned in
+    // place (it stays in the mapped arenas and side-car until a rebuild).
+    if (MappedLive(id)) {
+      tombstones_.insert(id);
+      ++mapped_removed_;
+      ++mutation_epoch_;
+      return Status::OK();
+    }
     return Status::NotFound("id is not live");
   }
   records_.erase(it);
@@ -180,11 +188,16 @@ Status DynamicLshEnsemble::BatchQuery(std::span<const QuerySpec> specs,
   // when its estimated Jaccard reaches the same conservative threshold
   // the ensemble would apply, computed with the domain's exact size
   // (tighter than any partition bound, still no new false negatives
-  // beyond sketch error).
+  // beyond sketch error). Under the same option as the indexed path's
+  // partition prune, a record whose size cannot reach the containment
+  // threshold (x < t* * q, so t(Q, X) <= x/q < t*) skips the collision
+  // count entirely — the delta-scan analog of pruning an unreachable
+  // partition, with the identical size comparison.
   const auto& kernel = ActiveKernelOps();
   const auto num_hashes = static_cast<size_t>(family_->num_hashes());
   const auto m = static_cast<double>(num_hashes);
   const size_t num_delta = delta_.size();
+  const bool prune = options_.base.prune_unreachable_partitions;
 
   const bool flatten_hit = ctx->dynamic_delta_valid_ &&
                            ctx->dynamic_delta_index_id_ == instance_id_ &&
@@ -196,8 +209,10 @@ Status DynamicLshEnsemble::BatchQuery(std::span<const QuerySpec> specs,
     const double q = ctx->dynamic_q_[0];
     for (uint64_t id : delta_) {
       const Record& record = records_.at(id);
-      const double s_star = ContainmentToJaccardHoisted(
-          specs[0].t_star, static_cast<double>(record.size) / q);
+      const auto x = static_cast<double>(record.size);
+      if (prune && x + 1e-9 < specs[0].t_star * q) continue;
+      const double s_star =
+          ContainmentToJaccardHoisted(specs[0].t_star, x / q);
       const size_t collisions = kernel.count_collisions(
           query_sig, record.signature.values().data(), num_hashes);
       if (static_cast<double>(collisions) / m + 1e-12 >= s_star) {
@@ -212,21 +227,6 @@ Status DynamicLshEnsemble::BatchQuery(std::span<const QuerySpec> specs,
   // map. Cached in the context, keyed on (instance id, mutation epoch):
   // consecutive batches and top-k descent rounds against an unchanged
   // index skip this entirely.
-  if (!flatten_hit) {
-    ctx->dynamic_delta_valid_ = false;
-    ctx->dynamic_delta_x_.resize(num_delta);
-    ctx->dynamic_delta_arena_.resize(num_delta * num_hashes);
-    for (size_t r = 0; r < num_delta; ++r) {
-      const Record& record = records_.at(delta_[r]);
-      ctx->dynamic_delta_x_[r] = static_cast<double>(record.size);
-      std::copy(record.signature.values().begin(),
-                record.signature.values().end(),
-                ctx->dynamic_delta_arena_.begin() + r * num_hashes);
-    }
-    ctx->dynamic_delta_index_id_ = instance_id_;
-    ctx->dynamic_delta_epoch_ = mutation_epoch_;
-    ctx->dynamic_delta_valid_ = true;
-  }
   // Records in the outer loop, queries inner, tiled: a block of record
   // signatures small enough to stay cache-resident (~128 KiB) is scored
   // against every query of the chunk before the next block is touched, so
@@ -240,22 +240,49 @@ Status DynamicLshEnsemble::BatchQuery(std::span<const QuerySpec> specs,
       kMaxBlock,
       std::max<size_t>(1, (static_cast<size_t>(128) << 10) /
                               (num_hashes * sizeof(uint64_t))));
+  if (!flatten_hit) {
+    ctx->dynamic_delta_valid_ = false;
+    ctx->dynamic_delta_x_.resize(num_delta);
+    ctx->dynamic_delta_arena_.resize(num_delta * num_hashes);
+    // Per-block size maxima for the admission bound: a whole block's
+    // kernel call is skipped when even its largest record cannot reach a
+    // query's threshold (the per-record rule applied wholesale).
+    ctx->dynamic_delta_block_max_.assign(
+        (num_delta + block_records - 1) / block_records, 0.0);
+    for (size_t r = 0; r < num_delta; ++r) {
+      const Record& record = records_.at(delta_[r]);
+      const auto x = static_cast<double>(record.size);
+      ctx->dynamic_delta_x_[r] = x;
+      double& block_max = ctx->dynamic_delta_block_max_[r / block_records];
+      block_max = std::max(block_max, x);
+      std::copy(record.signature.values().begin(),
+                record.signature.values().end(),
+                ctx->dynamic_delta_arena_.begin() + r * num_hashes);
+    }
+    ctx->dynamic_delta_index_id_ = instance_id_;
+    ctx->dynamic_delta_epoch_ = mutation_epoch_;
+    ctx->dynamic_delta_valid_ = true;
+  }
   auto scan_queries = [&](size_t query_begin, size_t query_end) {
     uint32_t counts[kMaxBlock];
     for (size_t base = 0; base < num_delta; base += block_records) {
       const size_t block_len = std::min(block_records, num_delta - base);
+      const double block_max =
+          ctx->dynamic_delta_block_max_[base / block_records];
       const uint64_t* block_sigs =
           ctx->dynamic_delta_arena_.data() + base * num_hashes;
       for (size_t i = query_begin; i < query_end; ++i) {
+        const double q = ctx->dynamic_q_[i];
+        const double t_star = specs[i].t_star;
+        if (prune && block_max + 1e-9 < t_star * q) continue;
         kernel.count_collisions_many(specs[i].query->values().data(),
                                      block_sigs, num_hashes, block_len,
                                      counts);
-        const double q = ctx->dynamic_q_[i];
-        const double t_star = specs[i].t_star;
         std::vector<uint64_t>& out = outs[i];
         for (size_t r = 0; r < block_len; ++r) {
-          const double s_star = ContainmentToJaccardHoisted(
-              t_star, ctx->dynamic_delta_x_[base + r] / q);
+          const double x = ctx->dynamic_delta_x_[base + r];
+          if (prune && x + 1e-9 < t_star * q) continue;
+          const double s_star = ContainmentToJaccardHoisted(t_star, x / q);
           if (static_cast<double>(counts[r]) / m + 1e-12 >= s_star) {
             out.push_back(delta_[base + r]);
           }
@@ -281,8 +308,11 @@ Status DynamicLshEnsemble::BatchQuery(std::span<const QuerySpec> specs,
 }
 
 Status DynamicLshEnsemble::Flush() {
-  if (!records_.empty() && delta_.empty() && tombstones_.empty() &&
-      ensemble_.has_value()) {
+  // A snapshot-opened index always rebuilds, even when clean: Flush() is
+  // documented to materialize the mapped records and release the mapping
+  // (so the snapshot file can be replaced / its space reclaimed).
+  if (mapped_.n == 0 && !records_.empty() && delta_.empty() &&
+      tombstones_.empty() && ensemble_.has_value()) {
     return Status::OK();  // already up to date
   }
   return Rebuild(options_.base);
@@ -294,7 +324,52 @@ Status DynamicLshEnsemble::Flush(std::vector<PartitionSpec> pinned) {
   return Rebuild(build_options);
 }
 
+size_t DynamicLshEnsemble::MappedFind(uint64_t id) const {
+  const uint64_t* begin = mapped_.ids;
+  const uint64_t* end = mapped_.ids + mapped_.n;
+  const uint64_t* it = std::lower_bound(begin, end, id);
+  return (it != end && *it == id) ? static_cast<size_t>(it - begin)
+                                  : mapped_.n;
+}
+
+bool DynamicLshEnsemble::MappedLive(uint64_t id) const {
+  return mapped_.n > 0 && MappedFind(id) < mapped_.n &&
+         tombstones_.count(id) == 0;
+}
+
+Status DynamicLshEnsemble::MaterializeMapped() {
+  if (mapped_.n == 0) return Status::OK();
+  // Stage-then-commit: a slot-validation failure partway through (a
+  // corrupt arena under verify_checksums=false) must leave the engine
+  // exactly as it was — half-materialized records would double-count in
+  // size() and duplicate ids in a re-serialized side-car.
+  std::vector<std::pair<uint64_t, Record>> staged;
+  staged.reserve(mapped_.n - mapped_removed_);
+  for (size_t i = 0; i < mapped_.n; ++i) {
+    const uint64_t id = mapped_.ids[i];
+    if (tombstones_.count(id) > 0) continue;  // removed (or re-inserted)
+    std::vector<uint64_t> slots(mapped_.signatures + i * mapped_.m,
+                                mapped_.signatures + (i + 1) * mapped_.m);
+    auto signature = MinHash::FromSlots(family_, std::move(slots));
+    if (!signature.ok()) return signature.status();
+    staged.emplace_back(id, Record{static_cast<size_t>(mapped_.sizes[i]),
+                                   std::move(signature).value()});
+  }
+  records_.reserve(records_.size() + staged.size());
+  for (auto& [id, record] : staged) {
+    records_.emplace(id, std::move(record));
+  }
+  mapped_ = MappedSideCar{};
+  mapped_removed_ = 0;
+  mapped_backing_.reset();
+  return Status::OK();
+}
+
 Status DynamicLshEnsemble::Rebuild(const LshEnsembleOptions& build_options) {
+  // A snapshot-opened index rebuilds on the heap: copy the still-live
+  // mapped records into the authoritative map first (the only point where
+  // a zero-copy open pays for its records), then drop the mapping.
+  LSHE_RETURN_IF_ERROR(MaterializeMapped());
   if (records_.empty()) {
     // Nothing live: drop the ensemble entirely.
     ensemble_.reset();
@@ -319,9 +394,14 @@ Status DynamicLshEnsemble::Rebuild(const LshEnsembleOptions& build_options) {
 }
 
 void DynamicLshEnsemble::AppendLiveSizes(std::vector<uint64_t>* out) const {
-  out->reserve(out->size() + records_.size());
+  out->reserve(out->size() + size());
   for (const auto& [id, record] : records_) {
     out->push_back(record.size);
+  }
+  for (size_t i = 0; i < mapped_.n; ++i) {
+    if (tombstones_.count(mapped_.ids[i]) == 0) {
+      out->push_back(mapped_.sizes[i]);
+    }
   }
 }
 
@@ -329,7 +409,12 @@ size_t DynamicLshEnsemble::indexed_size() const { return indexed_count_; }
 
 size_t DynamicLshEnsemble::SizeOf(uint64_t id) const {
   const auto it = records_.find(id);
-  return it == records_.end() ? 0 : it->second.size;
+  if (it != records_.end()) return it->second.size;
+  if (mapped_.n > 0 && tombstones_.count(id) == 0) {
+    const size_t pos = MappedFind(id);
+    if (pos < mapped_.n) return static_cast<size_t>(mapped_.sizes[pos]);
+  }
+  return 0;
 }
 
 const MinHash* DynamicLshEnsemble::SignatureOf(uint64_t id) const {
@@ -343,6 +428,23 @@ const MinHash* DynamicLshEnsemble::FindRecord(uint64_t id,
   if (it == records_.end()) return nullptr;
   *size = it->second.size;
   return &it->second.signature;
+}
+
+SignatureView DynamicLshEnsemble::FindSignature(uint64_t id,
+                                                size_t* size) const {
+  const auto it = records_.find(id);
+  if (it != records_.end()) {
+    *size = it->second.size;
+    return it->second.signature.view();
+  }
+  if (mapped_.n > 0 && tombstones_.count(id) == 0) {
+    const size_t pos = MappedFind(id);
+    if (pos < mapped_.n) {
+      *size = static_cast<size_t>(mapped_.sizes[pos]);
+      return {mapped_.signatures + pos * mapped_.m, mapped_.m};
+    }
+  }
+  return {};
 }
 
 bool DynamicLshEnsemble::ShouldRebuild() const {

@@ -18,6 +18,14 @@
 // The structure retains every live domain's size and signature (the same
 // side-car a TopKSearcher needs) — that is what makes rebuilds possible
 // without re-reading the raw data.
+//
+// Zero-copy open (io/snapshot.h): an index opened from a mapped v2
+// snapshot serves the indexed records' side-car straight out of the
+// mapping (sorted-id binary search) instead of the records_ map, which
+// then holds only the post-open overlay (restored delta + new inserts).
+// Queries, mutations and top-k ranking behave identically; the first
+// Flush() materializes the mapped records, rebuilds on the heap and
+// releases the mapping.
 
 #ifndef LSHENSEMBLE_CORE_DYNAMIC_ENSEMBLE_H_
 #define LSHENSEMBLE_CORE_DYNAMIC_ENSEMBLE_H_
@@ -103,6 +111,14 @@ class DynamicLshEnsemble {
   /// hoisted terms) lives in `ctx`, so a warm context makes the whole call
   /// allocation-free apart from output growth. Thread-safe between
   /// mutations; give each calling thread its own context.
+  ///
+  /// Under base.prune_unreachable_partitions (the same flag the indexed
+  /// path's partition prune honors), delta records whose size cannot
+  /// reach a query's containment threshold (x < t* * q implies
+  /// t(Q, X) <= x/q < t*) skip the collision count — whole scan tiles are
+  /// skipped when even their largest record is unreachable. Like the
+  /// partition prune, this admits no record the threshold semantics could
+  /// require (no new false negatives).
   Status BatchQuery(std::span<const QuerySpec> specs, QueryContext* ctx,
                     std::vector<uint64_t>* outs,
                     QueryStats* stats = nullptr) const;
@@ -124,8 +140,11 @@ class DynamicLshEnsemble {
   /// corpus-global partitioning it pins rebuilds to.
   void AppendLiveSizes(std::vector<uint64_t>* out) const;
 
-  /// Number of live (searchable) domains.
-  size_t size() const { return records_.size(); }
+  /// Number of live (searchable) domains: the heap records (overlay) plus
+  /// the still-live records of a mapped snapshot base.
+  size_t size() const {
+    return records_.size() + mapped_.n - mapped_removed_;
+  }
   /// Domains in the built ensemble (including tombstoned ones).
   size_t indexed_size() const;
   /// Domains awaiting the next rebuild.
@@ -140,11 +159,23 @@ class DynamicLshEnsemble {
 
   /// Exact size of a live domain (0 if not live) — the side-car lookup.
   size_t SizeOf(uint64_t id) const;
-  /// Signature of a live domain (nullptr if not live).
+  /// Signature of a live domain as an owned MinHash (nullptr if not
+  /// live). For an index opened from a mapped snapshot this only covers
+  /// the overlay (post-open inserts); snapshot-resident records have no
+  /// owned MinHash — use FindSignature(), which covers both.
   const MinHash* SignatureOf(uint64_t id) const;
   /// Signature and exact size in one lookup (nullptr / size untouched if
-  /// not live) — one map probe per ranked top-k candidate.
+  /// not live) — one map probe per ranked top-k candidate. Same mapped
+  /// caveat as SignatureOf().
   const MinHash* FindRecord(uint64_t id, size_t* size) const;
+  /// \brief Borrowed view of a live domain's signature and, on success,
+  /// its exact size — overlay records and snapshot-resident records
+  /// alike. This is the lookup top-k ranking uses; the view is stable
+  /// until the domain is removed, the index flushes, or it is destroyed.
+  SignatureView FindSignature(uint64_t id, size_t* size) const;
+
+  /// The hash family all signatures share.
+  const std::shared_ptr<const HashFamily>& family() const { return family_; }
 
  private:
   struct Record {
@@ -156,9 +187,30 @@ class DynamicLshEnsemble {
                      std::shared_ptr<const HashFamily> family)
       : options_(std::move(options)), family_(std::move(family)) {}
 
+  friend class SnapshotIO;  // io/snapshot.cc (v2 save + zero-copy open)
+
+  /// \brief Side-car of the records that live only in the mapped
+  /// snapshot: parallel id/size arrays (ids strictly ascending) plus the
+  /// signature arena, all borrowed views into the mapping. n == 0 means
+  /// "no mapped base" (the common, fully-heap case).
+  struct MappedSideCar {
+    const uint64_t* ids = nullptr;
+    const uint64_t* sizes = nullptr;
+    const uint64_t* signatures = nullptr;  // n rows of m slot minima
+    size_t n = 0;
+    size_t m = 0;
+  };
+
   bool ShouldRebuild() const;
   /// Rebuild over all live records with `build_options` (Flush plumbing).
   Status Rebuild(const LshEnsembleOptions& build_options);
+  /// Index into mapped_.ids for `id`, or mapped_.n when absent.
+  size_t MappedFind(uint64_t id) const;
+  /// True when `id` is live in the mapped base (present, not tombstoned).
+  bool MappedLive(uint64_t id) const;
+  /// Copy every live mapped record into records_ and drop the mapped base
+  /// (the first step of any rebuild of a snapshot-opened index).
+  Status MaterializeMapped();
 
   DynamicEnsembleOptions options_;
   std::shared_ptr<const HashFamily> family_;
@@ -173,6 +225,14 @@ class DynamicLshEnsemble {
 
   std::optional<LshEnsemble> ensemble_;
   size_t indexed_count_ = 0;
+
+  // Zero-copy open state: the mapped side-car view, how many of its
+  // records were Remove()d since the open (they stay in mapped_.ids but
+  // are tombstoned), and the keepalive for the mapping (type-erased so
+  // this header does not depend on io/). All empty for heap indexes.
+  MappedSideCar mapped_;
+  size_t mapped_removed_ = 0;
+  std::shared_ptr<const void> mapped_backing_;
 
   /// Process-unique identity + mutation counter: together they key the
   /// QueryContext's flattened-delta cache, so consecutive batches (and

@@ -186,6 +186,9 @@ class QueryContext {
   // unchanged index reuse it verbatim.
   std::vector<double> dynamic_delta_x_;
   std::vector<uint64_t> dynamic_delta_arena_;
+  // Per-block maxima of dynamic_delta_x_ (the scan's tile grid): lets the
+  // size-based admission bound skip a whole block's collision-count call.
+  std::vector<double> dynamic_delta_block_max_;
   uint64_t dynamic_delta_index_id_ = 0;
   uint64_t dynamic_delta_epoch_ = 0;
   bool dynamic_delta_valid_ = false;
@@ -296,7 +299,8 @@ class LshEnsemble {
 
  private:
   friend class LshEnsembleBuilder;
-  friend class EnsembleSerializer;  // io/ensemble_io.cc (save/load)
+  friend class EnsembleSerializer;  // io/ensemble_io.cc (v1 save/load)
+  friend class SnapshotIO;          // io/snapshot.cc (v2 zero-copy open)
   LshEnsemble(LshEnsembleOptions options,
               std::shared_ptr<const HashFamily> family);
 

@@ -2,13 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 #include <string>
 
+#include "io/coding.h"
+#include "io/crc32c.h"
+#include "io/file.h"
+#include "io/snapshot.h"
 #include "util/hashing.h"
 #include "util/thread_pool.h"
 
 namespace lshensemble {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x4D534845u;  // "EHSM" LE = shard set
+constexpr uint32_t kManifestVersion = 2;
+
+std::string ShardFileName(size_t shard) {
+  return "shard-" + std::to_string(shard) + ".lshe2";
+}
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+
+}  // namespace
 
 Status ShardedEnsembleOptions::Validate() const {
   LSHE_RETURN_IF_ERROR(base.Validate());
@@ -19,19 +39,30 @@ Status ShardedEnsembleOptions::Validate() const {
   return Status::OK();
 }
 
+namespace {
+
+/// The per-shard engine policy: shards are the unit of parallelism, so
+/// their engines must stay off the pool (a shard task dispatching a
+/// nested wave could deadlock it), and their rebuild schedule is driven
+/// globally from this layer.
+DynamicEnsembleOptions ShardEngineOptions(
+    const ShardedEnsembleOptions& options) {
+  DynamicEnsembleOptions shard_options = options.base;
+  shard_options.base.parallel_build = false;
+  shard_options.base.parallel_query = false;
+  shard_options.min_delta_for_rebuild = std::numeric_limits<size_t>::max();
+  return shard_options;
+}
+
+}  // namespace
+
 Result<ShardedEnsemble> ShardedEnsemble::Create(
     ShardedEnsembleOptions options, std::shared_ptr<const HashFamily> family) {
   LSHE_RETURN_IF_ERROR(options.Validate());
   if (family == nullptr) {
     return Status::InvalidArgument("family must not be null");
   }
-  // Shards are the unit of parallelism: their engines must stay off the
-  // pool (a shard task dispatching a nested wave could deadlock it), and
-  // their rebuild schedule is driven globally from this layer.
-  DynamicEnsembleOptions shard_options = options.base;
-  shard_options.base.parallel_build = false;
-  shard_options.base.parallel_query = false;
-  shard_options.min_delta_for_rebuild = std::numeric_limits<size_t>::max();
+  const DynamicEnsembleOptions shard_options = ShardEngineOptions(options);
 
   ShardedEnsemble index(std::move(options), family);
   index.shards_.reserve(index.options_.num_shards);
@@ -111,6 +142,122 @@ Status ShardedEnsemble::Remove(uint64_t id) {
 }
 
 Status ShardedEnsemble::Flush() { return FlushLocked(); }
+
+Status ShardedEnsemble::SaveSnapshot(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("create snapshot directory " + dir + ": " +
+                           ec.message());
+  }
+  // Invalidate-then-commit: retract any existing manifest FIRST (and
+  // fsync the directory so the unlink is ordered BEFORE the shard
+  // renames on disk), write the shard images, write the fresh manifest
+  // LAST. A save torn at any point leaves a directory OpenSnapshot()
+  // refuses (no readable manifest) — without the ordered retraction,
+  // tearing a re-save over an existing snapshot could leave the OLD
+  // manifest presiding over a mix of old and new shard files, which
+  // would open as a cross-shard-inconsistent index.
+  LSHE_RETURN_IF_ERROR(RemoveFileIfExists(ManifestPath(dir)));
+  LSHE_RETURN_IF_ERROR(SyncDirectory(dir));
+
+  // Read-lock EVERY shard for the whole save (index order, like
+  // FlushLocked): mutators are blocked, so all shard images — and the
+  // manifest that blesses them — describe one point-in-time state. A
+  // per-shard lock would let a concurrent global rebuild land between
+  // two shard serializations and commit a cross-generation snapshot.
+  // No pool work is dispatched under these locks (WriteDynamicSnapshot
+  // is plain serialization + file IO), so the FlushLocked deadlock
+  // concern does not apply.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    LSHE_RETURN_IF_ERROR(WriteDynamicSnapshot(shards_[s]->engine,
+                                              dir + "/" + ShardFileName(s)));
+  }
+  std::string manifest;
+  PutFixed32(&manifest, kManifestMagic);
+  PutFixed32(&manifest, kManifestVersion);
+  std::string payload;
+  PutVarint64(&payload, shards_.size());
+  PutVarint32(&payload, static_cast<uint32_t>(family_->num_hashes()));
+  PutFixed64(&payload, family_->seed());
+  PutLengthPrefixed(&manifest, payload);
+  PutFixed32(&manifest, crc32c::Mask(crc32c::Value(payload)));
+  return WriteFileAtomic(ManifestPath(dir), manifest);
+}
+
+Result<ShardedEnsemble> ShardedEnsemble::OpenSnapshot(
+    const std::string& dir, ShardedEnsembleOptions options) {
+  LSHE_RETURN_IF_ERROR(options.Validate());
+  std::string manifest;
+  LSHE_RETURN_IF_ERROR(ReadFileToString(ManifestPath(dir), &manifest));
+  DecodeCursor cursor(manifest);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  std::string_view payload;
+  uint32_t stored_crc = 0;
+  if (!cursor.GetFixed32(&magic) || !cursor.GetFixed32(&version)) {
+    return Status::Corruption("shard manifest: truncated header");
+  }
+  if (magic != kManifestMagic) {
+    return Status::Corruption("shard manifest: bad magic");
+  }
+  if (version > kManifestVersion) {
+    return Status::NotSupported("shard manifest: written by a newer version");
+  }
+  if (!cursor.GetLengthPrefixed(&payload) ||
+      !cursor.GetFixed32(&stored_crc) || !cursor.empty()) {
+    return Status::Corruption("shard manifest: truncated body");
+  }
+  if (crc32c::Unmask(stored_crc) != crc32c::Value(payload)) {
+    return Status::Corruption("shard manifest: checksum mismatch");
+  }
+  DecodeCursor body(payload);
+  uint64_t num_shards = 0;
+  uint32_t num_hashes = 0;
+  uint64_t seed = 0;
+  if (!body.GetVarint64(&num_shards) || !body.GetVarint32(&num_hashes) ||
+      !body.GetFixed64(&seed) || !body.empty() || num_shards == 0) {
+    return Status::Corruption("shard manifest: malformed body");
+  }
+  if (options.num_shards != num_shards) {
+    return Status::InvalidArgument(
+        "snapshot holds " + std::to_string(num_shards) +
+        " shards; resharding on open is not supported");
+  }
+  if (options.base.base.num_hashes != static_cast<int>(num_hashes)) {
+    return Status::InvalidArgument(
+        "options.base.base.num_hashes does not match the snapshot");
+  }
+  std::shared_ptr<const HashFamily> family;
+  LSHE_ASSIGN_OR_RETURN(family,
+                        HashFamily::Create(static_cast<int>(num_hashes),
+                                           seed));
+
+  const DynamicEnsembleOptions shard_options = ShardEngineOptions(options);
+  ShardedEnsemble index(std::move(options), family);
+  index.shards_.reserve(index.options_.num_shards);
+  size_t indexed_total = 0;
+  size_t delta_total = 0;
+  for (size_t s = 0; s < index.options_.num_shards; ++s) {
+    auto engine =
+        OpenDynamicSnapshot(dir + "/" + ShardFileName(s), shard_options);
+    if (!engine.ok()) return engine.status();
+    if (!engine->family()->SameAs(*family)) {
+      return Status::Corruption(
+          "shard snapshot disagrees with the manifest hash family");
+    }
+    indexed_total += engine->indexed_size();
+    delta_total += engine->delta_size();
+    index.shards_.push_back(
+        std::make_unique<Shard>(std::move(engine).value()));
+  }
+  index.counters_->indexed.store(indexed_total, std::memory_order_relaxed);
+  index.counters_->delta.store(delta_total, std::memory_order_relaxed);
+  return index;
+}
 
 Status ShardedEnsemble::FlushLocked() {
   // Exclusive locks on every shard, in index order (the only place more
@@ -337,6 +484,27 @@ const MinHash* ShardedEnsemble::FindRecord(uint64_t id, size_t* size) const {
   const Shard& shard = *shards_[ShardOf(id)];
   std::shared_lock lock(shard.mutex);
   return shard.engine.FindRecord(id, size);
+}
+
+SignatureView ShardedEnsemble::FindSignature(uint64_t id,
+                                             size_t* size) const {
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::shared_lock lock(shard.mutex);
+  return shard.engine.FindSignature(id, size);
+}
+
+Result<bool> ShardedEnsemble::ScoreRecord(const MinHash& query, uint64_t id,
+                                          size_t* size,
+                                          double* jaccard) const {
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::shared_lock lock(shard.mutex);
+  size_t record_size = 0;
+  const SignatureView signature =
+      shard.engine.FindSignature(id, &record_size);
+  if (!signature) return false;
+  LSHE_ASSIGN_OR_RETURN(*jaccard, query.EstimateJaccard(signature));
+  *size = record_size;
+  return true;
 }
 
 }  // namespace lshensemble

@@ -36,9 +36,10 @@
 //
 // Threading contract: Insert/Remove/Flush are safe concurrently with
 // BatchQuery (per-shard locks); concurrent mutators are serialized per
-// shard. BatchSearch's side-car ranking reads are lock-protected, but the
-// signature pointers it ranks from are only stable while no concurrent
-// Remove() of the same id runs. The scatter paths — BatchQuery and
+// shard. BatchSearch's side-car ranking runs lookup AND estimate under
+// the owner shard's lock (ScoreRecord), so it is safe concurrently with
+// Insert/Remove/Flush too — including a Flush() that releases a
+// snapshot-opened shard's mapping. The scatter paths — BatchQuery and
 // BatchSearch — must never be issued from inside a thread-pool worker
 // (the shard wave would submit pool work from within the pool, which can
 // deadlock it); they fail with FailedPrecondition if they are — see
@@ -110,6 +111,27 @@ class ShardedEnsemble {
   /// (no-op when every shard is clean and boundaries cannot have changed).
   Status Flush();
 
+  /// \brief Write a v2 snapshot of every shard under `dir` (created if
+  /// absent): one zero-copy shard image per shard plus a checksummed
+  /// MANIFEST naming the shard count, hash family and per-shard files.
+  /// Invalidate-then-commit: any existing manifest is retracted first
+  /// (unlink + directory fsync, ordering it before the shard writes)
+  /// and the fresh one written last, so a save torn at any point —
+  /// including a re-save over a previous snapshot — leaves a directory
+  /// that refuses to open rather than one that opens inconsistently.
+  /// Holds every shard's read lock for the whole save: queries proceed,
+  /// mutations block, and the snapshot describes one point-in-time
+  /// state of the index (arenas, side-cars, deltas, tombstones).
+  Status SaveSnapshot(const std::string& dir) const;
+
+  /// \brief Open a serving layer from a SaveSnapshot() directory with no
+  /// arena copies: every shard mmaps its segment file (deltas restore as
+  /// overlays). `options` supplies the serving/rebuild policy and must
+  /// request the saved shard count (resharding a snapshot would need to
+  /// re-hash every id). Results are identical to the saved engine.
+  static Result<ShardedEnsemble> OpenSnapshot(const std::string& dir,
+                                              ShardedEnsembleOptions options);
+
   /// \brief Answer `specs.size()` queries in one scatter/gather wave.
   /// Query i's live candidates across all shards go to `outs[i]` (cleared
   /// first) in ascending-id order — a canonical order, so results are
@@ -122,8 +144,10 @@ class ShardedEnsemble {
   /// \brief Rank `queries.size()` top-k queries in one lockstep descent
   /// over the shards; query i's ranked results go to `outs[i]`. Identical
   /// output to an unsharded TopKSearcher with the same options. Safe
-  /// concurrently with Insert (not Remove); must not be called from a
-  /// pool worker.
+  /// concurrently with mutations — every ranking read is atomic under
+  /// its owner shard's lock (ScoreRecord), though results then reflect
+  /// some interleaving of the concurrent writes. Must not be called
+  /// from a pool worker.
   Status BatchSearch(std::span<const TopKQuery> queries, size_t k,
                      std::vector<TopKResult>* outs) const;
 
@@ -148,8 +172,24 @@ class ShardedEnsemble {
   /// Signature and exact size in one owner-shard lookup (nullptr / size
   /// untouched if not live): one lock acquisition per ranked top-k
   /// candidate instead of two. Same pointer-stability contract as
-  /// SignatureOf().
+  /// SignatureOf(). Covers only heap records on snapshot-opened shards
+  /// (see DynamicLshEnsemble::FindRecord); FindSignature covers both.
   const MinHash* FindRecord(uint64_t id, size_t* size) const;
+  /// \brief Borrowed signature view + exact size in one owner-shard
+  /// lookup — heap and snapshot-resident records alike. The view is
+  /// only stable until the owning shard mutates, flushes (a flush of a
+  /// snapshot-opened shard releases its mapping), or is destroyed; use
+  /// ScoreRecord() when the read must be atomic with those.
+  SignatureView FindSignature(uint64_t id, size_t* size) const;
+
+  /// \brief Rank a candidate under its owner shard's lock: when `id` is
+  /// live, fills its exact size and the sketch Jaccard estimate against
+  /// `query` and returns true. Lookup and estimate share one lock
+  /// acquisition, so a concurrent Flush() — which may release a
+  /// snapshot-opened shard's mapping — can never invalidate the
+  /// signature mid-estimate. This is the top-k ranking primitive.
+  Result<bool> ScoreRecord(const MinHash& query, uint64_t id, size_t* size,
+                           double* jaccard) const;
 
   /// Shard introspection for tests and benches (not locked; do not call
   /// concurrently with mutations).

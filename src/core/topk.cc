@@ -43,6 +43,13 @@ const MinHash* SketchStore::FindRecord(uint64_t id, size_t* size) const {
   return &it->second.signature;
 }
 
+SignatureView SketchStore::FindSignature(uint64_t id, size_t* size) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return {};
+  *size = it->second.size;
+  return it->second.signature.view();
+}
+
 Status TopKSearcher::Options::Validate() const {
   if (initial_threshold <= 0.0 || initial_threshold > 1.0) {
     return Status::InvalidArgument("initial_threshold must be in (0, 1]");
@@ -90,10 +97,17 @@ Status TopKSearcher::EngineBatchQuery(std::span<const QuerySpec> specs,
   return ensemble_->BatchQuery(specs, ctx, outs);
 }
 
-const MinHash* TopKSearcher::SideCarLookup(uint64_t id, size_t* size) const {
-  if (sharded_ != nullptr) return sharded_->FindRecord(id, size);
-  if (dynamic_ != nullptr) return dynamic_->FindRecord(id, size);
-  return store_->FindRecord(id, size);
+Result<bool> TopKSearcher::RankLookup(const MinHash& query, uint64_t id,
+                                      size_t* size, double* jaccard) const {
+  if (sharded_ != nullptr) {
+    return sharded_->ScoreRecord(query, id, size, jaccard);
+  }
+  const SignatureView signature = dynamic_ != nullptr
+                                      ? dynamic_->FindSignature(id, size)
+                                      : store_->FindSignature(id, size);
+  if (!signature) return false;
+  LSHE_ASSIGN_OR_RETURN(*jaccard, query.EstimateJaccard(signature));
+  return true;
 }
 
 Result<std::vector<TopKResult>> TopKSearcher::Search(const MinHash& query,
@@ -187,15 +201,15 @@ Status TopKSearcher::BatchSearch(std::span<const TopKQuery> queries, size_t k,
       for (uint64_t id : candidates[j]) {
         if (!state.seen.insert(id).second) continue;
         size_t x_size = 0;
-        const MinHash* signature = SideCarLookup(id, &x_size);
-        if (signature == nullptr) continue;  // not side-car'd; unrankable
+        double jaccard = 0.0;
+        Result<bool> ranked = RankLookup(query, id, &x_size, &jaccard);
+        if (!ranked.ok()) return ranked.status();
+        if (!*ranked) continue;  // not side-car'd; unrankable
         const auto x = static_cast<double>(x_size);
-        Result<double> jaccard = query.EstimateJaccard(*signature);
-        if (!jaccard.ok()) return jaccard.status();
         // Eq. 6 with the candidate's exact size; containment can never
         // exceed x/q (|Q ∩ X| <= |X|).
         const double estimate =
-            std::min(JaccardToContainment(*jaccard, x, state.qd),
+            std::min(JaccardToContainment(jaccard, x, state.qd),
                      std::min(1.0, x / state.qd));
         state.scored.push_back({id, estimate});
       }

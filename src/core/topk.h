@@ -60,8 +60,12 @@ class SketchStore {
   /// Signature for `id`; nullptr when unknown.
   const MinHash* SignatureOf(uint64_t id) const;
   /// Signature and exact size in one lookup (nullptr / size untouched
-  /// when unknown) — the shape the top-k ranking loop wants.
+  /// when unknown).
   const MinHash* FindRecord(uint64_t id, size_t* size) const;
+  /// \brief Borrowed signature view + exact size in one lookup — the
+  /// shape the top-k ranking loop wants (dynamic and sharded engines
+  /// serve the same view straight from a mapped snapshot's side-car).
+  SignatureView FindSignature(uint64_t id, size_t* size) const;
 
  private:
   struct Entry {
@@ -155,11 +159,16 @@ class TopKSearcher {
   /// Candidate generation on whichever engine the searcher is bound to.
   Status EngineBatchQuery(std::span<const QuerySpec> specs, QueryContext* ctx,
                           std::vector<uint64_t>* outs) const;
-  /// One side-car lookup per candidate: the signature (nullptr when the
-  /// id is unrankable) and, on success, its exact size through `size`.
-  /// Single lookup — and on the sharded binding a single owner-shard
-  /// lock acquisition — per ranked candidate.
-  const MinHash* SideCarLookup(uint64_t id, size_t* size) const;
+  /// One side-car ranking probe per candidate: returns false when the id
+  /// is unrankable, otherwise fills its exact size and the sketch
+  /// Jaccard estimate against `query`. A single lookup per candidate,
+  /// and for snapshot-resident records the signature is read straight
+  /// from the mapping (no copy). On the sharded binding the lookup AND
+  /// the estimate both run under the owner shard's lock — a concurrent
+  /// Flush() releasing a shard's mapped snapshot can therefore never
+  /// unmap a signature mid-estimate.
+  Result<bool> RankLookup(const MinHash& query, uint64_t id, size_t* size,
+                          double* jaccard) const;
 
   const LshEnsemble* ensemble_ = nullptr;
   const SketchStore* store_ = nullptr;

@@ -2,10 +2,12 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstdio>
 
 #include "io/coding.h"
 #include "io/crc32c.h"
 #include "io/file.h"
+#include "io/snapshot.h"
 
 namespace lshensemble {
 
@@ -102,6 +104,9 @@ class EnsembleSerializer {
     if (magic != kMagic) {
       return Status::Corruption("index image: bad magic (not an index file)");
     }
+    if (version == 0) {
+      return Status::Corruption("index image: version 0 is never written");
+    }
     if (version > kEnsembleFormatVersion) {
       return Status::NotSupported("index image: written by a newer version");
     }
@@ -156,8 +161,11 @@ class EnsembleSerializer {
           break;
         }
         case kBlockPartitions: {
+          // Bound the count by what the payload could possibly hold
+          // (>= 3 bytes per spec) before resizing, so a crafted count
+          // fails cheaply instead of allocating gigabytes first.
           uint64_t count = 0;
-          if (!body.GetVarint64(&count) || count > (uint64_t{1} << 32)) {
+          if (!body.GetVarint64(&count) || count > payload.size() / 3) {
             return Status::Corruption(
                 "index image: malformed partitions block");
           }
@@ -235,7 +243,32 @@ Status SerializeEnsemble(const LshEnsemble& ensemble, std::string* out) {
   return EnsembleSerializer::Serialize(ensemble, out);
 }
 
+namespace {
+
+/// Version of the 8-byte header shared by v1 images and v2 snapshots
+/// (0 when the buffer is too short or carries a foreign magic).
+uint32_t PeekVersion(std::string_view image) {
+  DecodeCursor cursor(image);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!cursor.GetFixed32(&magic) || !cursor.GetFixed32(&version) ||
+      magic != kMagic) {
+    return 0;
+  }
+  return version;
+}
+
+}  // namespace
+
 Result<LshEnsemble> DeserializeEnsemble(std::string_view image) {
+  if (PeekVersion(image) == kSnapshotFormatVersion) {
+    // A v2 snapshot image: validate and borrow arenas from an adopted
+    // copy of the buffer (the caller's view need not outlive the engine).
+    std::shared_ptr<const MappedSnapshot> snapshot;
+    LSHE_ASSIGN_OR_RETURN(snapshot,
+                          MappedSnapshot::FromBuffer(std::string(image)));
+    return EnsembleFromSnapshot(std::move(snapshot));
+  }
   return EnsembleSerializer::Deserialize(image);
 }
 
@@ -246,6 +279,22 @@ Status SaveEnsemble(const LshEnsemble& ensemble, const std::string& path) {
 }
 
 Result<LshEnsemble> LoadEnsemble(const std::string& path) {
+  // Version-dispatched: v2 snapshots open via mmap with zero arena
+  // copies; v1 images decode through the copying path. Both formats
+  // share the 8-byte header, so peeking it picks the loader.
+  std::string head;
+  {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file != nullptr) {
+      char buffer[8];
+      const size_t n = std::fread(buffer, 1, sizeof(buffer), file);
+      std::fclose(file);
+      head.assign(buffer, n);
+    }
+  }
+  if (PeekVersion(head) == kSnapshotFormatVersion) {
+    return OpenEnsembleMapped(path);
+  }
   std::string image;
   LSHE_RETURN_IF_ERROR(ReadFileToString(path, &image));
   return DeserializeEnsemble(image);

@@ -1,8 +1,20 @@
-// Persistence for LshEnsemble indexes.
+// Persistence for LshEnsemble indexes: the two-format story.
 //
-// An index image is a block container:
+// Two on-disk formats share one 8-byte header (magic "LSHE" + version
+// u32), and LoadEnsemble()/DeserializeEnsemble() dispatch on it:
 //
-//   [magic u32 = "LSHE"] [format version u32]
+//  * v1 (this module) is a compact DECODE format — a block container
+//    whose every integer is re-parsed into freshly allocated arenas on
+//    load. Portable, stable since the first release, and what
+//    SaveEnsemble() keeps writing; cold-start cost is O(index).
+//  * v2 (io/snapshot.h) is a zero-copy PLACEMENT format — 64-byte-
+//    aligned raw arena segments plus a manifest, opened by mmap with no
+//    arena copies; cold starts in milliseconds and replicas share pages.
+//    Written by WriteEnsembleSnapshot() / WriteDynamicSnapshot().
+//
+// The v1 image is a block container:
+//
+//   [magic u32 = "LSHE"] [format version u32 = 1]
 //   repeated blocks: [type u8] [payload length varint] [payload]
 //                    [masked CRC-32C of payload, fixed u32]
 //   terminated by an END block (empty payload)
@@ -13,11 +25,11 @@
 // CRC-32C (the RocksDB convention), so bit rot anywhere in the file is
 // reported as Corruption rather than producing a silently wrong index.
 //
-// The image stores the hash family's seed, not its coefficient tables:
+// Both formats store the hash family's seed, not its coefficient tables:
 // the family is regenerated on load and is bit-identical by construction.
-// Signatures of the indexed domains are not stored (the forests hold the
-// derived key arrays), so an image is typically ~m/2 bytes per domain
-// per hash function smaller than the sketch set it was built from.
+// v1 images do not store signatures of the indexed domains (the forests
+// hold the derived key arrays); v2 dynamic snapshots add them as the
+// side-car that mutation and top-k ranking need.
 
 #ifndef LSHENSEMBLE_IO_ENSEMBLE_IO_H_
 #define LSHENSEMBLE_IO_ENSEMBLE_IO_H_

@@ -3,6 +3,15 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LSHE_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace lshensemble {
 
@@ -12,7 +21,36 @@ std::string ErrnoMessage(const std::string& context) {
   return context + ": " + std::strerror(errno);
 }
 
+#if LSHE_HAVE_POSIX_IO
+/// fsync the directory containing `path`, so a rename inside it is
+/// durable. Best-effort failures are real IO errors and reported.
+Status SyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  return SyncDirectory(dir);
+}
+#endif
+
 }  // namespace
+
+Status SyncDirectory(const std::string& dir) {
+#if LSHE_HAVE_POSIX_IO
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("open directory " + dir));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError(ErrnoMessage("fsync directory " + dir));
+  }
+#else
+  (void)dir;
+#endif
+  return Status::OK();
+}
 
 Status WriteFileAtomic(const std::string& path, const std::string& data) {
   const std::string tmp = path + ".tmp";
@@ -31,6 +69,16 @@ Status WriteFileAtomic(const std::string& path, const std::string& data) {
     std::remove(tmp.c_str());
     return Status::IOError(ErrnoMessage("flush " + tmp));
   }
+#if LSHE_HAVE_POSIX_IO
+  // Durability, not just atomicity: without this fsync the rename below
+  // can land on disk before the data blocks, and a crash then surfaces a
+  // truncated-but-committed image under the final name.
+  if (::fsync(::fileno(file)) != 0) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    return Status::IOError(ErrnoMessage("fsync " + tmp));
+  }
+#endif
   if (std::fclose(file) != 0) {
     std::remove(tmp.c_str());
     return Status::IOError(ErrnoMessage("close " + tmp));
@@ -39,6 +87,11 @@ Status WriteFileAtomic(const std::string& path, const std::string& data) {
     std::remove(tmp.c_str());
     return Status::IOError(ErrnoMessage("rename " + tmp + " -> " + path));
   }
+#if LSHE_HAVE_POSIX_IO
+  // The rename is a directory mutation; sync the directory so the new
+  // entry (pointing at the synced data) survives a crash too.
+  LSHE_RETURN_IF_ERROR(SyncParentDirectory(path));
+#endif
   return Status::OK();
 }
 
@@ -69,6 +122,78 @@ Status RemoveFileIfExists(const std::string& path) {
     return Status::IOError(ErrnoMessage("remove " + path));
   }
   return Status::OK();
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      fallback_(std::move(other.fallback_)) {
+  if (!mapped_ && addr_ != nullptr) addr_ = fallback_.data();
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    fallback_ = std::move(other.fallback_);
+    if (!mapped_ && addr_ != nullptr) addr_ = fallback_.data();
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { Release(); }
+
+void MappedFile::Release() {
+#if LSHE_HAVE_POSIX_IO
+  if (mapped_ && addr_ != nullptr) {
+    ::munmap(const_cast<void*>(addr_), size_);
+  }
+#endif
+  addr_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  MappedFile result;
+#if LSHE_HAVE_POSIX_IO
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IOError(ErrnoMessage("open " + path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("stat " + path));
+  }
+  const auto size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return result;  // empty file: empty view, nothing to map
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IOError(ErrnoMessage("mmap " + path));
+  }
+  result.addr_ = addr;
+  result.size_ = size;
+  result.mapped_ = true;
+#else
+  // No mmap on this platform: fall back to a heap read. Correct, but the
+  // open is O(file) and pages are private to this process.
+  LSHE_RETURN_IF_ERROR(ReadFileToString(path, &result.fallback_));
+  result.addr_ = result.fallback_.data();
+  result.size_ = result.fallback_.size();
+#endif
+  return result;
 }
 
 }  // namespace lshensemble

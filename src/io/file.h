@@ -1,19 +1,27 @@
 // Minimal Status-returning file IO: write a whole buffer atomically
-// (write to a temp name, then rename) and read a whole file back. Index
-// images are saved and loaded as single buffers; a failed save never
-// leaves a half-written index at the target path.
+// (write to a temp name, fsync, rename, fsync the directory) and read a
+// whole file back, plus a read-only memory mapping for the zero-copy
+// snapshot path. Index images are saved and loaded as single buffers; a
+// failed save never leaves a half-written index at the target path, and a
+// crash right after a successful save cannot surface a truncated image
+// under the target name (both the temp file and its directory are synced
+// before/after the rename).
 
 #ifndef LSHENSEMBLE_IO_FILE_H_
 #define LSHENSEMBLE_IO_FILE_H_
 
+#include <cstddef>
 #include <string>
+#include <string_view>
 
+#include "util/result.h"
 #include "util/status.h"
 
 namespace lshensemble {
 
-/// \brief Write `data` to `path` atomically: the data is first written and
-/// flushed to `path + ".tmp"`, then renamed over `path`.
+/// \brief Write `data` to `path` atomically and durably: the data is
+/// written and fsync'ed to `path + ".tmp"`, renamed over `path`, and the
+/// containing directory is fsync'ed so the rename itself survives a crash.
 Status WriteFileAtomic(const std::string& path, const std::string& data);
 
 /// \brief Read the entire file at `path` into `*out` (replacing its
@@ -22,6 +30,44 @@ Status ReadFileToString(const std::string& path, std::string* out);
 
 /// Remove a file; missing files are not an error.
 Status RemoveFileIfExists(const std::string& path);
+
+/// \brief fsync a directory, making previously issued renames/unlinks
+/// inside it durable (no-op on platforms without POSIX directory sync).
+Status SyncDirectory(const std::string& dir);
+
+/// \brief A read-only memory mapping of a whole file (RAII). On POSIX this
+/// is a real mmap — pages are shared across processes and faulted on
+/// demand; elsewhere it degrades to a heap read (correct, not zero-copy).
+/// The mapping outlives nothing: keep the MappedFile (or a shared_ptr
+/// owner of it) alive as long as any view into data() is in use.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// Map `path` read-only. Returns NotFound if it does not exist.
+  static Result<MappedFile> Open(const std::string& path);
+
+  std::string_view data() const {
+    return {static_cast<const char*>(addr_), size_};
+  }
+  size_t size() const { return size_; }
+  /// True when data() is backed by a real mmap (false on the heap
+  /// fallback and for empty files).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  void Release();
+
+  const void* addr_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::string fallback_;  // non-POSIX: owns the bytes instead of a mapping
+};
 
 }  // namespace lshensemble
 

@@ -1,0 +1,197 @@
+// Format-v2 zero-copy snapshots: mmap-served index segments.
+//
+// The v1 image (io/ensemble_io.h) is a decode format — every key is
+// re-parsed into freshly allocated arenas on load, so cold-start cost is
+// O(index) per process. A v2 snapshot is a *placement* format: the
+// forest arenas are laid out in the file exactly as the probe kernels
+// read them in memory, 64-byte aligned, so opening an index is one mmap,
+// a manifest parse, and a range-check pass over the (small) entry
+// permutation segments — no arena bytes are copied, the bulk of the
+// image (the key arenas) is never touched until a probe reads it, and
+// pages are shared across every serving process on the host.
+//
+//   [header: magic u32 | version u32 = 2 | zero pad to 64]
+//   [segment]*          raw little-endian arrays, each 64-byte aligned,
+//                       zero padding between (verified on open)
+//   [manifest]          options / seed / totals / partitions, then per
+//                       forest the arena segment table (offset, length,
+//                       masked CRC-32C), then the optional dynamic
+//                       side-car tables (indexed / delta / tombstones)
+//   [footer: manifest offset u64 | length u32 | masked CRC u32 | magic]
+//
+// Per forest the segments are: ids (u64), keys (u32, tree-major sorted),
+// entry permutation (u32), first-slot keys (u32 — v1 derives these on
+// load; v2 stores them so a mapped open derives nothing). A dynamic
+// snapshot appends a side-car: the live indexed records (ids ascending,
+// sizes, signature arena), the delta records (in delta order, so a
+// reopened index scans them in the same order), and the tombstone set.
+//
+// Integrity: the manifest is always CRC-verified and every byte of the
+// file is accounted for (header pad, segment extents, inter-segment pad,
+// manifest, footer), so any truncation or flip outside segment payloads
+// is Corruption on open. Segment payload CRCs are verified eagerly when
+// SnapshotOpenOptions.verify_checksums is set (the default); serving
+// processes that want millisecond opens can disable it — structural
+// safety (entry range checks) is preserved either way, undetected key
+// corruption can only yield wrong candidates, never UB.
+//
+// Wire compatibility: v1 images load forever through the copying path;
+// LoadEnsemble() dispatches on the version header. SaveEnsemble() keeps
+// writing v1 (small, portable); WriteEnsembleSnapshot() writes v2.
+
+#ifndef LSHENSEMBLE_IO_SNAPSHOT_H_
+#define LSHENSEMBLE_IO_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dynamic_ensemble.h"
+#include "core/lsh_ensemble.h"
+#include "io/file.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// On-disk version written by the snapshot writer.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+
+/// \brief How much of a snapshot to validate at open time.
+struct SnapshotOpenOptions {
+  /// Verify every segment's CRC-32C eagerly (touches all pages). The
+  /// manifest and the file's structure are verified regardless; disable
+  /// for fastest serving opens of trusted images.
+  bool verify_checksums = true;
+};
+
+/// \brief An open, validated v2 snapshot: the mapping plus its parsed
+/// manifest. Engines opened from it borrow arena views into data() and
+/// hold the snapshot alive via shared_ptr, so one snapshot can back any
+/// number of engines (e.g. every shard of a serving process).
+class MappedSnapshot {
+ public:
+  /// Map `path` and validate it (see file comment for what "validate"
+  /// covers at each setting of `options.verify_checksums`).
+  static Result<std::shared_ptr<const MappedSnapshot>> Open(
+      const std::string& path, const SnapshotOpenOptions& options = {});
+
+  /// Same validation over an in-memory image (adopts the buffer). Used by
+  /// the version-dispatched DeserializeEnsemble() and by corruption tests;
+  /// views point into the adopted buffer, so nothing else is copied.
+  static Result<std::shared_ptr<const MappedSnapshot>> FromBuffer(
+      std::string buffer, const SnapshotOpenOptions& options = {});
+
+  const LshEnsembleOptions& options() const { return options_; }
+  uint64_t seed() const { return seed_; }
+  /// Total domains in the embedded ensemble image (0 when none).
+  size_t total() const { return total_; }
+  bool has_ensemble() const { return has_ensemble_; }
+  /// True when a dynamic side-car (sizes + signatures) is present.
+  bool has_sidecar() const { return has_sidecar_; }
+  /// Unindexed delta records in the side-car (0 without one).
+  size_t delta_records() const { return delta_.n; }
+  /// Tombstoned ids in the side-car (0 without one).
+  size_t tombstone_records() const { return tombstone_n_; }
+  size_t file_bytes() const { return data_.size(); }
+  /// True when backed by a real mmap (false for FromBuffer images and on
+  /// platforms without mmap).
+  bool zero_copy() const { return file_.is_mapped(); }
+  /// The raw mapped image (tests use this to assert arena views alias it).
+  std::string_view data() const { return data_; }
+
+ private:
+  friend class SnapshotIO;
+  MappedSnapshot() = default;
+
+  /// One raw array inside the file.
+  struct SegRef {
+    uint64_t offset = 0;
+    uint64_t length = 0;  // bytes
+    uint32_t crc = 0;     // masked CRC-32C of the payload
+  };
+  /// One forest's shape and arena segments.
+  struct ForestRef {
+    int num_trees = 0;
+    int tree_depth = 0;
+    uint64_t n = 0;
+    SegRef ids, keys, entries, first_keys;
+  };
+  /// One side-car record table (ids / sizes / signature arena).
+  struct RecordsRef {
+    uint64_t n = 0;
+    SegRef ids, sizes, signatures;
+  };
+
+  MappedFile file_;
+  std::string buffer_;     // FromBuffer mode owns the bytes here
+  std::string_view data_;  // the image, whichever storage backs it
+
+  LshEnsembleOptions options_;
+  uint64_t seed_ = 0;
+  uint64_t total_ = 0;
+  bool has_ensemble_ = false;
+  bool has_sidecar_ = false;
+  std::vector<PartitionSpec> specs_;
+  std::vector<ForestRef> forests_;
+  RecordsRef indexed_;
+  RecordsRef delta_;
+  uint64_t tombstone_n_ = 0;
+  SegRef tombstones_;
+};
+
+// ------------------------------------------------------------- ensembles
+
+/// \brief Serialize `ensemble` as a v2 snapshot image (tests and callers
+/// that keep images in memory; WriteEnsembleSnapshot is the file path).
+Status SerializeEnsembleSnapshot(const LshEnsemble& ensemble,
+                                 std::string* out);
+
+/// \brief Write a v2 snapshot of `ensemble` to `path` (atomic + durable:
+/// temp file, fsync, rename, directory fsync).
+Status WriteEnsembleSnapshot(const LshEnsemble& ensemble,
+                             const std::string& path);
+
+/// \brief Open a v2 snapshot with zero arena copies: forests borrow the
+/// mapped segments and keep the snapshot alive. Queries answer
+/// bit-identically to the heap-loaded engine.
+Result<LshEnsemble> OpenEnsembleMapped(const std::string& path,
+                                       const SnapshotOpenOptions& options = {});
+
+/// \brief Build a mapped ensemble from an already-open snapshot (e.g. to
+/// share one mapping between engines). Requires snapshot->has_ensemble().
+Result<LshEnsemble> EnsembleFromSnapshot(
+    std::shared_ptr<const MappedSnapshot> snapshot);
+
+// ------------------------------------------------------- dynamic engines
+
+/// \brief Serialize the full state of a dynamic index — ensemble arenas,
+/// live indexed side-car, delta records, tombstones — as a v2 image.
+Status SerializeDynamicSnapshot(const DynamicLshEnsemble& index,
+                                std::string* out);
+
+/// \brief WriteEnsembleSnapshot's dynamic counterpart (atomic + durable).
+Status WriteDynamicSnapshot(const DynamicLshEnsemble& index,
+                            const std::string& path);
+
+/// \brief Open a dynamic index from a v2 snapshot with zero arena copies:
+/// the indexed portion (arenas + side-car signatures) is served from the
+/// mapping, the delta restores as an in-memory overlay (searchable and
+/// mutable immediately), and Flush() materializes + rebuilds, after which
+/// the mapping is released and a fresh snapshot can be written.
+/// `options` supplies the serving/rebuild policy; options.base.num_hashes
+/// must match the snapshot.
+Result<DynamicLshEnsemble> OpenDynamicSnapshot(
+    const std::string& path, const DynamicEnsembleOptions& options,
+    const SnapshotOpenOptions& open_options = {});
+
+/// \brief OpenDynamicSnapshot over an in-memory image (adopts the buffer).
+Result<DynamicLshEnsemble> DynamicFromSnapshotBuffer(
+    std::string buffer, const DynamicEnsembleOptions& options,
+    const SnapshotOpenOptions& open_options = {});
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_IO_SNAPSHOT_H_

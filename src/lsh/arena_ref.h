@@ -1,0 +1,81 @@
+// Owned-or-mapped arena storage for the read path.
+//
+// The zero-copy snapshot format (io/snapshot.h) serves LshForest's arenas
+// straight out of an mmap'ed file. An ArenaRef<T> is the seam that makes
+// that transparent to the probe kernels: it is either an owning
+// std::vector<T> (the build / v1-deserialize backing) or a borrowed view
+// into memory owned by someone else (a mapped snapshot, kept alive by the
+// forest's keepalive handle). Readers only ever touch data()/size(), so
+// Probe/Query run identically off either backing.
+//
+// Deserialization paths that materialize arenas into owned storage report
+// the copied byte count to a process-wide counter; tests assert that a
+// mapped open leaves the counter untouched — the machine check behind the
+// "no arena copies" claim.
+
+#ifndef LSHENSEMBLE_LSH_ARENA_REF_H_
+#define LSHENSEMBLE_LSH_ARENA_REF_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lshensemble {
+
+/// Process-wide count of arena bytes materialized into owned storage by
+/// deserialization (the copying v1 load path). A zero-copy mapped open
+/// must not move it; tests assert exactly that.
+std::atomic<uint64_t>& ArenaCopyBytes();
+
+/// Record `bytes` of arena data copied out of a serialized image.
+inline void CountArenaCopy(size_t bytes) {
+  ArenaCopyBytes().fetch_add(bytes, std::memory_order_relaxed);
+}
+
+/// \brief Either an owning std::vector<T> or a borrowed read-only view.
+///
+/// Default-constructed refs are owned and empty (the build mode). Mutation
+/// goes through owned(), which asserts the ref was not turned into a view.
+/// SetView() drops any owned storage; the viewed memory must outlive the
+/// ref (see the keepalive handles on LshForest).
+template <typename T>
+class ArenaRef {
+ public:
+  ArenaRef() = default;
+
+  const T* data() const { return is_view_ ? view_data_ : vec_.data(); }
+  size_t size() const { return is_view_ ? view_size_ : vec_.size(); }
+  bool is_view() const { return is_view_; }
+
+  /// Mutable access to the owned backing (build paths only).
+  std::vector<T>& owned() {
+    assert(!is_view_ && "cannot mutate a mapped arena");
+    return vec_;
+  }
+
+  /// Borrow `[data, data + count)`; releases any owned storage.
+  void SetView(const T* data, size_t count) {
+    vec_.clear();
+    vec_.shrink_to_fit();
+    view_data_ = data;
+    view_size_ = count;
+    is_view_ = true;
+  }
+
+  /// Heap bytes held by owned storage (0 for views).
+  size_t OwnedCapacityBytes() const {
+    return is_view_ ? 0 : vec_.capacity() * sizeof(T);
+  }
+
+ private:
+  std::vector<T> vec_;
+  const T* view_data_ = nullptr;
+  size_t view_size_ = 0;
+  bool is_view_ = false;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_LSH_ARENA_REF_H_

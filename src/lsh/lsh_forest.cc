@@ -11,6 +11,11 @@
 
 namespace lshensemble {
 
+std::atomic<uint64_t>& ArenaCopyBytes() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
 LshForest::LshForest(int num_trees, int tree_depth)
     : num_trees_(num_trees),
       tree_depth_(tree_depth),
@@ -37,10 +42,11 @@ Status LshForest::Add(uint64_t id, const MinHash& signature) {
   const size_t row = static_cast<size_t>(num_trees_) * tree_depth_;
   // Record-major append: the whole row is contiguous, so one record costs
   // at most one arena growth instead of num_trees_ vector touches.
+  std::vector<uint32_t>& keys = keys_.owned();
   for (size_t slot = 0; slot < row; ++slot) {
-    keys_.push_back(TruncateHash(mins[slot]));
+    keys.push_back(TruncateHash(mins[slot]));
   }
-  ids_.push_back(id);
+  ids_.owned().push_back(id);
   return Status::OK();
 }
 
@@ -50,14 +56,14 @@ void LshForest::Index() {
   const size_t depth = static_cast<size_t>(tree_depth_);
   const size_t row = static_cast<size_t>(num_trees_) * depth;
 
-  entry_of_.resize(static_cast<size_t>(num_trees_) * n);
+  entry_of_.owned().resize(static_cast<size_t>(num_trees_) * n);
   // The record-major build arena is re-laid tree-major + sorted into a
   // second arena; every tree needs the full build arena as sort input, so
   // the rewrite cannot be done in place (peak memory is 2x the key arena
   // for the duration of Index()).
   std::vector<uint32_t> sorted(keys_.size());
   for (int t = 0; t < num_trees_; ++t) {
-    uint32_t* entries = entry_of_.data() + static_cast<size_t>(t) * n;
+    uint32_t* entries = entry_of_.owned().data() + static_cast<size_t>(t) * n;
     std::iota(entries, entries + n, 0u);
     const uint32_t* keys = keys_.data() + static_cast<size_t>(t) * depth;
     std::sort(entries, entries + n, [keys, row, depth](uint32_t a, uint32_t b) {
@@ -73,7 +79,7 @@ void LshForest::Index() {
                   depth * sizeof(uint32_t));
     }
   }
-  keys_ = std::move(sorted);
+  keys_.owned() = std::move(sorted);
   BuildFirstKeys();
   indexed_ = true;
 }
@@ -81,10 +87,10 @@ void LshForest::Index() {
 void LshForest::BuildFirstKeys() {
   const size_t n = ids_.size();
   const size_t depth = static_cast<size_t>(tree_depth_);
-  first_keys_.resize(static_cast<size_t>(num_trees_) * n);
+  first_keys_.owned().resize(static_cast<size_t>(num_trees_) * n);
   for (int t = 0; t < num_trees_; ++t) {
     const uint32_t* keys = keys_.data() + static_cast<size_t>(t) * n * depth;
-    uint32_t* first = first_keys_.data() + static_cast<size_t>(t) * n;
+    uint32_t* first = first_keys_.owned().data() + static_cast<size_t>(t) * n;
     for (size_t pos = 0; pos < n; ++pos) first[pos] = keys[pos * depth];
   }
 }
@@ -240,7 +246,7 @@ Status LshForest::Probe(const MinHash& signature, int b, int r,
     const uint32_t* entries = TreeEntries(t);
     for (size_t pos = lo; pos < hi; ++pos) {
       const uint32_t entry = entries[pos];
-      if (scratch->MarkOnce(entry)) out->push_back(ids_[entry]);
+      if (scratch->MarkOnce(entry)) out->push_back(ids_.data()[entry]);
     }
   }
   return Status::OK();
@@ -262,7 +268,7 @@ Status LshForest::SerializeTo(std::string* out) const {
   PutVarint32(out, static_cast<uint32_t>(num_trees_));
   PutVarint32(out, static_cast<uint32_t>(tree_depth_));
   PutVarint64(out, n);
-  for (uint64_t id : ids_) PutFixed64(out, id);
+  for (uint64_t id : id_array()) PutFixed64(out, id);
   for (int t = 0; t < num_trees_; ++t) {
     const uint32_t* keys = TreeKeys(t);
     for (size_t i = 0; i < n * depth; ++i) PutFixed32(out, keys[i]);
@@ -299,24 +305,24 @@ Result<LshForest> LshForest::Deserialize(std::string_view data) {
 
   const size_t count = static_cast<size_t>(n);
   const size_t depth = static_cast<size_t>(tree_depth);
-  forest.ids_.resize(count);
-  for (uint64_t& id : forest.ids_) {
+  forest.ids_.owned().resize(count);
+  for (uint64_t& id : forest.ids_.owned()) {
     if (!cursor.GetFixed64(&id)) {
       return Status::Corruption("forest image: truncated ids");
     }
   }
-  forest.keys_.resize(count * num_trees * depth);
-  forest.entry_of_.resize(count * num_trees);
+  forest.keys_.owned().resize(count * num_trees * depth);
+  forest.entry_of_.owned().resize(count * num_trees);
   for (uint32_t t = 0; t < num_trees; ++t) {
     uint32_t* keys =
-        forest.keys_.data() + static_cast<size_t>(t) * count * depth;
+        forest.keys_.owned().data() + static_cast<size_t>(t) * count * depth;
     for (size_t i = 0; i < count * depth; ++i) {
       if (!cursor.GetFixed32(&keys[i])) {
         return Status::Corruption("forest image: truncated keys");
       }
     }
     uint32_t* entries =
-        forest.entry_of_.data() + static_cast<size_t>(t) * count;
+        forest.entry_of_.owned().data() + static_cast<size_t>(t) * count;
     for (size_t i = 0; i < count; ++i) {
       if (!cursor.GetFixed32(&entries[i])) {
         return Status::Corruption("forest image: truncated entries");
@@ -331,14 +337,49 @@ Result<LshForest> LshForest::Deserialize(std::string_view data) {
   }
   forest.BuildFirstKeys();
   forest.indexed_ = true;
+  CountArenaCopy(forest.ids_.size() * sizeof(uint64_t) +
+                 (forest.keys_.size() + forest.entry_of_.size() +
+                  forest.first_keys_.size()) *
+                     sizeof(uint32_t));
+  return forest;
+}
+
+Result<LshForest> LshForest::FromMapped(int num_trees, int tree_depth,
+                                        std::span<const uint64_t> ids,
+                                        std::span<const uint32_t> keys,
+                                        std::span<const uint32_t> entries,
+                                        std::span<const uint32_t> first_keys,
+                                        std::shared_ptr<const void> backing) {
+  auto forest_result = Create(num_trees, tree_depth);
+  if (!forest_result.ok()) return forest_result.status();
+  LshForest forest = std::move(forest_result).value();
+
+  const size_t n = ids.size();
+  const size_t trees = static_cast<size_t>(num_trees);
+  const size_t depth = static_cast<size_t>(tree_depth);
+  if (keys.size() != n * trees * depth || entries.size() != n * trees ||
+      first_keys.size() != n * trees) {
+    return Status::Corruption("mapped forest: arena extents do not match");
+  }
+  // Entry indices feed ids_[entry] on the probe hot path; an out-of-range
+  // value in a lazily-verified snapshot must fail the open, not crash.
+  for (const uint32_t entry : entries) {
+    if (entry >= n) {
+      return Status::Corruption("mapped forest: entry index out of range");
+    }
+  }
+  forest.ids_.SetView(ids.data(), ids.size());
+  forest.keys_.SetView(keys.data(), keys.size());
+  forest.entry_of_.SetView(entries.data(), entries.size());
+  forest.first_keys_.SetView(first_keys.data(), first_keys.size());
+  forest.backing_ = std::move(backing);
+  forest.indexed_ = true;
   return forest;
 }
 
 size_t LshForest::MemoryBytes() const {
-  return ids_.capacity() * sizeof(uint64_t) +
-         keys_.capacity() * sizeof(uint32_t) +
-         first_keys_.capacity() * sizeof(uint32_t) +
-         entry_of_.capacity() * sizeof(uint32_t);
+  return ids_.OwnedCapacityBytes() + keys_.OwnedCapacityBytes() +
+         first_keys_.OwnedCapacityBytes() + entry_of_.OwnedCapacityBytes();
 }
 
 }  // namespace lshensemble

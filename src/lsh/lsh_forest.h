@@ -17,13 +17,20 @@
 // whole forest is two allocations and probes never chase per-tree vector
 // headers. The query path is allocation-free: Probe() appends into a
 // caller-owned output buffer and dedups through a reusable ProbeScratch.
+//
+// Arenas are owned-or-mapped (lsh/arena_ref.h): a forest built in memory
+// owns its vectors, while FromMapped() borrows raw spans into a mapped v2
+// snapshot (io/snapshot.h) — same probe code, zero copies on open.
 
 #ifndef LSHENSEMBLE_LSH_LSH_FOREST_H_
 #define LSHENSEMBLE_LSH_LSH_FOREST_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "lsh/arena_ref.h"
 #include "minhash/minhash.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -162,8 +169,44 @@ class LshForest {
 
   /// \brief Rebuild a forest from a SerializeTo() image. Structural
   /// corruption is reported as Corruption (checksums are the caller's
-  /// concern; see io/ensemble_io.h).
+  /// concern; see io/ensemble_io.h). This is the copying path: every arena
+  /// is materialized into owned storage (and counted by ArenaCopyBytes()).
   static Result<LshForest> Deserialize(std::string_view data);
+
+  /// \brief Construct a query-ready forest whose arenas BORROW the given
+  /// spans — no copy is made; `backing` keeps the owner (typically a
+  /// mapped snapshot) alive for the forest's lifetime. Spans must hold
+  /// exactly n ids, n*num_trees*tree_depth keys, n*num_trees entries and
+  /// n*num_trees first-slot keys, laid out tree-major as after Index().
+  /// Entry indices are range-checked up front (an out-of-range entry in a
+  /// lazily-verified snapshot must fail the open, not crash a probe);
+  /// key bytes are NOT inspected — they are only ever compared, so
+  /// undetected corruption yields wrong candidates, never UB (enable
+  /// checksum verification on open to detect it).
+  static Result<LshForest> FromMapped(int num_trees, int tree_depth,
+                                      std::span<const uint64_t> ids,
+                                      std::span<const uint32_t> keys,
+                                      std::span<const uint32_t> entries,
+                                      std::span<const uint32_t> first_keys,
+                                      std::shared_ptr<const void> backing);
+
+  /// True when the arenas are borrowed views into mapped storage.
+  bool mapped() const { return keys_.is_view(); }
+
+  /// Raw arena views (require indexed()): the snapshot writer serializes
+  /// these verbatim, and tests use them to assert zero-copy identity.
+  std::span<const uint64_t> id_array() const {
+    return {ids_.data(), ids_.size()};
+  }
+  std::span<const uint32_t> key_arena() const {
+    return {keys_.data(), keys_.size()};
+  }
+  std::span<const uint32_t> entry_arena() const {
+    return {entry_of_.data(), entry_of_.size()};
+  }
+  std::span<const uint32_t> first_key_arena() const {
+    return {first_keys_.data(), first_keys_.size()};
+  }
 
  private:
   LshForest(int num_trees, int tree_depth);
@@ -203,19 +246,27 @@ class LshForest {
   /// ProbeScratch's range cache across forest lifetimes.
   uint64_t instance_id_;
 
+  // All four arenas are owned-or-mapped (lsh/arena_ref.h): owned vectors
+  // on the build and v1-deserialize paths, borrowed views into a mapped
+  // v2 snapshot on the zero-copy open path. Probes only read data().
+  //
   // One contiguous key arena of size() * num_trees_ * tree_depth_ values.
   // While building (before Index()) it is record-major: record j's keys for
   // tree t start at j * num_trees_ * tree_depth_ + t * tree_depth_. After
   // Index() it is tree-major and sorted: see TreeKeys().
-  std::vector<uint32_t> keys_;
+  ArenaRef<uint32_t> keys_;
   // Derived acceleration structure, rebuilt by Index()/Deserialize() and
-  // never serialized (the wire format predates it): see TreeFirstKeys().
-  std::vector<uint32_t> first_keys_;
+  // absent from the v1 wire format (v2 snapshots store it so a mapped
+  // open derives nothing): see TreeFirstKeys().
+  ArenaRef<uint32_t> first_keys_;
   // Tree-major permutation arena (filled by Index()): TreeEntries(t)[pos]
   // is the insertion index of tree t's key at sorted position `pos`, so
   // ids_[TreeEntries(t)[pos]] is the owning id.
-  std::vector<uint32_t> entry_of_;
-  std::vector<uint64_t> ids_;
+  ArenaRef<uint32_t> entry_of_;
+  ArenaRef<uint64_t> ids_;
+  // Keeps the mapped snapshot alive while any arena views it (null for
+  // owned forests). Type-erased so this header does not depend on io/.
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace lshensemble

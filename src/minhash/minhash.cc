@@ -92,6 +92,20 @@ Result<double> MinHash::EstimateJaccard(const MinHash& other) const {
   return static_cast<double>(collisions) / static_cast<double>(m);
 }
 
+Result<double> MinHash::EstimateJaccard(SignatureView other) const {
+  if (!valid() || !other) {
+    return Status::InvalidArgument("comparing invalid MinHash");
+  }
+  if (other.num_hashes != mins_.size()) {
+    return Status::InvalidArgument(
+        "MinHash signatures have different lengths");
+  }
+  const size_t m = mins_.size();
+  const size_t collisions =
+      ActiveKernelOps().count_collisions(mins_.data(), other.values, m);
+  return static_cast<double>(collisions) / static_cast<double>(m);
+}
+
 double MinHash::EstimateCardinality() const {
   if (mins_.empty() || empty()) return 0.0;
   // With n distinct values, each normalized slot min is ~ Beta(1, n) with

@@ -18,6 +18,20 @@
 
 namespace lshensemble {
 
+/// \brief A borrowed, family-less view of a signature's slot minima: the
+/// shape side-car lookups hand to ranking code. Owned signatures view
+/// their values() vector; signatures served from a mapped snapshot view
+/// the snapshot's signature arena directly (io/snapshot.h), so ranking
+/// never copies slot data. Which family the values came from is the
+/// producer's contract — views from one engine's side-car are always from
+/// that engine's family.
+struct SignatureView {
+  const uint64_t* values = nullptr;
+  size_t num_hashes = 0;
+
+  explicit operator bool() const { return values != nullptr; }
+};
+
 /// \brief A MinHash signature: for each of m hash functions, the minimum
 /// hash value observed over the domain's values.
 ///
@@ -70,6 +84,15 @@ class MinHash {
   /// \brief Unbiased Jaccard similarity estimate (fraction of colliding
   /// slots, paper Eq. 4). Returns InvalidArgument if the families differ.
   Result<double> EstimateJaccard(const MinHash& other) const;
+
+  /// \brief The same estimate against a borrowed slot array (see
+  /// SignatureView): bit-identical to EstimateJaccard. Only the slot
+  /// count can be checked here — the view's producer vouches that the
+  /// values came from this signature's family.
+  Result<double> EstimateJaccard(SignatureView other) const;
+
+  /// View of this signature's own slots (valid while *this lives).
+  SignatureView view() const { return {mins_.data(), mins_.size()}; }
 
   /// \brief Estimate of the number of distinct values sketched, from the
   /// mean normalized minimum (the standard MinHash cardinality estimator).

@@ -584,5 +584,106 @@ TEST_F(DynamicEnsembleTest, InsertFromRawValues) {
                   .IsInvalidArgument());
 }
 
+// ----------------------------------------- delta-scan admission bound
+
+// The delta scan applies the indexed path's size-based admission bound
+// (under the same option): a record with x < t* * q cannot reach
+// containment t* (t(Q, X) <= x/q), so its collision count is skipped.
+// This test constructs the one case where the bound and the seed
+// estimate-only rule DISAGREE — a record whose signature fully collides
+// with the query but whose size is below the reachability bound — and
+// pins both behaviors, plus reference equivalence of the batched scan.
+TEST_F(DynamicEnsembleTest, DeltaAdmissionBoundSkipsUnreachableSizes) {
+  // Pick a query domain big enough that q/10 sits clearly under t* * q.
+  size_t qi = 0;
+  while (qi < corpus_->size() && corpus_->domain(qi).size() < 50) ++qi;
+  ASSERT_LT(qi, corpus_->size());
+  const MinHash query = Sketch(qi);
+  const size_t q = corpus_->domain(qi).size();
+
+  auto build = [&](bool prune) {
+    DynamicEnsembleOptions options = SmallOptions();
+    options.base.prune_unreachable_partitions = prune;
+    auto index = DynamicLshEnsemble::Create(options, family_).value();
+    // Same signature as the query, honest size: reachable, admitted.
+    EXPECT_TRUE(index.Insert(1, q, Sketch(qi)).ok());
+    // Same signature, size below t* * q: full sketch collision, but the
+    // true containment cannot reach t* — exactly the record the
+    // admission bound exists to skip.
+    EXPECT_TRUE(index.Insert(2, q / 10, Sketch(qi)).ok());
+    return index;
+  };
+
+  const double t_star = 0.8;
+  const auto pruned = build(true);
+  const auto unpruned = build(false);
+  for (const bool batched : {false, true}) {
+    std::vector<uint64_t> out_pruned, out_unpruned;
+    QueryContext ctx_a, ctx_b;
+    if (batched) {
+      // A batch of two distinct specs takes the tiled scan path.
+      const QuerySpec specs[2] = {QuerySpec{&query, q, t_star},
+                                  QuerySpec{&query, q, t_star / 2}};
+      std::vector<uint64_t> outs_a[2], outs_b[2];
+      ASSERT_TRUE(pruned.BatchQuery(specs, &ctx_a, outs_a).ok());
+      ASSERT_TRUE(unpruned.BatchQuery(specs, &ctx_b, outs_b).ok());
+      out_pruned = outs_a[0];
+      out_unpruned = outs_b[0];
+    } else {
+      ASSERT_TRUE(pruned.Query(query, q, t_star, &ctx_a, &out_pruned).ok());
+      ASSERT_TRUE(
+          unpruned.Query(query, q, t_star, &ctx_b, &out_unpruned).ok());
+    }
+    EXPECT_EQ(out_pruned, (std::vector<uint64_t>{1}))
+        << "batched=" << batched;
+    EXPECT_EQ(out_unpruned, (std::vector<uint64_t>{1, 2}))
+        << "batched=" << batched;
+  }
+}
+
+// Equivalence pin: the tiled, block-skipping batched scan returns exactly
+// what a plain reference loop applying the same admission rule returns,
+// across thresholds on both sides of 0.5 and with the bound on and off.
+TEST_F(DynamicEnsembleTest, DeltaScanMatchesReferenceWithAdmissionBound) {
+  for (const bool prune : {true, false}) {
+    DynamicEnsembleOptions options = SmallOptions();
+    options.base.prune_unreachable_partitions = prune;
+    options.min_delta_for_rebuild = 100000;  // keep everything in the delta
+    auto index = DynamicLshEnsemble::Create(options, family_).value();
+    for (size_t i = 0; i < 150; ++i) {
+      ASSERT_TRUE(InsertDomain(index, i).ok());
+    }
+
+    std::vector<MinHash> sketches;
+    std::vector<QuerySpec> specs;
+    for (size_t qi = 0; qi < 150; qi += 10) sketches.push_back(Sketch(qi));
+    size_t j = 0;
+    for (size_t qi = 0; qi < 150; qi += 10, ++j) {
+      specs.push_back(QuerySpec{&sketches[j], corpus_->domain(qi).size(),
+                                0.3 + 0.3 * static_cast<double>(j % 3)});
+    }
+    QueryContext ctx;
+    std::vector<std::vector<uint64_t>> outs(specs.size());
+    ASSERT_TRUE(index.BatchQuery(specs, &ctx, outs.data()).ok());
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+      std::vector<uint64_t> reference;
+      const auto qd = static_cast<double>(specs[i].query_size);
+      for (size_t di = 0; di < 150; ++di) {
+        const Domain& domain = corpus_->domain(di);
+        const auto x = static_cast<double>(domain.size());
+        if (prune && x + 1e-9 < specs[i].t_star * qd) continue;
+        const double s_star =
+            ContainmentToJaccard(specs[i].t_star, x, qd);
+        const double jaccard =
+            specs[i].query->EstimateJaccard(*index.SignatureOf(domain.id))
+                .value();
+        if (jaccard + 1e-12 >= s_star) reference.push_back(domain.id);
+      }
+      EXPECT_EQ(outs[i], reference) << "prune=" << prune << " query " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lshensemble

@@ -498,10 +498,31 @@ TEST_F(EnsembleIoTest, BadMagicRejected) {
 TEST_F(EnsembleIoTest, NewerVersionRejectedAsNotSupported) {
   std::string image;
   ASSERT_TRUE(SerializeEnsemble(*ensemble_, &image).ok());
-  image[4] = static_cast<char>(kEnsembleFormatVersion + 1);
+  // Version 2 is the (supported) snapshot format, so "newer" starts at 3.
+  image[4] = 3;
   auto loaded = DeserializeEnsemble(image);
   ASSERT_FALSE(loaded.ok());
   EXPECT_TRUE(loaded.status().IsNotSupported());
+}
+
+TEST_F(EnsembleIoTest, VersionZeroRejectedAsCorruption) {
+  std::string image;
+  ASSERT_TRUE(SerializeEnsemble(*ensemble_, &image).ok());
+  image[4] = 0;
+  auto loaded = DeserializeEnsemble(image);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST_F(EnsembleIoTest, V1ImageRelabeledV2IsCorruption) {
+  // A v1 block image whose version byte reads 2 routes to the snapshot
+  // parser and must fail structurally, never load as something else.
+  std::string image;
+  ASSERT_TRUE(SerializeEnsemble(*ensemble_, &image).ok());
+  image[4] = 2;
+  auto loaded = DeserializeEnsemble(image);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
 }
 
 TEST_F(EnsembleIoTest, TrailingGarbageRejected) {

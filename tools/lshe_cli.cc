@@ -5,8 +5,10 @@
 //                    --column Partner [--threshold 0.5 | --topk 10]
 //   lshe batch-query --index idx.lshe --catalog idx.cat --query-csv q.csv
 //                    [--column Partner] [--threshold 0.5 | --topk 10]
-//                    [--delta extra.csv] [--shards 4]
-//   lshe stats       --index idx.lshe [--catalog idx.cat]
+//                    [--delta extra.csv] [--shards 4] [--mmap]
+//   lshe snapshot    --index idx.lshe --out idx.lshe2
+//                    [--catalog idx.cat --shards N --out DIR]
+//   lshe stats       --index idx.lshe [--catalog idx.cat] [--mmap]
 //
 // `index` extracts every column of every CSV as a domain (paper Section 2:
 // dom(R) = projections on the attributes), sketches them, builds an LSH
@@ -23,6 +25,13 @@
 // from an N-shard scatter/gather ShardedEnsemble instead (results are
 // identical; throughput scales with cores). `stats` prints the partition
 // layout.
+//
+// `snapshot` converts an index image to the format-v2 zero-copy snapshot
+// (io/snapshot.h) — with `--shards N` it rebuilds the catalog into an
+// N-shard serving layer and writes a per-shard snapshot directory — and
+// `--mmap` makes `query`/`batch-query`/`stats` open the index via mmap
+// (requires a v2 snapshot): cold starts in milliseconds, pages shared
+// across serving processes, results identical to a heap load.
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +50,7 @@
 #include "data/table.h"
 #include "io/catalog.h"
 #include "io/ensemble_io.h"
+#include "io/snapshot.h"
 #include "minhash/minhash.h"
 #include "util/timer.h"
 
@@ -58,6 +68,7 @@ struct Flags {
   double threshold = 0.5;
   int topk = 0;    // 0 = threshold mode
   int shards = 0;  // 0 = unsharded engines
+  bool mmap = false;
   int partitions = 16;
   int num_hashes = 256;
   int tree_depth = 8;
@@ -73,8 +84,9 @@ void Usage() {
              [--threshold T | --topk K]
   lshe batch-query --index IDX --catalog CAT --query-csv FILE
              [--column NAME] [--threshold T | --topk K] [--min-size K]
-             [--delta FILE] [--shards N]
-  lshe stats --index IDX [--catalog CAT]
+             [--delta FILE] [--shards N] [--mmap]
+  lshe snapshot --index IDX --out SNAP [--catalog CAT --shards N --out DIR]
+  lshe stats --index IDX [--catalog CAT] [--mmap]
 )");
 }
 
@@ -103,6 +115,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->topk = std::atoi(value);
     } else if (arg == "--shards" && (value = next())) {
       flags->shards = std::atoi(value);
+    } else if (arg == "--mmap") {
+      flags->mmap = true;
     } else if (arg == "--partitions" && (value = next())) {
       flags->partitions = std::atoi(value);
     } else if (arg == "--hashes" && (value = next())) {
@@ -126,6 +140,17 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Open the index image: LoadEnsemble() version-dispatches (a v2
+/// snapshot already opens zero-copy); --mmap additionally *requires* the
+/// mapped path, so pointing it at a v1 image is an explicit error
+/// instead of a silent heap load.
+Result<LshEnsemble> OpenIndex(const Flags& flags) {
+  if (flags.mmap) {
+    return OpenEnsembleMapped(flags.index);
+  }
+  return LoadEnsemble(flags.index);
 }
 
 int RunIndex(const Flags& flags) {
@@ -193,7 +218,7 @@ int RunQuery(const Flags& flags) {
     Usage();
     return 2;
   }
-  auto ensemble = LoadEnsemble(flags.index);
+  auto ensemble = OpenIndex(flags);
   if (!ensemble.ok()) return Fail(ensemble.status());
   auto catalog = Catalog::Load(flags.catalog);
   if (!catalog.ok()) return Fail(catalog.status());
@@ -263,7 +288,7 @@ int RunBatchQuery(const Flags& flags) {
     Usage();
     return 2;
   }
-  auto ensemble = LoadEnsemble(flags.index);
+  auto ensemble = OpenIndex(flags);
   if (!ensemble.ok()) return Fail(ensemble.status());
   auto catalog = Catalog::Load(flags.catalog);
   if (!catalog.ok()) return Fail(catalog.status());
@@ -440,19 +465,68 @@ int RunBatchQuery(const Flags& flags) {
   return 0;
 }
 
+int RunSnapshot(const Flags& flags) {
+  if (flags.index.empty() || flags.out.empty()) {
+    Usage();
+    return 2;
+  }
+  StopWatch watch;
+  if (flags.shards > 0) {
+    // Rebuild the catalog into an N-shard serving layer and write a
+    // per-shard snapshot set: `--out` names the snapshot directory.
+    if (flags.catalog.empty()) {
+      std::fprintf(stderr, "snapshot --shards needs --catalog\n");
+      return 2;
+    }
+    auto ensemble = LoadEnsemble(flags.index);
+    if (!ensemble.ok()) return Fail(ensemble.status());
+    auto catalog = Catalog::Load(flags.catalog);
+    if (!catalog.ok()) return Fail(catalog.status());
+    ShardedEnsembleOptions options;
+    options.base.base = ensemble->options();
+    options.base.min_delta_for_rebuild = std::numeric_limits<size_t>::max();
+    options.num_shards = static_cast<size_t>(flags.shards);
+    auto sharded = ShardedEnsemble::Create(options, catalog->family());
+    if (!sharded.ok()) return Fail(sharded.status());
+    for (const CatalogEntry& entry : catalog->entries()) {
+      Status status = sharded->Insert(entry.id, entry.size, entry.signature);
+      if (!status.ok()) return Fail(status);
+    }
+    Status status = sharded->Flush();
+    if (status.ok()) status = sharded->SaveSnapshot(flags.out);
+    if (!status.ok()) return Fail(status);
+    std::printf(
+        "wrote %d-shard v2 snapshot of %zu domains in %.2fs\n"
+        "  dir: %s\n  open with: ShardedEnsemble::OpenSnapshot\n",
+        flags.shards, sharded->size(), watch.ElapsedSeconds(),
+        flags.out.c_str());
+    return 0;
+  }
+  auto ensemble = LoadEnsemble(flags.index);
+  if (!ensemble.ok()) return Fail(ensemble.status());
+  Status status = WriteEnsembleSnapshot(*ensemble, flags.out);
+  if (!status.ok()) return Fail(status);
+  std::printf(
+      "wrote v2 zero-copy snapshot of %zu domains in %.2fs\n"
+      "  snapshot: %s\n  serve with: lshe query/batch-query --mmap\n",
+      ensemble->size(), watch.ElapsedSeconds(), flags.out.c_str());
+  return 0;
+}
+
 int RunStats(const Flags& flags) {
   if (flags.index.empty()) {
     Usage();
     return 2;
   }
-  auto ensemble = LoadEnsemble(flags.index);
+  auto ensemble = OpenIndex(flags);
   if (!ensemble.ok()) return Fail(ensemble.status());
   std::printf("domains: %zu\n", ensemble->size());
   std::printf("hash functions: %d, tree depth: %d\n",
               ensemble->options().num_hashes,
               ensemble->options().tree_depth);
-  std::printf("memory: %.2f MiB\n",
-              static_cast<double>(ensemble->MemoryBytes()) / (1 << 20));
+  std::printf("heap memory: %.2f MiB%s\n",
+              static_cast<double>(ensemble->MemoryBytes()) / (1 << 20),
+              flags.mmap ? " (arenas are mmap-served, not heap)" : "");
   std::printf("%-4s %12s %12s %10s\n", "#", "lower", "upper", "count");
   const auto& partitions = ensemble->partitions();
   for (size_t i = 0; i < partitions.size(); ++i) {
@@ -483,6 +557,7 @@ int Main(int argc, char** argv) {
   if (command == "index") return RunIndex(flags);
   if (command == "query") return RunQuery(flags);
   if (command == "batch-query") return RunBatchQuery(flags);
+  if (command == "snapshot") return RunSnapshot(flags);
   if (command == "stats") return RunStats(flags);
   Usage();
   return 2;
