@@ -27,6 +27,9 @@ Status LshEnsembleOptions::Validate() const {
   if (interpolation_lambda > 1.0) {
     return Status::InvalidArgument("interpolation_lambda must be <= 1");
   }
+  if (filter_bits_per_key < 1 || filter_bits_per_key > 64) {
+    return Status::InvalidArgument("filter_bits_per_key must be in [1, 64]");
+  }
   for (size_t i = 0; i < pinned_partitions.size(); ++i) {
     if (pinned_partitions[i].upper <= pinned_partitions[i].lower) {
       return Status::InvalidArgument(
@@ -94,7 +97,9 @@ size_t QueryContext::MemoryBytes() const {
     bytes += sizeof(Shard) + shard->probe.MemoryBytes() +
              shard->tuned.capacity() * sizeof(TunedParams) +
              shard->probed.capacity() +
-             shard->chunk_q.capacity() * sizeof(double);
+             shard->chunk_q.capacity() * sizeof(double) +
+             shard->filter_hashes.capacity() * sizeof(uint64_t) +
+             shard->filter_admit.capacity();
   }
   for (const auto& partial : partials_) {
     bytes += partial.capacity() * sizeof(uint64_t);
@@ -145,6 +150,25 @@ Status LshEnsembleBuilder::Add(uint64_t id, size_t size, MinHash signature) {
   records_.push_back({id, size, std::move(signature)});
   return Status::OK();
 }
+
+namespace {
+
+/// Append a forest's occupied-bucket keys — the (tree, slot-0 key) pairs
+/// its probes can match (exactly the first-key arena) — to `keys`.
+void AppendForestProbeKeys(const LshForest& forest,
+                           std::vector<uint64_t>* keys) {
+  const std::span<const uint32_t> first_keys = forest.first_key_arena();
+  const size_t count = forest.size();
+  keys->reserve(keys->size() + first_keys.size());
+  for (size_t t = 0; t < static_cast<size_t>(forest.num_trees()); ++t) {
+    for (size_t j = 0; j < count; ++j) {
+      keys->push_back(ProbeFilter::ProbeKey(static_cast<uint32_t>(t),
+                                            first_keys[t * count + j]));
+    }
+  }
+}
+
+}  // namespace
 
 Result<LshEnsemble> LshEnsembleBuilder::Build() && {
   LSHE_RETURN_IF_ERROR(options_.Validate());
@@ -212,6 +236,11 @@ Result<LshEnsemble> LshEnsembleBuilder::Build() && {
   }
 
   std::vector<Status> statuses(ensemble.specs_.size());
+  std::vector<std::vector<uint64_t>> filter_keys(
+      options_.build_probe_filter ? ensemble.specs_.size() : 0);
+  if (options_.build_probe_filter) {
+    ensemble.filters_.resize(ensemble.specs_.size());
+  }
   auto build_partition = [&](size_t i) {
     LshForest& forest = ensemble.forests_[i];
     for (size_t j = ranges[i].first; j < ranges[i].second; ++j) {
@@ -222,6 +251,14 @@ Result<LshEnsemble> LshEnsembleBuilder::Build() && {
       }
     }
     forest.Index();
+    if (options_.build_probe_filter) {
+      // Summarize the forest's occupied buckets into this partition's
+      // filter (the engine union is built from the same keys below).
+      std::vector<uint64_t>& keys = filter_keys[i];
+      AppendForestProbeKeys(forest, &keys);
+      ensemble.filters_[i] =
+          ProbeFilter::Build(keys, options_.filter_bits_per_key);
+    }
   };
   if (options_.parallel_build && ensemble.specs_.size() > 1) {
     ThreadPool::Shared().ParallelFor(ensemble.specs_.size(), build_partition);
@@ -230,6 +267,20 @@ Result<LshEnsemble> LshEnsembleBuilder::Build() && {
   }
   for (const Status& status : statuses) {
     LSHE_RETURN_IF_ERROR(status);
+  }
+  if (options_.build_probe_filter) {
+    // The engine-wide union filter: one membership test per tree answers
+    // "can any partition of this engine match the query at all?" — the
+    // shard-level prune of the serving layer.
+    std::vector<uint64_t> all_keys;
+    size_t total_keys = 0;
+    for (const auto& keys : filter_keys) total_keys += keys.size();
+    all_keys.reserve(total_keys);
+    for (const auto& keys : filter_keys) {
+      all_keys.insert(all_keys.end(), keys.begin(), keys.end());
+    }
+    ensemble.engine_filter_ =
+        ProbeFilter::Build(all_keys, options_.filter_bits_per_key);
   }
 
   Tuner::Options tuner_options;
@@ -260,11 +311,13 @@ inline void AssertUniqueCandidates(const std::vector<uint64_t>& ids) {
 
 inline void FillStats(QueryStats* stats, size_t q,
                       const std::vector<uint8_t>& probed,
-                      const std::vector<TunedParams>& tuned) {
+                      const std::vector<TunedParams>& tuned,
+                      size_t filter_skipped = 0) {
   if (stats == nullptr) return;
   stats->query_size_used = q;
   stats->partitions_probed = 0;
   stats->partitions_pruned = 0;
+  stats->partitions_filter_skipped = filter_skipped;
   stats->tuned.clear();
   for (size_t i = 0; i < probed.size(); ++i) {
     if (probed[i]) {
@@ -274,6 +327,34 @@ inline void FillStats(QueryStats* stats, size_t q,
       ++stats->partitions_pruned;
     }
   }
+}
+
+/// Stage the pre-mixed probe-filter keys of `query`: one hash per tree,
+/// derived with exactly the slot-0 truncation Probe matches on. Written to
+/// `out[0 .. num_trees)`.
+inline void StageFilterHashes(const MinHash& query, int num_trees, int depth,
+                              uint64_t* out) {
+  const auto& mins = query.values();
+  for (int t = 0; t < num_trees; ++t) {
+    out[t] = ProbeFilter::HashKey(ProbeFilter::ProbeKey(
+        static_cast<uint32_t>(t),
+        LshForest::TruncateHash(mins[static_cast<size_t>(t) * depth])));
+  }
+}
+
+/// True when `filter` may contain any of the first `b` staged tree keys —
+/// i.e. the probe could surface candidates. False answers are exact, so a
+/// rejected probe can be skipped without changing the candidate set.
+inline bool FilterAdmits(const ProbeFilter& filter, const uint64_t* hashes,
+                         int b) {
+  // Prefetch every block first: a reject must miss on all b trees, and
+  // each probe is a random cache line — overlapped misses instead of a
+  // serialized chain is most of the fast-reject's speed.
+  for (int t = 0; t < b; ++t) filter.PrefetchHash(hashes[t]);
+  for (int t = 0; t < b; ++t) {
+    if (filter.MayContainHash(hashes[t])) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -324,6 +405,23 @@ Status LshEnsemble::QueryOne(const QuerySpec& spec, QueryContext::Shard* shard,
   // leave the old (q, t*) key paired with partially overwritten params.
   shard->tuned_valid = false;
 
+  const bool use_filters = !filters_.empty();
+  const int num_trees = options_.num_hashes / options_.tree_depth;
+  size_t filter_skipped = 0;
+  if (use_filters) {
+    shard->filter_hashes.resize(static_cast<size_t>(num_trees));
+    StageFilterHashes(*spec.query, num_trees, options_.tree_depth,
+                      shard->filter_hashes.data());
+    // Whole-engine fast reject, only when no stats are requested (the
+    // serving path): without a per-partition sweep the probed/pruned
+    // accounting would differ from the stats-visible paths.
+    if (stats == nullptr && !engine_filter_.empty() &&
+        !FilterAdmits(engine_filter_, shard->filter_hashes.data(),
+                      num_trees)) {
+      return Status::OK();
+    }
+  }
+
   for (size_t i = 0; i < n; ++i) {
     const auto max_size = static_cast<double>(specs_[i].upper - 1);
     // A domain of size x has containment at most x/q; if even the largest
@@ -336,6 +434,15 @@ Status LshEnsemble::QueryOne(const QuerySpec& spec, QueryContext::Shard* shard,
       shard->tuned[i] = tuner_->Tune(max_size, qd, spec.t_star);
     }
     shard->probed[i] = 1;
+    // Probe fast-path: when the partition's filter proves no tree of the
+    // probe can match slot 0, the probe result is empty — skip the arena
+    // walk. Still counted as probed (see QueryStats).
+    if (use_filters && !FilterAdmits(filters_[i],
+                                     shard->filter_hashes.data(),
+                                     shard->tuned[i].b)) {
+      ++filter_skipped;
+      continue;
+    }
     LSHE_RETURN_IF_ERROR(forests_[i].Probe(*spec.query, shard->tuned[i].b,
                                            shard->tuned[i].r, &shard->probe,
                                            out));
@@ -346,7 +453,7 @@ Status LshEnsemble::QueryOne(const QuerySpec& spec, QueryContext::Shard* shard,
   shard->tuned_valid = true;
 
   AssertUniqueCandidates(*out);
-  FillStats(stats, q, shard->probed, shard->tuned);
+  FillStats(stats, q, shard->probed, shard->tuned, filter_skipped);
   return Status::OK();
 }
 
@@ -367,7 +474,29 @@ Status LshEnsemble::QueryChunk(std::span<const QuerySpec> specs,
       stats[i].query_size_used = q;
       stats[i].partitions_probed = 0;
       stats[i].partitions_pruned = 0;
+      stats[i].partitions_filter_skipped = 0;
       stats[i].tuned.clear();
+    }
+  }
+
+  const bool use_filters = !filters_.empty();
+  const int num_trees = options_.num_hashes / options_.tree_depth;
+  if (use_filters) {
+    // Stage every query's tree keys once; they are reused by the engine
+    // admit check here and by each partition's filter below.
+    shard->filter_hashes.resize(m * static_cast<size_t>(num_trees));
+    shard->filter_admit.assign(m, 1);
+    for (size_t i = 0; i < m; ++i) {
+      uint64_t* row =
+          shard->filter_hashes.data() + i * static_cast<size_t>(num_trees);
+      StageFilterHashes(*specs[i].query, num_trees, options_.tree_depth, row);
+      // Whole-engine fast reject per query, only when no stats are
+      // requested (the serving path): the probed/pruned accounting of the
+      // stats-visible paths sweeps every partition.
+      if (stats == nullptr && !engine_filter_.empty() &&
+          !FilterAdmits(engine_filter_, row, num_trees)) {
+        shard->filter_admit[i] = 0;
+      }
     }
   }
 
@@ -383,6 +512,7 @@ Status LshEnsemble::QueryChunk(std::span<const QuerySpec> specs,
     double memo_q = -1.0, memo_t = -1.0;
     TunedParams memo_params;
     for (size_t i = 0; i < m; ++i) {
+      if (use_filters && !shard->filter_admit[i]) continue;
       const double qd = shard->chunk_q[i];
       if (options_.prune_unreachable_partitions &&
           max_size + 1e-9 < specs[i].t_star * qd) {
@@ -394,13 +524,23 @@ Status LshEnsemble::QueryChunk(std::span<const QuerySpec> specs,
         memo_q = qd;
         memo_t = specs[i].t_star;
       }
-      LSHE_RETURN_IF_ERROR(forest.Probe(*specs[i].query, memo_params.b,
-                                        memo_params.r, &shard->probe,
-                                        &outs[i]));
       if (stats != nullptr) {
         ++stats[i].partitions_probed;
         stats[i].tuned.push_back(memo_params);
       }
+      // Probe fast-path (see QueryOne): a filter miss proves the probe
+      // comes back empty.
+      if (use_filters &&
+          !FilterAdmits(filters_[p],
+                        shard->filter_hashes.data() +
+                            i * static_cast<size_t>(num_trees),
+                        memo_params.b)) {
+        if (stats != nullptr) ++stats[i].partitions_filter_skipped;
+        continue;
+      }
+      LSHE_RETURN_IF_ERROR(forest.Probe(*specs[i].query, memo_params.b,
+                                        memo_params.r, &shard->probe,
+                                        &outs[i]));
     }
   }
 
@@ -426,6 +566,22 @@ Status LshEnsemble::QueryOnePartitionParallel(const QuerySpec& spec,
   main_shard->probed.assign(n, 0);
   main_shard->tuned_valid = false;  // tuned[] is written concurrently below
 
+  const bool use_filters = !filters_.empty();
+  const int num_trees = options_.num_hashes / options_.tree_depth;
+  main_shard->filter_admit.assign(n, 1);
+  if (use_filters) {
+    main_shard->filter_hashes.resize(static_cast<size_t>(num_trees));
+    StageFilterHashes(*spec.query, num_trees, options_.tree_depth,
+                      main_shard->filter_hashes.data());
+    // Whole-engine fast reject, stats-less callers only (see QueryOne).
+    if (stats == nullptr && !engine_filter_.empty() &&
+        !FilterAdmits(engine_filter_, main_shard->filter_hashes.data(),
+                      num_trees)) {
+      ctx->ReleaseShard(main_shard);
+      return Status::OK();
+    }
+  }
+
   auto probe = [&](size_t i) {
     ctx->partials_[i].clear();
     const PartitionSpec& part = specs_[i];
@@ -436,6 +592,14 @@ Status LshEnsemble::QueryOnePartitionParallel(const QuerySpec& spec,
     }
     main_shard->tuned[i] = tuner_->Tune(max_size, qd, spec.t_star);
     main_shard->probed[i] = 1;
+    // Probe fast-path (see QueryOne): a filter miss proves the probe
+    // comes back empty, so the partial stays cleared.
+    if (use_filters && !FilterAdmits(filters_[i],
+                                     main_shard->filter_hashes.data(),
+                                     main_shard->tuned[i].b)) {
+      main_shard->filter_admit[i] = 0;
+      return;
+    }
     QueryContext::Shard* shard = ctx->AcquireShard();
     ctx->statuses_[i] =
         forests_[i].Probe(*spec.query, main_shard->tuned[i].b,
@@ -460,7 +624,14 @@ Status LshEnsemble::QueryOnePartitionParallel(const QuerySpec& spec,
       out->insert(out->end(), partial.begin(), partial.end());
     }
     AssertUniqueCandidates(*out);
-    FillStats(stats, q, main_shard->probed, main_shard->tuned);
+    size_t filter_skipped = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (main_shard->probed[i] && !main_shard->filter_admit[i]) {
+        ++filter_skipped;
+      }
+    }
+    FillStats(stats, q, main_shard->probed, main_shard->tuned,
+              filter_skipped);
   }
   ctx->ReleaseShard(main_shard);
   return first_error;
@@ -544,9 +715,28 @@ Result<TunedParams> LshEnsemble::TuneForPartition(size_t index, double q,
   return tuner_->Tune(static_cast<double>(specs_[index].upper - 1), q, t_star);
 }
 
+void LshEnsemble::RebuildProbeFilters() {
+  filters_.clear();
+  engine_filter_ = ProbeFilter();
+  if (!options_.build_probe_filter) return;
+  filters_.resize(forests_.size());
+  std::vector<uint64_t> all_keys;
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < forests_.size(); ++i) {
+    keys.clear();
+    AppendForestProbeKeys(forests_[i], &keys);
+    filters_[i] = ProbeFilter::Build(keys, options_.filter_bits_per_key);
+    all_keys.insert(all_keys.end(), keys.begin(), keys.end());
+  }
+  engine_filter_ =
+      ProbeFilter::Build(all_keys, options_.filter_bits_per_key);
+}
+
 size_t LshEnsemble::MemoryBytes() const {
   size_t bytes = 0;
   for (const LshForest& forest : forests_) bytes += forest.MemoryBytes();
+  for (const ProbeFilter& filter : filters_) bytes += filter.MemoryBytes();
+  bytes += engine_filter_.MemoryBytes();
   return bytes;
 }
 

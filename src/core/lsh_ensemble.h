@@ -46,6 +46,7 @@
 #include "core/cost_model.h"
 #include "core/partitioner.h"
 #include "core/tuning.h"
+#include "filter/probe_filter.h"
 #include "lsh/lsh_forest.h"
 #include "minhash/minhash.h"
 #include "util/result.h"
@@ -82,6 +83,20 @@ struct LshEnsembleOptions {
   /// Skip partitions whose largest domain cannot reach the containment
   /// threshold (max size < t* * q). Introduces no false negatives.
   bool prune_unreachable_partitions = true;
+  /// Build a split-block Bloom filter over each partition's (tree, slot-0
+  /// key) buckets — plus one engine-wide union — at Build()/Flush() time
+  /// (filter/probe_filter.h). Queries whose slot-0 keys miss every tree of
+  /// a partition skip that forest's probe; a query that misses the whole
+  /// engine skips all of them. One-sided error: candidate sets are
+  /// byte-identical with or without the filter. Costs one pass over the
+  /// first-key arenas at build and ~filter_bits_per_key bits per (record,
+  /// tree) of memory. Never serialized as an option: snapshots carry the
+  /// filter blocks themselves (absent section = no pruning).
+  bool build_probe_filter = true;
+  /// Bits per (record, tree) bucket key in the probe filters, clamped to
+  /// [1, 64]. 8 gives ~2% false positives (wasted probes, never wrong
+  /// results); raise it to prune harder on very selective workloads.
+  int filter_bits_per_key = 8;
   /// Build partition forests on the shared thread pool.
   bool parallel_build = true;
   /// Parallelize queries on the shared thread pool: BatchQuery() spreads
@@ -97,6 +112,12 @@ struct QueryStats {
   size_t query_size_used = 0;
   size_t partitions_probed = 0;
   size_t partitions_pruned = 0;
+  /// Probed partitions whose forest probe was answered "empty" by the
+  /// probe filter without touching the key arenas. Filter-skipped
+  /// partitions still count as probed (with tuned params recorded): the
+  /// filter is a probe fast-path, not a pruning rule, so the accounting
+  /// invariants above hold with or without filters.
+  size_t partitions_filter_skipped = 0;
   /// Tuned (b, r) per probed partition, in partition order.
   std::vector<TunedParams> tuned;
 };
@@ -146,6 +167,12 @@ class QueryContext {
     std::vector<uint8_t> probed;
     /// Effective per-query cardinalities of the current chunk.
     std::vector<double> chunk_q;
+    /// Pre-mixed probe-filter keys of the current chunk (one row of
+    /// num_trees hashes per query; see ProbeFilter::HashKey), and the
+    /// per-query engine-level admit flags derived from them. Staged once
+    /// per chunk and reused across every partition.
+    std::vector<uint64_t> filter_hashes;
+    std::vector<uint8_t> filter_admit;
     // Memo of the last tuning pass: consecutive queries against the same
     // ensemble with the same effective (q, t*) reuse `tuned` wholesale,
     // skipping the tuner's shared cache entirely. Keyed on the ensemble's
@@ -294,8 +321,26 @@ class LshEnsemble {
   Result<TunedParams> TuneForPartition(size_t index, double q,
                                        double t_star) const;
 
+  /// The engine-wide probe filter (union of every partition's buckets),
+  /// or nullptr when the index carries no filters (built with
+  /// build_probe_filter=false, or loaded from a pre-filter image).
+  const ProbeFilter* engine_probe_filter() const {
+    return engine_filter_.empty() ? nullptr : &engine_filter_;
+  }
+  /// Per-partition probe filters, parallel to partitions(); empty when
+  /// the index carries no filters.
+  std::span<const ProbeFilter> partition_probe_filters() const {
+    return {filters_.data(), filters_.size()};
+  }
+
   /// Approximate heap footprint of all partition forests, in bytes.
   size_t MemoryBytes() const;
+
+  /// \brief Build (or rebuild) the probe-filter tier from the indexed
+  /// forests' bucket keys. A no-op when options().build_probe_filter is
+  /// off. Used by loaders of filterless images (v1 decode) so converted
+  /// snapshots carry filters; builders construct the same tier inline.
+  void RebuildProbeFilters();
 
  private:
   friend class LshEnsembleBuilder;
@@ -331,6 +376,11 @@ class LshEnsemble {
   std::shared_ptr<const HashFamily> family_;
   std::vector<PartitionSpec> specs_;  // non-empty partitions only
   std::vector<LshForest> forests_;    // parallel to specs_
+  /// Probe filters: one per forest plus the engine-wide union, or empty /
+  /// default when the index was built without them. filters_ is either
+  /// empty or parallel to forests_.
+  std::vector<ProbeFilter> filters_;
+  ProbeFilter engine_filter_;
   std::unique_ptr<Tuner> tuner_;
   size_t total_ = 0;
   /// Process-unique identity (copied by moves; a moved-from ensemble is

@@ -377,7 +377,13 @@ Status ShardedEnsemble::BatchQueryImpl(std::span<const QuerySpec> specs,
   // read lock, borrows pinned scratch, and walks the whole batch
   // sequentially (the shard engines have pool parallelism off, so the
   // wave never nests a dispatch). Queries inside the shard are chunked by
-  // the engine's partition-major QueryChunk walk.
+  // the engine's partition-major QueryChunk walk. The scatter still
+  // VISITS every shard, but it rarely COSTS every shard: this call passes
+  // no stats, and with stats == nullptr each shard engine consults its
+  // union probe filter (filter/probe_filter.h) first and rejects a query
+  // none of its partitions can answer in O(trees) filter probes — so on a
+  // skewed corpus each query does forest work only in the shards that may
+  // hold its keys, and pruning needs no cross-shard routing state here.
   std::vector<Shard::Scratch*> scratch(num_shards, nullptr);
   std::vector<Status> statuses(num_shards);
   ThreadPool::Shared().ParallelFor(num_shards, [&](size_t s) {

@@ -22,7 +22,14 @@
 //    chunks sequentially inside its task — shard engines are built with
 //    pool parallelism off, so a wave never nests a dispatch), gathers the
 //    per-shard outputs, and merges them into caller-order results, each
-//    query's candidates in canonical ascending-id order.
+//    query's candidates in canonical ascending-id order. Inside each
+//    shard task the engine's probe-filter tier (filter/probe_filter.h)
+//    turns the all-shard scatter into an effectively routed probe: a
+//    query whose slot-0 keys miss a shard's union filter is rejected by
+//    that shard in O(trees) Bloom probes before any forest work, and a
+//    query that passes skips the individual partitions its keys miss —
+//    with one-sided error, so the merged output is byte-identical to the
+//    unfiltered scatter.
 //  * BatchSearch() runs the lockstep top-k descent (TopKSearcher bound to
 //    this layer): each round's threshold probe is one scatter/gather over
 //    the shards, and every query's retire decision comes from the k-th

@@ -1,6 +1,14 @@
 // CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78), the
-// checksum RocksDB and LevelDB use to protect on-disk blocks. Software
-// slice-by-4 implementation; no hardware dependency.
+// checksum RocksDB and LevelDB use to protect on-disk blocks.
+//
+// Two implementations behind one entry point: a portable software
+// slice-by-4 kernel, and an SSE4.2 kernel built on the CRC32 instruction
+// (_mm_crc32_u64, one u64 per cycle-ish — roughly an order of magnitude
+// faster, which is what makes verified snapshot opens cheap). The active
+// kernel is resolved once per process from CPUID, like the minhash kernel
+// dispatch; set LSHE_CRC32C=sw (or LSHE_KERNEL=scalar) to force the
+// portable path. Both produce identical CRCs — the parity test in
+// tests/snapshot_test.cc holds them to that.
 
 #ifndef LSHENSEMBLE_IO_CRC32C_H_
 #define LSHENSEMBLE_IO_CRC32C_H_
@@ -12,7 +20,22 @@
 namespace lshensemble {
 namespace crc32c {
 
+namespace internal {
+
+/// Portable slice-by-4 kernel (the reference implementation).
+uint32_t ExtendSw(uint32_t crc, const void* data, size_t n);
+
+/// The SSE4.2 kernel, or nullptr when the build target or the running CPU
+/// lacks the CRC32 instruction. Exposed for the parity test.
+uint32_t (*ExtendHw())(uint32_t crc, const void* data, size_t n);
+
+/// Name of the active kernel ("sw" or "hw-sse4.2").
+const char* ActiveExtendName();
+
+}  // namespace internal
+
 /// \brief Extend a running CRC with `data`; pass 0 as the initial value.
+/// Dispatches to the fastest kernel the CPU supports.
 uint32_t Extend(uint32_t crc, const void* data, size_t n);
 
 /// CRC-32C of a whole buffer.

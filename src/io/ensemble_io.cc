@@ -232,6 +232,11 @@ class EnsembleSerializer {
     tuner_options.max_r = options.tree_depth;
     tuner_options.integration_nodes = options.integration_nodes;
     LSHE_ASSIGN_OR_RETURN(ensemble.tuner_, Tuner::Create(tuner_options));
+    // v1 images predate the probe-filter tier; rebuild it from the
+    // decoded forests (per options.build_probe_filter) so v1-loaded
+    // engines prune like built ones — and a v1 -> v2 snapshot
+    // conversion writes filter segments.
+    ensemble.RebuildProbeFilters();
     return ensemble;
   }
 };

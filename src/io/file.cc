@@ -1,5 +1,6 @@
 #include "io/file.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -145,6 +146,38 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
 }
 
 MappedFile::~MappedFile() { Release(); }
+
+void MappedFile::Advise(size_t offset, size_t length, Advice advice) const {
+#if LSHE_HAVE_POSIX_IO
+  if (!mapped_ || length == 0 || offset >= size_) return;
+  length = std::min(length, size_ - offset);
+  // madvise wants page-aligned addresses: round the start down and the
+  // end up, clamped to the mapping (mmap lengths round up internally, so
+  // the tail of the last page is ours to hint).
+  const auto page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t begin = (offset / page) * page;
+  const size_t end = offset + length;
+  const auto* base = static_cast<const char*>(addr_);
+  int native = MADV_NORMAL;
+  switch (advice) {
+    case Advice::kNormal:
+      native = MADV_NORMAL;
+      break;
+    case Advice::kSequential:
+      native = MADV_SEQUENTIAL;
+      break;
+    case Advice::kWillNeed:
+      native = MADV_WILLNEED;
+      break;
+  }
+  // Best-effort: a refused hint changes nothing but page-cache timing.
+  (void)::madvise(const_cast<char*>(base) + begin, end - begin, native);
+#else
+  (void)offset;
+  (void)length;
+  (void)advice;
+#endif
+}
 
 void MappedFile::Release() {
 #if LSHE_HAVE_POSIX_IO

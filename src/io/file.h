@@ -60,6 +60,21 @@ class MappedFile {
   /// fallback and for empty files).
   bool is_mapped() const { return mapped_; }
 
+  /// \brief OS pager access hints, mapped to madvise(2) on POSIX.
+  enum class Advice {
+    kNormal,      // MADV_NORMAL: default readahead
+    kSequential,  // MADV_SEQUENTIAL: aggressive readahead, drop behind
+    kWillNeed,    // MADV_WILLNEED: start faulting the range in now
+  };
+
+  /// \brief Advise the pager about the byte range [offset, offset+length)
+  /// of data(). Offsets are rounded outward to page boundaries, the range
+  /// is clamped to the mapping, and the call is a no-op on the heap
+  /// fallback, for empty ranges, and off POSIX. Hints are best-effort:
+  /// failures (e.g. an madvise the kernel rejects) are swallowed — a
+  /// mapping the hint cannot cover still reads correctly, just colder.
+  void Advise(size_t offset, size_t length, Advice advice) const;
+
  private:
   void Release();
 

@@ -6,6 +6,7 @@
 #include <span>
 #include <unordered_set>
 
+#include "filter/probe_filter.h"
 #include "io/coding.h"
 #include "io/crc32c.h"
 #include "util/instance_id.h"
@@ -34,6 +35,7 @@ class SnapshotIO {
   using SegRef = MappedSnapshot::SegRef;
   using ForestRef = MappedSnapshot::ForestRef;
   using RecordsRef = MappedSnapshot::RecordsRef;
+  using FilterRef = MappedSnapshot::FilterRef;
 
   // --------------------------------------------------- encoding helpers
 
@@ -80,6 +82,20 @@ class SnapshotIO {
            GetSegRef(cursor, &ref->signatures);
   }
 
+  static void PutFilterRef(std::string* out, const FilterRef& ref) {
+    PutVarint64(out, ref.num_blocks);
+    PutSegRef(out, ref.blocks);
+  }
+
+  static bool GetFilterRef(DecodeCursor* cursor, FilterRef* ref) {
+    // The fast-range block pick multiplies a 32-bit hash slice by the
+    // block count in 64 bits; bound it so the product cannot overflow
+    // (2^31 blocks is a 64 GiB filter — far past any real image).
+    return cursor->GetVarint64(&ref->num_blocks) &&
+           GetSegRef(cursor, &ref->blocks) && ref->num_blocks >= 1 &&
+           ref->num_blocks <= (uint64_t{1} << 31);
+  }
+
   // ------------------------------------------------------------- writing
 
   /// Append the fixed header, returning nothing; segments follow.
@@ -90,7 +106,18 @@ class SnapshotIO {
   }
 
   /// Append one forest's four arena segments and record their refs.
-  static ForestRef AppendForest(std::string* out, const LshForest& forest) {
+  /// Validates the entry permutation here, at write time: the mapped open
+  /// trusts the manifest's per-forest bound (n) and Probe clamps at its
+  /// single entry-read site, so opening never rescans the entry segments.
+  static Result<ForestRef> AppendForest(std::string* out,
+                                        const LshForest& forest) {
+    const auto entries = forest.entry_arena();
+    for (const uint32_t entry : entries) {
+      if (entry >= forest.size()) {
+        return Status::Internal(
+            "snapshot: forest entry index out of range at write time");
+      }
+    }
     ForestRef ref;
     ref.num_trees = forest.num_trees();
     ref.tree_depth = forest.tree_depth();
@@ -98,11 +125,38 @@ class SnapshotIO {
     ref.ids = AppendU64Segment(out, forest.id_array());
     const auto keys = forest.key_arena();
     ref.keys = AppendSegment(out, keys.data(), keys.size_bytes());
-    const auto entries = forest.entry_arena();
     ref.entries = AppendSegment(out, entries.data(), entries.size_bytes());
     const auto first = forest.first_key_arena();
     ref.first_keys = AppendSegment(out, first.data(), first.size_bytes());
     return ref;
+  }
+
+  /// Append one probe filter's block segment and record its ref.
+  static FilterRef AppendFilter(std::string* out, const ProbeFilter& filter) {
+    FilterRef ref;
+    ref.num_blocks = filter.num_blocks();
+    const auto blocks = filter.blocks();
+    ref.blocks = AppendSegment(out, blocks.data(), blocks.size_bytes());
+    return ref;
+  }
+
+  /// Append the probe-filter segments of `ensemble` (engine union first,
+  /// then one per forest, in file order right after the forest arenas).
+  /// Returns false — and appends nothing — when the ensemble carries no
+  /// filters, which keeps the image byte-identical to the pre-filter
+  /// format.
+  static bool AppendFilters(std::string* out, const LshEnsemble& ensemble,
+                            FilterRef* engine_filter,
+                            std::vector<FilterRef>* forest_filters) {
+    if (ensemble.filters_.empty() || ensemble.engine_filter_.empty()) {
+      return false;
+    }
+    *engine_filter = AppendFilter(out, ensemble.engine_filter_);
+    forest_filters->reserve(ensemble.filters_.size());
+    for (const ProbeFilter& filter : ensemble.filters_) {
+      forest_filters->push_back(AppendFilter(out, filter));
+    }
+    return true;
   }
 
   /// Append the manifest + footer. `forests` parallels `ensemble`'s
@@ -115,7 +169,10 @@ class SnapshotIO {
                                       const RecordsRef* indexed,
                                       const RecordsRef* delta,
                                       uint64_t tombstone_n,
-                                      const SegRef* tombstones) {
+                                      const SegRef* tombstones,
+                                      const FilterRef* engine_filter = nullptr,
+                                      const std::vector<FilterRef>*
+                                          forest_filters = nullptr) {
     const size_t manifest_offset = out->size();
     std::string manifest;
     PutVarint32(&manifest, static_cast<uint32_t>(options.num_partitions));
@@ -160,6 +217,20 @@ class SnapshotIO {
       PutSegRef(&manifest, *tombstones);
     }
 
+    // Optional trailing section: the probe-filter table. A filterless
+    // image appends nothing here — not even a flag byte — so it stays
+    // byte-identical to the pre-filter format, and pre-filter readers'
+    // "trailing manifest bytes" check keeps rejecting filtered images
+    // instead of misparsing them.
+    if (engine_filter != nullptr) {
+      manifest.push_back(1);  // has_filters
+      PutFilterRef(&manifest, *engine_filter);
+      PutVarint64(&manifest, forest_filters->size());
+      for (const FilterRef& filter : *forest_filters) {
+        PutFilterRef(&manifest, filter);
+      }
+    }
+
     out->append(manifest);
     PutFixed64(out, manifest_offset);
     PutFixed32(out, static_cast<uint32_t>(manifest.size()));
@@ -178,12 +249,19 @@ class SnapshotIO {
         return Status::FailedPrecondition(
             "only an indexed forest can be snapshotted");
       }
-      forests.push_back(AppendForest(out, forest));
+      ForestRef ref;
+      LSHE_ASSIGN_OR_RETURN(ref, AppendForest(out, forest));
+      forests.push_back(ref);
     }
+    FilterRef engine_filter;
+    std::vector<FilterRef> forest_filters;
+    const bool has_filters =
+        AppendFilters(out, ensemble, &engine_filter, &forest_filters);
     AppendManifestAndFooter(out, ensemble.options_,
                             ensemble.family_->seed(), ensemble.total_,
                             ensemble.specs_, forests, nullptr, nullptr, 0,
-                            nullptr);
+                            nullptr, has_filters ? &engine_filter : nullptr,
+                            has_filters ? &forest_filters : nullptr);
     return Status::OK();
   }
 
@@ -199,13 +277,20 @@ class SnapshotIO {
     options.pinned_partitions.clear();  // never serialized (see options doc)
     std::vector<PartitionSpec> specs;
     uint64_t total = 0;
+    FilterRef engine_filter;
+    std::vector<FilterRef> forest_filters;
+    bool has_filters = false;
     if (has_ensemble) {
       specs = index.ensemble_->specs_;
       total = index.ensemble_->total_;
       forests.reserve(index.ensemble_->forests_.size());
       for (const LshForest& forest : index.ensemble_->forests_) {
-        forests.push_back(AppendForest(out, forest));
+        ForestRef ref;
+        LSHE_ASSIGN_OR_RETURN(ref, AppendForest(out, forest));
+        forests.push_back(ref);
       }
+      has_filters = AppendFilters(out, *index.ensemble_, &engine_filter,
+                                  &forest_filters);
     }
 
     // Indexed side-car: every live domain that is NOT in the delta —
@@ -265,7 +350,9 @@ class SnapshotIO {
 
     AppendManifestAndFooter(out, options, index.family_->seed(), total,
                             specs, forests, &indexed, &delta,
-                            tombstones.size(), &tombstone_seg);
+                            tombstones.size(), &tombstone_seg,
+                            has_filters ? &engine_filter : nullptr,
+                            has_filters ? &forest_filters : nullptr);
     return Status::OK();
   }
 
@@ -319,6 +406,13 @@ class SnapshotIO {
         manifest_length != data.size() - kFooterBytes - manifest_offset) {
       return Status::Corruption("snapshot: manifest extent out of bounds");
     }
+    // The manifest parse below touches every manifest/footer page; tell
+    // the pager to start faulting them in now (no-op for buffer-backed
+    // images and off POSIX — Advise checks is_mapped()).
+    if (options.apply_madvise) {
+      snapshot->file_.Advise(manifest_offset, data.size() - manifest_offset,
+                             MappedFile::Advice::kWillNeed);
+    }
     const std::string_view manifest =
         data.substr(manifest_offset, manifest_length);
     if (crc32c::Unmask(manifest_crc) != crc32c::Value(manifest)) {
@@ -328,7 +422,21 @@ class SnapshotIO {
     LSHE_RETURN_IF_ERROR(ParseManifest(snapshot, manifest));
     LSHE_RETURN_IF_ERROR(ValidateSegments(snapshot, manifest_offset));
     if (options.verify_checksums) {
-      LSHE_RETURN_IF_ERROR(VerifySegmentChecksums(snapshot));
+      // The verification sweep reads every segment byte front-to-back
+      // exactly once: ask for aggressive sequential readahead over the
+      // segment region for its duration, then reset to the default policy
+      // so serving probes (random access) keep normal readahead.
+      const bool hint = options.apply_madvise && manifest_offset > kHeaderBytes;
+      if (hint) {
+        snapshot->file_.Advise(kHeaderBytes, manifest_offset - kHeaderBytes,
+                               MappedFile::Advice::kSequential);
+      }
+      const Status status = VerifySegmentChecksums(snapshot);
+      if (hint) {
+        snapshot->file_.Advise(kHeaderBytes, manifest_offset - kHeaderBytes,
+                               MappedFile::Advice::kNormal);
+      }
+      LSHE_RETURN_IF_ERROR(status);
     }
     return Status::OK();
   }
@@ -427,6 +535,32 @@ class SnapshotIO {
         return Status::Corruption("snapshot: malformed side-car table");
       }
     }
+
+    // Optional trailing probe-filter table (images written before the
+    // filter tier end here; they open with no pruning).
+    if (!body.empty()) {
+      if (!body.GetRaw(1, &flag)) {
+        return Status::Corruption("snapshot: truncated filter flag");
+      }
+      snapshot->has_filters_ = flag[0] != 0;
+      if (snapshot->has_filters_) {
+        if (!snapshot->has_ensemble_) {
+          return Status::Corruption("snapshot: filters without an ensemble");
+        }
+        uint64_t filter_count = 0;
+        if (!GetFilterRef(&body, &snapshot->engine_filter_) ||
+            !body.GetVarint64(&filter_count) ||
+            filter_count != snapshot->forests_.size()) {
+          return Status::Corruption("snapshot: malformed filter table");
+        }
+        snapshot->forest_filters_.resize(filter_count);
+        for (FilterRef& filter : snapshot->forest_filters_) {
+          if (!GetFilterRef(&body, &filter)) {
+            return Status::Corruption("snapshot: malformed filter table");
+          }
+        }
+      }
+    }
     if (!body.empty()) {
       return Status::Corruption("snapshot: trailing manifest bytes");
     }
@@ -470,6 +604,20 @@ class SnapshotIO {
           {&forest.entries, checked_bytes({n, trees, sizeof(uint32_t)})});
       segments.push_back(
           {&forest.first_keys, checked_bytes({n, trees, sizeof(uint32_t)})});
+    }
+    if (snapshot->has_filters_) {
+      // Filter segments follow the forest arenas in file order: engine
+      // union first, then one per forest.
+      segments.push_back(
+          {&snapshot->engine_filter_.blocks,
+           checked_bytes({snapshot->engine_filter_.num_blocks,
+                          kProbeFilterBlockLanes, sizeof(uint32_t)})});
+      for (const FilterRef& filter : snapshot->forest_filters_) {
+        segments.push_back(
+            {&filter.blocks,
+             checked_bytes({filter.num_blocks, kProbeFilterBlockLanes,
+                            sizeof(uint32_t)})});
+      }
     }
     if (snapshot->has_sidecar_) {
       const auto m = static_cast<uint64_t>(snapshot->options_.num_hashes);
@@ -533,6 +681,16 @@ class SnapshotIO {
         }
       }
     }
+    if (snapshot->has_filters_) {
+      if (!verify(snapshot->engine_filter_.blocks)) {
+        return Status::Corruption("snapshot: segment checksum mismatch");
+      }
+      for (const FilterRef& filter : snapshot->forest_filters_) {
+        if (!verify(filter.blocks)) {
+          return Status::Corruption("snapshot: segment checksum mismatch");
+        }
+      }
+    }
     if (snapshot->has_sidecar_) {
       for (const RecordsRef* records :
            {&snapshot->indexed_, &snapshot->delta_}) {
@@ -588,6 +746,26 @@ class SnapshotIO {
       ensemble.forests_.push_back(std::move(forest).value());
     }
 
+    if (snapshot->has_filters_) {
+      // Filters are served zero-copy like the arenas: the blocks stay in
+      // the mapping, the snapshot handle keeps them alive.
+      auto engine_filter = ProbeFilter::FromMapped(
+          snapshot->engine_filter_.num_blocks,
+          SegmentSpan<uint32_t>(*snapshot, snapshot->engine_filter_.blocks),
+          snapshot);
+      if (!engine_filter.ok()) return engine_filter.status();
+      ensemble.engine_filter_ = std::move(engine_filter).value();
+      ensemble.filters_.reserve(snapshot->forest_filters_.size());
+      for (const MappedSnapshot::FilterRef& ref :
+           snapshot->forest_filters_) {
+        auto filter = ProbeFilter::FromMapped(
+            ref.num_blocks, SegmentSpan<uint32_t>(*snapshot, ref.blocks),
+            snapshot);
+        if (!filter.ok()) return filter.status();
+        ensemble.filters_.push_back(std::move(filter).value());
+      }
+    }
+
     Tuner::Options tuner_options;
     tuner_options.max_b = options.num_hashes / options.tree_depth;
     tuner_options.max_r = options.tree_depth;
@@ -640,6 +818,13 @@ class SnapshotIO {
           options.base.prune_unreachable_partitions;
       index.ensemble_->options_.parallel_build = options.base.parallel_build;
       index.ensemble_->options_.parallel_query = options.base.parallel_query;
+      // Filter policy too: whether the image carried filters is a fact of
+      // the snapshot (filters_ presence), but whether future rebuilds
+      // build them — and at what density — follows the caller.
+      index.ensemble_->options_.build_probe_filter =
+          options.base.build_probe_filter;
+      index.ensemble_->options_.filter_bits_per_key =
+          options.base.filter_bits_per_key;
       index.indexed_count_ = index.ensemble_->size();
     } else if (snapshot->indexed_.n != 0) {
       return Status::Corruption(

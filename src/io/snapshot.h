@@ -65,6 +65,12 @@ struct SnapshotOpenOptions {
   /// manifest and the file's structure are verified regardless; disable
   /// for fastest serving opens of trusted images.
   bool verify_checksums = true;
+  /// Issue OS pager hints on mapped opens (no-op off POSIX and for
+  /// in-memory buffers): MADV_WILLNEED on the manifest/footer pages every
+  /// open parses, and — when verify_checksums is set — a sequential-read
+  /// hint over the segment extents for the verification sweep, reset to
+  /// normal afterwards so serving probes keep default readahead.
+  bool apply_madvise = true;
 };
 
 /// \brief An open, validated v2 snapshot: the mapping plus its parsed
@@ -124,6 +130,14 @@ class MappedSnapshot {
     uint64_t n = 0;
     SegRef ids, sizes, signatures;
   };
+  /// One probe filter's block array (filter/probe_filter.h). Optional
+  /// trailing manifest section: images written before the filter tier —
+  /// or with build_probe_filter off — simply end the manifest earlier,
+  /// and open with no pruning.
+  struct FilterRef {
+    uint64_t num_blocks = 0;
+    SegRef blocks;
+  };
 
   MappedFile file_;
   std::string buffer_;     // FromBuffer mode owns the bytes here
@@ -140,6 +154,11 @@ class MappedSnapshot {
   RecordsRef delta_;
   uint64_t tombstone_n_ = 0;
   SegRef tombstones_;
+  /// Probe filters (engine union + one per forest); empty when the image
+  /// carries none.
+  bool has_filters_ = false;
+  FilterRef engine_filter_;
+  std::vector<FilterRef> forest_filters_;
 };
 
 // ------------------------------------------------------------- ensembles

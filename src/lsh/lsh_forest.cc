@@ -244,8 +244,16 @@ Status LshForest::Probe(const MinHash& signature, int b, int r,
       kernel.refine_prefix_range(TreeKeys(t), depth, prefix, r, &lo, &hi);
     }
     const uint32_t* entries = TreeEntries(t);
+    const size_t n = ids_.size();
     for (size_t pos = lo; pos < hi; ++pos) {
       const uint32_t entry = entries[pos];
+      // Entry indices feed ids_[entry] and the dedup bitmap; the writer
+      // bounds them (< n, checked at serialization time) but a
+      // lazily-verified snapshot (verify_checksums=false) may carry a
+      // corrupt value. Skipping it here keeps corrupt images
+      // memory-safe without the former O(n·trees) scan on every mapped
+      // open; the branch is never taken on intact data.
+      if (entry >= n) continue;
       if (scratch->MarkOnce(entry)) out->push_back(ids_.data()[entry]);
     }
   }
@@ -361,13 +369,9 @@ Result<LshForest> LshForest::FromMapped(int num_trees, int tree_depth,
       first_keys.size() != n * trees) {
     return Status::Corruption("mapped forest: arena extents do not match");
   }
-  // Entry indices feed ids_[entry] on the probe hot path; an out-of-range
-  // value in a lazily-verified snapshot must fail the open, not crash.
-  for (const uint32_t entry : entries) {
-    if (entry >= n) {
-      return Status::Corruption("mapped forest: entry index out of range");
-    }
-  }
+  // Entry values are NOT scanned here: the writer bounds them at
+  // serialization time and Probe clamps at the single read site, so a
+  // mapped open touches only manifest pages (no O(n·trees) fault-in).
   forest.ids_.SetView(ids.data(), ids.size());
   forest.keys_.SetView(keys.data(), keys.size());
   forest.entry_of_.SetView(entries.data(), entries.size());

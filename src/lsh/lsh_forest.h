@@ -208,13 +208,15 @@ class LshForest {
     return {first_keys_.data(), first_keys_.size()};
   }
 
- private:
-  LshForest(int num_trees, int tree_depth);
-
   /// Truncate a 61-bit min-hash value to the forest's 32-bit key space.
+  /// Public so the probe-filter tier (filter/probe_filter.h) derives query
+  /// keys with exactly the slot-0 truncation Probe matches against.
   static uint32_t TruncateHash(uint64_t h) {
     return static_cast<uint32_t>(h >> 29);
   }
+
+ private:
+  LshForest(int num_trees, int tree_depth);
 
   /// Tree t's keys inside the arena (valid after Index()): size() rows of
   /// tree_depth_ u32 values each, sorted lexicographically.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -184,6 +185,32 @@ TEST(Crc32cTest, MaskRoundTrip) {
   for (uint32_t crc : {0u, 1u, 0xDEADBEEFu, UINT32_MAX}) {
     EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
     EXPECT_NE(crc32c::Mask(crc), crc);
+  }
+}
+
+// The hardware (SSE4.2) kernel must agree with the software slice-by-4
+// reference on every length, alignment, and running-CRC seed — snapshot
+// images written by one machine are verified by any other.
+TEST(Crc32cTest, HardwareAndSoftwareKernelsAgree) {
+  auto* hw = crc32c::internal::ExtendHw();
+  if (hw == nullptr) {
+    GTEST_SKIP() << "CRC32 instruction unavailable on this CPU/build";
+  }
+  std::mt19937_64 rng(314159);
+  std::vector<unsigned char> buffer(4096 + 16);
+  for (auto& byte : buffer) byte = static_cast<unsigned char>(rng());
+  for (const size_t length :
+       {size_t{0}, size_t{1}, size_t{3}, size_t{7}, size_t{8}, size_t{9},
+        size_t{63}, size_t{64}, size_t{1000}, size_t{4096}}) {
+    for (size_t misalign = 0; misalign < 9; ++misalign) {
+      const unsigned char* p = buffer.data() + misalign;
+      for (const uint32_t seed : {0u, 0xDEADBEEFu}) {
+        EXPECT_EQ(crc32c::internal::ExtendSw(seed, p, length),
+                  hw(seed, p, length))
+            << "length " << length << " misalign " << misalign << " seed "
+            << seed;
+      }
+    }
   }
 }
 
@@ -435,6 +462,32 @@ TEST_F(EnsembleIoTest, LoadedIndexAnswersQueriesIdentically) {
       EXPECT_EQ(actual, expected) << "query " << qi << " t*=" << t_star;
     }
   }
+}
+
+TEST_F(EnsembleIoTest, V1LoadRebuildsProbeFilters) {
+  // v1 images carry no filter section; the decoder rebuilds the tier
+  // from the decoded forests so a v1 -> v2 snapshot conversion writes
+  // filter segments and v1-loaded engines prune like built ones.
+  // Own temp path: fixture tests sharing path_ collide under ctest -j.
+  const std::string path =
+      ::testing::TempDir() + "/lshe_index_filter_rebuild.bin";
+  ASSERT_TRUE(SaveEnsemble(*ensemble_, path).ok());
+  auto loaded = LoadEnsemble(path);
+  RemoveFileIfExists(path).ok();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_NE(loaded->engine_probe_filter(), nullptr);
+  ASSERT_NE(ensemble_->engine_probe_filter(), nullptr);
+  ASSERT_EQ(loaded->partition_probe_filters().size(),
+            loaded->partitions().size());
+  // Same records and options => the rebuilt filters are bit-identical
+  // to the build-time ones.
+  EXPECT_EQ(loaded->engine_probe_filter()->num_blocks(),
+            ensemble_->engine_probe_filter()->num_blocks());
+  const auto expected_blocks = ensemble_->engine_probe_filter()->blocks();
+  const auto actual_blocks = loaded->engine_probe_filter()->blocks();
+  ASSERT_EQ(actual_blocks.size(), expected_blocks.size());
+  EXPECT_TRUE(std::equal(actual_blocks.begin(), actual_blocks.end(),
+                         expected_blocks.begin()));
 }
 
 TEST_F(EnsembleIoTest, LoadedIndexAnswersBatchQueriesIdentically) {

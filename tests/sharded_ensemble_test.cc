@@ -396,5 +396,155 @@ TEST(ShardedConcurrencyTest, ConcurrentReadersWithConcurrentInserts) {
   EXPECT_GT(index.size(), 0u);
 }
 
+// The probe-filter tier must be invisible in results: at every shard
+// count and every lifecycle stage (pure delta, flushed, mid-batch delta,
+// tombstones, re-flushed), a filtered index returns byte-identical
+// candidates to one built with filters off — for native queries and for
+// foreign queries (drawn from a disjoint corpus, the case where pruning
+// actually fires).
+TEST_F(ShardedEnsembleTest, FilterPruningKeepsResultsByteIdentical) {
+  // Foreign query sketches: a different generator seed yields domains the
+  // index has never seen, so most probes miss every shard's filter.
+  CorpusGenOptions foreign_gen;
+  foreign_gen.num_domains = 32;
+  foreign_gen.seed = 5309;
+  const Corpus foreign = CorpusGenerator(foreign_gen).Generate().value();
+  std::vector<MinHash> foreign_sketches;
+  foreign_sketches.reserve(foreign.size());
+  for (size_t i = 0; i < foreign.size(); ++i) {
+    foreign_sketches.push_back(
+        MinHash::FromValues(family_, foreign.domain(i).values));
+  }
+
+  std::vector<QuerySpec> specs = SampleSpecs(24);
+  for (size_t i = 0; i < foreign.size(); ++i) {
+    specs.push_back(QuerySpec{&foreign_sketches[i], foreign.domain(i).size(),
+                              (i % 2 == 0) ? 0.5 : 0.8});
+  }
+
+  for (const size_t num_shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    SCOPED_TRACE("num_shards=" + std::to_string(num_shards));
+    ShardedEnsembleOptions unfiltered_options = ShardOptions(num_shards);
+    unfiltered_options.base.base.build_probe_filter = false;
+    auto filtered = ShardedEnsemble::Create(ShardOptions(num_shards),
+                                            family_).value();
+    auto unfiltered =
+        ShardedEnsemble::Create(unfiltered_options, family_).value();
+
+    auto expect_equal = [&](const char* stage) {
+      SCOPED_TRACE(stage);
+      std::vector<std::vector<uint64_t>> with(specs.size());
+      std::vector<std::vector<uint64_t>> without(specs.size());
+      ASSERT_TRUE(filtered.BatchQuery(specs, with.data()).ok());
+      ASSERT_TRUE(unfiltered.BatchQuery(specs, without.data()).ok());
+      for (size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(with[i], without[i]) << "query " << i;
+      }
+    };
+
+    for (size_t i = 0; i < corpus_->size() / 2; ++i) {
+      ASSERT_TRUE(InsertDomain(filtered, i).ok());
+      ASSERT_TRUE(InsertDomain(unfiltered, i).ok());
+    }
+    expect_equal("pure delta");
+
+    ASSERT_TRUE(filtered.Flush().ok());
+    ASSERT_TRUE(unfiltered.Flush().ok());
+    expect_equal("flushed");
+
+    for (size_t i = corpus_->size() / 2; i < corpus_->size(); ++i) {
+      ASSERT_TRUE(InsertDomain(filtered, i).ok());
+      ASSERT_TRUE(InsertDomain(unfiltered, i).ok());
+    }
+    expect_equal("mid-batch delta");
+
+    for (size_t i = 3; i < corpus_->size(); i += 29) {
+      ASSERT_TRUE(filtered.Remove(corpus_->domain(i).id).ok());
+      ASSERT_TRUE(unfiltered.Remove(corpus_->domain(i).id).ok());
+    }
+    expect_equal("tombstones");
+
+    ASSERT_TRUE(filtered.Flush().ok());
+    ASSERT_TRUE(unfiltered.Flush().ok());
+    expect_equal("re-flushed");
+  }
+}
+
+// Filtered serving under concurrent mutation: readers run filtered batch
+// queries non-stop while a writer inserts, removes, and flushes (every
+// flush rebuilds the per-shard filters). TSan runs this (the CI regex
+// matches "Filter"); the assertion here is no failures and no data races.
+TEST(ShardedFilterConcurrencyTest, QueriesRaceInsertRemoveFlush) {
+  constexpr int kHashes = 64;
+  auto family = HashFamily::Create(kHashes, 7).value();
+  CorpusGenOptions gen;
+  gen.num_domains = 240;
+  gen.seed = 47;
+  const Corpus corpus = CorpusGenerator(gen).Generate().value();
+  std::vector<MinHash> sketches;
+  sketches.reserve(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    sketches.push_back(MinHash::FromValues(family, corpus.domain(i).values));
+  }
+
+  ShardedEnsembleOptions options;
+  options.base.base.num_partitions = 4;
+  options.base.base.num_hashes = kHashes;
+  options.base.base.tree_depth = 4;
+  options.base.min_delta_for_rebuild = 1 << 30;  // flushes are explicit
+  options.num_shards = 4;
+  auto index = ShardedEnsemble::Create(options, family).value();
+
+  const size_t seeded = corpus.size() / 2;
+  for (size_t i = 0; i < seeded; ++i) {
+    ASSERT_TRUE(
+        index.Insert(corpus.domain(i).id, corpus.domain(i).size(), sketches[i])
+            .ok());
+  }
+  ASSERT_TRUE(index.Flush().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      std::vector<QuerySpec> specs;
+      for (size_t j = 0; j < 12; ++j) {
+        const size_t pick =
+            (static_cast<size_t>(r) * 71 + j * 19) % corpus.size();
+        specs.push_back(
+            QuerySpec{&sketches[pick], corpus.domain(pick).size(), 0.5});
+      }
+      std::vector<std::vector<uint64_t>> outs(specs.size());
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!index.BatchQuery(specs, outs.data()).ok()) {
+          reader_failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+
+  // Writer: grow the delta, tombstone indexed ids, and flush repeatedly —
+  // each flush swaps in freshly built per-shard filters under the shard
+  // write locks while the readers keep probing.
+  for (size_t i = seeded; i < corpus.size(); ++i) {
+    ASSERT_TRUE(
+        index.Insert(corpus.domain(i).id, corpus.domain(i).size(), sketches[i])
+            .ok());
+    if (i % 13 == 0) {
+      ASSERT_TRUE(index.Remove(corpus.domain(i - seeded).id).ok());
+    }
+    if (i % 30 == 0) {
+      ASSERT_TRUE(index.Flush().ok());
+    }
+  }
+  ASSERT_TRUE(index.Flush().ok());
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(reader_failures.load(), 0);
+  EXPECT_GT(index.size(), 0u);
+}
+
 }  // namespace
 }  // namespace lshensemble

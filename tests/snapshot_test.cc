@@ -111,15 +111,21 @@ TEST(LshForestFromMappedTest, RejectsBadShapes) {
                                     forest.first_key_arena(), nullptr)
                   .status()
                   .IsCorruption());
-  // An out-of-range entry index must be caught up front.
+  // Out-of-range entry indices are not scanned at open — the snapshot
+  // writer bounds them at write time and the probe clamp skips them —
+  // so a wild index opens fine and can never surface a phantom
+  // candidate (only ids actually in the forest).
   std::vector<uint32_t> bad_entries(forest.entry_arena().begin(),
                                     forest.entry_arena().end());
   bad_entries[0] = 999;
-  EXPECT_TRUE(LshForest::FromMapped(2, 8, forest.id_array(),
-                                    forest.key_arena(), bad_entries,
-                                    forest.first_key_arena(), nullptr)
-                  .status()
-                  .IsCorruption());
+  auto mapped = LshForest::FromMapped(2, 8, forest.id_array(),
+                                      forest.key_arena(), bad_entries,
+                                      forest.first_key_arena(), nullptr);
+  ASSERT_TRUE(mapped.ok());
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(
+      mapped->Query(MinHash::FromValues(family, values), 2, 8, &out).ok());
+  for (const uint64_t id : out) EXPECT_EQ(id, 7u);
 }
 
 // ------------------------------------------------------ ensemble snapshots
@@ -294,6 +300,99 @@ TEST_F(SnapshotTest, LazyOpenSkipsArenaChecksums) {
       engine->Query(Sketch(0), corpus_->domain(0).size(), 0.5, &out).ok());
 }
 
+// The filter tier round-trips through a snapshot zero-copy: the mapped
+// engine's filters are views into the image with the same blocks, and the
+// filtered mapped engine answers byte-identically to a filterless one.
+TEST_F(SnapshotTest, FilterSectionRoundTripsZeroCopy) {
+  // Own file name: ctest -j runs sibling tests that also write path_.
+  const std::string path = TempPath("lshe_snapshot_filter_rt.lshe2");
+  ASSERT_NE(ensemble_->engine_probe_filter(), nullptr)
+      << "fixture should build filters by default";
+  ASSERT_TRUE(WriteEnsembleSnapshot(*ensemble_, path).ok());
+
+  const uint64_t before = ArenaCopyBytes().load();
+  auto mapped = OpenEnsembleMapped(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(ArenaCopyBytes().load(), before);
+
+  const ProbeFilter* engine_filter = mapped->engine_probe_filter();
+  ASSERT_NE(engine_filter, nullptr);
+  EXPECT_TRUE(engine_filter->is_view());
+  EXPECT_EQ(engine_filter->MemoryBytes(), 0u);
+  EXPECT_EQ(engine_filter->num_blocks(),
+            ensemble_->engine_probe_filter()->num_blocks());
+  ASSERT_EQ(mapped->partition_probe_filters().size(),
+            ensemble_->partition_probe_filters().size());
+  for (size_t i = 0; i < mapped->partition_probe_filters().size(); ++i) {
+    const ProbeFilter& view = mapped->partition_probe_filters()[i];
+    const ProbeFilter& built = ensemble_->partition_probe_filters()[i];
+    EXPECT_TRUE(view.is_view());
+    ASSERT_EQ(view.num_blocks(), built.num_blocks()) << "partition " << i;
+    EXPECT_TRUE(std::equal(view.blocks().begin(), view.blocks().end(),
+                           built.blocks().begin()))
+        << "partition " << i;
+  }
+  RemoveFileIfExists(path).ok();
+}
+
+// An image written without filters (the pre-filter-tier format) must keep
+// opening: the manifest simply ends before the optional filter section,
+// and the opened engine serves every query unpruned.
+TEST_F(SnapshotTest, FilterlessImageOpensAndAnswersIdentically) {
+  LshEnsembleOptions filterless_options = options_;
+  filterless_options.build_probe_filter = false;
+  LshEnsembleBuilder builder(filterless_options, family_);
+  for (size_t i = 0; i < corpus_->size(); ++i) {
+    const Domain& domain = corpus_->domain(i);
+    ASSERT_TRUE(builder
+                    .Add(domain.id, domain.size(),
+                         MinHash::FromValues(family_, domain.values))
+                    .ok());
+  }
+  auto filterless = std::move(builder).Build().value();
+  ASSERT_EQ(filterless.engine_probe_filter(), nullptr);
+
+  std::string image;
+  ASSERT_TRUE(SerializeEnsembleSnapshot(filterless, &image).ok());
+  auto snapshot = MappedSnapshot::FromBuffer(std::move(image));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  auto opened = EnsembleFromSnapshot(*snapshot);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(opened->engine_probe_filter(), nullptr);
+  EXPECT_TRUE(opened->partition_probe_filters().empty());
+
+  // Unpruned (filterless) answers == the filtered fixture engine's: the
+  // filter is invisible in results, present or not.
+  std::vector<MinHash> sketches;
+  const std::vector<QuerySpec> specs = MakeSpecs(&sketches);
+  std::vector<std::vector<uint64_t>> expected(specs.size());
+  std::vector<std::vector<uint64_t>> actual(specs.size());
+  QueryContext ctx_a, ctx_b;
+  ASSERT_TRUE(ensemble_->BatchQuery(specs, &ctx_a, expected.data()).ok());
+  ASSERT_TRUE(opened->BatchQuery(specs, &ctx_b, actual.data()).ok());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "query " << i;
+  }
+}
+
+// Pager hints must not change what an open accepts or returns — both
+// settings parse the same images, verified or lazy.
+TEST_F(SnapshotTest, MadviseOptionIsResultInvisible) {
+  const std::string path = TempPath("lshe_snapshot_madvise.lshe2");
+  ASSERT_TRUE(WriteEnsembleSnapshot(*ensemble_, path).ok());
+  for (const bool verify : {true, false}) {
+    for (const bool advise : {true, false}) {
+      auto mapped = OpenEnsembleMapped(
+          path, {.verify_checksums = verify, .apply_madvise = advise});
+      ASSERT_TRUE(mapped.ok())
+          << "verify=" << verify << " advise=" << advise << ": "
+          << mapped.status();
+      EXPECT_EQ(mapped->size(), ensemble_->size());
+    }
+  }
+  RemoveFileIfExists(path).ok();
+}
+
 TEST_F(SnapshotTest, OpenValidationErrors) {
   EXPECT_TRUE(OpenEnsembleMapped(TempPath("missing.lshe2")).status()
                   .IsNotFound());
@@ -378,6 +477,10 @@ TEST_F(SnapshotFuzzTest, V1EveryByteMutationRejected) {
 }
 
 TEST_F(SnapshotFuzzTest, V2EveryByteMutationRejected) {
+  // The fixture builds with default options, so the image must carry the
+  // probe-filter section — the sweep below then provably covers filter
+  // segments and their manifest refs, not just the pre-filter layout.
+  ASSERT_NE(ensemble_->engine_probe_filter(), nullptr);
   std::string image;
   ASSERT_TRUE(SerializeEnsembleSnapshot(*ensemble_, &image).ok());
   FuzzImage(image, [](const std::string& corrupt) {
@@ -401,6 +504,11 @@ TEST_F(SnapshotFuzzTest, V2DynamicEveryByteMutationRejected) {
   }
   ASSERT_TRUE(index.Remove(3).ok());   // tombstone an indexed record
   ASSERT_TRUE(index.Remove(25).ok());  // drop a delta record
+
+  // Like the static sweep: require the flushed core to carry filters so
+  // the mutation sweep exercises the filter section of dynamic images.
+  ASSERT_NE(index.indexed(), nullptr);
+  ASSERT_NE(index.indexed()->engine_probe_filter(), nullptr);
 
   std::string image;
   ASSERT_TRUE(SerializeDynamicSnapshot(index, &image).ok());

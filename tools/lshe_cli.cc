@@ -46,6 +46,7 @@
 #include "core/sharded_ensemble.h"
 #include "core/topk.h"
 #include "data/csv.h"
+#include "filter/probe_filter.h"
 #include "data/sketcher.h"
 #include "data/table.h"
 #include "io/catalog.h"
@@ -69,6 +70,8 @@ struct Flags {
   int topk = 0;    // 0 = threshold mode
   int shards = 0;  // 0 = unsharded engines
   bool mmap = false;
+  bool verify = true;    // --no-verify: skip eager segment CRC sweep
+  bool madvise = true;   // --no-madvise: no OS pager hints on open
   int partitions = 16;
   int num_hashes = 256;
   int tree_depth = 8;
@@ -84,9 +87,15 @@ void Usage() {
              [--threshold T | --topk K]
   lshe batch-query --index IDX --catalog CAT --query-csv FILE
              [--column NAME] [--threshold T | --topk K] [--min-size K]
-             [--delta FILE] [--shards N] [--mmap]
+             [--delta FILE] [--shards N] [--mmap] [--no-verify]
+             [--no-madvise]
   lshe snapshot --index IDX --out SNAP [--catalog CAT --shards N --out DIR]
-  lshe stats --index IDX [--catalog CAT] [--mmap]
+  lshe stats --index IDX [--catalog CAT] [--mmap] [--no-verify]
+             [--no-madvise]
+
+serving-open tuning (with --mmap): --no-verify skips the eager segment
+CRC sweep (structure and manifest stay verified); --no-madvise disables
+OS pager hints. Both default on.
 )");
 }
 
@@ -117,6 +126,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->shards = std::atoi(value);
     } else if (arg == "--mmap") {
       flags->mmap = true;
+    } else if (arg == "--no-verify") {
+      flags->verify = false;
+    } else if (arg == "--no-madvise") {
+      flags->madvise = false;
     } else if (arg == "--partitions" && (value = next())) {
       flags->partitions = std::atoi(value);
     } else if (arg == "--hashes" && (value = next())) {
@@ -145,10 +158,14 @@ int Fail(const Status& status) {
 /// Open the index image: LoadEnsemble() version-dispatches (a v2
 /// snapshot already opens zero-copy); --mmap additionally *requires* the
 /// mapped path, so pointing it at a v1 image is an explicit error
-/// instead of a silent heap load.
+/// instead of a silent heap load. --no-verify / --no-madvise tune the
+/// mapped serving open (io/snapshot.h SnapshotOpenOptions).
 Result<LshEnsemble> OpenIndex(const Flags& flags) {
   if (flags.mmap) {
-    return OpenEnsembleMapped(flags.index);
+    SnapshotOpenOptions open_options;
+    open_options.verify_checksums = flags.verify;
+    open_options.apply_madvise = flags.madvise;
+    return OpenEnsembleMapped(flags.index, open_options);
   }
   return LoadEnsemble(flags.index);
 }
@@ -527,6 +544,21 @@ int RunStats(const Flags& flags) {
   std::printf("heap memory: %.2f MiB%s\n",
               static_cast<double>(ensemble->MemoryBytes()) / (1 << 20),
               flags.mmap ? " (arenas are mmap-served, not heap)" : "");
+  if (const ProbeFilter* filter = ensemble->engine_probe_filter()) {
+    uint64_t partition_blocks = 0;
+    for (const ProbeFilter& pf : ensemble->partition_probe_filters()) {
+      partition_blocks += pf.num_blocks();
+    }
+    std::printf(
+        "probe filter: %llu engine + %llu partition blocks (32 B each, "
+        "%s probe kernel)%s\n",
+        static_cast<unsigned long long>(filter->num_blocks()),
+        static_cast<unsigned long long>(partition_blocks),
+        probe_filter_internal::ActiveBlockProbeName(),
+        filter->is_view() ? ", mmap-served" : "");
+  } else {
+    std::printf("probe filter: none (built without or pre-filter image)\n");
+  }
   std::printf("%-4s %12s %12s %10s\n", "#", "lower", "upper", "count");
   const auto& partitions = ensemble->partitions();
   for (size_t i = 0; i < partitions.size(); ++i) {
