@@ -5,6 +5,7 @@
 
 #include "core/threshold.h"
 #include "minhash/hash_kernel.h"
+#include "util/clock.h"
 #include "util/instance_id.h"
 #include "util/thread_pool.h"
 
@@ -145,8 +146,14 @@ Status DynamicLshEnsemble::BatchQuery(std::span<const QuerySpec> specs,
       q = static_cast<size_t>(std::max<int64_t>(
           1, std::llround(spec.query->EstimateCardinality())));
     }
+    if (DeadlineExpired(spec.deadline_ns)) {
+      return Status::DeadlineExceeded("query deadline expired");
+    }
     ctx->dynamic_q_[i] = static_cast<double>(q);
-    ctx->dynamic_specs_[i] = QuerySpec{spec.query, q, spec.t_star};
+    // Re-stage with the deadline intact: the inner engine keeps checking
+    // it between partition probes.
+    ctx->dynamic_specs_[i] =
+        QuerySpec{spec.query, q, spec.t_star, spec.deadline_ns};
   }
   const std::span<const QuerySpec> resolved(ctx->dynamic_specs_.data(),
                                             count);
@@ -183,6 +190,15 @@ Status DynamicLshEnsemble::BatchQuery(std::span<const QuerySpec> specs,
   }
 
   if (delta_.empty()) return Status::OK();
+
+  // Deadline boundary between the indexed probes above and the delta
+  // scan below (the scan itself is one cache-tiled pass; the batch fails
+  // here rather than mid-tile).
+  for (size_t i = 0; i < count; ++i) {
+    if (DeadlineExpired(specs[i].deadline_ns)) {
+      return Status::DeadlineExceeded("query deadline expired");
+    }
+  }
 
   // Exact scan of the delta buffer, ONCE per batch. A domain is admitted
   // when its estimated Jaccard reaches the same conservative threshold

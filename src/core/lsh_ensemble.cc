@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/clock.h"
 #include "util/instance_id.h"
 #include "util/thread_pool.h"
 
@@ -345,6 +346,17 @@ inline void StageFilterHashes(const MinHash& query, int num_trees, int depth,
 /// True when `filter` may contain any of the first `b` staged tree keys —
 /// i.e. the probe could surface candidates. False answers are exact, so a
 /// rejected probe can be skipped without changing the candidate set.
+/// The per-query deadline gate (QuerySpec::deadline_ns). Checked before
+/// any probing and again between partition probes, so an expensive
+/// partition can overrun a deadline by at most one probe, never by the
+/// rest of the sweep.
+inline Status CheckDeadline(uint64_t deadline_ns) {
+  if (DeadlineExpired(deadline_ns)) {
+    return Status::DeadlineExceeded("query deadline expired");
+  }
+  return Status::OK();
+}
+
 inline bool FilterAdmits(const ProbeFilter& filter, const uint64_t* hashes,
                          int b) {
   // Prefetch every block first: a reject must miss on all b trees, and
@@ -385,6 +397,7 @@ Status LshEnsemble::QueryOne(const QuerySpec& spec, QueryContext::Shard* shard,
                              QueryStats* stats) const {
   size_t q = 0;
   LSHE_RETURN_IF_ERROR(ValidateSpec(spec, &q));
+  LSHE_RETURN_IF_ERROR(CheckDeadline(spec.deadline_ns));
   out->clear();
   const auto qd = static_cast<double>(q);
   const size_t n = specs_.size();
@@ -423,6 +436,9 @@ Status LshEnsemble::QueryOne(const QuerySpec& spec, QueryContext::Shard* shard,
   }
 
   for (size_t i = 0; i < n; ++i) {
+    if (spec.deadline_ns != 0) {
+      LSHE_RETURN_IF_ERROR(CheckDeadline(spec.deadline_ns));
+    }
     const auto max_size = static_cast<double>(specs_[i].upper - 1);
     // A domain of size x has containment at most x/q; if even the largest
     // domain in the partition cannot reach t*, skip it (no false negatives).
@@ -464,10 +480,13 @@ Status LshEnsemble::QueryChunk(std::span<const QuerySpec> specs,
   const size_t m = specs.size();
   const size_t n = specs_.size();
 
+  bool any_deadline = false;
   shard->chunk_q.resize(m);
   for (size_t i = 0; i < m; ++i) {
     size_t q = 0;
     LSHE_RETURN_IF_ERROR(ValidateSpec(specs[i], &q));
+    LSHE_RETURN_IF_ERROR(CheckDeadline(specs[i].deadline_ns));
+    if (specs[i].deadline_ns != 0) any_deadline = true;
     shard->chunk_q[i] = static_cast<double>(q);
     outs[i].clear();
     if (stats != nullptr) {
@@ -507,11 +526,17 @@ Status LshEnsemble::QueryChunk(std::span<const QuerySpec> specs,
   for (size_t p = 0; p < n; ++p) {
     const auto max_size = static_cast<double>(specs_[p].upper - 1);
     const LshForest& forest = forests_[p];
+    // One clock read per partition row covers every query of the chunk:
+    // a deadline can overrun by at most one row of probes.
+    const uint64_t now = any_deadline ? SteadyNowNanos() : 0;
     // Within-pass tuning memo: runs of queries with equal (q, t*) — the
     // common shape of service traffic — tune once per partition.
     double memo_q = -1.0, memo_t = -1.0;
     TunedParams memo_params;
     for (size_t i = 0; i < m; ++i) {
+      if (specs[i].deadline_ns != 0 && now >= specs[i].deadline_ns) {
+        return Status::DeadlineExceeded("query deadline expired");
+      }
       if (use_filters && !shard->filter_admit[i]) continue;
       const double qd = shard->chunk_q[i];
       if (options_.prune_unreachable_partitions &&
@@ -554,6 +579,7 @@ Status LshEnsemble::QueryOnePartitionParallel(const QuerySpec& spec,
                                               QueryStats* stats) const {
   size_t q = 0;
   LSHE_RETURN_IF_ERROR(ValidateSpec(spec, &q));
+  LSHE_RETURN_IF_ERROR(CheckDeadline(spec.deadline_ns));
   out->clear();
   const auto qd = static_cast<double>(q);
   const size_t n = specs_.size();
@@ -584,6 +610,10 @@ Status LshEnsemble::QueryOnePartitionParallel(const QuerySpec& spec,
 
   auto probe = [&](size_t i) {
     ctx->partials_[i].clear();
+    if (spec.deadline_ns != 0) {
+      ctx->statuses_[i] = CheckDeadline(spec.deadline_ns);
+      if (!ctx->statuses_[i].ok()) return;
+    }
     const PartitionSpec& part = specs_[i];
     const auto max_size = static_cast<double>(part.upper - 1);
     if (options_.prune_unreachable_partitions &&

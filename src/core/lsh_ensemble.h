@@ -120,6 +120,12 @@ struct QueryStats {
   size_t partitions_filter_skipped = 0;
   /// Tuned (b, r) per probed partition, in partition order.
   std::vector<TunedParams> tuned;
+  /// Shard accounting, filled only by ShardedEnsemble's stats overload:
+  /// shards whose candidates made this query's output vs shards skipped
+  /// because the query deadline cut them off (partial-results mode).
+  /// Engine-level paths leave both 0.
+  size_t shards_gathered = 0;
+  size_t shards_skipped = 0;
 };
 
 /// \brief One query of a BatchQuery() call. The referenced MinHash is
@@ -131,6 +137,12 @@ struct QuerySpec {
   size_t query_size = 0;
   /// Containment threshold t* in [0, 1].
   double t_star = 0.5;
+  /// Absolute steady-clock deadline in nanoseconds (util/clock.h;
+  /// 0 = none). Checked before probing and between partition probes:
+  /// once it passes, the query — and the batch carrying it — fails with
+  /// DeadlineExceeded instead of stalling (ShardedEnsemble's opt-in
+  /// partial-results mode degrades to skipped shards instead).
+  uint64_t deadline_ns = 0;
 };
 
 class LshEnsemble;

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <filesystem>
 #include <limits>
 #include <string>
 
 #include "io/coding.h"
 #include "io/crc32c.h"
+#include "io/env.h"
 #include "io/file.h"
 #include "io/snapshot.h"
+#include "util/clock.h"
 #include "util/hashing.h"
 #include "util/thread_pool.h"
 
@@ -143,13 +144,10 @@ Status ShardedEnsemble::Remove(uint64_t id) {
 
 Status ShardedEnsemble::Flush() { return FlushLocked(); }
 
-Status ShardedEnsemble::SaveSnapshot(const std::string& dir) const {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::IOError("create snapshot directory " + dir + ": " +
-                           ec.message());
-  }
+Status ShardedEnsemble::SaveSnapshot(const std::string& dir,
+                                     Env* env) const {
+  if (env == nullptr) env = Env::Default();
+  LSHE_RETURN_IF_ERROR(env->CreateDirectories(dir));
   // Invalidate-then-commit: retract any existing manifest FIRST (and
   // fsync the directory so the unlink is ordered BEFORE the shard
   // renames on disk), write the shard images, write the fresh manifest
@@ -158,8 +156,8 @@ Status ShardedEnsemble::SaveSnapshot(const std::string& dir) const {
   // tearing a re-save over an existing snapshot could leave the OLD
   // manifest presiding over a mix of old and new shard files, which
   // would open as a cross-shard-inconsistent index.
-  LSHE_RETURN_IF_ERROR(RemoveFileIfExists(ManifestPath(dir)));
-  LSHE_RETURN_IF_ERROR(SyncDirectory(dir));
+  LSHE_RETURN_IF_ERROR(env->RemoveFileIfExists(ManifestPath(dir)));
+  LSHE_RETURN_IF_ERROR(env->SyncDirectory(dir));
 
   // Read-lock EVERY shard for the whole save (index order, like
   // FlushLocked): mutators are blocked, so all shard images — and the
@@ -173,8 +171,8 @@ Status ShardedEnsemble::SaveSnapshot(const std::string& dir) const {
   locks.reserve(shards_.size());
   for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
   for (size_t s = 0; s < shards_.size(); ++s) {
-    LSHE_RETURN_IF_ERROR(WriteDynamicSnapshot(shards_[s]->engine,
-                                              dir + "/" + ShardFileName(s)));
+    LSHE_RETURN_IF_ERROR(WriteDynamicSnapshot(
+        shards_[s]->engine, dir + "/" + ShardFileName(s), env));
   }
   std::string manifest;
   PutFixed32(&manifest, kManifestMagic);
@@ -185,14 +183,18 @@ Status ShardedEnsemble::SaveSnapshot(const std::string& dir) const {
   PutFixed64(&payload, family_->seed());
   PutLengthPrefixed(&manifest, payload);
   PutFixed32(&manifest, crc32c::Mask(crc32c::Value(payload)));
-  return WriteFileAtomic(ManifestPath(dir), manifest);
+  return WriteFileAtomic(env, ManifestPath(dir), manifest);
 }
 
-Result<ShardedEnsemble> ShardedEnsemble::OpenSnapshot(
-    const std::string& dir, ShardedEnsembleOptions options) {
-  LSHE_RETURN_IF_ERROR(options.Validate());
+std::string ShardedEnsemble::ShardSnapshotFileName(size_t shard) {
+  return ShardFileName(shard);
+}
+
+Result<ShardSnapshotManifest> ShardedEnsemble::ReadSnapshotManifest(
+    const std::string& dir, Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::string manifest;
-  LSHE_RETURN_IF_ERROR(ReadFileToString(ManifestPath(dir), &manifest));
+  LSHE_RETURN_IF_ERROR(env->ReadFileToString(ManifestPath(dir), &manifest));
   DecodeCursor cursor(manifest);
   uint32_t magic = 0;
   uint32_t version = 0;
@@ -215,26 +217,36 @@ Result<ShardedEnsemble> ShardedEnsemble::OpenSnapshot(
     return Status::Corruption("shard manifest: checksum mismatch");
   }
   DecodeCursor body(payload);
-  uint64_t num_shards = 0;
-  uint32_t num_hashes = 0;
-  uint64_t seed = 0;
-  if (!body.GetVarint64(&num_shards) || !body.GetVarint32(&num_hashes) ||
-      !body.GetFixed64(&seed) || !body.empty() || num_shards == 0) {
+  ShardSnapshotManifest decoded;
+  if (!body.GetVarint64(&decoded.num_shards) ||
+      !body.GetVarint32(&decoded.num_hashes) ||
+      !body.GetFixed64(&decoded.seed) || !body.empty() ||
+      decoded.num_shards == 0) {
     return Status::Corruption("shard manifest: malformed body");
   }
-  if (options.num_shards != num_shards) {
+  return decoded;
+}
+
+Result<ShardedEnsemble> ShardedEnsemble::OpenSnapshot(
+    const std::string& dir, ShardedEnsembleOptions options,
+    const SnapshotOpenOptions& open_options) {
+  LSHE_RETURN_IF_ERROR(options.Validate());
+  Env* env = open_options.env != nullptr ? open_options.env : Env::Default();
+  ShardSnapshotManifest manifest;
+  LSHE_ASSIGN_OR_RETURN(manifest, ReadSnapshotManifest(dir, env));
+  if (options.num_shards != manifest.num_shards) {
     return Status::InvalidArgument(
-        "snapshot holds " + std::to_string(num_shards) +
+        "snapshot holds " + std::to_string(manifest.num_shards) +
         " shards; resharding on open is not supported");
   }
-  if (options.base.base.num_hashes != static_cast<int>(num_hashes)) {
+  if (options.base.base.num_hashes != static_cast<int>(manifest.num_hashes)) {
     return Status::InvalidArgument(
         "options.base.base.num_hashes does not match the snapshot");
   }
   std::shared_ptr<const HashFamily> family;
-  LSHE_ASSIGN_OR_RETURN(family,
-                        HashFamily::Create(static_cast<int>(num_hashes),
-                                           seed));
+  LSHE_ASSIGN_OR_RETURN(
+      family, HashFamily::Create(static_cast<int>(manifest.num_hashes),
+                                 manifest.seed));
 
   const DynamicEnsembleOptions shard_options = ShardEngineOptions(options);
   ShardedEnsemble index(std::move(options), family);
@@ -242,12 +254,20 @@ Result<ShardedEnsemble> ShardedEnsemble::OpenSnapshot(
   size_t indexed_total = 0;
   size_t delta_total = 0;
   for (size_t s = 0; s < index.options_.num_shards; ++s) {
-    auto engine =
-        OpenDynamicSnapshot(dir + "/" + ShardFileName(s), shard_options);
-    if (!engine.ok()) return engine.status();
+    // Each shard opens with the caller's validation/Env settings. On ANY
+    // failure the error names the failing shard file, and destroying the
+    // partially built `index` releases every mapping the earlier shards
+    // took — a failed open leaves nothing live.
+    const std::string shard_path = dir + "/" + ShardFileName(s);
+    auto engine = OpenDynamicSnapshot(shard_path, shard_options,
+                                      open_options);
+    if (!engine.ok()) {
+      return engine.status().WithMessagePrefix(shard_path);
+    }
     if (!engine->family()->SameAs(*family)) {
       return Status::Corruption(
-          "shard snapshot disagrees with the manifest hash family");
+          shard_path + ": shard snapshot disagrees with the manifest "
+                       "hash family");
     }
     indexed_total += engine->indexed_size();
     delta_total += engine->delta_size();
@@ -323,6 +343,37 @@ Status ShardedEnsemble::FlushLocked() {
   return Status::OK();
 }
 
+void ShardedEnsemble::AdmissionSlot::Release() {
+  if (counters_ != nullptr) {
+    counters_->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    counters_ = nullptr;
+  }
+}
+
+Result<ShardedEnsemble::AdmissionSlot> ShardedEnsemble::TryAdmit() const {
+  const size_t bound = options_.max_in_flight_batches;
+  if (bound == 0) return AdmissionSlot();  // unbounded: nothing to count
+  size_t current = counters_->in_flight.load(std::memory_order_relaxed);
+  while (true) {
+    if (current >= bound) {
+      return Status::Unavailable(
+          "serving layer at capacity: " + std::to_string(current) +
+          " of " + std::to_string(bound) + " batches in flight");
+    }
+    // CAS instead of unconditional increment: a loser re-reads and
+    // re-checks the bound, so the counter can never overshoot it.
+    if (counters_->in_flight.compare_exchange_weak(
+            current, current + 1, std::memory_order_acq_rel,
+            std::memory_order_relaxed)) {
+      return AdmissionSlot(counters_.get());
+    }
+  }
+}
+
+size_t ShardedEnsemble::in_flight_batches() const {
+  return counters_->in_flight.load(std::memory_order_relaxed);
+}
+
 ShardedEnsemble::Shard::Scratch* ShardedEnsemble::Shard::AcquireScratch()
     const {
   std::lock_guard<std::mutex> lock(scratch_mutex);
@@ -342,12 +393,21 @@ void ShardedEnsemble::Shard::ReleaseScratch(Scratch* scratch) const {
 
 Status ShardedEnsemble::BatchQuery(std::span<const QuerySpec> specs,
                                    std::vector<uint64_t>* outs) const {
-  return BatchQueryImpl(specs, outs, /*sort_outputs=*/true);
+  return BatchQuery(specs, outs, /*stats=*/nullptr);
+}
+
+Status ShardedEnsemble::BatchQuery(std::span<const QuerySpec> specs,
+                                   std::vector<uint64_t>* outs,
+                                   QueryStats* stats) const {
+  AdmissionSlot slot;
+  LSHE_ASSIGN_OR_RETURN(slot, TryAdmit());
+  return BatchQueryImpl(specs, outs, /*sort_outputs=*/true, stats);
 }
 
 Status ShardedEnsemble::BatchQueryImpl(std::span<const QuerySpec> specs,
                                        std::vector<uint64_t>* outs,
-                                       bool sort_outputs) const {
+                                       bool sort_outputs,
+                                       QueryStats* stats) const {
   LSHE_RETURN_IF_ERROR(GuardNotInWorker("ShardedEnsemble::BatchQuery"));
   if (specs.empty()) return Status::OK();
   if (outs == nullptr) {
@@ -371,6 +431,12 @@ Status ShardedEnsemble::BatchQueryImpl(std::span<const QuerySpec> specs,
       spec.query_size = static_cast<size_t>(std::max<int64_t>(
           1, std::llround(spec.query->EstimateCardinality())));
     }
+    // Fast-fail an already-expired deadline before any scatter: the
+    // caller gets DeadlineExceeded without a single shard probed, in
+    // partial-results mode too (nothing could be gathered anyway).
+    if (DeadlineExpired(spec.deadline_ns)) {
+      return Status::DeadlineExceeded("query deadline expired");
+    }
   }
 
   // Scatter: ONE wave over the shards. Each shard task takes its shard's
@@ -386,22 +452,44 @@ Status ShardedEnsemble::BatchQueryImpl(std::span<const QuerySpec> specs,
   // hold its keys, and pruning needs no cross-shard routing state here.
   std::vector<Shard::Scratch*> scratch(num_shards, nullptr);
   std::vector<Status> statuses(num_shards);
+  std::vector<std::vector<QueryStats>> shard_stats(
+      stats != nullptr ? num_shards : 0);
   ThreadPool::Shared().ParallelFor(num_shards, [&](size_t s) {
     const Shard& shard = *shards_[s];
     std::shared_lock lock(shard.mutex);
     Shard::Scratch* mine = shard.AcquireScratch();
     scratch[s] = mine;
     if (mine->outs.size() < count) mine->outs.resize(count);
+    QueryStats* mine_stats = nullptr;
+    if (stats != nullptr) {
+      shard_stats[s].resize(count);
+      mine_stats = shard_stats[s].data();
+    }
     statuses[s] = shard.engine.BatchQuery(resolved, &mine->ctx,
-                                          mine->outs.data());
+                                          mine->outs.data(), mine_stats);
   });
 
+  // Classify the shard outcomes. A deadline expiry inside a shard is
+  // fatal by default; in partial-results mode it only skips that shard's
+  // contribution (the others still gathered a full answer for their ids).
+  // Any other failure is fatal either way.
+  const bool partial = options_.partial_results;
   Status first_error = Status::OK();
-  for (const Status& status : statuses) {
-    if (!status.ok()) {
-      first_error = status;
+  std::vector<bool> shard_gathered(num_shards, false);
+  size_t gathered_count = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (statuses[s].ok()) {
+      shard_gathered[s] = true;
+      ++gathered_count;
+    } else if (!(partial && statuses[s].IsDeadlineExceeded())) {
+      first_error = statuses[s];
       break;
     }
+  }
+  if (first_error.ok() && gathered_count == 0) {
+    // Partial mode with EVERY shard expired: there is no partial answer
+    // to return, only the deadline failure itself.
+    first_error = Status::DeadlineExceeded("query deadline expired");
   }
   if (first_error.ok()) {
     // Gather: per query, concatenate the shard candidate sets (disjoint —
@@ -412,14 +500,32 @@ Status ShardedEnsemble::BatchQueryImpl(std::span<const QuerySpec> specs,
       out.clear();
       size_t total = 0;
       for (size_t s = 0; s < num_shards; ++s) {
-        total += scratch[s]->outs[i].size();
+        if (shard_gathered[s]) total += scratch[s]->outs[i].size();
       }
       out.reserve(total);
       for (size_t s = 0; s < num_shards; ++s) {
+        if (!shard_gathered[s]) continue;
         const std::vector<uint64_t>& part = scratch[s]->outs[i];
         out.insert(out.end(), part.begin(), part.end());
       }
       if (sort_outputs) std::sort(out.begin(), out.end());
+      if (stats != nullptr) {
+        // Shard-summed probe counters plus the gather split. The tuned
+        // memo is per-shard state; a cross-shard merge has no meaning, so
+        // it is left empty here.
+        QueryStats& merged = stats[i];
+        merged = QueryStats{};
+        for (size_t s = 0; s < num_shards; ++s) {
+          if (!shard_gathered[s]) continue;
+          merged.query_size_used = shard_stats[s][i].query_size_used;
+          merged.partitions_probed += shard_stats[s][i].partitions_probed;
+          merged.partitions_pruned += shard_stats[s][i].partitions_pruned;
+          merged.partitions_filter_skipped +=
+              shard_stats[s][i].partitions_filter_skipped;
+        }
+        merged.shards_gathered = gathered_count;
+        merged.shards_skipped = num_shards - gathered_count;
+      }
     }
   }
   for (size_t s = 0; s < num_shards; ++s) {
@@ -432,6 +538,11 @@ Status ShardedEnsemble::BatchSearch(std::span<const TopKQuery> queries,
                                     size_t k,
                                     std::vector<TopKResult>* outs) const {
   LSHE_RETURN_IF_ERROR(GuardNotInWorker("ShardedEnsemble::BatchSearch"));
+  // ONE admission covers the whole descent: the searcher re-enters
+  // BatchQueryImpl every round, which deliberately does not re-admit
+  // (re-admitting per round could self-deadlock at a bound of 1).
+  AdmissionSlot slot;
+  LSHE_ASSIGN_OR_RETURN(slot, TryAdmit());
   // The searcher's lockstep descent drives BatchQuery() above every
   // round; its per-query retire check IS the cross-shard k-th-best merge.
   const TopKSearcher searcher(this, options_.topk);

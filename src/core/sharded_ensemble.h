@@ -69,6 +69,7 @@
 #include "core/dynamic_ensemble.h"
 #include "core/lsh_ensemble.h"
 #include "core/topk.h"
+#include "io/snapshot.h"
 #include "minhash/minhash.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -87,8 +88,29 @@ struct ShardedEnsembleOptions {
   size_t num_shards = 1;
   /// Ranking options used by BatchSearch().
   TopKSearcher::Options topk;
+  /// Admission bound: the number of BatchQuery/BatchSearch calls allowed
+  /// in flight at once (0 = unbounded). A call past the bound is shed
+  /// immediately with Status::Unavailable — it does no shard work — so an
+  /// overloaded server degrades to fast rejections instead of a growing
+  /// queue of slow answers. Admitted batches are unaffected: their
+  /// results are byte-identical with or without shedding around them.
+  size_t max_in_flight_batches = 0;
+  /// Opt-in partial results: when a shard's gather fails ONLY because a
+  /// query deadline expired, BatchQuery returns OK with the candidates
+  /// from the shards that finished and reports the split per query in
+  /// QueryStats::shards_gathered / shards_skipped (stats overload). Off,
+  /// a deadline expiry anywhere fails the whole batch with
+  /// DeadlineExceeded. Any other shard error is fatal either way.
+  bool partial_results = false;
 
   Status Validate() const;
+};
+
+/// \brief The decoded MANIFEST of a SaveSnapshot() directory.
+struct ShardSnapshotManifest {
+  uint64_t num_shards = 0;
+  uint32_t num_hashes = 0;
+  uint64_t seed = 0;
 };
 
 /// \brief Scatter/gather serving layer: S independent dynamic shards, one
@@ -129,15 +151,27 @@ class ShardedEnsemble {
   /// Holds every shard's read lock for the whole save: queries proceed,
   /// mutations block, and the snapshot describes one point-in-time
   /// state of the index (arenas, side-cars, deltas, tombstones).
-  Status SaveSnapshot(const std::string& dir) const;
+  /// `env` selects the file operations (nullptr = Env::Default()).
+  Status SaveSnapshot(const std::string& dir, Env* env = nullptr) const;
 
   /// \brief Open a serving layer from a SaveSnapshot() directory with no
   /// arena copies: every shard mmaps its segment file (deltas restore as
   /// overlays). `options` supplies the serving/rebuild policy and must
   /// request the saved shard count (resharding a snapshot would need to
   /// re-hash every id). Results are identical to the saved engine.
-  static Result<ShardedEnsemble> OpenSnapshot(const std::string& dir,
-                                              ShardedEnsembleOptions options);
+  /// `open_options` selects validation depth and the Env; a failed open
+  /// names the shard file that failed and leaves no mappings live.
+  static Result<ShardedEnsemble> OpenSnapshot(
+      const std::string& dir, ShardedEnsembleOptions options,
+      const SnapshotOpenOptions& open_options = {});
+
+  /// \brief Read + CRC-validate `dir`'s MANIFEST without opening any
+  /// shard (verification tools; OpenSnapshot uses it internally).
+  static Result<ShardSnapshotManifest> ReadSnapshotManifest(
+      const std::string& dir, Env* env = nullptr);
+
+  /// \brief File name of shard `shard` inside a snapshot directory.
+  static std::string ShardSnapshotFileName(size_t shard);
 
   /// \brief Answer `specs.size()` queries in one scatter/gather wave.
   /// Query i's live candidates across all shards go to `outs[i]` (cleared
@@ -147,6 +181,14 @@ class ShardedEnsemble {
   /// not be called from a pool worker.
   Status BatchQuery(std::span<const QuerySpec> specs,
                     std::vector<uint64_t>* outs) const;
+
+  /// \brief BatchQuery with per-query statistics: `stats[i]` receives the
+  /// shard-summed probe counters for query i plus the gather split
+  /// (shards_gathered / shards_skipped — the latter nonzero only in
+  /// partial-results mode). Collecting stats disables the shards' probe
+  /// filter fast path, like the unsharded engine.
+  Status BatchQuery(std::span<const QuerySpec> specs,
+                    std::vector<uint64_t>* outs, QueryStats* stats) const;
 
   /// \brief Rank `queries.size()` top-k queries in one lockstep descent
   /// over the shards; query i's ranked results go to `outs[i]`. Identical
@@ -205,6 +247,50 @@ class ShardedEnsemble {
   }
 
  private:
+  struct Counters;
+
+ public:
+  /// \brief RAII hold on one in-flight admission slot. The slot is
+  /// released when the object is destroyed (or moved from). A
+  /// default-constructed slot holds nothing — TryAdmit() returns one when
+  /// admission is unbounded.
+  class AdmissionSlot {
+   public:
+    AdmissionSlot() = default;
+    AdmissionSlot(AdmissionSlot&& other) noexcept
+        : counters_(other.counters_) {
+      other.counters_ = nullptr;
+    }
+    AdmissionSlot& operator=(AdmissionSlot&& other) noexcept {
+      if (this != &other) {
+        Release();
+        counters_ = other.counters_;
+        other.counters_ = nullptr;
+      }
+      return *this;
+    }
+    ~AdmissionSlot() { Release(); }
+
+   private:
+    friend class ShardedEnsemble;
+    explicit AdmissionSlot(Counters* counters) : counters_(counters) {}
+    void Release();
+
+    Counters* counters_ = nullptr;
+  };
+
+  /// \brief Claim one in-flight slot under max_in_flight_batches, or
+  /// Unavailable when the layer is at capacity. BatchQuery/BatchSearch
+  /// admit themselves; this is public so callers (and tests) can hold
+  /// slots explicitly — e.g. to reserve capacity or to drive the shed
+  /// path deterministically.
+  Result<AdmissionSlot> TryAdmit() const;
+
+  /// In-flight admitted batches right now (0 when unbounded: slots are
+  /// only counted under a bound).
+  size_t in_flight_batches() const;
+
+ private:
   /// The top-k descent gathers unsorted: its ranking dedups by id and
   /// orders by (estimate, id), so the canonical sort below would be pure
   /// per-round waste.
@@ -237,8 +323,12 @@ class ShardedEnsemble {
 
   /// BatchQuery body; `sort_outputs` selects the public canonical
   /// ascending-id order vs the descent's cheaper unsorted gather.
+  /// `stats` (optional) receives shard-summed per-query counters and the
+  /// partial-results gather split. Does NOT admit — public entry points
+  /// do (the top-k descent calls this per round under ONE admission).
   Status BatchQueryImpl(std::span<const QuerySpec> specs,
-                        std::vector<uint64_t>* outs, bool sort_outputs) const;
+                        std::vector<uint64_t>* outs, bool sort_outputs,
+                        QueryStats* stats = nullptr) const;
 
   /// FailedPrecondition when called from a pool worker (see file comment).
   Status GuardNotInWorker(const char* what) const;
@@ -256,6 +346,8 @@ class ShardedEnsemble {
   struct Counters {
     std::atomic<size_t> delta{0};
     std::atomic<size_t> indexed{0};
+    /// Admitted batches currently in flight (see max_in_flight_batches).
+    std::atomic<size_t> in_flight{0};
   };
 
   ShardedEnsembleOptions options_;

@@ -187,7 +187,8 @@ Status TopKSearcher::BatchSearch(std::span<const TopKQuery> queries, size_t k,
     active_index.clear();
     for (size_t i = 0; i < count; ++i) {
       if (!states[i].active) continue;
-      specs.push_back(QuerySpec{queries[i].query, states[i].q, threshold});
+      specs.push_back(QuerySpec{queries[i].query, states[i].q, threshold,
+                                queries[i].deadline_ns});
       active_index.push_back(i);
     }
     if (specs.empty()) break;

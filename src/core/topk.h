@@ -90,6 +90,10 @@ struct TopKQuery {
   const MinHash* query = nullptr;
   /// Exact |Q| if known; 0 means "use the MinHash cardinality estimate".
   size_t query_size = 0;
+  /// Absolute steady-clock deadline in nanoseconds (0 = none). Carried
+  /// into every descent round's probe; an expired deadline fails the
+  /// whole search with DeadlineExceeded.
+  uint64_t deadline_ns = 0;
 };
 
 /// \brief Top-k searcher over an ensemble + sketch store, or over a

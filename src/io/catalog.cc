@@ -147,15 +147,16 @@ Result<Catalog> Catalog::Deserialize(std::string_view image) {
   return catalog;
 }
 
-Status Catalog::Save(const std::string& path) const {
+Status Catalog::Save(const std::string& path, Env* env) const {
   std::string image;
   LSHE_RETURN_IF_ERROR(SerializeTo(&image));
-  return WriteFileAtomic(path, image);
+  return WriteFileAtomic(env != nullptr ? env : Env::Default(), path, image);
 }
 
-Result<Catalog> Catalog::Load(const std::string& path) {
+Result<Catalog> Catalog::Load(const std::string& path, Env* env) {
   std::string image;
-  LSHE_RETURN_IF_ERROR(ReadFileToString(path, &image));
+  LSHE_RETURN_IF_ERROR(ReadFileToString(
+      env != nullptr ? env : Env::Default(), path, &image));
   return Deserialize(image);
 }
 

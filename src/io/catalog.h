@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/topk.h"
+#include "io/env.h"
 #include "minhash/minhash.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -59,9 +60,10 @@ class Catalog {
   /// \brief Rebuild a catalog (and its hash family) from an image.
   static Result<Catalog> Deserialize(std::string_view image);
 
-  /// File convenience wrappers (atomic write, see io/file.h).
-  Status Save(const std::string& path) const;
-  static Result<Catalog> Load(const std::string& path);
+  /// File convenience wrappers (atomic write, see io/file.h). `env`
+  /// selects the file operations (nullptr = Env::Default()).
+  Status Save(const std::string& path, Env* env = nullptr) const;
+  static Result<Catalog> Load(const std::string& path, Env* env = nullptr);
 
  private:
   std::shared_ptr<const HashFamily> family_;

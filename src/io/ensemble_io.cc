@@ -1,5 +1,6 @@
 #include "io/ensemble_io.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstdio>
@@ -277,31 +278,35 @@ Result<LshEnsemble> DeserializeEnsemble(std::string_view image) {
   return EnsembleSerializer::Deserialize(image);
 }
 
-Status SaveEnsemble(const LshEnsemble& ensemble, const std::string& path) {
+Status SaveEnsemble(const LshEnsemble& ensemble, const std::string& path,
+                    Env* env) {
   std::string image;
   LSHE_RETURN_IF_ERROR(SerializeEnsemble(ensemble, &image));
-  return WriteFileAtomic(path, image);
+  return WriteFileAtomic(env != nullptr ? env : Env::Default(), path, image);
 }
 
-Result<LshEnsemble> LoadEnsemble(const std::string& path) {
+Result<LshEnsemble> LoadEnsemble(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   // Version-dispatched: v2 snapshots open via mmap with zero arena
   // copies; v1 images decode through the copying path. Both formats
   // share the 8-byte header, so peeking it picks the loader.
   std::string head;
   {
-    std::FILE* file = std::fopen(path.c_str(), "rb");
-    if (file != nullptr) {
-      char buffer[8];
-      const size_t n = std::fread(buffer, 1, sizeof(buffer), file);
-      std::fclose(file);
-      head.assign(buffer, n);
+    // Peek through a mapping, not a full read: only the header page
+    // faults in, so picking the loader stays O(1) for huge v2 images.
+    auto mapped = env->OpenMapped(path);
+    if (mapped.ok()) {
+      const std::string_view data = mapped.value().data();
+      head.assign(data.substr(0, std::min<size_t>(8, data.size())));
     }
   }
   if (PeekVersion(head) == kSnapshotFormatVersion) {
-    return OpenEnsembleMapped(path);
+    SnapshotOpenOptions open_options;
+    open_options.env = env;
+    return OpenEnsembleMapped(path, open_options);
   }
   std::string image;
-  LSHE_RETURN_IF_ERROR(ReadFileToString(path, &image));
+  LSHE_RETURN_IF_ERROR(env->ReadFileToString(path, &image));
   return DeserializeEnsemble(image);
 }
 

@@ -37,6 +37,7 @@
 #include <string>
 
 #include "core/lsh_ensemble.h"
+#include "io/env.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -53,11 +54,13 @@ Status SerializeEnsemble(const LshEnsemble& ensemble, std::string* out);
 /// NotSupported for images written by a newer format version.
 Result<LshEnsemble> DeserializeEnsemble(std::string_view image);
 
-/// \brief Save an index to `path` (atomic: temp file + rename).
-Status SaveEnsemble(const LshEnsemble& ensemble, const std::string& path);
+/// \brief Save an index to `path` (atomic: temp file + rename). `env`
+/// selects the file operations (nullptr = Env::Default()).
+Status SaveEnsemble(const LshEnsemble& ensemble, const std::string& path,
+                    Env* env = nullptr);
 
 /// \brief Load an index from `path`.
-Result<LshEnsemble> LoadEnsemble(const std::string& path);
+Result<LshEnsemble> LoadEnsemble(const std::string& path, Env* env = nullptr);
 
 }  // namespace lshensemble
 

@@ -1,0 +1,265 @@
+#include "io/env.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LSHE_ENV_HAVE_POSIX 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define LSHE_ENV_HAVE_POSIX 0
+#endif
+
+namespace lshensemble {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+
+#if LSHE_ENV_HAVE_POSIX
+
+/// Raw-fd writer: write(2) results (including EINTR and short writes)
+/// surface through WriteRaw and are handled by the shared Append loop.
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) {
+      return Status::FailedPrecondition("Sync on closed file " + path_);
+    }
+    int rc;
+    do {
+      rc = ::fsync(fd_);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      return Status::IOError(ErrnoMessage("fsync " + path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = std::exchange(fd_, -1);
+    if (::close(fd) != 0) {
+      return Status::IOError(ErrnoMessage("close " + path_));
+    }
+    return Status::OK();
+  }
+
+ protected:
+  RawWrite WriteRaw(const char* data, size_t size) override {
+    if (fd_ < 0) {
+      return {Status::FailedPrecondition("write on closed file " + path_), 0,
+              false};
+    }
+    const ssize_t n = ::write(fd_, data, size);
+    if (n < 0) {
+      if (errno == EINTR) return {Status::OK(), 0, true};
+      return {Status::IOError(ErrnoMessage("write " + path_)), 0, false};
+    }
+    return {Status::OK(), static_cast<size_t>(n), false};
+  }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+#else
+
+/// Portable fallback: stdio retries nothing itself, but fwrite of a full
+/// buffer either accepts everything or reports an error.
+class StdioWritableFile final : public WritableFile {
+ public:
+  StdioWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+  ~StdioWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) {
+      return Status::FailedPrecondition("Sync on closed file " + path_);
+    }
+    if (std::fflush(file_) != 0) {
+      return Status::IOError(ErrnoMessage("flush " + path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    std::FILE* file = std::exchange(file_, nullptr);
+    if (std::fclose(file) != 0) {
+      return Status::IOError(ErrnoMessage("close " + path_));
+    }
+    return Status::OK();
+  }
+
+ protected:
+  RawWrite WriteRaw(const char* data, size_t size) override {
+    if (file_ == nullptr) {
+      return {Status::FailedPrecondition("write on closed file " + path_), 0,
+              false};
+    }
+    const size_t n = std::fwrite(data, 1, size, file_);
+    if (n != size && std::ferror(file_) != 0) {
+      return {Status::IOError(ErrnoMessage("write " + path_)), n, false};
+    }
+    return {Status::OK(), n, false};
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+#endif  // LSHE_ENV_HAVE_POSIX
+
+class DefaultEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+#if LSHE_ENV_HAVE_POSIX
+    int fd;
+    do {
+      fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("open " + path));
+    }
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+#else
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+      return Status::IOError(ErrnoMessage("open " + path));
+    }
+    return std::unique_ptr<WritableFile>(new StdioWritableFile(file, path));
+#endif
+  }
+
+  Status ReadFileToString(const std::string& path, std::string* out) override {
+    return (lshensemble::ReadFileToString)(path, out);
+  }
+
+  Result<MappedFile> OpenMapped(const std::string& path) override {
+    return MappedFile::Open(path);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError(ErrnoMessage("rename " + from + " -> " + to));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFileIfExists(const std::string& path) override {
+    return (lshensemble::RemoveFileIfExists)(path);
+  }
+
+  Status SyncDirectory(const std::string& dir) override {
+    return (lshensemble::SyncDirectory)(dir);
+  }
+
+  Status CreateDirectories(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::IOError("create directories " + dir + ": " +
+                             ec.message());
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+      return Status::IOError("list directory " + dir + ": " + ec.message());
+    }
+    std::vector<std::string> names;
+    for (const auto& entry : it) {
+      if (entry.is_regular_file(ec)) {
+        names.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+}  // namespace
+
+Status WritableFile::Append(std::string_view data) {
+  while (!data.empty()) {
+    RawWrite raw = WriteRaw(data.data(), data.size());
+    if (raw.interrupted) continue;  // EINTR: retry the same range
+    if (!raw.status.ok()) return raw.status;
+    if (raw.written == 0) {
+      return Status::IOError("write accepted 0 bytes");
+    }
+    data.remove_prefix(std::min(raw.written, data.size()));
+  }
+  return Status::OK();
+}
+
+Env* Env::Default() {
+  static DefaultEnv* env = new DefaultEnv();
+  return env;
+}
+
+std::string ParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  return path.substr(0, slash == 0 ? 1 : slash);
+}
+
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  LSHE_ASSIGN_OR_RETURN(file, env->NewWritableFile(tmp));
+  Status st = file->Append(data);
+  // Durability, not just atomicity: without the data fsync the rename
+  // below can land on disk before the data blocks, and a crash then
+  // surfaces a truncated-but-committed image under the final name.
+  if (st.ok()) st = file->Sync();
+  if (st.ok()) st = file->Close();
+  if (!st.ok()) {
+    (void)env->RemoveFileIfExists(tmp);
+    return st;
+  }
+  st = env->RenameFile(tmp, path);
+  if (!st.ok()) {
+    (void)env->RemoveFileIfExists(tmp);
+    return st;
+  }
+  // The rename is a directory mutation; sync the directory so the new
+  // entry (pointing at the synced data) survives a crash too.
+  return env->SyncDirectory(ParentDirectory(path));
+}
+
+Status ReadFileToString(Env* env, const std::string& path, std::string* out) {
+  return env->ReadFileToString(path, out);
+}
+
+}  // namespace lshensemble

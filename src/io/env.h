@@ -1,0 +1,105 @@
+// Env: the file-operation seam every persistence path writes and reads
+// through. Production code uses Env::Default() (real POSIX files, mmap,
+// fsync); tests substitute FaultInjectionEnv (fault_env.h) to script
+// failures — fail the Nth write/fsync/rename, short writes, ENOSPC,
+// EINTR — and to simulate a power cut that drops all un-synced data.
+//
+// The seam is deliberately narrow: whole-buffer writers (every index
+// image is built in memory and committed atomically), whole-file reads,
+// read-only mappings, and the directory metadata ops (rename, remove,
+// directory fsync) whose ordering the crash-safety story depends on.
+
+#ifndef LSHENSEMBLE_IO_ENV_H_
+#define LSHENSEMBLE_IO_ENV_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/file.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief A file open for appending. Append() retries interrupted and
+/// short raw writes internally (the EINTR loop lives here, once, for
+/// every Env implementation), so callers see all-or-error semantics.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Append `data`, looping over raw writes until fully written: raw
+  /// EINTR results retry, short writes continue from where they stopped,
+  /// any other raw error propagates.
+  Status Append(std::string_view data);
+
+  /// Flush and fsync the file's data to stable storage.
+  virtual Status Sync() = 0;
+  /// Close the file (idempotent; the destructor closes too, ignoring
+  /// errors — call Close() explicitly on the commit path).
+  virtual Status Close() = 0;
+
+ protected:
+  /// Outcome of one raw write attempt: an error, a retryable interrupt
+  /// (EINTR — `written` is ignored), or `written` bytes accepted
+  /// (possibly fewer than requested).
+  struct RawWrite {
+    Status status;
+    size_t written = 0;
+    bool interrupted = false;
+  };
+  virtual RawWrite WriteRaw(const char* data, size_t size) = 0;
+};
+
+/// \brief The file-operation seam. All methods are safe to call from
+/// multiple threads.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide real-filesystem Env (never null, never destroyed).
+  static Env* Default();
+
+  /// Open `path` for writing, truncating any existing file.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  /// Read the whole file into `*out`; NotFound when absent.
+  virtual Status ReadFileToString(const std::string& path,
+                                  std::string* out) = 0;
+  /// Read-only mapping of the whole file (real mmap on the default Env;
+  /// an owned-buffer view on in-memory Envs). NotFound when absent.
+  virtual Result<MappedFile> OpenMapped(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  /// Remove a file; missing files are not an error.
+  virtual Status RemoveFileIfExists(const std::string& path) = 0;
+  /// fsync a directory, making renames/unlinks/creates inside it durable.
+  virtual Status SyncDirectory(const std::string& dir) = 0;
+  /// mkdir -p. Existing directories are not an error.
+  virtual Status CreateDirectories(const std::string& dir) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// Names (not paths) of the regular files directly inside `dir`,
+  /// sorted ascending.
+  virtual Result<std::vector<std::string>> ListDirectory(
+      const std::string& dir) = 0;
+};
+
+/// Directory containing `path` ("." when `path` has no slash).
+std::string ParentDirectory(const std::string& path);
+
+/// \brief WriteFileAtomic through an explicit Env (file.h's two-argument
+/// form is this with Env::Default()): write + fsync `path + ".tmp"`,
+/// rename over `path`, fsync the directory. A failure at any step removes
+/// the temp file and leaves any previous `path` contents intact.
+Status WriteFileAtomic(Env* env, const std::string& path,
+                       const std::string& data);
+
+/// Env-explicit form of file.h's ReadFileToString.
+Status ReadFileToString(Env* env, const std::string& path, std::string* out);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_IO_ENV_H_

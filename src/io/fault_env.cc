@@ -1,0 +1,262 @@
+#include "io/fault_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lshensemble {
+
+namespace {
+
+/// True when `path` names a regular file directly inside `dir`.
+bool InDirectory(const std::string& path, const std::string& dir) {
+  return ParentDirectory(path) == dir;
+}
+
+}  // namespace
+
+/// Writer over one in-memory inode. All fault checks go through the
+/// owning env under its mutex, so concurrent writers and script edits
+/// are safe.
+class FaultInjectionWritableFile final : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env,
+                             std::shared_ptr<FaultInjectionEnv::Inode> inode,
+                             std::string path)
+      : env_(env), inode_(std::move(inode)), path_(std::move(path)) {}
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mutex_);
+    LSHE_RETURN_IF_ERROR(
+        env_->BeginMutatingOpLocked(FaultInjectionEnv::Op::kSync));
+    inode_->durable = inode_->content;
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ protected:
+  RawWrite WriteRaw(const char* data, size_t size) override {
+    std::lock_guard<std::mutex> lock(env_->mutex_);
+    if (env_->eintr_budget_ > 0) {
+      --env_->eintr_budget_;
+      return {Status::OK(), 0, true};
+    }
+    Status gate = env_->BeginMutatingOpLocked(FaultInjectionEnv::Op::kWrite);
+    if (!gate.ok()) return {std::move(gate), 0, false};
+    size_t accept = size;
+    if (env_->short_write_cap_ > 0) {
+      accept = std::min(accept, env_->short_write_cap_);
+    }
+    if (env_->bytes_written_ >= env_->write_budget_) {
+      return {Status::IOError("write " + path_ +
+                              ": No space left on device (simulated)"),
+              0, false};
+    }
+    accept = static_cast<size_t>(std::min<uint64_t>(
+        accept, env_->write_budget_ - env_->bytes_written_));
+    inode_->content.append(data, accept);
+    env_->bytes_written_ += accept;
+    return {Status::OK(), accept, false};
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::shared_ptr<FaultInjectionEnv::Inode> inode_;
+  std::string path_;
+};
+
+void FaultInjectionEnv::FailNth(Op op, size_t nth, Status status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_.push_back(ScriptedFault{op, nth, std::move(status)});
+}
+
+void FaultInjectionEnv::set_short_write_cap(size_t cap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  short_write_cap_ = cap;
+}
+
+void FaultInjectionEnv::InjectEintr(size_t times) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  eintr_budget_ = times;
+}
+
+void FaultInjectionEnv::SetWriteBudget(uint64_t budget) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_budget_ = budget;
+  bytes_written_ = 0;
+}
+
+void FaultInjectionEnv::CutPowerAfterOps(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  power_cut_after_ = ops_ + n;
+  power_lost_ = false;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_.clear();
+  short_write_cap_ = 0;
+  eintr_budget_ = 0;
+  write_budget_ = UINT64_MAX;
+  power_cut_after_ = UINT64_MAX;
+  power_lost_ = false;
+}
+
+void FaultInjectionEnv::LosePower() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The disk after the crash: durable entries only, each truncated to its
+  // synced bytes. Copy inodes so post-reboot writes don't disturb the
+  // captured durable images.
+  std::map<std::string, std::shared_ptr<Inode>> surviving;
+  for (const auto& [path, inode] : durable_) {
+    auto copy = std::make_shared<Inode>();
+    copy->content = inode->durable;
+    copy->durable = inode->durable;
+    surviving[path] = copy;
+  }
+  live_ = surviving;
+  durable_ = std::move(surviving);
+  faults_.clear();
+  short_write_cap_ = 0;
+  eintr_budget_ = 0;
+  write_budget_ = UINT64_MAX;
+  power_cut_after_ = UINT64_MAX;
+  power_lost_ = false;
+}
+
+uint64_t FaultInjectionEnv::mutating_op_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ops_;
+}
+
+void FaultInjectionEnv::set_metadata_durability(MetadataDurability mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metadata_mode_ = mode;
+}
+
+Status FaultInjectionEnv::BeginMutatingOpLocked(Op op) {
+  if (power_lost_ || ops_ >= power_cut_after_) {
+    power_lost_ = true;
+    return Status::IOError("simulated power loss");
+  }
+  ++ops_;
+  for (auto it = faults_.begin(); it != faults_.end(); ++it) {
+    if (it->op != op) continue;
+    if (--it->countdown == 0) {
+      Status failure = std::move(it->status);
+      faults_.erase(it);
+      return failure;
+    }
+    break;  // one armed script per op class counts down at a time
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LSHE_RETURN_IF_ERROR(BeginMutatingOpLocked(Op::kOpenWrite));
+  // Open-for-write starts a fresh inode: the truncation is volatile (a
+  // durable entry keeps pointing at the old inode until the next
+  // directory sync makes the new one visible).
+  auto inode = std::make_shared<Inode>();
+  live_[path] = inode;
+  if (metadata_mode_ == MetadataDurability::kEager) durable_[path] = inode;
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectionWritableFile(this, inode, path));
+}
+
+Status FaultInjectionEnv::ReadFileToString(const std::string& path,
+                                           std::string* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  *out = it->second->content;
+  return Status::OK();
+}
+
+Result<MappedFile> FaultInjectionEnv::OpenMapped(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = live_.find(path);
+  if (it == live_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return MappedFile::FromBuffer(it->second->content);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LSHE_RETURN_IF_ERROR(BeginMutatingOpLocked(Op::kRename));
+  auto it = live_.find(from);
+  if (it == live_.end()) {
+    return Status::IOError("rename " + from + " -> " + to +
+                           ": No such file (simulated)");
+  }
+  std::shared_ptr<Inode> inode = it->second;
+  live_.erase(it);
+  live_[to] = inode;
+  if (metadata_mode_ == MetadataDurability::kEager) {
+    durable_.erase(from);
+    durable_[to] = inode;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFileIfExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LSHE_RETURN_IF_ERROR(BeginMutatingOpLocked(Op::kRemove));
+  live_.erase(path);
+  if (metadata_mode_ == MetadataDurability::kEager) durable_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDirectory(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LSHE_RETURN_IF_ERROR(BeginMutatingOpLocked(Op::kDirSync));
+  // Entry changes in `dir` commit: the durable entry table for this
+  // directory becomes the live one. Data durability is untouched — a
+  // synced entry for an unsynced file surfaces truncated bytes after a
+  // crash, exactly the torn state fsync-before-rename exists to prevent.
+  for (auto it = durable_.begin(); it != durable_.end();) {
+    if (InDirectory(it->first, dir) && live_.count(it->first) == 0) {
+      it = durable_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [path, inode] : live_) {
+    if (InDirectory(path, dir)) durable_[path] = inode;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDirectories(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (power_lost_) return Status::IOError("simulated power loss");
+  (void)dir;  // directories are implicit in the flat in-memory namespace
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_.count(path) > 0;
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDirectory(
+    const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [path, inode] : live_) {
+    (void)inode;
+    if (InDirectory(path, dir)) {
+      names.push_back(path.substr(dir.size() + (dir == "/" ? 0 : 1)));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace lshensemble

@@ -1,0 +1,137 @@
+// FaultInjectionEnv: an in-memory Env with scriptable failures, for
+// crash-safety tests. It models the two-level durability a real POSIX
+// filesystem gives you:
+//
+//  * File DATA becomes durable only when the file is fsync'ed (Sync()).
+//  * Directory ENTRIES (creates, renames, unlinks) become durable only
+//    when the containing directory is fsync'ed — or immediately, in
+//    kEager metadata mode, which models journaling filesystems that
+//    commit metadata ahead of data. Crash-safe code must be correct
+//    under BOTH models; the crash matrix runs both.
+//
+// LosePower() is the crash: the live filesystem is reset to exactly the
+// durable state (un-synced data truncated away, un-synced entries
+// reverted). Scripted faults cover the other failure axis — the Nth
+// write/fsync/rename failing, short writes, ENOSPC after a byte budget,
+// EINTR storms — so both "the save returned an error" and "the machine
+// died mid-save" recoveries are testable deterministically.
+
+#ifndef LSHENSEMBLE_IO_FAULT_ENV_H_
+#define LSHENSEMBLE_IO_FAULT_ENV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+class FaultInjectionEnv : public Env {
+ public:
+  /// Operation classes a scripted fault can target.
+  enum class Op {
+    kOpenWrite,  // NewWritableFile
+    kWrite,      // one raw write attempt inside Append
+    kSync,       // WritableFile::Sync
+    kRename,
+    kRemove,
+    kDirSync,  // SyncDirectory
+  };
+
+  /// When directory-entry mutations become durable.
+  enum class MetadataDurability {
+    kStrictDirSync,  // entries survive a crash only after SyncDirectory
+    kEager,          // entries are durable immediately (data still isn't)
+  };
+
+  FaultInjectionEnv() = default;
+
+  // ---- Fault scripting (all reset by ClearFaults / LosePower) ----
+
+  /// Fail the `nth` upcoming occurrence of `op` (1 = the next one) with
+  /// `status`. Multiple scripts may be armed at once.
+  void FailNth(Op op, size_t nth, Status status);
+  /// Raw writes accept at most `cap` bytes each (0 disables): exercises
+  /// the short-write continuation loop in WritableFile::Append.
+  void set_short_write_cap(size_t cap);
+  /// The next `times` raw writes return EINTR before any byte lands:
+  /// exercises the retry loop in WritableFile::Append.
+  void InjectEintr(size_t times);
+  /// Total write capacity: once `budget` cumulative bytes have been
+  /// accepted, further writes fail with a simulated ENOSPC (the write
+  /// that crosses the boundary is accepted short first, like a real
+  /// filling disk).
+  void SetWriteBudget(uint64_t budget);
+  /// Let `n` more mutating ops succeed, then fail every subsequent one
+  /// with a simulated power loss. Pair with LosePower() to model the
+  /// machine dying at that boundary.
+  void CutPowerAfterOps(uint64_t n);
+  void ClearFaults();
+
+  /// \brief The crash: reset the live filesystem to the durable state and
+  /// clear all armed faults (the "reboot" reads a healthy disk).
+  void LosePower();
+
+  /// Mutating ops performed so far (open/write/sync/rename/remove/
+  /// dirsync). Run a save once uncut to size a crash matrix.
+  uint64_t mutating_op_count() const;
+
+  void set_metadata_durability(MetadataDurability mode);
+
+  // ---- Env interface (live view) ----
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  Result<MappedFile> OpenMapped(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFileIfExists(const std::string& path) override;
+  Status SyncDirectory(const std::string& dir) override;
+  Status CreateDirectories(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& dir) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  /// One file's bytes: `content` is the live view, `durable` what the
+  /// platters hold (updated by Sync).
+  struct Inode {
+    std::string content;
+    std::string durable;
+  };
+
+  struct ScriptedFault {
+    Op op;
+    size_t countdown;  // occurrences of `op` still to let through
+    Status status;
+  };
+
+  /// Power-cut gate + scripted-fault check + op accounting for one
+  /// mutating operation. OK means "proceed". Caller holds mutex_.
+  Status BeginMutatingOpLocked(Op op);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Inode>> live_;
+  std::map<std::string, std::shared_ptr<Inode>> durable_;
+  std::vector<ScriptedFault> faults_;
+  MetadataDurability metadata_mode_ = MetadataDurability::kStrictDirSync;
+  size_t short_write_cap_ = 0;
+  size_t eintr_budget_ = 0;
+  uint64_t write_budget_ = UINT64_MAX;
+  uint64_t bytes_written_ = 0;
+  uint64_t ops_ = 0;
+  uint64_t power_cut_after_ = UINT64_MAX;
+  bool power_lost_ = false;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_IO_FAULT_ENV_H_

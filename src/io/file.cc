@@ -1,10 +1,13 @@
 #include "io/file.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <utility>
+
+#include "io/env.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define LSHE_HAVE_POSIX_IO 1
@@ -22,17 +25,8 @@ std::string ErrnoMessage(const std::string& context) {
   return context + ": " + std::strerror(errno);
 }
 
-#if LSHE_HAVE_POSIX_IO
-/// fsync the directory containing `path`, so a rename inside it is
-/// durable. Best-effort failures are real IO errors and reported.
-Status SyncParentDirectory(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash == 0 ? 1 : slash);
-  return SyncDirectory(dir);
-}
-#endif
+/// MappedFile instances holding backing bytes; see LiveMappingCount().
+std::atomic<size_t> g_live_mappings{0};
 
 }  // namespace
 
@@ -54,46 +48,7 @@ Status SyncDirectory(const std::string& dir) {
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& data) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IOError(ErrnoMessage("open " + tmp));
-  }
-  if (!data.empty() &&
-      std::fwrite(data.data(), 1, data.size(), file) != data.size()) {
-    std::fclose(file);
-    std::remove(tmp.c_str());
-    return Status::IOError(ErrnoMessage("write " + tmp));
-  }
-  if (std::fflush(file) != 0) {
-    std::fclose(file);
-    std::remove(tmp.c_str());
-    return Status::IOError(ErrnoMessage("flush " + tmp));
-  }
-#if LSHE_HAVE_POSIX_IO
-  // Durability, not just atomicity: without this fsync the rename below
-  // can land on disk before the data blocks, and a crash then surfaces a
-  // truncated-but-committed image under the final name.
-  if (::fsync(::fileno(file)) != 0) {
-    std::fclose(file);
-    std::remove(tmp.c_str());
-    return Status::IOError(ErrnoMessage("fsync " + tmp));
-  }
-#endif
-  if (std::fclose(file) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError(ErrnoMessage("close " + tmp));
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError(ErrnoMessage("rename " + tmp + " -> " + path));
-  }
-#if LSHE_HAVE_POSIX_IO
-  // The rename is a directory mutation; sync the directory so the new
-  // entry (pointing at the synced data) survives a crash too.
-  LSHE_RETURN_IF_ERROR(SyncParentDirectory(path));
-#endif
-  return Status::OK();
+  return WriteFileAtomic(Env::Default(), path, data);
 }
 
 Status ReadFileToString(const std::string& path, std::string* out) {
@@ -131,6 +86,7 @@ MappedFile::MappedFile(MappedFile&& other) noexcept
       mapped_(std::exchange(other.mapped_, false)),
       fallback_(std::move(other.fallback_)) {
   if (!mapped_ && addr_ != nullptr) addr_ = fallback_.data();
+  other.fallback_.clear();  // moved-from must not look like live backing
 }
 
 MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
@@ -141,9 +97,21 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
     mapped_ = std::exchange(other.mapped_, false);
     fallback_ = std::move(other.fallback_);
     if (!mapped_ && addr_ != nullptr) addr_ = fallback_.data();
+    other.fallback_.clear();  // moved-from must not look like live backing
   }
   return *this;
 }
+
+MappedFile MappedFile::FromBuffer(std::string bytes) {
+  MappedFile result;
+  result.fallback_ = std::move(bytes);
+  result.addr_ = result.fallback_.data();
+  result.size_ = result.fallback_.size();
+  if (!result.fallback_.empty()) g_live_mappings.fetch_add(1);
+  return result;
+}
+
+size_t MappedFile::LiveMappingCount() { return g_live_mappings.load(); }
 
 MappedFile::~MappedFile() { Release(); }
 
@@ -180,6 +148,7 @@ void MappedFile::Advise(size_t offset, size_t length, Advice advice) const {
 }
 
 void MappedFile::Release() {
+  if (mapped_ || !fallback_.empty()) g_live_mappings.fetch_sub(1);
 #if LSHE_HAVE_POSIX_IO
   if (mapped_ && addr_ != nullptr) {
     ::munmap(const_cast<void*>(addr_), size_);
@@ -219,12 +188,14 @@ Result<MappedFile> MappedFile::Open(const std::string& path) {
   result.addr_ = addr;
   result.size_ = size;
   result.mapped_ = true;
+  g_live_mappings.fetch_add(1);
 #else
   // No mmap on this platform: fall back to a heap read. Correct, but the
   // open is O(file) and pages are private to this process.
   LSHE_RETURN_IF_ERROR(ReadFileToString(path, &result.fallback_));
   result.addr_ = result.fallback_.data();
   result.size_ = result.fallback_.size();
+  if (!result.fallback_.empty()) g_live_mappings.fetch_add(1);
 #endif
   return result;
 }

@@ -22,6 +22,7 @@ namespace lshensemble {
 /// \brief Write `data` to `path` atomically and durably: the data is
 /// written and fsync'ed to `path + ".tmp"`, renamed over `path`, and the
 /// containing directory is fsync'ed so the rename itself survives a crash.
+/// Equivalent to the env.h overload on Env::Default().
 Status WriteFileAtomic(const std::string& path, const std::string& data);
 
 /// \brief Read the entire file at `path` into `*out` (replacing its
@@ -51,6 +52,17 @@ class MappedFile {
 
   /// Map `path` read-only. Returns NotFound if it does not exist.
   static Result<MappedFile> Open(const std::string& path);
+
+  /// \brief Wrap an owned buffer in the MappedFile interface (the heap
+  /// fallback, no real mapping). In-memory Envs serve OpenMapped() with
+  /// this, so snapshot opens run unchanged under fault injection.
+  static MappedFile FromBuffer(std::string bytes);
+
+  /// \brief Number of MappedFile instances process-wide currently holding
+  /// backing bytes (a real mapping or an owned buffer). Snapshot opens
+  /// hold one per mapped image; tests assert a failed open leaves this at
+  /// its prior value — no leaked mapping handles.
+  static size_t LiveMappingCount();
 
   std::string_view data() const {
     return {static_cast<const char*>(addr_), size_};

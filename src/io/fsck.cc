@@ -1,0 +1,120 @@
+#include "io/fsck.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/sharded_ensemble.h"
+#include "io/coding.h"
+#include "io/ensemble_io.h"
+#include "io/snapshot.h"
+
+namespace lshensemble {
+
+namespace {
+
+/// The 8-byte header v1 images and v2 snapshots share (ensemble_io.cc).
+constexpr uint32_t kImageMagic = 0x4C534845u;  // "EHSL" LE = "LSHE"
+
+Result<uint32_t> PeekImageVersion(const std::string& path, Env* env) {
+  // Peek through a mapping so picking the verifier stays O(1) for huge
+  // v2 images (only the header page faults in).
+  auto mapped = env->OpenMapped(path);
+  if (!mapped.ok()) return mapped.status().WithMessagePrefix(path);
+  DecodeCursor cursor(mapped.value().data());
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!cursor.GetFixed32(&magic) || !cursor.GetFixed32(&version) ||
+      magic != kImageMagic) {
+    return Status::Corruption(path + ": not an index image (bad magic)");
+  }
+  return version;
+}
+
+}  // namespace
+
+Result<SnapshotVerifyReport> VerifySnapshotFile(const std::string& path,
+                                                Env* env) {
+  if (env == nullptr) env = Env::Default();
+  SnapshotVerifyReport report;
+  uint32_t version = 0;
+  LSHE_ASSIGN_OR_RETURN(version, PeekImageVersion(path, env));
+  report.format_version = version;
+  if (version >= kSnapshotFormatVersion) {
+    // v2: structural validation + the full segment checksum sweep.
+    SnapshotOpenOptions options;
+    options.verify_checksums = true;
+    options.env = env;
+    auto snapshot = MappedSnapshot::Open(path, options);
+    if (!snapshot.ok()) return snapshot.status().WithMessagePrefix(path);
+  } else {
+    // v1: a complete decode, which CRC-checks every block.
+    std::string image;
+    Status read = env->ReadFileToString(path, &image);
+    if (!read.ok()) return read.WithMessagePrefix(path);
+    auto decoded = DeserializeEnsemble(image);
+    if (!decoded.ok()) return decoded.status().WithMessagePrefix(path);
+  }
+  return report;
+}
+
+Result<SnapshotVerifyReport> VerifySnapshotDir(const std::string& dir,
+                                               bool quarantine_strays,
+                                               Env* env) {
+  if (env == nullptr) env = Env::Default();
+  SnapshotVerifyReport report;
+  report.sharded = true;
+  report.format_version = kSnapshotFormatVersion;
+
+  ShardSnapshotManifest manifest;
+  LSHE_ASSIGN_OR_RETURN(manifest,
+                        ShardedEnsemble::ReadSnapshotManifest(dir, env));
+
+  SnapshotOpenOptions open_options;
+  open_options.verify_checksums = true;
+  open_options.env = env;
+  std::set<std::string> expected = {"MANIFEST"};
+  for (size_t s = 0; s < manifest.num_shards; ++s) {
+    const std::string name = ShardedEnsemble::ShardSnapshotFileName(s);
+    expected.insert(name);
+    const std::string shard_path = dir + "/" + name;
+    auto snapshot = MappedSnapshot::Open(shard_path, open_options);
+    if (!snapshot.ok()) {
+      return snapshot.status().WithMessagePrefix(shard_path);
+    }
+    const MappedSnapshot& opened = *snapshot.value();
+    if (opened.seed() != manifest.seed ||
+        opened.options().num_hashes !=
+            static_cast<int>(manifest.num_hashes)) {
+      return Status::Corruption(
+          shard_path + ": shard disagrees with the manifest hash family");
+    }
+    ++report.shards_verified;
+  }
+
+  // Anything the manifest does not bless — orphaned *.tmp from a torn
+  // save, shard files beyond num_shards from an aborted re-save — is a
+  // stray. Quarantine preserves the bytes for inspection; nothing is
+  // ever deleted here.
+  std::vector<std::string> entries;
+  LSHE_ASSIGN_OR_RETURN(entries, env->ListDirectory(dir));
+  for (const std::string& name : entries) {
+    if (name == "quarantine" || name.find('/') != std::string::npos) {
+      continue;  // already-quarantined files (flat in-memory namespaces)
+    }
+    if (expected.count(name) == 0) report.stray_files.push_back(name);
+  }
+  std::sort(report.stray_files.begin(), report.stray_files.end());
+  if (quarantine_strays && !report.stray_files.empty()) {
+    const std::string quarantine_dir = dir + "/quarantine";
+    LSHE_RETURN_IF_ERROR(env->CreateDirectories(quarantine_dir));
+    for (const std::string& name : report.stray_files) {
+      LSHE_RETURN_IF_ERROR(
+          env->RenameFile(dir + "/" + name, quarantine_dir + "/" + name));
+    }
+    LSHE_RETURN_IF_ERROR(env->SyncDirectory(dir));
+    report.strays_quarantined = true;
+  }
+  return report;
+}
+
+}  // namespace lshensemble

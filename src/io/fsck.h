@@ -1,0 +1,67 @@
+// Snapshot verification (fsck for index images).
+//
+// A crash — or an operator's rsync — can leave a snapshot directory with
+// leftovers the atomic-save protocol makes harmless but untidy: orphaned
+// *.tmp files from a torn WriteFileAtomic, shard files from an aborted
+// re-save that no manifest blesses. VerifySnapshotDir proves the
+// directory is a complete, internally consistent image (manifest CRC,
+// every shard present, every shard's full checksum sweep passing, hash
+// family agreeing across all of them) and, on request, sweeps anything
+// the manifest does not name into a `quarantine/` subdirectory instead
+// of deleting it — recovery tooling stays able to inspect the strays.
+//
+// VerifySnapshotFile is the single-file counterpart: a v2 snapshot gets
+// the full structural + checksum validation of MappedSnapshot::Open; a
+// v1 image gets a complete decode (which verifies its CRC).
+//
+// Both are read-only apart from the opt-in quarantine moves, and both
+// name the failing file in every error. The `lshe verify` CLI subcommand
+// and the crash-recovery tests are the main callers.
+
+#ifndef LSHENSEMBLE_IO_FSCK_H_
+#define LSHENSEMBLE_IO_FSCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+
+/// \brief What a verification pass established.
+struct SnapshotVerifyReport {
+  /// True for a sharded directory, false for a single-file image.
+  bool sharded = false;
+  /// On-disk format of the (first) verified image: 1 or 2.
+  uint32_t format_version = 0;
+  /// Shards that passed the full checksum sweep (directories only).
+  size_t shards_verified = 0;
+  /// Files the manifest does not name, moved to `dir`/quarantine/ (only
+  /// when `quarantine_strays` was set; otherwise the strays found are
+  /// still listed here, unmoved).
+  std::vector<std::string> stray_files;
+  /// True when stray_files were actually moved.
+  bool strays_quarantined = false;
+};
+
+/// \brief Verify a single snapshot/ensemble image file (v1 or v2),
+/// checksums included. `env` selects file operations (nullptr =
+/// Env::Default()).
+Result<SnapshotVerifyReport> VerifySnapshotFile(const std::string& path,
+                                                Env* env = nullptr);
+
+/// \brief Verify a ShardedEnsemble::SaveSnapshot directory: manifest CRC,
+/// every shard opened with full checksum verification (errors name the
+/// failing shard file), hash family consistent across shards. When
+/// `quarantine_strays` is set, files the manifest does not name are
+/// moved to `dir`/quarantine/ (created on demand).
+Result<SnapshotVerifyReport> VerifySnapshotDir(const std::string& dir,
+                                               bool quarantine_strays,
+                                               Env* env = nullptr);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_IO_FSCK_H_

@@ -882,7 +882,8 @@ class SnapshotIO {
 
 Result<std::shared_ptr<const MappedSnapshot>> MappedSnapshot::Open(
     const std::string& path, const SnapshotOpenOptions& options) {
-  auto file = MappedFile::Open(path);
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  auto file = env->OpenMapped(path);
   if (!file.ok()) return file.status();
   // shared_ptr<MappedSnapshot> with a private ctor: allocate directly.
   std::shared_ptr<MappedSnapshot> snapshot(new MappedSnapshot());
@@ -910,10 +911,10 @@ Status SerializeEnsembleSnapshot(const LshEnsemble& ensemble,
 }
 
 Status WriteEnsembleSnapshot(const LshEnsemble& ensemble,
-                             const std::string& path) {
+                             const std::string& path, Env* env) {
   std::string image;
   LSHE_RETURN_IF_ERROR(SerializeEnsembleSnapshot(ensemble, &image));
-  return WriteFileAtomic(path, image);
+  return WriteFileAtomic(env != nullptr ? env : Env::Default(), path, image);
 }
 
 namespace {
@@ -958,10 +959,10 @@ Status SerializeDynamicSnapshot(const DynamicLshEnsemble& index,
 }
 
 Status WriteDynamicSnapshot(const DynamicLshEnsemble& index,
-                            const std::string& path) {
+                            const std::string& path, Env* env) {
   std::string image;
   LSHE_RETURN_IF_ERROR(SerializeDynamicSnapshot(index, &image));
-  return WriteFileAtomic(path, image);
+  return WriteFileAtomic(env != nullptr ? env : Env::Default(), path, image);
 }
 
 Result<DynamicLshEnsemble> OpenDynamicSnapshot(

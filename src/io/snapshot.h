@@ -50,6 +50,7 @@
 
 #include "core/dynamic_ensemble.h"
 #include "core/lsh_ensemble.h"
+#include "io/env.h"
 #include "io/file.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -71,6 +72,9 @@ struct SnapshotOpenOptions {
   /// hint over the segment extents for the verification sweep, reset to
   /// normal afterwards so serving probes keep default readahead.
   bool apply_madvise = true;
+  /// File operations used by the open (nullptr = Env::Default()). Fault
+  /// and in-memory Envs serve the mapping from their own backing.
+  Env* env = nullptr;
 };
 
 /// \brief An open, validated v2 snapshot: the mapping plus its parsed
@@ -169,9 +173,10 @@ Status SerializeEnsembleSnapshot(const LshEnsemble& ensemble,
                                  std::string* out);
 
 /// \brief Write a v2 snapshot of `ensemble` to `path` (atomic + durable:
-/// temp file, fsync, rename, directory fsync).
+/// temp file, fsync, rename, directory fsync). `env` selects the file
+/// operations (nullptr = Env::Default()).
 Status WriteEnsembleSnapshot(const LshEnsemble& ensemble,
-                             const std::string& path);
+                             const std::string& path, Env* env = nullptr);
 
 /// \brief Open a v2 snapshot with zero arena copies: forests borrow the
 /// mapped segments and keep the snapshot alive. Queries answer
@@ -193,7 +198,7 @@ Status SerializeDynamicSnapshot(const DynamicLshEnsemble& index,
 
 /// \brief WriteEnsembleSnapshot's dynamic counterpart (atomic + durable).
 Status WriteDynamicSnapshot(const DynamicLshEnsemble& index,
-                            const std::string& path);
+                            const std::string& path, Env* env = nullptr);
 
 /// \brief Open a dynamic index from a v2 snapshot with zero arena copies:
 /// the indexed portion (arenas + side-car signatures) is served from the

@@ -1,0 +1,33 @@
+// Monotonic time for query deadlines. Deadlines are absolute
+// steady-clock nanosecond stamps (0 = none), so they cost one clock read
+// to check and survive being copied through batch re-staging.
+
+#ifndef LSHENSEMBLE_UTIL_CLOCK_H_
+#define LSHENSEMBLE_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace lshensemble {
+
+/// Now on the monotonic clock, in nanoseconds since an arbitrary epoch.
+inline uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// An absolute deadline `micros` from now (for QuerySpec::deadline_ns).
+inline uint64_t DeadlineAfterMicros(uint64_t micros) {
+  return SteadyNowNanos() + micros * 1000;
+}
+
+/// True when `deadline_ns` is set and has passed.
+inline bool DeadlineExpired(uint64_t deadline_ns) {
+  return deadline_ns != 0 && SteadyNowNanos() >= deadline_ns;
+}
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_UTIL_CLOCK_H_

@@ -27,6 +27,8 @@ class Status {
     kNotSupported,
     kIOError,
     kInternal,
+    kDeadlineExceeded,
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -57,6 +59,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -72,9 +80,18 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// Human-readable rendering, e.g. "InvalidArgument: num_hashes must be > 0".
   std::string ToString() const;
+
+  /// Same code, message prefixed with "`prefix`: " — for adding context
+  /// (e.g. the failing file) while propagating. No-op on an OK status.
+  Status WithMessagePrefix(std::string prefix) const {
+    if (ok()) return *this;
+    return Status(code_, std::move(prefix) + ": " + message_);
+  }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_;

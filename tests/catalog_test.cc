@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "io/file.h"
+#include "test_tmp.h"
 #include "util/random.h"
 
 namespace lshensemble {
@@ -27,7 +28,7 @@ class CatalogTest : public ::testing::Test {
   void TearDown() override { RemoveFileIfExists(path_).ok(); }
 
   std::shared_ptr<const HashFamily> family_;
-  std::string path_ = ::testing::TempDir() + "/lshe_catalog_test.bin";
+  std::string path_ = ProcessTempPath("lshe_catalog_test.bin");
 };
 
 TEST_F(CatalogTest, AddAndFind) {
@@ -136,7 +137,7 @@ TEST_F(CatalogTest, ToSketchStore) {
 }
 
 TEST_F(CatalogTest, MissingFileIsNotFound) {
-  auto loaded = Catalog::Load(::testing::TempDir() + "/no_such_catalog");
+  auto loaded = Catalog::Load(ProcessTempPath("no_such_catalog"));
   ASSERT_FALSE(loaded.ok());
   EXPECT_TRUE(loaded.status().IsNotFound());
 }

@@ -1,0 +1,335 @@
+// The crash-recovery matrix: simulate a power cut after EVERY mutating
+// file operation of a save and assert recovery never sees a torn image.
+//
+// Two protocols are swept, under BOTH metadata-durability models (strict
+// directory-fsync and eager/journaling):
+//
+//  * WriteFileAtomic: after a cut at any boundary, the destination path
+//    must read back as exactly the complete old bytes or the complete
+//    new bytes — rename atomicity end to end.
+//  * ShardedEnsemble::SaveSnapshot (invalidate-then-commit): after a cut
+//    at any boundary, the directory either reopens as one complete
+//    generation (old or new, verified by query results) or REFUSES to
+//    open — never opens inconsistently — and a fresh save over the
+//    debris, plus an fsck quarantine pass, always recovers it.
+//
+// The matrix is sized by running each save once uncut and counting its
+// mutating ops, so protocol changes automatically widen the sweep.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sharded_ensemble.h"
+#include "data/corpus.h"
+#include "io/env.h"
+#include "io/fault_env.h"
+#include "io/fsck.h"
+#include "io/snapshot.h"
+#include "minhash/minhash.h"
+#include "workload/generator.h"
+
+namespace lshensemble {
+namespace {
+
+using MetadataDurability = FaultInjectionEnv::MetadataDurability;
+
+constexpr MetadataDurability kBothModes[] = {
+    MetadataDurability::kStrictDirSync, MetadataDurability::kEager};
+
+const char* ModeName(MetadataDurability mode) {
+  return mode == MetadataDurability::kEager ? "eager" : "strict-dirsync";
+}
+
+// ------------------------------------------- WriteFileAtomic matrix
+
+void RunAtomicWriteMatrix(MetadataDurability mode) {
+  SCOPED_TRACE(ModeName(mode));
+  const std::string path = "snap/image.bin";
+  const std::string old_image = "OLD " + std::string(2048, 'a');
+  const std::string new_image = "NEW " + std::string(3000, 'b');
+
+  // Size the matrix: ops in one re-save over an existing image.
+  uint64_t total_ops = 0;
+  {
+    FaultInjectionEnv probe;
+    probe.set_metadata_durability(mode);
+    ASSERT_TRUE(WriteFileAtomic(&probe, path, old_image).ok());
+    const uint64_t before = probe.mutating_op_count();
+    ASSERT_TRUE(WriteFileAtomic(&probe, path, new_image).ok());
+    total_ops = probe.mutating_op_count() - before;
+  }
+  ASSERT_GT(total_ops, 3u);  // open + write + sync + rename at minimum
+
+  for (uint64_t cut = 0; cut <= total_ops; ++cut) {
+    SCOPED_TRACE("cut after save op " + std::to_string(cut));
+    FaultInjectionEnv env;
+    env.set_metadata_durability(mode);
+    ASSERT_TRUE(WriteFileAtomic(&env, path, old_image).ok());
+    env.CutPowerAfterOps(cut);
+    const Status save = WriteFileAtomic(&env, path, new_image);
+    if (cut >= total_ops) {
+      ASSERT_TRUE(save.ok()) << save.ToString();
+    }
+    env.LosePower();
+
+    std::string recovered;
+    ASSERT_TRUE(env.ReadFileToString(path, &recovered).ok());
+    EXPECT_TRUE(recovered == old_image || recovered == new_image)
+        << "torn image: " << recovered.substr(0, 16) << "... ("
+        << recovered.size() << " bytes)";
+    if (cut >= total_ops) {
+      EXPECT_EQ(recovered, new_image);
+    }
+  }
+}
+
+TEST(CrashRecoveryTest, AtomicWriteMatrixOldOrNewAtEveryCut) {
+  for (const auto mode : kBothModes) RunAtomicWriteMatrix(mode);
+}
+
+// --------------------------------------- sharded SaveSnapshot matrix
+
+constexpr int kNumHashes = 64;
+
+ShardedEnsembleOptions ServingOptions() {
+  ShardedEnsembleOptions options;
+  options.base.base.num_partitions = 4;
+  options.base.base.num_hashes = kNumHashes;
+  options.base.base.tree_depth = 4;
+  options.base.min_delta_for_rebuild = 1 << 30;
+  options.num_shards = 2;
+  return options;
+}
+
+class ShardedCrashMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    family_ = HashFamily::Create(kNumHashes, 21).value();
+    CorpusGenOptions gen;
+    gen.num_domains = 60;
+    gen.seed = 4242;
+    corpus_ = CorpusGenerator(gen).Generate().value();
+    for (size_t i = 0; i < corpus_->size(); ++i) {
+      sketches_.push_back(
+          MinHash::FromValues(family_, corpus_->domain(i).values));
+    }
+
+    // Generation A: the first 40 domains, flushed. Generation B: all 60,
+    // with the last 20 left in the delta so the save covers the overlay
+    // path too.
+    index_a_ = ShardedEnsemble::Create(ServingOptions(), family_).value();
+    index_b_ = ShardedEnsemble::Create(ServingOptions(), family_).value();
+    for (size_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE(Insert(*index_a_, i).ok());
+      ASSERT_TRUE(Insert(*index_b_, i).ok());
+    }
+    ASSERT_TRUE(index_a_->Flush().ok());
+    ASSERT_TRUE(index_b_->Flush().ok());
+    for (size_t i = 40; i < corpus_->size(); ++i) {
+      ASSERT_TRUE(Insert(*index_b_, i).ok());
+    }
+
+    for (size_t j = 0; j < 12; ++j) {
+      const size_t pick = (j * 7) % corpus_->size();
+      specs_.push_back(
+          QuerySpec{&sketches_[pick], corpus_->domain(pick).size(), 0.4});
+    }
+    expected_a_ = QueryAll(*index_a_);
+    expected_b_ = QueryAll(*index_b_);
+    ASSERT_NE(expected_a_, expected_b_);  // the generations are tellable
+  }
+
+  Status Insert(ShardedEnsemble& index, size_t i) const {
+    const Domain& domain = corpus_->domain(i);
+    return index.Insert(domain.id, domain.size(), sketches_[i]);
+  }
+
+  std::vector<std::vector<uint64_t>> QueryAll(
+      const ShardedEnsemble& index) const {
+    std::vector<std::vector<uint64_t>> outs(specs_.size());
+    EXPECT_TRUE(index.BatchQuery(specs_, outs.data()).ok());
+    return outs;
+  }
+
+  std::shared_ptr<const HashFamily> family_;
+  std::optional<Corpus> corpus_;
+  std::vector<MinHash> sketches_;
+  std::optional<ShardedEnsemble> index_a_;
+  std::optional<ShardedEnsemble> index_b_;
+  std::vector<QuerySpec> specs_;
+  std::vector<std::vector<uint64_t>> expected_a_;
+  std::vector<std::vector<uint64_t>> expected_b_;
+};
+
+TEST_F(ShardedCrashMatrixTest, EveryCutRecoversToOneGeneration) {
+  const std::string dir = "serving/snap";
+  for (const auto mode : kBothModes) {
+    SCOPED_TRACE(ModeName(mode));
+
+    // Size the matrix: ops in one re-save of B over an existing A.
+    uint64_t total_ops = 0;
+    {
+      FaultInjectionEnv probe;
+      probe.set_metadata_durability(mode);
+      ASSERT_TRUE(index_a_->SaveSnapshot(dir, &probe).ok());
+      const uint64_t before = probe.mutating_op_count();
+      ASSERT_TRUE(index_b_->SaveSnapshot(dir, &probe).ok());
+      total_ops = probe.mutating_op_count() - before;
+    }
+    ASSERT_GT(total_ops, 6u);
+
+    size_t opened_old = 0, opened_new = 0, refused = 0;
+    for (uint64_t cut = 0; cut <= total_ops; ++cut) {
+      SCOPED_TRACE("cut after save op " + std::to_string(cut));
+      FaultInjectionEnv env;
+      env.set_metadata_durability(mode);
+      ASSERT_TRUE(index_a_->SaveSnapshot(dir, &env).ok());
+      env.CutPowerAfterOps(cut);
+      const Status save = index_b_->SaveSnapshot(dir, &env);
+      if (cut >= total_ops) {
+        ASSERT_TRUE(save.ok()) << save.ToString();
+      }
+      env.LosePower();
+
+      SnapshotOpenOptions open_options;
+      open_options.env = &env;
+      auto reopened =
+          ShardedEnsemble::OpenSnapshot(dir, ServingOptions(), open_options);
+      if (reopened.ok()) {
+        // Whatever survived must answer as exactly ONE generation.
+        const auto results = QueryAll(reopened.value());
+        EXPECT_TRUE(results == expected_a_ || results == expected_b_)
+            << "reopened snapshot is neither generation";
+        (results == expected_a_ ? opened_old : opened_new)++;
+        if (save.ok()) {
+          EXPECT_EQ(results, expected_b_);
+        }
+      } else {
+        // Torn mid-save: invalidate-then-commit retracted the manifest,
+        // so the directory refuses to open. fsck must agree, and a fresh
+        // save over the debris must fully recover it.
+        ++refused;
+        EXPECT_FALSE(save.ok());
+        EXPECT_FALSE(VerifySnapshotDir(dir, false, &env).ok());
+        ASSERT_TRUE(index_b_->SaveSnapshot(dir, &env).ok());
+        auto report = VerifySnapshotDir(dir, /*quarantine_strays=*/true, &env);
+        ASSERT_TRUE(report.ok()) << report.status().ToString();
+        EXPECT_EQ(report.value().shards_verified, 2u);
+        auto clean = VerifySnapshotDir(dir, false, &env);
+        ASSERT_TRUE(clean.ok());
+        EXPECT_TRUE(clean.value().stray_files.empty());
+        auto recovered =
+            ShardedEnsemble::OpenSnapshot(dir, ServingOptions(), open_options);
+        ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+        EXPECT_EQ(QueryAll(recovered.value()), expected_b_);
+      }
+    }
+    // The sweep must actually traverse all three recovery outcomes.
+    EXPECT_GT(opened_old, 0u) << ModeName(mode);
+    EXPECT_GT(opened_new, 0u) << ModeName(mode);
+    EXPECT_GT(refused, 0u) << ModeName(mode);
+  }
+}
+
+// A save that FAILS (as opposed to the machine dying) must also leave
+// the previous generation intact and openable — the error-return path
+// shares the matrix's guarantee without needing a reboot.
+TEST_F(ShardedCrashMatrixTest, FailedSaveLeavesOldGenerationServing) {
+  const std::string dir = "serving/snap";
+  using Op = FaultInjectionEnv::Op;
+  for (const Op op : {Op::kOpenWrite, Op::kWrite, Op::kSync, Op::kRename}) {
+    SCOPED_TRACE(static_cast<int>(op));
+    FaultInjectionEnv env;
+    ASSERT_TRUE(index_a_->SaveSnapshot(dir, &env).ok());
+    // Fail the SECOND occurrence so the save dies mid-protocol, past the
+    // invalidation step, with shard debris on disk.
+    env.FailNth(op, 2, Status::IOError("injected save failure"));
+    EXPECT_FALSE(index_b_->SaveSnapshot(dir, &env).ok());
+    env.ClearFaults();
+
+    // The old manifest was already retracted (invalidate-then-commit), so
+    // the directory refuses to open; a retry of the save recovers.
+    SnapshotOpenOptions open_options;
+    open_options.env = &env;
+    ASSERT_TRUE(index_b_->SaveSnapshot(dir, &env).ok());
+    auto reopened =
+        ShardedEnsemble::OpenSnapshot(dir, ServingOptions(), open_options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(QueryAll(reopened.value()), expected_b_);
+  }
+}
+
+// Power cut during the very FIRST save into an empty directory: recovery
+// must find either a complete snapshot or a directory that refuses to
+// open — and never a half-written one that opens.
+TEST_F(ShardedCrashMatrixTest, FirstSaveCutLeavesNothingTorn) {
+  const std::string dir = "fresh/snap";
+  uint64_t total_ops = 0;
+  {
+    FaultInjectionEnv probe;
+    ASSERT_TRUE(index_a_->SaveSnapshot(dir, &probe).ok());
+    total_ops = probe.mutating_op_count();
+  }
+  for (uint64_t cut = 0; cut <= total_ops; cut += 2) {
+    SCOPED_TRACE("cut after save op " + std::to_string(cut));
+    FaultInjectionEnv env;
+    env.CutPowerAfterOps(cut);
+    const Status save = index_a_->SaveSnapshot(dir, &env);
+    if (cut >= total_ops) {
+      ASSERT_TRUE(save.ok());
+    }
+    env.LosePower();
+    SnapshotOpenOptions open_options;
+    open_options.env = &env;
+    auto reopened =
+        ShardedEnsemble::OpenSnapshot(dir, ServingOptions(), open_options);
+    if (reopened.ok()) {
+      EXPECT_EQ(QueryAll(reopened.value()), expected_a_);
+    } else if (save.ok()) {
+      FAIL() << "completed save failed to reopen: "
+             << reopened.status().ToString();
+    }
+  }
+}
+
+// ------------------------- single-file dynamic snapshot, failed saves
+
+TEST(DynamicSnapshotCrashTest, FailedResaveLeavesOldImageOpenable) {
+  constexpr int kHashes = 32;
+  auto family = HashFamily::Create(kHashes, 3).value();
+  DynamicEnsembleOptions options;
+  options.base.num_partitions = 4;
+  options.base.num_hashes = kHashes;
+  options.base.tree_depth = 4;
+  auto index = DynamicLshEnsemble::Create(options, family).value();
+  std::vector<uint64_t> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(index.Insert(7, values).ok());
+  ASSERT_TRUE(index.Flush().ok());
+
+  FaultInjectionEnv env;
+  const std::string path = "d/index.lshe2";
+  ASSERT_TRUE(WriteDynamicSnapshot(index, path, &env).ok());
+  ASSERT_TRUE(index.Insert(8, values).ok());
+
+  using Op = FaultInjectionEnv::Op;
+  for (const Op op : {Op::kWrite, Op::kSync, Op::kRename}) {
+    SCOPED_TRACE(static_cast<int>(op));
+    env.FailNth(op, 1, Status::IOError("injected"));
+    EXPECT_FALSE(WriteDynamicSnapshot(index, path, &env).ok());
+    env.ClearFaults();
+
+    SnapshotOpenOptions open_options;
+    open_options.env = &env;
+    auto reopened = OpenDynamicSnapshot(path, options, open_options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(reopened.value().size(), 1u);  // still generation A
+  }
+}
+
+}  // namespace
+}  // namespace lshensemble

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/corpus.h"
+#include "test_tmp.h"
 #include "data/csv.h"
 #include "data/domain.h"
 #include "data/table.h"
@@ -187,7 +188,7 @@ TEST(CsvTest, EmptyInput) {
 }
 
 TEST(CsvTest, ReadFileRoundTrip) {
-  const std::string path = ::testing::TempDir() + "/lshe_csv_test.csv";
+  const std::string path = ProcessTempPath("lshe_csv_test.csv");
   {
     std::ofstream file(path);
     file << "Partner,Province\nAcme,Ontario\nBeta,Quebec\n";

@@ -1,0 +1,280 @@
+// The Env seam and its fault-injection implementation. The contract
+// under test: WritableFile::Append gives all-or-error semantics over
+// arbitrarily hostile raw writes (EINTR storms, short writes, a filling
+// disk), WriteFileAtomic never leaves a torn destination no matter which
+// step fails, and FaultInjectionEnv's two-level durability model (data
+// on fsync, entries on directory fsync or eagerly) drops exactly the
+// un-synced state at LosePower().
+
+#include "io/env.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "io/fault_env.h"
+#include "io/file.h"
+#include "test_tmp.h"
+
+namespace lshensemble {
+namespace {
+
+using Op = FaultInjectionEnv::Op;
+using MetadataDurability = FaultInjectionEnv::MetadataDurability;
+
+std::string ReadAll(Env& env, const std::string& path) {
+  std::string out;
+  EXPECT_TRUE(env.ReadFileToString(path, &out).ok()) << path;
+  return out;
+}
+
+TEST(ParentDirectoryTest, SplitsOnLastSlash) {
+  EXPECT_EQ(ParentDirectory("a/b/c.bin"), "a/b");
+  EXPECT_EQ(ParentDirectory("a/c.bin"), "a");
+  EXPECT_EQ(ParentDirectory("c.bin"), ".");
+}
+
+// ------------------------------------------------ fault env: data plane
+
+TEST(FaultEnvTest, AppendRetriesEintrToCompletion) {
+  FaultInjectionEnv env;
+  env.InjectEintr(3);
+  auto file = env.NewWritableFile("f").value();
+  ASSERT_TRUE(file->Append("hello world").ok());
+  ASSERT_TRUE(file->Close().ok());
+  EXPECT_EQ(ReadAll(env, "f"), "hello world");
+}
+
+TEST(FaultEnvTest, AppendContinuesAfterShortWrites) {
+  FaultInjectionEnv env;
+  env.set_short_write_cap(3);
+  const uint64_t before = env.mutating_op_count();
+  auto file = env.NewWritableFile("f").value();
+  ASSERT_TRUE(file->Append("0123456789").ok());
+  ASSERT_TRUE(file->Close().ok());
+  EXPECT_EQ(ReadAll(env, "f"), "0123456789");
+  // 1 open + ceil(10/3) = 4 raw writes: the continuation loop really did
+  // go around, it didn't get one lucky full write.
+  EXPECT_EQ(env.mutating_op_count() - before, 5u);
+}
+
+TEST(FaultEnvTest, WriteBudgetActsLikeFillingDisk) {
+  FaultInjectionEnv env;
+  env.SetWriteBudget(4);
+  auto file = env.NewWritableFile("f").value();
+  const Status status = file->Append("abcdefgh");
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_NE(status.message().find("No space"), std::string::npos);
+  // The boundary-crossing write lands short first, like a real disk.
+  EXPECT_EQ(ReadAll(env, "f"), "abcd");
+}
+
+TEST(FaultEnvTest, FailNthTargetsOneOpClass) {
+  FaultInjectionEnv env;
+  env.FailNth(Op::kSync, 1, Status::IOError("sync boom"));
+  auto file = env.NewWritableFile("f").value();
+  ASSERT_TRUE(file->Append("data").ok());  // writes unaffected
+  const Status sync = file->Sync();
+  ASSERT_FALSE(sync.ok());
+  EXPECT_NE(sync.message().find("sync boom"), std::string::npos);
+  EXPECT_TRUE(file->Sync().ok());  // the script fired once and is gone
+}
+
+TEST(FaultEnvTest, FailNthCountsOccurrences) {
+  FaultInjectionEnv env;
+  env.FailNth(Op::kWrite, 2, Status::IOError("second write boom"));
+  auto file = env.NewWritableFile("f").value();
+  ASSERT_TRUE(file->Append("one").ok());
+  EXPECT_FALSE(file->Append("two").ok());
+  EXPECT_EQ(ReadAll(env, "f"), "one");
+}
+
+TEST(FaultEnvTest, RenameOfMissingSourceFails) {
+  FaultInjectionEnv env;
+  EXPECT_TRUE(env.RenameFile("nope", "somewhere").IsIOError());
+  EXPECT_FALSE(env.FileExists("somewhere"));
+  std::string out;
+  EXPECT_TRUE(env.ReadFileToString("nope", &out).IsNotFound());
+}
+
+TEST(FaultEnvTest, ListDirectoryStripsPrefixAndSorts) {
+  FaultInjectionEnv env;
+  for (const char* name : {"d/b", "d/a", "d/c", "other/x"}) {
+    auto file = env.NewWritableFile(name).value();
+    ASSERT_TRUE(file->Close().ok());
+  }
+  const std::vector<std::string> entries = env.ListDirectory("d").value();
+  EXPECT_EQ(entries, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(FaultEnvTest, OpenMappedServesLiveBytes) {
+  FaultInjectionEnv env;
+  auto file = env.NewWritableFile("f").value();
+  ASSERT_TRUE(file->Append("mapped bytes").ok());
+  ASSERT_TRUE(file->Close().ok());
+  const MappedFile mapped = env.OpenMapped("f").value();
+  EXPECT_EQ(mapped.data(), "mapped bytes");
+  EXPECT_TRUE(env.OpenMapped("missing").status().IsNotFound());
+}
+
+// ------------------------------------------- fault env: durability plane
+
+TEST(FaultEnvTest, UnsyncedDataDoesNotSurviveLosePower) {
+  for (const auto mode :
+       {MetadataDurability::kStrictDirSync, MetadataDurability::kEager}) {
+    SCOPED_TRACE(mode == MetadataDurability::kEager ? "eager" : "strict");
+    FaultInjectionEnv env;
+    env.set_metadata_durability(mode);
+    auto file = env.NewWritableFile("d/f").value();
+    ASSERT_TRUE(file->Append("never synced").ok());
+    ASSERT_TRUE(file->Close().ok());
+    env.LosePower();
+    if (mode == MetadataDurability::kEager) {
+      // Journaling metadata commits the entry ahead of the data: the file
+      // exists, empty — exactly the torn state crash-safe code must expect.
+      ASSERT_TRUE(env.FileExists("d/f"));
+      EXPECT_EQ(ReadAll(env, "d/f"), "");
+    } else {
+      // The entry was never directory-fsynced: the file is simply gone.
+      EXPECT_FALSE(env.FileExists("d/f"));
+    }
+  }
+}
+
+TEST(FaultEnvTest, SyncPlusDirSyncMakesFileDurable) {
+  for (const auto mode :
+       {MetadataDurability::kStrictDirSync, MetadataDurability::kEager}) {
+    SCOPED_TRACE(mode == MetadataDurability::kEager ? "eager" : "strict");
+    FaultInjectionEnv env;
+    env.set_metadata_durability(mode);
+    auto file = env.NewWritableFile("d/f").value();
+    ASSERT_TRUE(file->Append("durable").ok());
+    ASSERT_TRUE(file->Sync().ok());
+    ASSERT_TRUE(file->Close().ok());
+    ASSERT_TRUE(env.SyncDirectory("d").ok());
+    env.LosePower();
+    EXPECT_EQ(ReadAll(env, "d/f"), "durable");
+  }
+}
+
+TEST(FaultEnvTest, CutPowerFailsEverySubsequentOp) {
+  FaultInjectionEnv env;
+  env.CutPowerAfterOps(1);
+  auto file = env.NewWritableFile("f").value();  // op 1: allowed
+  const Status write = file->Append("x");        // op 2: the cut
+  ASSERT_FALSE(write.ok());
+  EXPECT_NE(write.message().find("power"), std::string::npos);
+  EXPECT_FALSE(env.RenameFile("f", "g").ok());  // stays down until reboot
+  env.LosePower();
+  EXPECT_FALSE(env.FileExists("f"));  // nothing was durable
+  auto after = env.NewWritableFile("f");  // the reboot reads a healthy disk
+  ASSERT_TRUE(after.ok());
+}
+
+// --------------------------------------------------- WriteFileAtomic
+
+TEST(WriteFileAtomicTest, CommitsAndCleansTemp) {
+  FaultInjectionEnv env;
+  ASSERT_TRUE(WriteFileAtomic(&env, "d/f", "v1").ok());
+  ASSERT_TRUE(WriteFileAtomic(&env, "d/f", "v2").ok());
+  EXPECT_EQ(ReadAll(env, "d/f"), "v2");
+  EXPECT_FALSE(env.FileExists("d/f.tmp"));
+  env.LosePower();  // the full protocol syncs data and directory
+  EXPECT_EQ(ReadAll(env, "d/f"), "v2");
+}
+
+TEST(WriteFileAtomicTest, FailureLeavesOldContentsAndNoTemp) {
+  // Every step before the rename: a failure aborts the save with the old
+  // contents untouched and the temp file cleaned up.
+  const struct {
+    Op op;
+    const char* label;
+  } kFailures[] = {{Op::kOpenWrite, "open"},
+                   {Op::kWrite, "write"},
+                   {Op::kSync, "sync"},
+                   {Op::kRename, "rename"}};
+  for (const auto& failure : kFailures) {
+    SCOPED_TRACE(failure.label);
+    FaultInjectionEnv env;
+    ASSERT_TRUE(WriteFileAtomic(&env, "d/f", "old").ok());
+    env.FailNth(failure.op, 1, Status::IOError("injected"));
+    EXPECT_FALSE(WriteFileAtomic(&env, "d/f", "new").ok());
+    env.ClearFaults();
+    EXPECT_EQ(ReadAll(env, "d/f"), "old");
+    EXPECT_FALSE(env.FileExists("d/f.tmp"));
+  }
+
+  // After the rename the new image IS the file; a failed directory fsync
+  // still reports an error (durability was not achieved) but the live
+  // contents are the complete new bytes — never a torn mix.
+  FaultInjectionEnv env;
+  ASSERT_TRUE(WriteFileAtomic(&env, "d/f", "old").ok());
+  env.FailNth(Op::kDirSync, 1, Status::IOError("injected"));
+  EXPECT_FALSE(WriteFileAtomic(&env, "d/f", "new").ok());
+  env.ClearFaults();
+  EXPECT_EQ(ReadAll(env, "d/f"), "new");
+  EXPECT_FALSE(env.FileExists("d/f.tmp"));
+}
+
+TEST(WriteFileAtomicTest, EnospcMidImageLeavesOldContents) {
+  FaultInjectionEnv env;
+  ASSERT_TRUE(WriteFileAtomic(&env, "d/f", "old image").ok());
+  // The first save already consumed the budget: the re-save hits ENOSPC
+  // on its first raw write and must roll back cleanly.
+  env.SetWriteBudget(4);
+  EXPECT_FALSE(WriteFileAtomic(&env, "d/f", std::string(64, 'n')).ok());
+  env.ClearFaults();
+  EXPECT_EQ(ReadAll(env, "d/f"), "old image");
+  EXPECT_FALSE(env.FileExists("d/f.tmp"));
+}
+
+// ----------------------------------------------------- the default Env
+
+TEST(DefaultEnvTest, RoundTripsThroughRealFiles) {
+  Env* env = Env::Default();
+  const std::string dir = ProcessTempPath("env_default");
+  ASSERT_TRUE(env->CreateDirectories(dir + "/nested").ok());
+  const std::string path = dir + "/nested/file.bin";
+  ASSERT_TRUE(WriteFileAtomic(env, path, "real bytes").ok());
+  EXPECT_TRUE(env->FileExists(path));
+
+  std::string read_back;
+  ASSERT_TRUE(env->ReadFileToString(path, &read_back).ok());
+  EXPECT_EQ(read_back, "real bytes");
+
+  const MappedFile mapped = env->OpenMapped(path).value();
+  EXPECT_EQ(mapped.data(), "real bytes");
+
+  std::vector<std::string> entries =
+      env->ListDirectory(dir + "/nested").value();
+  EXPECT_EQ(entries, std::vector<std::string>{"file.bin"});
+
+  ASSERT_TRUE(env->RenameFile(path, dir + "/nested/renamed.bin").ok());
+  EXPECT_FALSE(env->FileExists(path));
+  ASSERT_TRUE(env->RemoveFileIfExists(dir + "/nested/renamed.bin").ok());
+  ASSERT_TRUE(env->RemoveFileIfExists(dir + "/nested/renamed.bin").ok());
+  EXPECT_TRUE(env->ReadFileToString(path, &read_back).IsNotFound());
+  ASSERT_TRUE(env->SyncDirectory(dir + "/nested").ok());
+}
+
+TEST(DefaultEnvTest, WritableFileAppendAndSync) {
+  Env* env = Env::Default();
+  const std::string path = ProcessTempPath("env_default_writable.bin");
+  auto file = env->NewWritableFile(path).value();
+  ASSERT_TRUE(file->Append("part one, ").ok());
+  ASSERT_TRUE(file->Append("part two").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Close().ok());
+  ASSERT_TRUE(file->Close().ok());  // idempotent
+
+  std::string read_back;
+  ASSERT_TRUE(env->ReadFileToString(path, &read_back).ok());
+  EXPECT_EQ(read_back, "part one, part two");
+  ASSERT_TRUE(env->RemoveFileIfExists(path).ok());
+}
+
+}  // namespace
+}  // namespace lshensemble

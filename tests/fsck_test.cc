@@ -1,0 +1,234 @@
+// Snapshot verification (io/fsck.h): both image formats verify clean,
+// every corruption is caught and NAMED (the error carries the failing
+// file's path, so an operator knows what to restore), quarantine moves
+// stray files aside without deleting bytes, and a failed sharded open
+// releases every mapping it had acquired.
+
+#include "io/fsck.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/lsh_ensemble.h"
+#include "core/sharded_ensemble.h"
+#include "data/corpus.h"
+#include "io/ensemble_io.h"
+#include "io/env.h"
+#include "io/file.h"
+#include "io/snapshot.h"
+#include "minhash/minhash.h"
+#include "test_tmp.h"
+#include "workload/generator.h"
+
+namespace lshensemble {
+namespace {
+
+constexpr int kNumHashes = 64;
+
+/// Truncate the file to half its size: a deterministic corruption every
+/// validation depth must catch (a flipped byte could land in alignment
+/// padding that no checksum covers).
+void TruncateToHalf(const std::string& path) {
+  std::string image;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &image).ok());
+  ASSERT_GT(image.size(), 16u);
+  image.resize(image.size() / 2);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  ASSERT_TRUE(out.good());
+}
+
+class FsckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    family_ = HashFamily::Create(kNumHashes, 5).value();
+    CorpusGenOptions gen;
+    gen.num_domains = 80;
+    gen.seed = 321;
+    corpus_ = CorpusGenerator(gen).Generate().value();
+    for (size_t i = 0; i < corpus_->size(); ++i) {
+      sketches_.push_back(
+          MinHash::FromValues(family_, corpus_->domain(i).values));
+    }
+  }
+
+  ShardedEnsembleOptions ShardOptions() const {
+    ShardedEnsembleOptions options;
+    options.base.base.num_partitions = 4;
+    options.base.base.num_hashes = kNumHashes;
+    options.base.base.tree_depth = 4;
+    options.base.min_delta_for_rebuild = 1 << 30;
+    options.num_shards = 2;
+    return options;
+  }
+
+  /// A flushed two-shard index saved under a fresh directory.
+  std::string SaveShardedSnapshot(const std::string& name) {
+    auto index = ShardedEnsemble::Create(ShardOptions(), family_).value();
+    for (size_t i = 0; i < corpus_->size(); ++i) {
+      const Domain& domain = corpus_->domain(i);
+      EXPECT_TRUE(
+          index.Insert(domain.id, domain.size(), sketches_[i]).ok());
+    }
+    EXPECT_TRUE(index.Flush().ok());
+    const std::string dir = ProcessTempPath(name);
+    EXPECT_TRUE(index.SaveSnapshot(dir).ok());
+    return dir;
+  }
+
+  std::shared_ptr<const HashFamily> family_;
+  std::optional<Corpus> corpus_;
+  std::vector<MinHash> sketches_;
+};
+
+TEST_F(FsckTest, VerifiesBothImageFormats) {
+  // v2: a dynamic snapshot.
+  DynamicEnsembleOptions options = ShardOptions().base;
+  auto dynamic = DynamicLshEnsemble::Create(options, family_).value();
+  for (size_t i = 0; i < 20; ++i) {
+    const Domain& domain = corpus_->domain(i);
+    ASSERT_TRUE(
+        dynamic.Insert(domain.id, domain.size(), sketches_[i]).ok());
+  }
+  ASSERT_TRUE(dynamic.Flush().ok());
+  const std::string v2_path = ProcessTempPath("fsck_v2.lshe2");
+  ASSERT_TRUE(WriteDynamicSnapshot(dynamic, v2_path).ok());
+  auto v2_report = VerifySnapshotFile(v2_path);
+  ASSERT_TRUE(v2_report.ok()) << v2_report.status().ToString();
+  EXPECT_EQ(v2_report.value().format_version, 2u);
+  EXPECT_FALSE(v2_report.value().sharded);
+
+  // v1: the legacy block-container image.
+  LshEnsembleOptions v1_options{.num_partitions = 4,
+                                .num_hashes = kNumHashes, .tree_depth = 4};
+  LshEnsembleBuilder builder(v1_options, family_);
+  for (size_t i = 0; i < 20; ++i) {
+    const Domain& domain = corpus_->domain(i);
+    ASSERT_TRUE(
+        builder.Add(domain.id, domain.size(), sketches_[i]).ok());
+  }
+  const LshEnsemble v1_index = std::move(builder).Build().value();
+  const std::string v1_path = ProcessTempPath("fsck_v1.bin");
+  ASSERT_TRUE(SaveEnsemble(v1_index, v1_path).ok());
+  auto v1_report = VerifySnapshotFile(v1_path);
+  ASSERT_TRUE(v1_report.ok()) << v1_report.status().ToString();
+  EXPECT_EQ(v1_report.value().format_version, 1u);
+}
+
+TEST_F(FsckTest, CorruptionIsCaughtAndNamed) {
+  DynamicEnsembleOptions options = ShardOptions().base;
+  auto dynamic = DynamicLshEnsemble::Create(options, family_).value();
+  std::vector<uint64_t> values = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(dynamic.Insert(1, values).ok());
+  ASSERT_TRUE(dynamic.Flush().ok());
+  const std::string path = ProcessTempPath("fsck_corrupt.lshe2");
+  ASSERT_TRUE(WriteDynamicSnapshot(dynamic, path).ok());
+
+  TruncateToHalf(path);
+  const Status status = VerifySnapshotFile(path).status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("fsck_corrupt.lshe2"), std::string::npos)
+      << status.ToString();
+
+  EXPECT_FALSE(VerifySnapshotFile(ProcessTempPath("no_such.bin")).ok());
+  const std::string junk = ProcessTempPath("fsck_junk.bin");
+  ASSERT_TRUE(WriteFileAtomic(Env::Default(), junk,
+                              "twelve bytes of not an image")
+                  .ok());
+  EXPECT_TRUE(VerifySnapshotFile(junk).status().IsCorruption());
+}
+
+TEST_F(FsckTest, ShardedDirVerifiesAndCountsShards) {
+  const std::string dir = SaveShardedSnapshot("fsck_dir_ok");
+  auto report = VerifySnapshotDir(dir, /*quarantine_strays=*/false);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().sharded);
+  EXPECT_EQ(report.value().shards_verified, 2u);
+  EXPECT_TRUE(report.value().stray_files.empty());
+  EXPECT_FALSE(report.value().strays_quarantined);
+}
+
+TEST_F(FsckTest, CorruptShardIsNamedByBothFsckAndOpen) {
+  const std::string dir = SaveShardedSnapshot("fsck_dir_corrupt");
+  const std::string shard_name = ShardedEnsemble::ShardSnapshotFileName(1);
+  TruncateToHalf(dir + "/" + shard_name);
+
+  const Status fsck_status = VerifySnapshotDir(dir, false).status();
+  ASSERT_FALSE(fsck_status.ok());
+  EXPECT_NE(fsck_status.message().find(shard_name), std::string::npos)
+      << fsck_status.ToString();
+
+  // The open fails with the same culprit named — and releases every
+  // mapping it had acquired before the bad shard (satellite contract:
+  // a failed OpenSnapshot leaves no mappings live).
+  const size_t baseline = MappedFile::LiveMappingCount();
+  auto opened = ShardedEnsemble::OpenSnapshot(dir, ShardOptions());
+  ASSERT_FALSE(opened.ok());
+  EXPECT_NE(opened.status().message().find(shard_name), std::string::npos)
+      << opened.status().ToString();
+  EXPECT_EQ(MappedFile::LiveMappingCount(), baseline);
+}
+
+TEST_F(FsckTest, MissingShardFailsBothPaths) {
+  const std::string dir = SaveShardedSnapshot("fsck_dir_missing");
+  const std::string shard_name = ShardedEnsemble::ShardSnapshotFileName(0);
+  ASSERT_TRUE(Env::Default()->RemoveFileIfExists(dir + "/" + shard_name).ok());
+
+  const Status fsck_status = VerifySnapshotDir(dir, false).status();
+  ASSERT_FALSE(fsck_status.ok());
+  EXPECT_NE(fsck_status.message().find(shard_name), std::string::npos);
+
+  const size_t baseline = MappedFile::LiveMappingCount();
+  auto opened = ShardedEnsemble::OpenSnapshot(dir, ShardOptions());
+  ASSERT_FALSE(opened.ok());
+  EXPECT_NE(opened.status().message().find(shard_name), std::string::npos);
+  EXPECT_EQ(MappedFile::LiveMappingCount(), baseline);
+}
+
+TEST_F(FsckTest, QuarantineMovesStraysWithoutDeleting) {
+  const std::string dir = SaveShardedSnapshot("fsck_dir_strays");
+  Env* env = Env::Default();
+  ASSERT_TRUE(
+      WriteFileAtomic(env, dir + "/MANIFEST.tmp", "torn leftover").ok());
+  ASSERT_TRUE(WriteFileAtomic(env, dir + "/shard-9.lshe2", "orphan").ok());
+
+  // Report-only first: strays listed, nothing moved.
+  auto report = VerifySnapshotDir(dir, /*quarantine_strays=*/false);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().stray_files,
+            (std::vector<std::string>{"MANIFEST.tmp", "shard-9.lshe2"}));
+  EXPECT_FALSE(report.value().strays_quarantined);
+  EXPECT_TRUE(env->FileExists(dir + "/MANIFEST.tmp"));
+
+  // Quarantine: the bytes move aside, the directory verifies clean, and
+  // the snapshot still opens.
+  report = VerifySnapshotDir(dir, /*quarantine_strays=*/true);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().strays_quarantined);
+  EXPECT_FALSE(env->FileExists(dir + "/MANIFEST.tmp"));
+  EXPECT_TRUE(env->FileExists(dir + "/quarantine/MANIFEST.tmp"));
+  EXPECT_TRUE(env->FileExists(dir + "/quarantine/shard-9.lshe2"));
+  std::string preserved;
+  ASSERT_TRUE(
+      env->ReadFileToString(dir + "/quarantine/MANIFEST.tmp", &preserved)
+          .ok());
+  EXPECT_EQ(preserved, "torn leftover");
+
+  auto clean = VerifySnapshotDir(dir, false);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(clean.value().stray_files.empty());
+  EXPECT_TRUE(ShardedEnsemble::OpenSnapshot(dir, ShardOptions()).ok());
+}
+
+TEST_F(FsckTest, DirVerifyFailsWithoutManifest) {
+  const std::string dir = ProcessTempPath("fsck_dir_empty");
+  ASSERT_TRUE(Env::Default()->CreateDirectories(dir).ok());
+  EXPECT_FALSE(VerifySnapshotDir(dir, false).ok());
+}
+
+}  // namespace
+}  // namespace lshensemble

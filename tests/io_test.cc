@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/lsh_ensemble.h"
+#include "test_tmp.h"
 #include "io/coding.h"
 #include "io/crc32c.h"
 #include "io/ensemble_io.h"
@@ -219,7 +220,7 @@ TEST(Crc32cTest, HardwareAndSoftwareKernelsAgree) {
 class FileIoTest : public ::testing::Test {
  protected:
   void TearDown() override { RemoveFileIfExists(path_).ok(); }
-  std::string path_ = ::testing::TempDir() + "/lshe_file_test.bin";
+  std::string path_ = ProcessTempPath("lshe_file_test.bin");
 };
 
 TEST_F(FileIoTest, WriteReadRoundTrip) {
@@ -249,7 +250,7 @@ TEST_F(FileIoTest, EmptyFile) {
 TEST_F(FileIoTest, MissingFileIsNotFound) {
   std::string read_back;
   const Status status =
-      ReadFileToString(::testing::TempDir() + "/does_not_exist_9x", &read_back);
+      ReadFileToString(ProcessTempPath("does_not_exist_9x"), &read_back);
   EXPECT_TRUE(status.IsNotFound());
 }
 
@@ -430,7 +431,7 @@ class EnsembleIoTest : public ::testing::Test {
   std::optional<Corpus> corpus_;
   std::shared_ptr<const HashFamily> family_;
   std::optional<LshEnsemble> ensemble_;
-  std::string path_ = ::testing::TempDir() + "/lshe_index_test.bin";
+  std::string path_ = ProcessTempPath("lshe_index_test.bin");
 };
 
 TEST_F(EnsembleIoTest, SaveLoadPreservesStructure) {
@@ -470,7 +471,7 @@ TEST_F(EnsembleIoTest, V1LoadRebuildsProbeFilters) {
   // filter segments and v1-loaded engines prune like built ones.
   // Own temp path: fixture tests sharing path_ collide under ctest -j.
   const std::string path =
-      ::testing::TempDir() + "/lshe_index_filter_rebuild.bin";
+      ProcessTempPath("lshe_index_filter_rebuild.bin");
   ASSERT_TRUE(SaveEnsemble(*ensemble_, path).ok());
   auto loaded = LoadEnsemble(path);
   RemoveFileIfExists(path).ok();

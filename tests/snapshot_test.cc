@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "test_tmp.h"
 #include "core/dynamic_ensemble.h"
 #include "core/lsh_ensemble.h"
 #include "core/sharded_ensemble.h"
@@ -29,7 +30,9 @@ namespace lshensemble {
 namespace {
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // Per-process dir: each discovered TEST runs as its own ctest process,
+  // so a shared fixed path would race under `ctest -j`.
+  return ProcessTempPath(name);
 }
 
 // ------------------------------------------------------------ mapped file

@@ -30,6 +30,41 @@ TEST(StatusTest, EveryFactoryMatchesItsPredicate) {
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  const Status deadline = Status::DeadlineExceeded("too slow");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_FALSE(deadline.IsUnavailable());
+  EXPECT_FALSE(deadline.IsIOError());
+  const Status shed = Status::Unavailable("at capacity");
+  EXPECT_FALSE(shed.ok());
+  EXPECT_FALSE(shed.IsDeadlineExceeded());
+}
+
+TEST(StatusTest, ToStringNamesEveryCode) {
+  EXPECT_EQ(Status::DeadlineExceeded("q").ToString(), "DeadlineExceeded: q");
+  EXPECT_EQ(Status::Unavailable("shed").ToString(), "Unavailable: shed");
+  EXPECT_EQ(Status::IOError("disk").ToString(), "IOError: disk");
+  EXPECT_EQ(Status::Corruption("bits").ToString(), "Corruption: bits");
+}
+
+TEST(StatusTest, WithMessagePrefixKeepsCode) {
+  const Status prefixed =
+      Status::IOError("checksum mismatch").WithMessagePrefix("shard-1.lshe2");
+  EXPECT_TRUE(prefixed.IsIOError());
+  EXPECT_EQ(prefixed.message(), "shard-1.lshe2: checksum mismatch");
+  // Prefixes compose outward, innermost context first.
+  EXPECT_EQ(prefixed.WithMessagePrefix("open").message(),
+            "open: shard-1.lshe2: checksum mismatch");
+}
+
+TEST(StatusTest, WithMessagePrefixIsNoOpOnOk) {
+  const Status status = Status::OK().WithMessagePrefix("ignored");
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
 }
 
 TEST(StatusTest, EqualityComparesCodesOnly) {

@@ -1,0 +1,40 @@
+// Per-process temp paths for tests.
+//
+// gtest_discover_tests registers every TEST as its own ctest entry, so
+// under `ctest -j` many processes from one binary run concurrently. A
+// fixed path like TempDir() + "/foo.bin" is then shared state: two tests
+// writing/removing it race, and the loser reads a torn or missing file.
+// ProcessTempPath() scopes every name under a directory unique to the
+// calling process, so concurrent test processes can never collide.
+
+#ifndef LSHENSEMBLE_TESTS_TEST_TMP_H_
+#define LSHENSEMBLE_TESTS_TEST_TMP_H_
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace lshensemble {
+
+/// A temp directory unique to this process (created on first use).
+inline const std::string& ProcessTempDir() {
+  static const std::string dir = [] {
+    std::string d = ::testing::TempDir() + "/lshe_test_pid" +
+                    std::to_string(::getpid());
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+/// `name` scoped under ProcessTempDir().
+inline std::string ProcessTempPath(const std::string& name) {
+  return ProcessTempDir() + "/" + name;
+}
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_TESTS_TEST_TMP_H_

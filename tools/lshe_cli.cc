@@ -9,6 +9,7 @@
 //   lshe snapshot    --index idx.lshe --out idx.lshe2
 //                    [--catalog idx.cat --shards N --out DIR]
 //   lshe stats       --index idx.lshe [--catalog idx.cat] [--mmap]
+//   lshe verify      PATH [--quarantine]
 //
 // `index` extracts every column of every CSV as a domain (paper Section 2:
 // dom(R) = projections on the attributes), sketches them, builds an LSH
@@ -32,11 +33,23 @@
 // `--mmap` makes `query`/`batch-query`/`stats` open the index via mmap
 // (requires a v2 snapshot): cold starts in milliseconds, pages shared
 // across serving processes, results identical to a heap load.
+//
+// `verify` is fsck for index images: point it at a single image file or
+// a sharded snapshot directory and it checks every checksum (manifest,
+// every shard, every segment), naming the failing file; with
+// `--quarantine` it sweeps files the manifest does not bless into
+// PATH/quarantine/ instead of leaving them beside the live image.
+//
+// `--deadline-us N` (query / batch-query) bounds each query's time: a
+// query that cannot finish inside N microseconds fails with
+// DeadlineExceeded instead of running long (checked between partition
+// probes, so an expired deadline stops further forest work).
 
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,8 +64,11 @@
 #include "data/table.h"
 #include "io/catalog.h"
 #include "io/ensemble_io.h"
+#include "io/env.h"
+#include "io/fsck.h"
 #include "io/snapshot.h"
 #include "minhash/minhash.h"
+#include "util/clock.h"
 #include "util/timer.h"
 
 namespace lshensemble {
@@ -69,6 +85,8 @@ struct Flags {
   double threshold = 0.5;
   int topk = 0;    // 0 = threshold mode
   int shards = 0;  // 0 = unsharded engines
+  uint64_t deadline_us = 0;  // 0 = no per-query deadline
+  bool quarantine = false;   // verify: move stray files aside
   bool mmap = false;
   bool verify = true;    // --no-verify: skip eager segment CRC sweep
   bool madvise = true;   // --no-madvise: no OS pager hints on open
@@ -84,18 +102,24 @@ void Usage() {
   lshe index --out IDX --catalog CAT [--partitions N] [--hashes M]
              [--tree-depth R] [--min-size K] [--seed S] CSV...
   lshe query --index IDX --catalog CAT --query-csv FILE --column NAME
-             [--threshold T | --topk K]
+             [--threshold T | --topk K] [--deadline-us N]
   lshe batch-query --index IDX --catalog CAT --query-csv FILE
              [--column NAME] [--threshold T | --topk K] [--min-size K]
              [--delta FILE] [--shards N] [--mmap] [--no-verify]
-             [--no-madvise]
+             [--no-madvise] [--deadline-us N]
   lshe snapshot --index IDX --out SNAP [--catalog CAT --shards N --out DIR]
   lshe stats --index IDX [--catalog CAT] [--mmap] [--no-verify]
              [--no-madvise]
+  lshe verify PATH [--quarantine]
 
 serving-open tuning (with --mmap): --no-verify skips the eager segment
 CRC sweep (structure and manifest stay verified); --no-madvise disables
 OS pager hints. Both default on.
+
+`verify` checks every checksum of an index image or sharded snapshot
+directory, naming any failing file; --quarantine moves unmanifested
+files to PATH/quarantine/. `--deadline-us N` fails queries that cannot
+finish within N microseconds with DeadlineExceeded.
 )");
 }
 
@@ -124,6 +148,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->topk = std::atoi(value);
     } else if (arg == "--shards" && (value = next())) {
       flags->shards = std::atoi(value);
+    } else if (arg == "--deadline-us" && (value = next())) {
+      flags->deadline_us = static_cast<uint64_t>(std::atoll(value));
+    } else if (arg == "--quarantine") {
+      flags->quarantine = true;
     } else if (arg == "--mmap") {
       flags->mmap = true;
     } else if (arg == "--no-verify") {
@@ -269,24 +297,33 @@ int RunQuery(const Flags& flags) {
       MinHash::FromValues(ensemble->family(), query.values);
 
   StopWatch watch;
+  const uint64_t deadline_ns =
+      flags.deadline_us > 0 ? DeadlineAfterMicros(flags.deadline_us) : 0;
   if (flags.topk > 0) {
     auto store = catalog->ToSketchStore();
     if (!store.ok()) return Fail(store.status());
     TopKSearcher searcher(&*ensemble, &*store);
-    auto results = searcher.Search(sketch, query.size(),
-                                   static_cast<size_t>(flags.topk));
-    if (!results.ok()) return Fail(results.status());
+    const TopKQuery topk_query{&sketch, query.size(), deadline_ns};
+    std::vector<TopKResult> ranked;
+    QueryContext ctx;
+    Status status = searcher.BatchSearch(
+        std::span<const TopKQuery>(&topk_query, 1),
+        static_cast<size_t>(flags.topk), &ctx, &ranked);
+    if (!status.ok()) return Fail(status);
     std::printf("top-%d containers of %s (|Q| = %zu, %.1f ms):\n",
                 flags.topk, flags.column.c_str(), query.size(),
                 watch.ElapsedSeconds() * 1e3);
-    for (const TopKResult& result : *results) {
+    for (const TopKResult& result : ranked) {
       std::printf("  %6.3f  %s\n", result.estimated_containment,
                   catalog->NameOf(result.id).c_str());
     }
   } else {
+    const QuerySpec spec{&sketch, query.size(), flags.threshold,
+                         deadline_ns};
     std::vector<uint64_t> ids;
-    Status status = ensemble->Query(sketch, query.size(), flags.threshold,
-                                    &ids);
+    QueryContext ctx;
+    Status status = ensemble->BatchQuery(
+        std::span<const QuerySpec>(&spec, 1), &ctx, &ids);
     if (!status.ok()) return Fail(status);
     std::printf(
         "domains containing >= %.2f of %s (|Q| = %zu, %zu results, "
@@ -419,9 +456,12 @@ int RunBatchQuery(const Flags& flags) {
       store.emplace(std::move(built).value());
       searcher.emplace(&*ensemble, &*store);
     }
+    const uint64_t deadline_ns =
+        flags.deadline_us > 0 ? DeadlineAfterMicros(flags.deadline_us) : 0;
     std::vector<TopKQuery> topk_queries(query_domains.size());
     for (size_t i = 0; i < query_domains.size(); ++i) {
-      topk_queries[i] = TopKQuery{&sketches[i], query_domains[i].size()};
+      topk_queries[i] =
+          TopKQuery{&sketches[i], query_domains[i].size(), deadline_ns};
     }
     std::vector<std::vector<TopKResult>> outs(topk_queries.size());
     QueryContext ctx;
@@ -444,10 +484,12 @@ int RunBatchQuery(const Flags& flags) {
     return 0;
   }
 
+  const uint64_t deadline_ns =
+      flags.deadline_us > 0 ? DeadlineAfterMicros(flags.deadline_us) : 0;
   std::vector<QuerySpec> specs(query_domains.size());
   for (size_t i = 0; i < query_domains.size(); ++i) {
-    specs[i] =
-        QuerySpec{&sketches[i], query_domains[i].size(), flags.threshold};
+    specs[i] = QuerySpec{&sketches[i], query_domains[i].size(),
+                         flags.threshold, deadline_ns};
   }
   std::vector<std::vector<uint64_t>> outs(specs.size());
 
@@ -575,6 +617,41 @@ int RunStats(const Flags& flags) {
   return 0;
 }
 
+int RunVerify(const Flags& flags) {
+  if (flags.positional.size() != 1) {
+    Usage();
+    return 2;
+  }
+  const std::string& path = flags.positional[0];
+  Env* env = Env::Default();
+  StopWatch watch;
+  // A sharded snapshot directory is recognized by its MANIFEST; anything
+  // else verifies as a single image file.
+  const bool is_dir = env->FileExists(path + "/MANIFEST");
+  auto report = is_dir ? VerifySnapshotDir(path, flags.quarantine)
+                       : VerifySnapshotFile(path);
+  if (!report.ok()) return Fail(report.status());
+  if (report->sharded) {
+    std::printf("OK: %zu-shard snapshot directory, every checksum passes "
+                "(%.2fs)\n",
+                report->shards_verified, watch.ElapsedSeconds());
+  } else {
+    std::printf("OK: v%u index image, every checksum passes (%.2fs)\n",
+                report->format_version, watch.ElapsedSeconds());
+  }
+  if (!report->stray_files.empty()) {
+    std::printf("%zu stray file(s) the manifest does not name%s:\n",
+                report->stray_files.size(),
+                report->strays_quarantined
+                    ? " (moved to quarantine/)"
+                    : " (re-run with --quarantine to move them aside)");
+    for (const std::string& name : report->stray_files) {
+      std::printf("  %s\n", name.c_str());
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     Usage();
@@ -591,6 +668,7 @@ int Main(int argc, char** argv) {
   if (command == "batch-query") return RunBatchQuery(flags);
   if (command == "snapshot") return RunSnapshot(flags);
   if (command == "stats") return RunStats(flags);
+  if (command == "verify") return RunVerify(flags);
   Usage();
   return 2;
 }
