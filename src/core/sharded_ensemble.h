@@ -201,6 +201,9 @@ class ShardedEnsemble {
                      std::vector<TopKResult>* outs) const;
 
   size_t num_shards() const { return shards_.size(); }
+  /// The hash family every shard shares; queries must be sketched with
+  /// it (network callers check seed/num_hashes against this).
+  const std::shared_ptr<const HashFamily>& family() const { return family_; }
   /// Shard owning `id` (stable hash, independent of corpus content).
   size_t ShardOf(uint64_t id) const;
 

@@ -1,0 +1,213 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace lshensemble {
+namespace serve {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string("serve client: ") + what + ": " +
+                         std::strerror(errno));
+}
+
+}  // namespace
+
+Status StatusFromError(const ErrorResponse& err) {
+  switch (static_cast<Status::Code>(err.code)) {
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(err.message);
+    case Status::Code::kNotFound:
+      return Status::NotFound(err.message);
+    case Status::Code::kFailedPrecondition:
+      return Status::FailedPrecondition(err.message);
+    case Status::Code::kOutOfRange:
+      return Status::OutOfRange(err.message);
+    case Status::Code::kCorruption:
+      return Status::Corruption(err.message);
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(err.message);
+    case Status::Code::kIOError:
+      return Status::IOError(err.message);
+    case Status::Code::kDeadlineExceeded:
+      return Status::DeadlineExceeded(err.message);
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(err.message);
+    default:
+      return Status::Internal(err.message);
+  }
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               size_t max_frame_bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("serve client: bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Errno("connect");
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd, max_frame_bytes);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      next_request_id_(other.next_request_id_),
+      reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendFrames(std::string_view frames) {
+  if (fd_ < 0) return Status::FailedPrecondition("serve client: closed");
+  size_t sent = 0;
+  while (sent < frames.size()) {
+    const ssize_t n =
+        ::write(fd_, frames.data() + sent, frames.size() - sent);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Errno("write");
+  }
+  return Status::OK();
+}
+
+Result<Message> Client::ReceiveMessage() {
+  if (fd_ < 0) return Status::FailedPrecondition("serve client: closed");
+  std::string_view payload;
+  for (;;) {
+    if (reader_.Next(&payload)) return DecodeMessage(payload);
+    LSHE_RETURN_IF_ERROR(reader_.status());
+    char buf[16384];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      reader_.Append(std::string_view(buf, n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("serve client: connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    return Errno("read");
+  }
+}
+
+Result<Message> Client::RoundTrip(const std::string& frame,
+                                  uint64_t request_id, MessageType want) {
+  LSHE_RETURN_IF_ERROR(SendFrames(frame));
+  Message msg;
+  LSHE_ASSIGN_OR_RETURN(msg, ReceiveMessage());
+  if (msg.type == MessageType::kErrorResponse &&
+      msg.error.request_id == request_id) {
+    return StatusFromError(msg.error);
+  }
+  if (msg.type != want) {
+    return Status::Internal("serve client: unexpected response type");
+  }
+  return msg;
+}
+
+Result<QueryResponse> Client::Query(const MinHash& sketch,
+                                    uint64_t query_size, double t_star,
+                                    uint64_t deadline_us) {
+  QueryRequest req;
+  req.request_id = next_request_id_++;
+  req.family_seed = sketch.family()->seed();
+  req.t_star = t_star;
+  req.query_size = query_size;
+  req.deadline_us = deadline_us;
+  req.slots = sketch.values();
+  std::string frame;
+  EncodeQueryRequest(req, &frame);
+  Message msg;
+  LSHE_ASSIGN_OR_RETURN(
+      msg, RoundTrip(frame, req.request_id, MessageType::kQueryResponse));
+  if (msg.query_response.request_id != req.request_id) {
+    return Status::Internal("serve client: response id mismatch");
+  }
+  return std::move(msg.query_response);
+}
+
+Result<TopKResponse> Client::TopK(const MinHash& sketch, uint64_t query_size,
+                                  uint32_t k, uint64_t deadline_us) {
+  TopKRequest req;
+  req.request_id = next_request_id_++;
+  req.family_seed = sketch.family()->seed();
+  req.k = k;
+  req.query_size = query_size;
+  req.deadline_us = deadline_us;
+  req.slots = sketch.values();
+  std::string frame;
+  EncodeTopKRequest(req, &frame);
+  Message msg;
+  LSHE_ASSIGN_OR_RETURN(
+      msg, RoundTrip(frame, req.request_id, MessageType::kTopKResponse));
+  if (msg.topk_response.request_id != req.request_id) {
+    return Status::Internal("serve client: response id mismatch");
+  }
+  return std::move(msg.topk_response);
+}
+
+Result<StatsResponse> Client::Stats() {
+  StatsRequest req;
+  req.request_id = next_request_id_++;
+  std::string frame;
+  EncodeStatsRequest(req, &frame);
+  Message msg;
+  LSHE_ASSIGN_OR_RETURN(
+      msg, RoundTrip(frame, req.request_id, MessageType::kStatsResponse));
+  return std::move(msg.stats_response);
+}
+
+Result<ReloadResponse> Client::Reload() {
+  ReloadRequest req;
+  req.request_id = next_request_id_++;
+  std::string frame;
+  EncodeReloadRequest(req, &frame);
+  Message msg;
+  LSHE_ASSIGN_OR_RETURN(
+      msg, RoundTrip(frame, req.request_id, MessageType::kReloadResponse));
+  return std::move(msg.reload_response);
+}
+
+}  // namespace serve
+}  // namespace lshensemble

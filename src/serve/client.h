@@ -1,0 +1,101 @@
+// A small blocking client for the lshe serving protocol.
+//
+// This is the reference implementation of the client side of
+// serve/protocol.h: the loopback tests, the load generator
+// (bench/bench_serve.cc) and `lshe query --connect` all speak through
+// it. Two levels of API:
+//
+//  * SendFrames() / ReceiveMessage(): raw pipelining. Encode any number
+//    of request frames (protocol.h encoders), write them in one call,
+//    then read responses as they arrive — in any order, matched by
+//    request id. This is how a load generator keeps many requests in
+//    flight per connection.
+//  * Query() / TopK() / Stats() / Reload(): blocking one-at-a-time
+//    round trips for tools and tests. An ErrorResponse comes back as a
+//    Status carrying the server's code and message.
+//
+// The client is intentionally synchronous (blocking socket): the
+// server's micro-batcher provides the concurrency story; clients stay
+// simple.
+
+#ifndef LSHENSEMBLE_SERVE_CLIENT_H_
+#define LSHENSEMBLE_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "minhash/minhash.h"
+#include "serve/protocol.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace lshensemble {
+namespace serve {
+
+/// \brief Reconstruct the Status an ErrorResponse carries (code value
+/// out of range maps to Internal).
+Status StatusFromError(const ErrorResponse& err);
+
+/// \brief One blocking connection to a server. Movable, not copyable;
+/// the destructor closes the socket.
+class Client {
+ public:
+  /// \brief Connect to `host:port` (IPv4 dotted quad). `max_frame_bytes`
+  /// bounds response frames, mirroring the server's setting.
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// \brief Write pre-encoded request frames (one or many — pipelining
+  /// is writing many). Blocks until every byte is on the wire.
+  Status SendFrames(std::string_view frames);
+
+  /// \brief Block until the next complete response frame arrives and
+  /// decode it. Responses may arrive in any order; match request ids.
+  Result<Message> ReceiveMessage();
+
+  /// \brief One threshold query round trip. The sketch's family rides
+  /// along (seed + length) so the server can reject mismatches.
+  Result<QueryResponse> Query(const MinHash& sketch, uint64_t query_size,
+                              double t_star, uint64_t deadline_us = 0);
+
+  /// \brief One top-k query round trip.
+  Result<TopKResponse> TopK(const MinHash& sketch, uint64_t query_size,
+                            uint32_t k, uint64_t deadline_us = 0);
+
+  /// \brief Fetch engine stats.
+  Result<StatsResponse> Stats();
+
+  /// \brief Ask the server to hot-swap to its latest snapshot.
+  Result<ReloadResponse> Reload();
+
+  /// Next request id this client will assign (ids are per-connection).
+  uint64_t next_request_id() const { return next_request_id_; }
+
+  /// Close the socket now (further calls fail). Idempotent.
+  void Close();
+
+ private:
+  Client(int fd, size_t max_frame_bytes)
+      : fd_(fd), reader_(max_frame_bytes) {}
+
+  /// Shared tail of the convenience round trips: expect the response
+  /// for `request_id` of type `want`; unwrap errors into Status.
+  Result<Message> RoundTrip(const std::string& frame, uint64_t request_id,
+                            MessageType want);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameReader reader_;
+};
+
+}  // namespace serve
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_SERVE_CLIENT_H_

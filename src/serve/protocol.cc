@@ -1,0 +1,278 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "io/coding.h"
+
+namespace lshensemble {
+namespace serve {
+namespace {
+
+/// Sanity ceiling on decoded element counts: a count field larger than
+/// the payload could even hold (8 bytes per element) is corrupt, so the
+/// decoder can reject it before reserving any memory.
+bool CountFits(uint64_t count, size_t remaining_bytes) {
+  return count <= remaining_bytes / sizeof(uint64_t);
+}
+
+void PutDouble(std::string* dst, double value) {
+  PutFixed64(dst, std::bit_cast<uint64_t>(value));
+}
+
+bool GetDouble(DecodeCursor* cursor, double* value) {
+  uint64_t bits = 0;
+  if (!cursor->GetFixed64(&bits)) return false;
+  *value = std::bit_cast<double>(bits);
+  return true;
+}
+
+/// Wrap `payload` (already holding [type][body]) in a frame: the length
+/// prefix is patched in after the payload is known.
+void AppendFrame(std::string* out, const std::string& payload) {
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+void PutSlots(std::string* dst, const std::vector<uint64_t>& slots) {
+  PutFixed32(dst, static_cast<uint32_t>(slots.size()));
+  for (uint64_t slot : slots) PutFixed64(dst, slot);
+}
+
+bool GetSlots(DecodeCursor* cursor, std::vector<uint64_t>* slots) {
+  uint32_t count = 0;
+  if (!cursor->GetFixed32(&count)) return false;
+  if (!CountFits(count, cursor->remaining())) return false;
+  slots->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!cursor->GetFixed64(&(*slots)[i])) return false;
+  }
+  return true;
+}
+
+Status Corrupt(const char* what) {
+  return Status::Corruption(std::string("serve protocol: ") + what);
+}
+
+}  // namespace
+
+void EncodeQueryRequest(const QueryRequest& msg, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageType::kQueryRequest));
+  PutFixed64(&payload, msg.request_id);
+  PutFixed64(&payload, msg.family_seed);
+  PutDouble(&payload, msg.t_star);
+  PutFixed64(&payload, msg.query_size);
+  PutFixed64(&payload, msg.deadline_us);
+  PutSlots(&payload, msg.slots);
+  AppendFrame(out, payload);
+}
+
+void EncodeTopKRequest(const TopKRequest& msg, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageType::kTopKRequest));
+  PutFixed64(&payload, msg.request_id);
+  PutFixed64(&payload, msg.family_seed);
+  PutFixed32(&payload, msg.k);
+  PutFixed64(&payload, msg.query_size);
+  PutFixed64(&payload, msg.deadline_us);
+  PutSlots(&payload, msg.slots);
+  AppendFrame(out, payload);
+}
+
+void EncodeStatsRequest(const StatsRequest& msg, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageType::kStatsRequest));
+  PutFixed64(&payload, msg.request_id);
+  AppendFrame(out, payload);
+}
+
+void EncodeReloadRequest(const ReloadRequest& msg, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageType::kReloadRequest));
+  PutFixed64(&payload, msg.request_id);
+  AppendFrame(out, payload);
+}
+
+void EncodeQueryResponse(const QueryResponse& msg, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageType::kQueryResponse));
+  PutFixed64(&payload, msg.request_id);
+  payload.push_back(static_cast<char>(msg.flags));
+  PutFixed32(&payload, static_cast<uint32_t>(msg.ids.size()));
+  for (uint64_t id : msg.ids) PutFixed64(&payload, id);
+  AppendFrame(out, payload);
+}
+
+void EncodeTopKResponse(const TopKResponse& msg, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageType::kTopKResponse));
+  PutFixed64(&payload, msg.request_id);
+  PutFixed32(&payload, static_cast<uint32_t>(msg.entries.size()));
+  for (const TopKEntry& entry : msg.entries) {
+    PutFixed64(&payload, entry.id);
+    PutDouble(&payload, entry.estimated_containment);
+  }
+  AppendFrame(out, payload);
+}
+
+void EncodeStatsResponse(const StatsResponse& msg, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageType::kStatsResponse));
+  PutFixed64(&payload, msg.request_id);
+  PutFixed64(&payload, msg.num_shards);
+  PutFixed64(&payload, msg.live_domains);
+  PutFixed64(&payload, msg.indexed_domains);
+  PutFixed64(&payload, msg.delta_domains);
+  PutFixed64(&payload, msg.tombstones);
+  PutFixed64(&payload, msg.epoch);
+  AppendFrame(out, payload);
+}
+
+void EncodeReloadResponse(const ReloadResponse& msg, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageType::kReloadResponse));
+  PutFixed64(&payload, msg.request_id);
+  PutFixed64(&payload, msg.epoch);
+  AppendFrame(out, payload);
+}
+
+void EncodeErrorResponse(const ErrorResponse& msg, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageType::kErrorResponse));
+  PutFixed64(&payload, msg.request_id);
+  payload.push_back(static_cast<char>(msg.code));
+  payload.push_back(static_cast<char>(msg.retryable));
+  PutLengthPrefixed(&payload, msg.message);
+  AppendFrame(out, payload);
+}
+
+Result<Message> DecodeMessage(std::string_view payload) {
+  if (payload.empty()) return Corrupt("empty payload");
+  Message msg;
+  msg.type = static_cast<MessageType>(static_cast<uint8_t>(payload[0]));
+  DecodeCursor cursor(payload.substr(1));
+  bool ok = false;
+  switch (msg.type) {
+    case MessageType::kQueryRequest: {
+      QueryRequest& m = msg.query;
+      ok = cursor.GetFixed64(&m.request_id) &&
+           cursor.GetFixed64(&m.family_seed) &&
+           GetDouble(&cursor, &m.t_star) && cursor.GetFixed64(&m.query_size) &&
+           cursor.GetFixed64(&m.deadline_us) && GetSlots(&cursor, &m.slots);
+      break;
+    }
+    case MessageType::kTopKRequest: {
+      TopKRequest& m = msg.topk;
+      ok = cursor.GetFixed64(&m.request_id) &&
+           cursor.GetFixed64(&m.family_seed) && cursor.GetFixed32(&m.k) &&
+           cursor.GetFixed64(&m.query_size) &&
+           cursor.GetFixed64(&m.deadline_us) && GetSlots(&cursor, &m.slots);
+      break;
+    }
+    case MessageType::kStatsRequest:
+      ok = cursor.GetFixed64(&msg.stats.request_id);
+      break;
+    case MessageType::kReloadRequest:
+      ok = cursor.GetFixed64(&msg.reload.request_id);
+      break;
+    case MessageType::kQueryResponse: {
+      QueryResponse& m = msg.query_response;
+      uint32_t count = 0;
+      std::string_view flags;
+      ok = cursor.GetFixed64(&m.request_id) && cursor.GetRaw(1, &flags) &&
+           cursor.GetFixed32(&count) && CountFits(count, cursor.remaining());
+      if (ok) {
+        m.flags = static_cast<uint8_t>(flags[0]);
+        m.ids.resize(count);
+        for (uint32_t i = 0; ok && i < count; ++i) {
+          ok = cursor.GetFixed64(&m.ids[i]);
+        }
+      }
+      break;
+    }
+    case MessageType::kTopKResponse: {
+      TopKResponse& m = msg.topk_response;
+      uint32_t count = 0;
+      ok = cursor.GetFixed64(&m.request_id) && cursor.GetFixed32(&count) &&
+           CountFits(count, cursor.remaining());
+      if (ok) {
+        m.entries.resize(count);
+        for (uint32_t i = 0; ok && i < count; ++i) {
+          ok = cursor.GetFixed64(&m.entries[i].id) &&
+               GetDouble(&cursor, &m.entries[i].estimated_containment);
+        }
+      }
+      break;
+    }
+    case MessageType::kStatsResponse: {
+      StatsResponse& m = msg.stats_response;
+      ok = cursor.GetFixed64(&m.request_id) &&
+           cursor.GetFixed64(&m.num_shards) &&
+           cursor.GetFixed64(&m.live_domains) &&
+           cursor.GetFixed64(&m.indexed_domains) &&
+           cursor.GetFixed64(&m.delta_domains) &&
+           cursor.GetFixed64(&m.tombstones) && cursor.GetFixed64(&m.epoch);
+      break;
+    }
+    case MessageType::kReloadResponse:
+      ok = cursor.GetFixed64(&msg.reload_response.request_id) &&
+           cursor.GetFixed64(&msg.reload_response.epoch);
+      break;
+    case MessageType::kErrorResponse: {
+      ErrorResponse& m = msg.error;
+      std::string_view code, retryable, text;
+      ok = cursor.GetFixed64(&m.request_id) && cursor.GetRaw(1, &code) &&
+           cursor.GetRaw(1, &retryable) && cursor.GetLengthPrefixed(&text);
+      if (ok) {
+        m.code = static_cast<uint8_t>(code[0]);
+        m.retryable = static_cast<uint8_t>(retryable[0]);
+        m.message.assign(text);
+      }
+      break;
+    }
+    default:
+      return Corrupt("unknown message type");
+  }
+  if (!ok) return Corrupt("truncated message body");
+  if (!cursor.empty()) return Corrupt("trailing bytes after message body");
+  return msg;
+}
+
+void FrameReader::Append(std::string_view data) {
+  if (!status_.ok()) return;  // poisoned: drop input, keep the error
+  // Reclaim the yielded prefix before growing the buffer, so a
+  // long-lived connection's buffer stays bounded by its in-flight bytes.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data);
+}
+
+bool FrameReader::Next(std::string_view* payload) {
+  if (!status_.ok()) return false;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return false;
+  // The prefix is little-endian by spec; decode portably.
+  const auto* bytes =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const uint32_t length =
+      static_cast<uint32_t>(bytes[0]) |
+           (static_cast<uint32_t>(bytes[1]) << 8) |
+           (static_cast<uint32_t>(bytes[2]) << 16) |
+           (static_cast<uint32_t>(bytes[3]) << 24);
+  if (length == 0 || length > max_frame_bytes_) {
+    status_ = Corrupt(length == 0 ? "empty frame" : "oversized frame");
+    return false;
+  }
+  if (available < kFrameHeaderBytes + length) return false;
+  *payload = std::string_view(buffer_).substr(consumed_ + kFrameHeaderBytes,
+                                              length);
+  consumed_ += kFrameHeaderBytes + length;
+  return true;
+}
+
+}  // namespace serve
+}  // namespace lshensemble

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_links.py.
+
+Exercises the checker as a subprocess (the same surface CI uses):
+resolving relative links, anchors (headings, explicit <a name>, and
+same-file fragments), skipping external URLs and fenced code blocks,
+and the failure modes — missing files, bad anchors, nonzero exit.
+
+As a final integration case it runs the checker over this repository's
+own markdown, so a doc rot regression fails the unit suite the same
+way it fails the CI docs job.
+
+Run directly or via ctest (registered as CheckLinksTest.Python).
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_links.py")
+
+
+def run_checker(*args):
+    return subprocess.run(
+        [sys.executable, CHECKER, *args],
+        capture_output=True, text=True, check=False)
+
+
+class CheckLinksTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.root = self.dir.name
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+        return path
+
+    def test_valid_relative_links_pass(self):
+        self.write("docs/other.md", "# Other\n")
+        page = self.write(
+            "docs/page.md",
+            "[up](../README.md) and [side](other.md)\n")
+        self.write("README.md", "# Readme\n")
+        result = run_checker(page, "--repo-root", self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_missing_file_fails(self):
+        page = self.write("page.md", "[gone](no_such_file.md)\n")
+        result = run_checker(page, "--repo-root", self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no_such_file.md", result.stderr)
+
+    def test_heading_anchor_resolves(self):
+        self.write("target.md",
+                   "# Big Title\n\n## The Ops Runbook!\n")
+        page = self.write(
+            "page.md",
+            "[a](target.md#big-title) [b](target.md#the-ops-runbook)\n")
+        result = run_checker(page, "--repo-root", self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_bad_anchor_fails(self):
+        self.write("target.md", "# Only Heading\n")
+        page = self.write("page.md", "[a](target.md#nope)\n")
+        result = run_checker(page, "--repo-root", self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("#nope", result.stderr)
+
+    def test_explicit_name_anchor_resolves(self):
+        self.write("target.md", '### <a name="metrics"></a>Metrics\n')
+        page = self.write("page.md", "[m](target.md#metrics)\n")
+        result = run_checker(page, "--repo-root", self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_same_file_fragment(self):
+        good = self.write("good.md", "# Alpha\n\nsee [a](#alpha)\n")
+        self.assertEqual(
+            run_checker(good, "--repo-root", self.root).returncode, 0)
+        bad = self.write("bad.md", "# Alpha\n\nsee [b](#beta)\n")
+        self.assertEqual(
+            run_checker(bad, "--repo-root", self.root).returncode, 1)
+
+    def test_external_urls_ignored(self):
+        page = self.write(
+            "page.md",
+            "[x](https://example.com/gone) [y](mailto:a@b.c)\n")
+        result = run_checker(page, "--repo-root", self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_links_in_code_fences_ignored(self):
+        page = self.write(
+            "page.md",
+            "```\n[not a link](missing.md)\n```\nreal text\n")
+        result = run_checker(page, "--repo-root", self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_directory_scan_finds_nested_markdown(self):
+        self.write("docs/broken.md", "[x](absent.md)\n")
+        result = run_checker(self.root, "--repo-root", self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("absent.md", result.stderr)
+
+    def test_links_escaping_repo_root_ignored(self):
+        # Github-site-relative paths (the CI badge's ../../actions/...)
+        # point outside the repository and are not this gate's business.
+        page = self.write(
+            "page.md",
+            "[badge](../../actions/workflows/ci.yml/badge.svg)\n")
+        result = run_checker(page, "--repo-root", self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_image_links_checked(self):
+        page = self.write("page.md", "![diagram](missing.png)\n")
+        result = run_checker(page, "--repo-root", self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("missing.png", result.stderr)
+
+    def test_repo_docs_are_link_clean(self):
+        # The repo's own markdown must stay link-clean; this is the
+        # same invocation the CI docs job runs.
+        result = run_checker(
+            os.path.join(REPO_ROOT, "README.md"),
+            os.path.join(REPO_ROOT, "docs"),
+            "--repo-root", REPO_ROOT)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,369 @@
+// The serving codec is the only part of the system that parses bytes
+// from an untrusted peer, so its tests are adversarial: every message
+// type round-trips exactly, a frame split at *every* byte boundary
+// reassembles, and every corruption class (oversized prefix, zero-length
+// frame, unknown tag, truncated body, trailing garbage, lying count
+// field) is rejected with Corruption — never a crash.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lshensemble {
+namespace serve {
+namespace {
+
+// Strip the u32 length prefix off a single encoded frame.
+std::string_view PayloadOf(const std::string& frame) {
+  EXPECT_GE(frame.size(), kFrameHeaderBytes);
+  return std::string_view(frame).substr(kFrameHeaderBytes);
+}
+
+TEST(ServeProtocolTest, QueryRequestRoundTrip) {
+  QueryRequest req;
+  req.request_id = 0x0123456789abcdefULL;
+  req.family_seed = 42;
+  req.t_star = 0.625;
+  req.query_size = 900;
+  req.deadline_us = 250;
+  req.slots = {5, 0, UINT64_MAX, 77};
+  std::string frame;
+  EncodeQueryRequest(req, &frame);
+
+  auto decoded = DecodeMessage(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const Message& msg = decoded.value();
+  ASSERT_EQ(msg.type, MessageType::kQueryRequest);
+  EXPECT_EQ(msg.query.request_id, req.request_id);
+  EXPECT_EQ(msg.query.family_seed, req.family_seed);
+  EXPECT_EQ(msg.query.t_star, req.t_star);
+  EXPECT_EQ(msg.query.query_size, req.query_size);
+  EXPECT_EQ(msg.query.deadline_us, req.deadline_us);
+  EXPECT_EQ(msg.query.slots, req.slots);
+}
+
+TEST(ServeProtocolTest, TopKRequestRoundTrip) {
+  TopKRequest req;
+  req.request_id = 7;
+  req.family_seed = 21;
+  req.k = 25;
+  req.query_size = 0;  // "use the sketch estimate" is on-wire meaningful
+  req.deadline_us = 0;
+  req.slots = std::vector<uint64_t>(128, 3);
+  std::string frame;
+  EncodeTopKRequest(req, &frame);
+
+  auto decoded = DecodeMessage(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().type, MessageType::kTopKRequest);
+  EXPECT_EQ(decoded.value().topk.k, 25u);
+  EXPECT_EQ(decoded.value().topk.slots.size(), 128u);
+}
+
+TEST(ServeProtocolTest, StatsAndReloadRequestsRoundTrip) {
+  StatsRequest stats;
+  stats.request_id = 11;
+  ReloadRequest reload;
+  reload.request_id = 12;
+  std::string stats_frame, reload_frame;
+  EncodeStatsRequest(stats, &stats_frame);
+  EncodeReloadRequest(reload, &reload_frame);
+
+  auto stats_decoded = DecodeMessage(PayloadOf(stats_frame));
+  ASSERT_TRUE(stats_decoded.ok());
+  ASSERT_EQ(stats_decoded.value().type, MessageType::kStatsRequest);
+  EXPECT_EQ(stats_decoded.value().stats.request_id, 11u);
+
+  auto reload_decoded = DecodeMessage(PayloadOf(reload_frame));
+  ASSERT_TRUE(reload_decoded.ok());
+  ASSERT_EQ(reload_decoded.value().type, MessageType::kReloadRequest);
+  EXPECT_EQ(reload_decoded.value().reload.request_id, 12u);
+}
+
+TEST(ServeProtocolTest, QueryResponseRoundTripWithFlags) {
+  QueryResponse resp;
+  resp.request_id = 99;
+  resp.flags = kResponseFlagPartial;
+  resp.ids = {1, 2, 3, 1000000};
+  std::string frame;
+  EncodeQueryResponse(resp, &frame);
+
+  auto decoded = DecodeMessage(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().type, MessageType::kQueryResponse);
+  EXPECT_EQ(decoded.value().query_response.request_id, 99u);
+  EXPECT_EQ(decoded.value().query_response.flags, kResponseFlagPartial);
+  EXPECT_EQ(decoded.value().query_response.ids, resp.ids);
+}
+
+TEST(ServeProtocolTest, TopKResponseRoundTrip) {
+  TopKResponse resp;
+  resp.request_id = 5;
+  resp.entries = {{10, 0.99}, {20, 0.5}, {30, 0.0}};
+  std::string frame;
+  EncodeTopKResponse(resp, &frame);
+
+  auto decoded = DecodeMessage(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().type, MessageType::kTopKResponse);
+  const TopKResponse& out = decoded.value().topk_response;
+  ASSERT_EQ(out.entries.size(), 3u);
+  EXPECT_EQ(out.entries[0].id, 10u);
+  EXPECT_EQ(out.entries[0].estimated_containment, 0.99);
+  EXPECT_EQ(out.entries[2].id, 30u);
+}
+
+TEST(ServeProtocolTest, StatsResponseRoundTrip) {
+  StatsResponse resp;
+  resp.request_id = 8;
+  resp.num_shards = 4;
+  resp.live_domains = 1000;
+  resp.indexed_domains = 900;
+  resp.delta_domains = 100;
+  resp.tombstones = 7;
+  resp.epoch = 3;
+  std::string frame;
+  EncodeStatsResponse(resp, &frame);
+
+  auto decoded = DecodeMessage(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().type, MessageType::kStatsResponse);
+  const StatsResponse& out = decoded.value().stats_response;
+  EXPECT_EQ(out.num_shards, 4u);
+  EXPECT_EQ(out.live_domains, 1000u);
+  EXPECT_EQ(out.indexed_domains, 900u);
+  EXPECT_EQ(out.delta_domains, 100u);
+  EXPECT_EQ(out.tombstones, 7u);
+  EXPECT_EQ(out.epoch, 3u);
+}
+
+TEST(ServeProtocolTest, ReloadResponseRoundTrip) {
+  ReloadResponse resp;
+  resp.request_id = 13;
+  resp.epoch = 9;
+  std::string frame;
+  EncodeReloadResponse(resp, &frame);
+
+  auto decoded = DecodeMessage(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().type, MessageType::kReloadResponse);
+  EXPECT_EQ(decoded.value().reload_response.epoch, 9u);
+}
+
+TEST(ServeProtocolTest, ErrorResponseRoundTrip) {
+  ErrorResponse err;
+  err.request_id = 77;
+  err.code = static_cast<uint8_t>(Status::Code::kUnavailable);
+  err.retryable = 1;
+  err.message = "shedding: dispatch queue full";
+  std::string frame;
+  EncodeErrorResponse(err, &frame);
+
+  auto decoded = DecodeMessage(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().type, MessageType::kErrorResponse);
+  EXPECT_EQ(decoded.value().error.request_id, 77u);
+  EXPECT_EQ(decoded.value().error.code, err.code);
+  EXPECT_EQ(decoded.value().error.retryable, 1);
+  EXPECT_EQ(decoded.value().error.message, err.message);
+}
+
+TEST(ServeProtocolTest, FrameReaderYieldsSingleFrame) {
+  StatsRequest req;
+  req.request_id = 1;
+  std::string frame;
+  EncodeStatsRequest(req, &frame);
+
+  FrameReader reader;
+  reader.Append(frame);
+  std::string_view payload;
+  ASSERT_TRUE(reader.Next(&payload));
+  EXPECT_EQ(payload, PayloadOf(frame));
+  EXPECT_FALSE(reader.Next(&payload));
+  EXPECT_TRUE(reader.status().ok());
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(ServeProtocolTest, FrameReaderReassemblesEverySplitPoint) {
+  QueryRequest req;
+  req.request_id = 3;
+  req.slots = {1, 2, 3};
+  std::string frame;
+  EncodeQueryRequest(req, &frame);
+
+  // Split [header+payload] at every byte boundary: the reader must yield
+  // nothing before the split completes, then exactly one payload.
+  for (size_t split = 0; split <= frame.size(); ++split) {
+    FrameReader reader;
+    reader.Append(std::string_view(frame).substr(0, split));
+    std::string_view payload;
+    if (split < frame.size()) {
+      EXPECT_FALSE(reader.Next(&payload)) << "split=" << split;
+      EXPECT_TRUE(reader.status().ok()) << "split=" << split;
+    }
+    reader.Append(std::string_view(frame).substr(split));
+    ASSERT_TRUE(reader.Next(&payload)) << "split=" << split;
+    EXPECT_EQ(payload, PayloadOf(frame)) << "split=" << split;
+    auto decoded = DecodeMessage(payload);
+    ASSERT_TRUE(decoded.ok()) << "split=" << split;
+    EXPECT_EQ(decoded.value().query.request_id, 3u);
+  }
+}
+
+TEST(ServeProtocolTest, FrameReaderByteAtATime) {
+  TopKRequest req;
+  req.request_id = 4;
+  req.slots = {9, 8, 7, 6};
+  std::string frame;
+  EncodeTopKRequest(req, &frame);
+
+  FrameReader reader;
+  std::string_view payload;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    if (i + 1 < frame.size()) {
+      EXPECT_FALSE(reader.Next(&payload));
+    }
+    reader.Append(std::string_view(frame).substr(i, 1));
+  }
+  ASSERT_TRUE(reader.Next(&payload));
+  EXPECT_EQ(payload, PayloadOf(frame));
+}
+
+TEST(ServeProtocolTest, FrameReaderYieldsPipelinedFrames) {
+  std::string stream;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    StatsRequest req;
+    req.request_id = id;
+    EncodeStatsRequest(req, &stream);
+  }
+
+  FrameReader reader;
+  reader.Append(stream);
+  std::string_view payload;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(reader.Next(&payload)) << "frame " << id;
+    auto decoded = DecodeMessage(payload);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().stats.request_id, id);
+  }
+  EXPECT_FALSE(reader.Next(&payload));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(ServeProtocolTest, FrameReaderRejectsOversizedFrameAndStaysPoisoned) {
+  FrameReader reader(/*max_frame_bytes=*/64);
+  // Length prefix of 65: one byte over the ceiling.
+  std::string bad;
+  bad.append({65, 0, 0, 0});
+  bad.append(65, 'x');
+  reader.Append(bad);
+  std::string_view payload;
+  EXPECT_FALSE(reader.Next(&payload));
+  EXPECT_TRUE(reader.status().IsCorruption()) << reader.status().ToString();
+
+  // Poisoned for good: later (well-formed) input is ignored.
+  StatsRequest req;
+  req.request_id = 1;
+  std::string good;
+  EncodeStatsRequest(req, &good);
+  reader.Append(good);
+  EXPECT_FALSE(reader.Next(&payload));
+  EXPECT_TRUE(reader.status().IsCorruption());
+}
+
+TEST(ServeProtocolTest, FrameReaderRejectsZeroLengthFrame) {
+  FrameReader reader;
+  reader.Append(std::string_view("\0\0\0\0", 4));
+  std::string_view payload;
+  EXPECT_FALSE(reader.Next(&payload));
+  EXPECT_TRUE(reader.status().IsCorruption());
+}
+
+TEST(ServeProtocolTest, DecodeRejectsEmptyPayload) {
+  auto decoded = DecodeMessage(std::string_view());
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(ServeProtocolTest, DecodeRejectsUnknownType) {
+  std::string payload;
+  payload.push_back(static_cast<char>(200));  // no such MessageType
+  payload.append(8, '\0');
+  auto decoded = DecodeMessage(payload);
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(ServeProtocolTest, DecodeRejectsTruncatedBodies) {
+  // Every message type, truncated at every byte: always Corruption,
+  // never a crash or an OK partial decode.
+  std::vector<std::string> frames(9);
+  QueryRequest query;
+  query.slots = {1, 2};
+  EncodeQueryRequest(query, &frames[0]);
+  TopKRequest topk;
+  topk.slots = {3};
+  EncodeTopKRequest(topk, &frames[1]);
+  EncodeStatsRequest(StatsRequest{}, &frames[2]);
+  EncodeReloadRequest(ReloadRequest{}, &frames[3]);
+  QueryResponse query_resp;
+  query_resp.ids = {4, 5};
+  EncodeQueryResponse(query_resp, &frames[4]);
+  TopKResponse topk_resp;
+  topk_resp.entries = {{6, 0.5}};
+  EncodeTopKResponse(topk_resp, &frames[5]);
+  EncodeStatsResponse(StatsResponse{}, &frames[6]);
+  EncodeReloadResponse(ReloadResponse{}, &frames[7]);
+  ErrorResponse err;
+  err.message = "boom";
+  EncodeErrorResponse(err, &frames[8]);
+
+  for (size_t f = 0; f < frames.size(); ++f) {
+    const std::string_view payload = PayloadOf(frames[f]);
+    for (size_t len = 1; len < payload.size(); ++len) {
+      auto decoded = DecodeMessage(payload.substr(0, len));
+      EXPECT_TRUE(decoded.status().IsCorruption())
+          << "frame " << f << " truncated to " << len << " bytes";
+    }
+  }
+}
+
+TEST(ServeProtocolTest, DecodeRejectsTrailingGarbage) {
+  StatsRequest req;
+  req.request_id = 1;
+  std::string frame;
+  EncodeStatsRequest(req, &frame);
+  std::string payload(PayloadOf(frame));
+  payload.push_back('!');
+  auto decoded = DecodeMessage(payload);
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(ServeProtocolTest, DecodeRejectsLyingSlotCount) {
+  // A slot count claiming more elements than the payload could hold must
+  // be rejected before any allocation happens.
+  QueryRequest req;
+  req.request_id = 1;
+  req.slots = {1, 2, 3};
+  std::string frame;
+  EncodeQueryRequest(req, &frame);
+  std::string payload(PayloadOf(frame));
+  // The slot-count u32 sits 8+8+8+8+8 = 40 bytes into the body, i.e. at
+  // offset 1 (type tag) + 40 = 41. Overwrite it with a huge count.
+  ASSERT_GT(payload.size(), 45u);
+  payload[41] = static_cast<char>(0xff);
+  payload[42] = static_cast<char>(0xff);
+  payload[43] = static_cast<char>(0xff);
+  payload[44] = static_cast<char>(0x7f);
+  auto decoded = DecodeMessage(payload);
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace lshensemble

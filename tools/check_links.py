@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Check intra-repo links in markdown files.
+
+Docs rot when the files they point at move; this gate makes a broken
+relative link a CI failure, the same way a broken #include is. It
+walks the given markdown files (or every tracked *.md under the given
+directories), extracts inline links and images, and verifies that
+every *relative* target exists on disk, resolved against the linking
+file's directory.
+
+Checked:
+  * relative file links: [text](docs/serving.md), [t](../README.md)
+  * anchors on relative links: the file part must exist; the fragment
+    must match a heading in the target (github-style slugs) or an
+    explicit <a name="..."> anchor
+  * pure fragments: [text](#section) must match a heading in the same
+    file
+
+Ignored (not this gate's business):
+  * absolute URLs (http://, https://, mailto:)
+  * links inside fenced code blocks
+  * bare autolinks and reference-style definitions to absolute URLs
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+printed as file:line: message).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Inline link or image: [text](target) / ![alt](target). Targets with
+# spaces must be <>-wrapped in markdown; both forms are captured.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(<([^>]+)>\)|!?\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+ANCHOR_RE = re.compile(r"<a\s+name=[\"']([^\"']+)[\"']")
+ABSOLUTE_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def slugify(heading):
+    """Github-style heading slug: lowercase, drop punctuation, dash
+    the spaces. Good enough for the anchors this repo writes."""
+    text = re.sub(r"[`*_~]", "", heading.strip().lower())
+    # Drop markdown link syntax inside headings: keep the text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return re.sub(r"[\s]+", "-", text).strip("-")
+
+
+def parse_markdown(path):
+    """Return (links, anchors): links as (lineno, target) outside code
+    fences, anchors as the set of valid fragment ids."""
+    links = []
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            for match in ANCHOR_RE.finditer(line):
+                anchors.add(match.group(1))
+            heading = HEADING_RE.match(line)
+            if heading and not in_fence:
+                anchors.add(slugify(heading.group(1)))
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1) or match.group(2)
+                links.append((lineno, target))
+    return links, anchors
+
+
+def check_file(path, anchor_cache, repo_root):
+    """Check every link in `path`; return a list of error strings."""
+    errors = []
+    links, own_anchors = parse_markdown(path)
+    anchor_cache[os.path.abspath(path)] = own_anchors
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, target in links:
+        if ABSOLUTE_RE.match(target) or target.startswith("//"):
+            continue  # external URL
+        if target.startswith("#"):
+            if target[1:] not in own_anchors:
+                errors.append("%s:%d: broken anchor %s" %
+                              (path, lineno, target))
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not resolved.startswith(repo_root + os.sep):
+            # Escapes the repository: a github-site-relative path like
+            # ../../actions/... (the CI badge), not a repo file.
+            continue
+        if not os.path.exists(resolved):
+            errors.append("%s:%d: broken link %s (no such file %s)" %
+                          (path, lineno, target,
+                           os.path.relpath(resolved, repo_root)))
+            continue
+        if fragment and resolved.endswith(".md"):
+            key = os.path.abspath(resolved)
+            if key not in anchor_cache:
+                anchor_cache[key] = parse_markdown(resolved)[1]
+            if fragment not in anchor_cache[key]:
+                errors.append("%s:%d: broken anchor %s (no heading "
+                              "#%s in %s)" %
+                              (path, lineno, target, fragment,
+                               os.path.relpath(resolved, repo_root)))
+    return errors
+
+
+def collect_markdown(paths):
+    """Expand directories into the *.md files under them (skipping
+    build trees and dot-directories)."""
+    out = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = [d for d in dirs
+                           if not d.startswith(".")
+                           and not d.startswith("build")]
+                out.extend(os.path.join(root, f) for f in files
+                           if f.endswith(".md"))
+        else:
+            out.append(path)
+    return sorted(set(out))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Check intra-repo markdown links.")
+    parser.add_argument("paths", nargs="+",
+                        help="markdown files or directories to scan")
+    parser.add_argument("--repo-root", default=".",
+                        help="root for error-message relative paths")
+    args = parser.parse_args()
+
+    files = collect_markdown(args.paths)
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    repo_root = os.path.abspath(args.repo_root)
+    anchor_cache = {}
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, anchor_cache, repo_root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print("check_links: %d file(s), %d broken link(s)" %
+          (len(files), len(errors)))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,10 +47,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <limits>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -68,6 +72,8 @@
 #include "io/fsck.h"
 #include "io/snapshot.h"
 #include "minhash/minhash.h"
+#include "serve/server.h"
+#include "serve/snapshot_manager.h"
 #include "util/clock.h"
 #include "util/timer.h"
 
@@ -87,6 +93,17 @@ struct Flags {
   int shards = 0;  // 0 = unsharded engines
   uint64_t deadline_us = 0;  // 0 = no per-query deadline
   bool quarantine = false;   // verify: move stray files aside
+  // serve flags
+  std::string bind = "127.0.0.1";
+  std::string port_file;       // write the bound port here (scripts)
+  int port = 0;                // 0 = ephemeral
+  int reactors = 2;
+  int dispatchers = 2;
+  int batch_max = 64;
+  uint64_t linger_us = 50;
+  int max_pending = 1024;
+  int max_in_flight = 0;       // engine admission bound; 0 = unbounded
+  bool partial = false;        // deadline degrades to partial results
   bool mmap = false;
   bool verify = true;    // --no-verify: skip eager segment CRC sweep
   bool madvise = true;   // --no-madvise: no OS pager hints on open
@@ -111,6 +128,10 @@ void Usage() {
   lshe stats --index IDX [--catalog CAT] [--mmap] [--no-verify]
              [--no-madvise]
   lshe verify PATH [--quarantine]
+  lshe serve SNAPSHOT_DIR [--bind A] [--port N] [--port-file F]
+             [--reactors N] [--dispatchers N] [--batch-max N]
+             [--linger-us N] [--max-pending N] [--max-in-flight N]
+             [--deadline-us N] [--partial] [--no-verify] [--no-madvise]
 
 serving-open tuning (with --mmap): --no-verify skips the eager segment
 CRC sweep (structure and manifest stay verified); --no-madvise disables
@@ -120,6 +141,11 @@ OS pager hints. Both default on.
 directory, naming any failing file; --quarantine moves unmanifested
 files to PATH/quarantine/. `--deadline-us N` fails queries that cannot
 finish within N microseconds with DeadlineExceeded.
+
+`serve` runs the micro-batching network front-end over a sharded
+snapshot directory (see docs/serving.md): binary protocol on the data
+port, `GET /metrics` on the same port for scraping, reload requests
+hot-swap to the snapshot directory's current content. Stop with SIGINT.
 )");
 }
 
@@ -150,6 +176,26 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->shards = std::atoi(value);
     } else if (arg == "--deadline-us" && (value = next())) {
       flags->deadline_us = static_cast<uint64_t>(std::atoll(value));
+    } else if (arg == "--bind" && (value = next())) {
+      flags->bind = value;
+    } else if (arg == "--port" && (value = next())) {
+      flags->port = std::atoi(value);
+    } else if (arg == "--port-file" && (value = next())) {
+      flags->port_file = value;
+    } else if (arg == "--reactors" && (value = next())) {
+      flags->reactors = std::atoi(value);
+    } else if (arg == "--dispatchers" && (value = next())) {
+      flags->dispatchers = std::atoi(value);
+    } else if (arg == "--batch-max" && (value = next())) {
+      flags->batch_max = std::atoi(value);
+    } else if (arg == "--linger-us" && (value = next())) {
+      flags->linger_us = static_cast<uint64_t>(std::atoll(value));
+    } else if (arg == "--max-pending" && (value = next())) {
+      flags->max_pending = std::atoi(value);
+    } else if (arg == "--max-in-flight" && (value = next())) {
+      flags->max_in_flight = std::atoi(value);
+    } else if (arg == "--partial") {
+      flags->partial = true;
     } else if (arg == "--quarantine") {
       flags->quarantine = true;
     } else if (arg == "--mmap") {
@@ -652,6 +698,96 @@ int RunVerify(const Flags& flags) {
   return 0;
 }
 
+
+std::atomic<bool> g_serve_stop{false};
+
+void HandleStopSignal(int) { g_serve_stop.store(true); }
+
+int RunServe(const Flags& flags) {
+  if (flags.positional.size() != 1) {
+    Usage();
+    return 2;
+  }
+  const std::string& dir = flags.positional[0];
+  // Serve what's on disk: shard count and hash width are properties of
+  // the snapshot (resharding on open is not supported), so adopt them
+  // from the manifest instead of asking the operator to repeat them.
+  Result<ShardSnapshotManifest> manifest =
+      ShardedEnsemble::ReadSnapshotManifest(dir);
+  if (!manifest.ok()) return Fail(manifest.status());
+  // The manager owns generation lifetime: Acquire() per dispatch wave,
+  // SwapTo() on reload requests. Engine-level degradation knobs come
+  // from the serve flags so the server and engine agree.
+  SnapshotManager::Options manager_options;
+  manager_options.serving.num_shards =
+      static_cast<size_t>(manifest.value().num_shards);
+  manager_options.serving.base.base.num_hashes =
+      static_cast<int>(manifest.value().num_hashes);
+  manager_options.serving.max_in_flight_batches =
+      flags.max_in_flight > 0 ? static_cast<size_t>(flags.max_in_flight) : 0;
+  manager_options.serving.partial_results = flags.partial;
+  manager_options.open.verify_checksums = flags.verify;
+  manager_options.open.apply_madvise = flags.madvise;
+  auto manager = std::make_shared<SnapshotManager>(manager_options);
+  Status status = manager->Open(dir);
+  if (!status.ok()) return Fail(status);
+
+  serve::ServerOptions options;
+  options.bind_address = flags.bind;
+  options.port = static_cast<uint16_t>(flags.port);
+  options.num_reactors = flags.reactors;
+  options.num_dispatchers = flags.dispatchers;
+  options.batch_max = static_cast<size_t>(flags.batch_max);
+  options.batch_linger_us = flags.linger_us;
+  options.max_pending = static_cast<size_t>(flags.max_pending);
+  options.default_deadline_us = flags.deadline_us;
+  options.partial_results = flags.partial;
+
+  serve::Server::Hooks hooks;
+  hooks.reload = [manager, dir]() -> Result<uint64_t> {
+    LSHE_RETURN_IF_ERROR(manager->SwapTo(dir));
+    return manager->epoch();
+  };
+  hooks.epoch = [manager] { return manager->epoch(); };
+  hooks.extra_metrics = [manager](std::string* out) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "# HELP lshe_serve_retired_generations Displaced "
+                  "generations still pinned by readers\n"
+                  "# TYPE lshe_serve_retired_generations gauge\n"
+                  "lshe_serve_retired_generations %zu\n",
+                  manager->retired_count());
+    out->append(line);
+  };
+
+  auto server = serve::Server::Start(
+      options, [manager] { return manager->Acquire(); }, std::move(hooks));
+  if (!server.ok()) return Fail(server.status());
+
+  if (!flags.port_file.empty()) {
+    std::FILE* f = std::fopen(flags.port_file.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(Status::IOError("cannot write port file: " +
+                                  flags.port_file));
+    }
+    std::fprintf(f, "%u\n", server.value()->port());
+    std::fclose(f);
+  }
+  std::printf("serving %s on %s:%u (epoch %llu)\n", dir.c_str(),
+              flags.bind.c_str(), server.value()->port(),
+              static_cast<unsigned long long>(manager->epoch()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down\n");
+  server.value()->Stop();
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     Usage();
@@ -669,6 +805,7 @@ int Main(int argc, char** argv) {
   if (command == "snapshot") return RunSnapshot(flags);
   if (command == "stats") return RunStats(flags);
   if (command == "verify") return RunVerify(flags);
+  if (command == "serve") return RunServe(flags);
   Usage();
   return 2;
 }
