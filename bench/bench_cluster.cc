@@ -1,0 +1,171 @@
+// Corpus-scale near-duplicate clustering throughput: the tiled self-join
+// (every indexed domain queried against its own index through
+// ShardedEnsemble::BatchQuery waves) plus union-find, reported as
+// domains-clustered/sec on the planted-duplicates corpus at S = 1 and 2
+// shards, with and without exact edge verification.
+//
+// The bench self-checks what the test suite pins, so a perf run cannot
+// silently trade correctness for speed: shard counts must produce
+// byte-identical clusters, and pair-level precision/recall against exact
+// ground truth must both clear 0.9 — the run exits non-zero otherwise.
+//
+// Rows are keyed (mode, corpus_size, shards) for the CI bench gate
+// (tools/bench_gate.py, relative mode against
+// bench/baselines/BENCH_cluster.json; refresh with LSHE_THREADS=2).
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/clusterer.h"
+#include "cluster/eval.h"
+#include "core/sharded_ensemble.h"
+#include "data/sketcher.h"
+#include "eval/report.h"
+#include "minhash/minhash.h"
+#include "util/timer.h"
+#include "workload/generator.h"
+
+namespace lshensemble {
+namespace {
+
+struct Row {
+  std::string mode;
+  size_t corpus_size = 0;
+  size_t shards = 0;
+  double seconds = 0;
+  size_t clusters = 0;
+  size_t duplicate_groups = 0;
+  size_t unique_pairs = 0;
+  double precision = 0;
+  double recall = 0;
+};
+
+int Main(int argc, char** argv) {
+  PlantedDuplicatesOptions planted;
+  planted.num_groups =
+      static_cast<size_t>(bench::IntFlag(argc, argv, "groups", 24));
+  planted.group_size =
+      static_cast<size_t>(bench::IntFlag(argc, argv, "group-size", 6));
+  planted.mother_size =
+      static_cast<uint64_t>(bench::IntFlag(argc, argv, "mother-size", 512));
+  planted.num_background =
+      static_cast<size_t>(bench::IntFlag(argc, argv, "background", 256));
+  planted.background_max_size = 2048;
+  planted.min_fraction = 0.92;
+  planted.seed = bench::kBenchSeed;
+  const auto tile =
+      static_cast<size_t>(bench::IntFlag(argc, argv, "tile", 2048));
+  const double threshold = 0.9;
+
+  const Corpus corpus = PlantedDuplicatesCorpus(planted).value();
+  const auto family = HashFamily::Create(256, bench::kBenchSeed).value();
+  const ParallelSketcher sketcher(family);
+
+  std::vector<Row> rows;
+  std::vector<ClusterResult> results;  // one per (mode, shards) row
+  struct Config {
+    const char* mode;
+    size_t shards;
+    bool verify;
+  };
+  const Config configs[] = {
+      {"cluster", 1, false},
+      {"cluster", 2, false},
+      {"cluster-verify", 1, true},
+  };
+  for (const Config& config : configs) {
+    // Build once per configuration; the timed region is the self-join +
+    // DSU only (the paper-cost ingest path has its own benches).
+    ShardedEnsembleOptions engine_options;
+    engine_options.num_shards = config.shards;
+    ShardedEnsemble index =
+        ShardedEnsemble::Create(engine_options, family).value();
+    if (!AddCorpus(corpus, sketcher, &index).ok() || !index.Flush().ok()) {
+      std::fprintf(stderr, "FAILED: corpus ingest\n");
+      return 1;
+    }
+    std::vector<ClusterRecord> records = CollectRecords(index);
+    std::unordered_map<uint64_t, const Domain*> by_id;
+    for (const Domain& domain : corpus.domains()) by_id[domain.id] = &domain;
+    for (ClusterRecord& record : records) record.domain = by_id.at(record.id);
+
+    ClusterOptions options;
+    options.threshold = threshold;
+    options.tile_size = tile;
+    options.verify_exact = config.verify;
+    const NearDupClusterer clusterer(options);
+    ClusterStats stats;
+    StopWatch watch;
+    auto result = clusterer.Cluster(index, records, &stats);
+    const double seconds = watch.ElapsedSeconds();
+    if (!result.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const PairAccuracy accuracy =
+        EvaluatePairAccuracy(corpus, result.value(), threshold).value();
+    rows.push_back(Row{config.mode, corpus.size(), config.shards, seconds,
+                       stats.num_clusters, stats.num_duplicate_groups,
+                       stats.unique_pairs, accuracy.precision,
+                       accuracy.recall});
+    results.push_back(std::move(result).value());
+  }
+
+  // Self-checks: shard invariance and the accuracy floor.
+  if (results[0].ids != results[1].ids ||
+      results[0].roots != results[1].roots) {
+    std::fprintf(stderr,
+                 "FAILED: clusters differ between S=1 and S=2 shards\n");
+    return 1;
+  }
+  for (const Row& row : rows) {
+    if (row.precision < 0.9 || row.recall < 0.9) {
+      std::fprintf(stderr,
+                   "FAILED: %s S=%zu precision %.3f / recall %.3f below "
+                   "the 0.9 floor\n",
+                   row.mode.c_str(), row.shards, row.precision, row.recall);
+      return 1;
+    }
+  }
+
+  bench::JsonResultWriter json("cluster",
+                               bench::StringFlag(argc, argv, "json"));
+  TablePrinter printer({"mode", "shards", "domains", "domains/sec",
+                        "clusters", "dup-groups", "pairs", "precision",
+                        "recall"});
+  for (const Row& row : rows) {
+    const double rate = static_cast<double>(row.corpus_size) / row.seconds;
+    printer.AddRow({row.mode, std::to_string(row.shards),
+                    std::to_string(row.corpus_size), FormatDouble(rate, 0),
+                    std::to_string(row.clusters),
+                    std::to_string(row.duplicate_groups),
+                    std::to_string(row.unique_pairs),
+                    FormatDouble(row.precision, 3),
+                    FormatDouble(row.recall, 3)});
+    json.BeginRow();
+    json.Add("mode", std::string_view(row.mode));
+    json.Add("corpus_size", row.corpus_size);
+    json.Add("shards", row.shards);
+    json.Add("seconds", row.seconds);
+    json.Add("domains_per_sec", rate);
+    json.Add("clusters", row.clusters);
+    json.Add("duplicate_groups", row.duplicate_groups);
+    json.Add("unique_pairs", row.unique_pairs);
+    json.Add("precision", row.precision);
+    json.Add("recall", row.recall);
+  }
+  printer.Print(std::cout);
+  std::printf("self-checks passed: S-invariant clusters, precision/recall "
+              ">= 0.9\n");
+  return json.Write() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lshensemble
+
+int main(int argc, char** argv) { return lshensemble::Main(argc, argv); }

@@ -1,0 +1,214 @@
+#include "cluster/clusterer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cluster/union_find.h"
+#include "core/lsh_ensemble.h"
+#include "data/sketcher.h"
+
+namespace lshensemble {
+
+namespace {
+
+// Unordered dense-index pair packed into one hash-set key; requires both
+// indices < 2^32 (enforced by Cluster()).
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Status ClusterOptions::Validate() const {
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("threshold must be in (0, 1]");
+  }
+  if (tile_size == 0) {
+    return Status::InvalidArgument("tile_size must be > 0");
+  }
+  return Status::OK();
+}
+
+Result<ClusterResult> NearDupClusterer::Cluster(
+    const ShardedEnsemble& index, std::span<const ClusterRecord> records,
+    ClusterStats* stats) const {
+  LSHE_RETURN_IF_ERROR(options_.Validate());
+  const size_t n = records.size();
+  if (n >= (1ULL << 32)) {
+    return Status::InvalidArgument(
+        "cluster self-join supports fewer than 2^32 records");
+  }
+  std::unordered_map<uint64_t, uint32_t> dense;
+  dense.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!records[i].signature.valid()) {
+      return Status::InvalidArgument("record " + std::to_string(records[i].id) +
+                                     " has no signature");
+    }
+    if (options_.verify_exact && records[i].domain == nullptr) {
+      return Status::InvalidArgument(
+          "verify_exact requires every record to carry its Domain (record " +
+          std::to_string(records[i].id) + " has none)");
+    }
+    if (!dense.emplace(records[i].id, static_cast<uint32_t>(i)).second) {
+      return Status::InvalidArgument("duplicate record id " +
+                                     std::to_string(records[i].id));
+    }
+  }
+
+  ClusterStats local;
+  ClusterStats& st = stats != nullptr ? *stats : local;
+  st = ClusterStats{};
+  st.num_records = n;
+
+  // Tiled self-join: each wave queries one slice of the record set against
+  // the full index; candidate hits become deduped undirected edges.
+  UnionFind dsu(n);
+  std::unordered_set<uint64_t> seen_pairs;
+  std::vector<QuerySpec> specs;
+  std::vector<std::vector<uint64_t>> outs;
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (size_t tile_start = 0; tile_start < n;
+       tile_start += options_.tile_size) {
+    const size_t tile = std::min(options_.tile_size, n - tile_start);
+    specs.resize(tile);
+    outs.resize(tile);
+    for (size_t j = 0; j < tile; ++j) {
+      const ClusterRecord& record = records[tile_start + j];
+      specs[j].query = &record.signature;
+      specs[j].query_size = record.size;
+      specs[j].t_star = options_.threshold;
+      specs[j].deadline_ns = 0;
+    }
+    LSHE_RETURN_IF_ERROR(index.BatchQuery(specs, outs.data()));
+    ++st.num_tiles;
+    for (size_t j = 0; j < tile; ++j) {
+      const uint32_t qi = static_cast<uint32_t>(tile_start + j);
+      for (uint64_t candidate : outs[j]) {
+        if (candidate == records[qi].id) continue;
+        ++st.candidates;
+        const auto it = dense.find(candidate);
+        if (it == dense.end()) {
+          // A record inserted concurrently with the job (or one the
+          // caller chose not to enumerate): not part of this clustering.
+          ++st.unknown_candidates;
+          continue;
+        }
+        const uint32_t ci = it->second;
+        if (!seen_pairs.insert(PairKey(qi, ci)).second) continue;
+        ++st.unique_pairs;
+        if (options_.verify_exact) {
+          const Domain& a = *records[qi].domain;
+          const Domain& b = *records[ci].domain;
+          const double exact =
+              std::max(a.ContainmentIn(b), b.ContainmentIn(a));
+          if (exact < options_.threshold) {
+            ++st.verified_rejected;
+            continue;
+          }
+        }
+        ++st.union_edges;
+        if (dsu.Union(qi, ci)) ++st.merges;
+        if (options_.collect_edges) {
+          edges.emplace_back(std::min(records[qi].id, records[ci].id),
+                             std::max(records[qi].id, records[ci].id));
+        }
+      }
+    }
+  }
+
+  // Canonical labels: each component's smallest member id. Depends only on
+  // the surviving edge SET, so output is invariant to tile size, shard
+  // count, and candidate arrival order.
+  std::vector<uint64_t> min_id(n, UINT64_MAX);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t root = dsu.Find(i);
+    min_id[root] = std::min(min_id[root], records[i].id);
+  }
+  std::vector<uint32_t> by_id(n);
+  for (uint32_t i = 0; i < n; ++i) by_id[i] = i;
+  std::sort(by_id.begin(), by_id.end(), [&](uint32_t a, uint32_t b) {
+    return records[a].id < records[b].id;
+  });
+  ClusterResult result;
+  result.ids.reserve(n);
+  result.roots.reserve(n);
+  for (uint32_t i : by_id) {
+    result.ids.push_back(records[i].id);
+    result.roots.push_back(min_id[dsu.Find(i)]);
+  }
+  if (options_.collect_edges) {
+    std::sort(edges.begin(), edges.end());
+    result.edges = std::move(edges);
+  }
+
+  std::unordered_map<uint32_t, size_t> component_sizes;
+  for (uint32_t i = 0; i < n; ++i) ++component_sizes[dsu.Find(i)];
+  result.num_clusters = component_sizes.size();
+  st.num_clusters = component_sizes.size();
+  for (const auto& [root, members] : component_sizes) {
+    if (members >= 2) {
+      ++st.num_duplicate_groups;
+      st.num_duplicated_records += members;
+    }
+  }
+  return result;
+}
+
+std::vector<ClusterRecord> CollectRecords(const ShardedEnsemble& index) {
+  std::vector<ClusterRecord> records;
+  records.reserve(index.size());
+  const std::shared_ptr<const HashFamily>& family = index.family();
+  index.ForEachLiveRecord([&](uint64_t id, size_t size, SignatureView sig) {
+    // Copy the borrowed slots into an owned MinHash while the shard's
+    // read lock protects the view — the records must outlive any
+    // concurrent Flush of a snapshot-opened shard.
+    Result<MinHash> owned = MinHash::FromSlots(
+        family, std::vector<uint64_t>(sig.values, sig.values + sig.num_hashes));
+    if (!owned.ok()) return;  // family mismatch cannot happen for own records
+    ClusterRecord record;
+    record.id = id;
+    record.size = size;
+    record.signature = std::move(owned).value();
+    records.push_back(std::move(record));
+  });
+  std::sort(records.begin(), records.end(),
+            [](const ClusterRecord& a, const ClusterRecord& b) {
+              return a.id < b.id;
+            });
+  return records;
+}
+
+Result<ClusterResult> ClusterCorpus(const Corpus& corpus,
+                                    std::shared_ptr<const HashFamily> family,
+                                    const ClusterOptions& options,
+                                    size_t num_shards, ClusterStats* stats) {
+  LSHE_RETURN_IF_ERROR(options.Validate());
+  ShardedEnsembleOptions engine_options;
+  engine_options.num_shards = num_shards;
+  Result<ShardedEnsemble> created =
+      ShardedEnsemble::Create(engine_options, family);
+  if (!created.ok()) return created.status();
+  ShardedEnsemble index = std::move(created).value();
+  const ParallelSketcher sketcher(family);
+  LSHE_RETURN_IF_ERROR(AddCorpus(corpus, sketcher, &index));
+  LSHE_RETURN_IF_ERROR(index.Flush());
+
+  std::vector<ClusterRecord> records = CollectRecords(index);
+  std::unordered_map<uint64_t, const Domain*> domains_by_id;
+  domains_by_id.reserve(corpus.size());
+  for (const Domain& domain : corpus.domains()) {
+    domains_by_id[domain.id] = &domain;
+  }
+  for (ClusterRecord& record : records) {
+    const auto it = domains_by_id.find(record.id);
+    if (it != domains_by_id.end()) record.domain = it->second;
+  }
+  const NearDupClusterer clusterer(options);
+  return clusterer.Cluster(index, records, stats);
+}
+
+}  // namespace lshensemble

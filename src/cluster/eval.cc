@@ -1,0 +1,89 @@
+#include "cluster/eval.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "baselines/exact_search.h"
+
+namespace lshensemble {
+
+Result<PairAccuracy> EvaluatePairAccuracy(const Corpus& corpus,
+                                          const ClusterResult& clusters,
+                                          double threshold) {
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("threshold must be in (0, 1]");
+  }
+  const size_t n = corpus.size();
+  if (n >= (1ULL << 32)) {
+    return Status::InvalidArgument(
+        "pair evaluation supports fewer than 2^32 domains");
+  }
+  std::unordered_map<uint64_t, uint32_t> dense;
+  dense.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!dense.emplace(corpus.domain(i).id, static_cast<uint32_t>(i)).second) {
+      return Status::InvalidArgument("duplicate corpus id " +
+                                     std::to_string(corpus.domain(i).id));
+    }
+  }
+
+  // Exact symmetric pair set: query every domain, keep (A, B) when either
+  // direction's containment clears the threshold.
+  ExactSearch exact;
+  for (const Domain& domain : corpus.domains()) {
+    LSHE_RETURN_IF_ERROR(exact.Add(domain.id, domain.values));
+  }
+  exact.Build();
+  std::unordered_set<uint64_t> truth;
+  std::vector<std::pair<uint64_t, double>> overlaps;
+  for (size_t i = 0; i < n; ++i) {
+    LSHE_RETURN_IF_ERROR(exact.Overlaps(corpus.domain(i).values, &overlaps));
+    for (const auto& [other_id, containment] : overlaps) {
+      if (other_id == corpus.domain(i).id) continue;
+      if (containment < threshold) continue;
+      uint32_t a = static_cast<uint32_t>(i);
+      uint32_t b = dense.at(other_id);
+      if (a > b) std::swap(a, b);
+      truth.insert((static_cast<uint64_t>(a) << 32) | b);
+    }
+  }
+
+  // Predicted pairs: C(k, 2) per cluster; hits: truth pairs whose two
+  // members share a root.
+  std::unordered_map<uint64_t, uint64_t> root_of;
+  root_of.reserve(clusters.ids.size());
+  for (size_t i = 0; i < clusters.ids.size(); ++i) {
+    root_of[clusters.ids[i]] = clusters.roots[i];
+  }
+  std::unordered_map<uint64_t, size_t> cluster_sizes;
+  for (const auto& [id, root] : root_of) ++cluster_sizes[root];
+
+  PairAccuracy accuracy;
+  accuracy.truth_pairs = truth.size();
+  for (const auto& [root, members] : cluster_sizes) {
+    accuracy.predicted_pairs += members * (members - 1) / 2;
+  }
+  for (uint64_t key : truth) {
+    const uint32_t a = static_cast<uint32_t>(key >> 32);
+    const uint32_t b = static_cast<uint32_t>(key);
+    const auto ra = root_of.find(corpus.domain(a).id);
+    const auto rb = root_of.find(corpus.domain(b).id);
+    if (ra != root_of.end() && rb != root_of.end() &&
+        ra->second == rb->second) {
+      ++accuracy.hit_pairs;
+    }
+  }
+  if (accuracy.predicted_pairs > 0) {
+    accuracy.precision = static_cast<double>(accuracy.hit_pairs) /
+                         static_cast<double>(accuracy.predicted_pairs);
+  }
+  if (accuracy.truth_pairs > 0) {
+    accuracy.recall = static_cast<double>(accuracy.hit_pairs) /
+                      static_cast<double>(accuracy.truth_pairs);
+  }
+  return accuracy;
+}
+
+}  // namespace lshensemble

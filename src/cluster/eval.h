@@ -1,0 +1,48 @@
+// Pair-level accuracy of a clustering against exact ground truth.
+//
+// Ground truth: the symmetric near-duplicate pair set {(A, B) :
+// max(t(A,B), t(B,A)) >= threshold}, computed with the exact inverted
+// index (baselines/exact_search.h) — the same engine every accuracy
+// experiment in the repo trusts. Predicted pairs are the transitive
+// closure of the clustering: every unordered pair sharing a root. The
+// closure is deliberate — it charges the clusterer for chaining
+// (transitively merged groups whose ends are not truly similar), which a
+// raw edge-level comparison would miss.
+
+#ifndef LSHENSEMBLE_CLUSTER_EVAL_H_
+#define LSHENSEMBLE_CLUSTER_EVAL_H_
+
+#include <cstddef>
+
+#include "cluster/clusterer.h"
+#include "data/corpus.h"
+#include "util/result.h"
+
+namespace lshensemble {
+
+/// \brief Pair-level confusion counts and the derived rates.
+struct PairAccuracy {
+  /// Unordered pairs with exact max-direction containment >= threshold.
+  size_t truth_pairs = 0;
+  /// Unordered within-cluster pairs (sum of C(k, 2) over clusters).
+  size_t predicted_pairs = 0;
+  /// Pairs in both sets.
+  size_t hit_pairs = 0;
+  /// hit / predicted; 1.0 when nothing is predicted.
+  double precision = 1.0;
+  /// hit / truth; 1.0 when no truth pairs exist.
+  double recall = 1.0;
+};
+
+/// \brief Score `clusters` (a ClusterResult over `corpus`'s domains,
+/// matched by id) against the exact pair set of `corpus` at `threshold`.
+/// Corpus domains absent from the clustering contribute their truth pairs
+/// (as misses) but no predictions. O(corpus postings) per domain for the
+/// exact self-join — ground-truth scale, not serving scale.
+Result<PairAccuracy> EvaluatePairAccuracy(const Corpus& corpus,
+                                          const ClusterResult& clusters,
+                                          double threshold);
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_CLUSTER_EVAL_H_

@@ -1,0 +1,67 @@
+// Disjoint-set union for candidate-edge clustering (cluster/clusterer.h).
+//
+// Path halving + union by size gives the usual near-constant amortized
+// Find(); the structure works on dense indices, so callers map external
+// domain ids to [0, n) first. The DSU's internal roots depend on edge
+// arrival order — callers that need a canonical labeling (the clusterer
+// pins "root = smallest id in the component") derive it after the fact,
+// which is what makes cluster output invariant to shard count and tile
+// size: those only permute edge order, never the edge set.
+
+#ifndef LSHENSEMBLE_CLUSTER_UNION_FIND_H_
+#define LSHENSEMBLE_CLUSTER_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lshensemble {
+
+/// \brief Union-find over dense indices [0, size()).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+
+  size_t size() const { return parent_.size(); }
+
+  /// Representative of `x`'s set (path halving: every other node on the
+  /// walk is re-pointed at its grandparent, so chains shrink as they are
+  /// read — no second pass, no recursion).
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merge the sets holding `a` and `b` (union by size: the smaller tree
+  /// hangs off the larger root, bounding tree depth at O(log n)).
+  /// Returns true when the sets were distinct.
+  bool Union(uint32_t a, uint32_t b) {
+    uint32_t ra = Find(a);
+    uint32_t rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  /// True when `a` and `b` are in the same set.
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Elements in `x`'s set.
+  size_t SetSize(uint32_t x) { return size_[Find(x)]; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace lshensemble
+
+#endif  // LSHENSEMBLE_CLUSTER_UNION_FIND_H_

@@ -421,6 +421,22 @@ void DynamicLshEnsemble::AppendLiveSizes(std::vector<uint64_t>* out) const {
   }
 }
 
+void DynamicLshEnsemble::ForEachLiveRecord(
+    const std::function<void(uint64_t, size_t, SignatureView)>& fn) const {
+  for (const auto& [id, record] : records_) {
+    fn(id, record.size, record.signature.view());
+  }
+  // A mapped id can only coexist with a heap record when it was Remove()d
+  // first (re-insert), and a Remove of a mapped record always tombstones
+  // it — so the tombstone check alone prevents double enumeration.
+  for (size_t i = 0; i < mapped_.n; ++i) {
+    if (tombstones_.count(mapped_.ids[i]) == 0) {
+      fn(mapped_.ids[i], static_cast<size_t>(mapped_.sizes[i]),
+         SignatureView{mapped_.signatures + i * mapped_.m, mapped_.m});
+    }
+  }
+}
+
 size_t DynamicLshEnsemble::indexed_size() const { return indexed_count_; }
 
 size_t DynamicLshEnsemble::SizeOf(uint64_t id) const {

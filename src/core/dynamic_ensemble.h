@@ -31,6 +31,7 @@
 #define LSHENSEMBLE_CORE_DYNAMIC_ENSEMBLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -139,6 +140,19 @@ class DynamicLshEnsemble {
   /// The sharded layer aggregates these across shards to compute the
   /// corpus-global partitioning it pins rebuilds to.
   void AppendLiveSizes(std::vector<uint64_t>* out) const;
+
+  /// \brief Invoke `fn(id, size, signature)` for every live domain —
+  /// heap (overlay) records and still-live snapshot-resident records
+  /// alike, in unspecified order. The views carry the FindSignature()
+  /// stability contract: callers that outlive the enumeration (or run
+  /// concurrently with mutations, like the cluster self-join) must copy
+  /// the slots out inside `fn`. This is the corpus enumeration the
+  /// all-pairs self-join driver (cluster/clusterer.h) feeds its query
+  /// waves from, which is why a snapshot-opened index can be clustered
+  /// without its catalog.
+  void ForEachLiveRecord(
+      const std::function<void(uint64_t id, size_t size, SignatureView sig)>&
+          fn) const;
 
   /// Number of live (searchable) domains: the heap records (overlay) plus
   /// the still-live records of a mapped snapshot base.

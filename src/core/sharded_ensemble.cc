@@ -610,6 +610,14 @@ SignatureView ShardedEnsemble::FindSignature(uint64_t id,
   return shard.engine.FindSignature(id, size);
 }
 
+void ShardedEnsemble::ForEachLiveRecord(
+    const std::function<void(uint64_t, size_t, SignatureView)>& fn) const {
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    shard->engine.ForEachLiveRecord(fn);
+  }
+}
+
 Result<bool> ShardedEnsemble::ScoreRecord(const MinHash& query, uint64_t id,
                                           size_t* size,
                                           double* jaccard) const {

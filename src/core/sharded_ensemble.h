@@ -60,6 +60,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -242,6 +243,18 @@ class ShardedEnsemble {
   /// signature mid-estimate. This is the top-k ranking primitive.
   Result<bool> ScoreRecord(const MinHash& query, uint64_t id, size_t* size,
                            double* jaccard) const;
+
+  /// \brief Invoke `fn(id, size, signature)` for every live domain across
+  /// all shards (unspecified order), each shard enumerated under its read
+  /// lock. The views are only guaranteed stable while `fn` runs (a
+  /// concurrent Flush of a snapshot-opened shard can release the mapping
+  /// they point into afterwards), so `fn` must copy what it keeps. The
+  /// cluster self-join (cluster/clusterer.h) uses this to turn an index —
+  /// including one opened straight off a snapshot directory — into its
+  /// own query stream.
+  void ForEachLiveRecord(
+      const std::function<void(uint64_t id, size_t size, SignatureView sig)>&
+          fn) const;
 
   /// Shard introspection for tests and benches (not locked; do not call
   /// concurrently with mutations).

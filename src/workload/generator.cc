@@ -126,6 +126,72 @@ Result<Corpus> CorpusGenerator::Generate() const {
   return Corpus(std::move(domains));
 }
 
+Status PlantedDuplicatesOptions::Validate() const {
+  if (num_groups == 0 || group_size < 2) {
+    return Status::InvalidArgument(
+        "need num_groups >= 1 and group_size >= 2");
+  }
+  if (mother_size < 2 || mother_size >= (1ULL << kPoolShift)) {
+    return Status::InvalidArgument("mother_size must be in [2, 2^24)");
+  }
+  if (min_fraction <= 0.0 || min_fraction >= 1.0) {
+    return Status::InvalidArgument("min_fraction must be in (0, 1)");
+  }
+  if (background_min_size < 1 || background_max_size < background_min_size ||
+      background_max_size >= (1ULL << kPoolShift)) {
+    return Status::InvalidArgument(
+        "need 1 <= background_min_size <= background_max_size < 2^24");
+  }
+  return Status::OK();
+}
+
+Result<Corpus> PlantedDuplicatesCorpus(
+    const PlantedDuplicatesOptions& options) {
+  LSHE_RETURN_IF_ERROR(options.Validate());
+  // Groups use pool indices [0, num_groups); background domains get one
+  // private pool each after that — all value ranges disjoint, so the only
+  // overlap anywhere is within a group.
+  const size_t num_planted = options.num_groups * options.group_size;
+  std::vector<Domain> domains(num_planted + options.num_background);
+  const PowerLawSampler background_sampler(2.0, options.background_min_size,
+                                           options.background_max_size);
+  auto generate_domain = [&](size_t i) {
+    Rng rng(HashCombine(options.seed ^ 0xd7bULL, i));
+    if (i < num_planted) {
+      const size_t group = i / options.group_size;
+      const double fraction =
+          options.min_fraction +
+          (1.0 - options.min_fraction) * rng.NextDoubleOpenLow();
+      const uint64_t size = std::max<uint64_t>(
+          1, static_cast<uint64_t>(std::llround(
+                 fraction * static_cast<double>(options.mother_size))));
+      std::vector<uint64_t> values =
+          SampleDistinct(rng, options.mother_size, size);
+      for (uint64_t& value : values) {
+        value += static_cast<uint64_t>(group) << kPoolShift;
+      }
+      domains[i] = Domain::FromValues(
+          static_cast<uint64_t>(i),
+          "dup:g" + std::to_string(group) + ":m" +
+              std::to_string(i % options.group_size),
+          std::move(values));
+      return;
+    }
+    const size_t b = i - num_planted;
+    const uint64_t pool = options.num_groups + b;
+    const uint64_t size = background_sampler.Sample(rng);
+    std::vector<uint64_t> values(size);
+    for (uint64_t j = 0; j < size; ++j) {
+      values[j] = (pool << kPoolShift) + j;
+    }
+    domains[i] = Domain::FromValues(static_cast<uint64_t>(i),
+                                    "bg:" + std::to_string(b),
+                                    std::move(values));
+  };
+  ThreadPool::Shared().ParallelFor(domains.size(), generate_domain);
+  return Corpus(std::move(domains));
+}
+
 Result<Domain> MakeQueryWithContainment(const Domain& target,
                                         size_t query_size, double containment,
                                         uint64_t query_id, Rng& rng) {

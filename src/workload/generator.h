@@ -70,6 +70,39 @@ class CorpusGenerator {
   CorpusGenOptions options_;
 };
 
+/// \brief Knobs of the planted-duplicates corpus (cluster evaluation).
+struct PlantedDuplicatesOptions {
+  /// Number of planted near-duplicate groups.
+  size_t num_groups = 16;
+  /// Domains per group; every within-group pair is a near-duplicate.
+  size_t group_size = 6;
+  /// Values in each group's mother set. Members sample from it, so this
+  /// bounds member sizes (sketch accuracy improves with it).
+  uint64_t mother_size = 512;
+  /// Each member keeps a fraction f ~ U(min_fraction, 1] of its mother
+  /// set, so pairwise containments concentrate around E[f] — pick
+  /// min_fraction comfortably above the clustering threshold.
+  double min_fraction = 0.9;
+  /// Background domains with values disjoint from every group (and each
+  /// other): neither true pairs nor plausible candidates.
+  size_t num_background = 128;
+  /// Background sizes are power-law in [min, max] (alpha fixed at 2) so
+  /// the index still sees the size spread its partitioner expects.
+  uint64_t background_min_size = 64;
+  uint64_t background_max_size = 4096;
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// \brief Deterministic corpus with known near-duplicate structure: the
+/// ground-truth pair set at any threshold below the realized within-group
+/// containments is exactly "every within-group pair", and background
+/// domains share no value with anything. Corpus order (and domain id
+/// order) is groups first — group g's members at ids g*group_size + m —
+/// then background. Equal options produce identical corpora.
+Result<Corpus> PlantedDuplicatesCorpus(const PlantedDuplicatesOptions& options);
+
 /// \brief Build a query with a *known* containment in `target`: `overlap =
 /// round(containment * query_size)` values sampled from the target plus
 /// fresh values that occur nowhere in any generated corpus. Used by recall

@@ -1,0 +1,465 @@
+// Near-duplicate clustering: DSU mechanics, the tiled self-join driver,
+// the invariance property the module advertises (identical clusters for
+// every shard count and tile size — grouping into waves must never change
+// the candidate-edge set, and min-id canonical roots are edge-order-free),
+// exact-verification semantics, pair-level accuracy scoring, the
+// ForEachLiveRecord enumeration seam across the dynamic lifecycle
+// (heap / mapped / tombstoned / snapshot-opened), and the concurrency
+// contract (clustering while the index mutates).
+
+#include "cluster/clusterer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/eval.h"
+#include "cluster/union_find.h"
+#include "core/dynamic_ensemble.h"
+#include "core/sharded_ensemble.h"
+#include "data/corpus.h"
+#include "data/sketcher.h"
+#include "test_tmp.h"
+#include "workload/generator.h"
+
+namespace lshensemble {
+namespace {
+
+constexpr int kNumHashes = 256;
+
+std::shared_ptr<const HashFamily> Family() {
+  static std::shared_ptr<const HashFamily> family =
+      HashFamily::Create(kNumHashes, 42).value();
+  return family;
+}
+
+PlantedDuplicatesOptions SmallPlanted() {
+  PlantedDuplicatesOptions options;
+  options.num_groups = 8;
+  options.group_size = 4;
+  options.mother_size = 384;
+  options.min_fraction = 0.92;
+  options.num_background = 48;
+  options.background_min_size = 32;
+  options.background_max_size = 512;
+  options.seed = 7;
+  return options;
+}
+
+ShardedEnsembleOptions ShardOptions(size_t num_shards) {
+  ShardedEnsembleOptions options;
+  options.base.min_delta_for_rebuild = 1 << 30;  // tests flush explicitly
+  options.num_shards = num_shards;
+  return options;
+}
+
+// ---------------------------------------------------------------- DSU --
+
+TEST(UnionFindTest, SingletonsAtStart) {
+  UnionFind dsu(4);
+  EXPECT_EQ(dsu.size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(dsu.Find(i), i);
+    EXPECT_EQ(dsu.SetSize(i), 1u);
+  }
+  EXPECT_FALSE(dsu.Connected(0, 3));
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsNovelty) {
+  UnionFind dsu(5);
+  EXPECT_TRUE(dsu.Union(0, 1));
+  EXPECT_TRUE(dsu.Union(2, 3));
+  EXPECT_FALSE(dsu.Union(1, 0));  // already one set
+  EXPECT_TRUE(dsu.Union(1, 3));
+  EXPECT_TRUE(dsu.Connected(0, 2));
+  EXPECT_EQ(dsu.SetSize(3), 4u);
+  EXPECT_EQ(dsu.SetSize(4), 1u);
+  EXPECT_FALSE(dsu.Connected(0, 4));
+}
+
+TEST(UnionFindTest, LongChainCollapses) {
+  constexpr uint32_t kN = 1000;
+  UnionFind dsu(kN);
+  for (uint32_t i = 0; i + 1 < kN; ++i) dsu.Union(i, i + 1);
+  const uint32_t root = dsu.Find(0);
+  for (uint32_t i = 0; i < kN; ++i) EXPECT_EQ(dsu.Find(i), root);
+  EXPECT_EQ(dsu.SetSize(kN - 1), kN);
+}
+
+// ------------------------------------------------------------ options --
+
+TEST(ClusterTest, OptionsValidate) {
+  ClusterOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  options.threshold = 0.0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.threshold = 1.1;
+  EXPECT_FALSE(options.Validate().ok());
+  options.threshold = 0.9;
+  options.tile_size = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+// ------------------------------------------------- self-join clustering --
+
+TEST(ClusterTest, PlantedGroupsClusterExactly) {
+  const Corpus corpus = PlantedDuplicatesCorpus(SmallPlanted()).value();
+  ClusterOptions options;
+  // Margin below the planted min_fraction (0.92): within-group containments
+  // sit at >= 0.92, so sketch noise around the threshold cannot drop a
+  // member, and exact group recovery is deterministic.
+  options.threshold = 0.85;
+  ClusterStats stats;
+  const ClusterResult result =
+      ClusterCorpus(corpus, Family(), options, 2, &stats).value();
+
+  ASSERT_EQ(result.ids.size(), corpus.size());
+  EXPECT_TRUE(std::is_sorted(result.ids.begin(), result.ids.end()));
+  EXPECT_EQ(stats.num_records, corpus.size());
+
+  // Every planted group collapses to one cluster rooted at its smallest
+  // member id; background domains stay singletons.
+  const PlantedDuplicatesOptions planted = SmallPlanted();
+  std::unordered_map<uint64_t, uint64_t> root_of;
+  for (size_t i = 0; i < result.ids.size(); ++i) {
+    root_of[result.ids[i]] = result.roots[i];
+  }
+  for (size_t g = 0; g < planted.num_groups; ++g) {
+    const uint64_t expected_root = g * planted.group_size;
+    for (size_t m = 0; m < planted.group_size; ++m) {
+      EXPECT_EQ(root_of.at(g * planted.group_size + m), expected_root)
+          << "group " << g << " member " << m;
+    }
+  }
+  const size_t num_planted = planted.num_groups * planted.group_size;
+  for (size_t b = 0; b < planted.num_background; ++b) {
+    const uint64_t id = num_planted + b;
+    EXPECT_EQ(root_of.at(id), id) << "background " << b;
+  }
+  EXPECT_EQ(stats.num_duplicate_groups, planted.num_groups);
+  EXPECT_EQ(stats.num_duplicated_records, num_planted);
+  EXPECT_EQ(result.num_clusters,
+            planted.num_groups + planted.num_background);
+}
+
+TEST(ClusterTest, AccuracyOnPlantedCorpus) {
+  // The acceptance bar: pair-level precision and recall >= 0.9 against
+  // exact ground truth at the clustering threshold.
+  const Corpus corpus = PlantedDuplicatesCorpus(SmallPlanted()).value();
+  ClusterOptions options;
+  options.threshold = 0.9;
+  const ClusterResult result =
+      ClusterCorpus(corpus, Family(), options, 2, nullptr).value();
+  const PairAccuracy accuracy =
+      EvaluatePairAccuracy(corpus, result, options.threshold).value();
+  EXPECT_GT(accuracy.truth_pairs, 0u);
+  EXPECT_GE(accuracy.precision, 0.9);
+  EXPECT_GE(accuracy.recall, 0.9);
+}
+
+TEST(ClusterTest, InvariantAcrossShardCountsAndTileSizes) {
+  // The defining property: shard count and tile size only regroup the
+  // same self-join into different waves; ids and canonical roots must be
+  // byte-identical.
+  const Corpus corpus = PlantedDuplicatesCorpus(SmallPlanted()).value();
+  ClusterOptions base;
+  base.threshold = 0.9;
+  const ClusterResult reference =
+      ClusterCorpus(corpus, Family(), base, 1, nullptr).value();
+  for (size_t shards : {1u, 2u, 4u}) {
+    for (size_t tile : {1u, 7u, 64u, 100000u}) {
+      ClusterOptions options = base;
+      options.tile_size = tile;
+      const ClusterResult result =
+          ClusterCorpus(corpus, Family(), options, shards, nullptr).value();
+      EXPECT_EQ(result.ids, reference.ids)
+          << "S=" << shards << " tile=" << tile;
+      EXPECT_EQ(result.roots, reference.roots)
+          << "S=" << shards << " tile=" << tile;
+      EXPECT_EQ(result.num_clusters, reference.num_clusters);
+    }
+  }
+}
+
+TEST(ClusterTest, VerifyExactDropsFalsePositiveEdges) {
+  // With verification on, every edge that reaches the DSU must clear the
+  // exact max-direction containment bar — check against the collected
+  // edge list.
+  const Corpus corpus = PlantedDuplicatesCorpus(SmallPlanted()).value();
+  ClusterOptions options;
+  options.threshold = 0.9;
+  options.verify_exact = true;
+  options.collect_edges = true;
+  ClusterStats stats;
+  const ClusterResult result =
+      ClusterCorpus(corpus, Family(), options, 2, &stats).value();
+  EXPECT_EQ(stats.union_edges, stats.unique_pairs - stats.verified_rejected);
+  EXPECT_EQ(result.edges.size(), stats.union_edges);
+  std::unordered_map<uint64_t, const Domain*> by_id;
+  for (const Domain& domain : corpus.domains()) by_id[domain.id] = &domain;
+  for (const auto& [a, b] : result.edges) {
+    EXPECT_LT(a, b);
+    const Domain& da = *by_id.at(a);
+    const Domain& db = *by_id.at(b);
+    EXPECT_GE(std::max(da.ContainmentIn(db), db.ContainmentIn(da)),
+              options.threshold)
+        << "edge (" << a << ", " << b << ")";
+  }
+}
+
+TEST(ClusterTest, VerifyExactRequiresDomains) {
+  ShardedEnsemble index =
+      ShardedEnsemble::Create(ShardOptions(1), Family()).value();
+  const std::vector<uint64_t> values{1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(index.Insert(1, values).ok());
+  ASSERT_TRUE(index.Flush().ok());
+  std::vector<ClusterRecord> records = CollectRecords(index);
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(records[0].domain, nullptr);
+  ClusterOptions options;
+  options.verify_exact = true;
+  const NearDupClusterer clusterer(options);
+  const auto result = clusterer.Cluster(index, records);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ClusterTest, DuplicateRecordIdsRejected) {
+  ShardedEnsemble index =
+      ShardedEnsemble::Create(ShardOptions(1), Family()).value();
+  const std::vector<uint64_t> values{1, 2, 3, 4};
+  ASSERT_TRUE(index.Insert(1, values).ok());
+  ASSERT_TRUE(index.Flush().ok());
+  std::vector<ClusterRecord> records = CollectRecords(index);
+  records.push_back(ClusterRecord{records[0].id, records[0].size,
+                                  records[0].signature, nullptr});
+  const NearDupClusterer clusterer(ClusterOptions{});
+  EXPECT_FALSE(clusterer.Cluster(index, records).ok());
+}
+
+TEST(ClusterTest, EmptyRecordSetClustersToNothing) {
+  ShardedEnsemble index =
+      ShardedEnsemble::Create(ShardOptions(2), Family()).value();
+  const NearDupClusterer clusterer(ClusterOptions{});
+  ClusterStats stats;
+  const ClusterResult result = clusterer.Cluster(index, {}, &stats).value();
+  EXPECT_TRUE(result.ids.empty());
+  EXPECT_EQ(result.num_clusters, 0u);
+  EXPECT_EQ(stats.num_tiles, 0u);
+}
+
+// -------------------------------------------------------- pair scoring --
+
+TEST(ClusterEvalTest, PerfectAndDegenerateClusterings) {
+  // Two exact-duplicate pairs plus a loner.
+  std::vector<Domain> domains;
+  domains.push_back(Domain::FromValues(10, "a0", {1, 2, 3, 4}));
+  domains.push_back(Domain::FromValues(11, "a1", {1, 2, 3, 4}));
+  domains.push_back(Domain::FromValues(20, "b0", {50, 51, 52, 53}));
+  domains.push_back(Domain::FromValues(21, "b1", {50, 51, 52, 53}));
+  domains.push_back(Domain::FromValues(30, "c", {90, 91, 92, 93}));
+  const Corpus corpus(std::move(domains));
+
+  ClusterResult perfect;
+  perfect.ids = {10, 11, 20, 21, 30};
+  perfect.roots = {10, 10, 20, 20, 30};
+  const PairAccuracy exact =
+      EvaluatePairAccuracy(corpus, perfect, 0.9).value();
+  EXPECT_EQ(exact.truth_pairs, 2u);
+  EXPECT_EQ(exact.predicted_pairs, 2u);
+  EXPECT_EQ(exact.hit_pairs, 2u);
+  EXPECT_DOUBLE_EQ(exact.precision, 1.0);
+  EXPECT_DOUBLE_EQ(exact.recall, 1.0);
+
+  // Chained everything into one cluster: recall stays 1, precision pays
+  // for the C(5,2) = 10 predicted pairs.
+  ClusterResult merged;
+  merged.ids = {10, 11, 20, 21, 30};
+  merged.roots = {10, 10, 10, 10, 10};
+  const PairAccuracy chained =
+      EvaluatePairAccuracy(corpus, merged, 0.9).value();
+  EXPECT_EQ(chained.predicted_pairs, 10u);
+  EXPECT_EQ(chained.hit_pairs, 2u);
+  EXPECT_DOUBLE_EQ(chained.recall, 1.0);
+  EXPECT_DOUBLE_EQ(chained.precision, 0.2);
+
+  // All singletons: nothing predicted, perfect precision, zero recall.
+  ClusterResult singletons;
+  singletons.ids = {10, 11, 20, 21, 30};
+  singletons.roots = {10, 11, 20, 21, 30};
+  const PairAccuracy none =
+      EvaluatePairAccuracy(corpus, singletons, 0.9).value();
+  EXPECT_EQ(none.predicted_pairs, 0u);
+  EXPECT_DOUBLE_EQ(none.precision, 1.0);
+  EXPECT_DOUBLE_EQ(none.recall, 0.0);
+}
+
+TEST(ClusterEvalTest, ThresholdValidated) {
+  const Corpus corpus(std::vector<Domain>{});
+  EXPECT_FALSE(EvaluatePairAccuracy(corpus, ClusterResult{}, 0.0).ok());
+  EXPECT_FALSE(EvaluatePairAccuracy(corpus, ClusterResult{}, 1.5).ok());
+}
+
+// ------------------------------------------- record enumeration seam --
+
+TEST(ClusterTest, ForEachLiveRecordCoversDynamicLifecycle) {
+  DynamicEnsembleOptions options;
+  options.min_delta_for_rebuild = 1 << 30;
+  DynamicLshEnsemble engine =
+      DynamicLshEnsemble::Create(options, Family()).value();
+  auto values_of = [](uint64_t id) {
+    std::vector<uint64_t> values;
+    for (uint64_t v = 0; v < 16; ++v) values.push_back(id * 1000 + v);
+    return values;
+  };
+  for (uint64_t id = 1; id <= 6; ++id) {
+    ASSERT_TRUE(engine.Insert(id, values_of(id)).ok());
+  }
+  ASSERT_TRUE(engine.Flush().ok());      // 1..6 now indexed
+  ASSERT_TRUE(engine.Remove(3).ok());    // tombstoned in the built index
+  for (uint64_t id = 7; id <= 8; ++id) {
+    ASSERT_TRUE(engine.Insert(id, values_of(id)).ok());  // heap delta
+  }
+  ASSERT_TRUE(engine.Remove(8).ok());    // dropped straight from the delta
+
+  std::set<uint64_t> seen;
+  engine.ForEachLiveRecord([&](uint64_t id, size_t size, SignatureView sig) {
+    EXPECT_TRUE(seen.insert(id).second) << "id " << id << " enumerated twice";
+    EXPECT_EQ(size, 16u);
+    EXPECT_TRUE(static_cast<bool>(sig));
+    EXPECT_EQ(sig.num_hashes, static_cast<size_t>(kNumHashes));
+  });
+  EXPECT_EQ(seen, (std::set<uint64_t>{1, 2, 4, 5, 6, 7}));
+}
+
+TEST(ClusterTest, CollectRecordsMatchesShardedContents) {
+  ShardedEnsemble index =
+      ShardedEnsemble::Create(ShardOptions(3), Family()).value();
+  const Corpus corpus = PlantedDuplicatesCorpus(SmallPlanted()).value();
+  const ParallelSketcher sketcher(Family());
+  ASSERT_TRUE(AddCorpus(corpus, sketcher, &index).ok());
+  ASSERT_TRUE(index.Flush().ok());
+
+  const std::vector<ClusterRecord> records = CollectRecords(index);
+  ASSERT_EQ(records.size(), corpus.size());
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].id, records[i].id);
+  }
+  for (const ClusterRecord& record : records) {
+    EXPECT_EQ(record.size, corpus.domain(record.id).size());
+    EXPECT_TRUE(record.signature.valid());
+  }
+}
+
+TEST(ClusterTest, SnapshotOpenedIndexClustersIdentically) {
+  // The CLI path: cluster an index opened zero-copy off a snapshot
+  // directory, no catalog anywhere — must match the in-memory clustering.
+  const Corpus corpus = PlantedDuplicatesCorpus(SmallPlanted()).value();
+  ClusterOptions options;
+  options.threshold = 0.9;
+  const ClusterResult in_memory =
+      ClusterCorpus(corpus, Family(), options, 2, nullptr).value();
+
+  ShardedEnsemble built =
+      ShardedEnsemble::Create(ShardOptions(2), Family()).value();
+  const ParallelSketcher sketcher(Family());
+  ASSERT_TRUE(AddCorpus(corpus, sketcher, &built).ok());
+  ASSERT_TRUE(built.Flush().ok());
+  const std::string dir = ProcessTempPath("cluster_snapshot");
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(built.SaveSnapshot(dir).ok());
+
+  ShardedEnsemble opened =
+      ShardedEnsemble::OpenSnapshot(dir, ShardOptions(2)).value();
+  const std::vector<ClusterRecord> records = CollectRecords(opened);
+  ASSERT_EQ(records.size(), corpus.size());
+  const NearDupClusterer clusterer(options);
+  const ClusterResult from_snapshot =
+      clusterer.Cluster(opened, records).value();
+  EXPECT_EQ(from_snapshot.ids, in_memory.ids);
+  EXPECT_EQ(from_snapshot.roots, in_memory.roots);
+  std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------------- threading --
+
+TEST(ClusterConcurrencyTest, TilesRaceConcurrentInserts) {
+  // Clustering holds owned signature copies, so self-join waves must be
+  // able to overlap Insert/Flush on the same index. Candidates pointing
+  // at records inserted mid-job are skipped, not crashed on. (TSan runs
+  // this under the Cluster scope.)
+  const Corpus corpus = PlantedDuplicatesCorpus(SmallPlanted()).value();
+  ShardedEnsemble index =
+      ShardedEnsemble::Create(ShardOptions(2), Family()).value();
+  const ParallelSketcher sketcher(Family());
+  ASSERT_TRUE(AddCorpus(corpus, sketcher, &index).ok());
+  ASSERT_TRUE(index.Flush().ok());
+  const std::vector<ClusterRecord> records = CollectRecords(index);
+
+  std::atomic<bool> stop{false};
+  std::thread inserter([&] {
+    uint64_t next_id = 1 << 20;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<uint64_t> values;
+      for (uint64_t v = 0; v < 32; ++v) {
+        values.push_back((next_id << 8) + v);
+      }
+      ASSERT_TRUE(index.Insert(next_id++, values).ok());
+      std::this_thread::yield();
+    }
+  });
+
+  ClusterOptions options;
+  options.threshold = 0.9;
+  options.tile_size = 16;  // many waves -> many lock interleavings
+  const NearDupClusterer clusterer(options);
+  ClusterStats stats;
+  const auto result = clusterer.Cluster(index, records, &stats);
+  stop.store(true);
+  inserter.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().ids.size(), records.size());
+  // Concurrent inserts are disjoint-valued, so they may only ever appear
+  // as unknown candidates, never as edges.
+  EXPECT_EQ(stats.unique_pairs, stats.union_edges);
+}
+
+TEST(ClusterConcurrencyTest, CollectRecordsRacesInserts) {
+  ShardedEnsemble index =
+      ShardedEnsemble::Create(ShardOptions(2), Family()).value();
+  for (uint64_t id = 1; id <= 64; ++id) {
+    std::vector<uint64_t> values;
+    for (uint64_t v = 0; v < 16; ++v) values.push_back(id * 100 + v);
+    ASSERT_TRUE(index.Insert(id, values).ok());
+  }
+  ASSERT_TRUE(index.Flush().ok());
+
+  std::atomic<bool> stop{false};
+  std::thread inserter([&] {
+    uint64_t next_id = 1000;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<uint64_t> values{next_id * 100, next_id * 100 + 1,
+                                   next_id * 100 + 2};
+      ASSERT_TRUE(index.Insert(next_id++, values).ok());
+      std::this_thread::yield();
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<ClusterRecord> records = CollectRecords(index);
+    EXPECT_GE(records.size(), 64u);
+    for (const ClusterRecord& record : records) {
+      EXPECT_TRUE(record.signature.valid());
+    }
+  }
+  stop.store(true);
+  inserter.join();
+}
+
+}  // namespace
+}  // namespace lshensemble

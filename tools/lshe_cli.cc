@@ -10,6 +10,8 @@
 //                    [--catalog idx.cat --shards N --out DIR]
 //   lshe stats       --index idx.lshe [--catalog idx.cat] [--mmap]
 //   lshe verify      PATH [--quarantine]
+//   lshe cluster     SNAPSHOT_DIR --out clusters.tsv [--threshold 0.9]
+//                    [--tile-size N]  (or --index/--catalog [--shards N])
 //
 // `index` extracts every column of every CSV as a domain (paper Section 2:
 // dom(R) = projections on the attributes), sketches them, builds an LSH
@@ -44,6 +46,16 @@
 // query that cannot finish inside N microseconds fails with
 // DeadlineExceeded instead of running long (checked between partition
 // probes, so an expired deadline stops further forest work).
+//
+// `cluster` self-joins an index against itself (every indexed domain
+// becomes a query, in tiles of --tile-size BatchQuery waves) and groups
+// the candidate graph's connected components into near-duplicate
+// clusters (cluster/clusterer.h; see docs/clustering.md). Point it at a
+// sharded snapshot directory — opened zero-copy, shard count adopted
+// from the manifest — or at --index/--catalog to rebuild a serving
+// layer first. Output is a TSV of `id<TAB>root`, one line per domain in
+// ascending id order, where root is the smallest id in the domain's
+// cluster.
 
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +70,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/clusterer.h"
 #include "core/dynamic_ensemble.h"
 #include "core/lsh_ensemble.h"
 #include "core/sharded_ensemble.h"
@@ -92,6 +105,7 @@ struct Flags {
   int topk = 0;    // 0 = threshold mode
   int shards = 0;  // 0 = unsharded engines
   uint64_t deadline_us = 0;  // 0 = no per-query deadline
+  size_t tile_size = 2048;   // cluster: queries per self-join wave
   bool quarantine = false;   // verify: move stray files aside
   // serve flags
   std::string bind = "127.0.0.1";
@@ -128,6 +142,10 @@ void Usage() {
   lshe stats --index IDX [--catalog CAT] [--mmap] [--no-verify]
              [--no-madvise]
   lshe verify PATH [--quarantine]
+  lshe cluster SNAPSHOT_DIR [--out TSV] [--threshold T] [--tile-size N]
+             [--no-verify] [--no-madvise]
+  lshe cluster --index IDX --catalog CAT [--shards N] [--out TSV]
+             [--threshold T] [--tile-size N]
   lshe serve SNAPSHOT_DIR [--bind A] [--port N] [--port-file F]
              [--reactors N] [--dispatchers N] [--batch-max N]
              [--linger-us N] [--max-pending N] [--max-in-flight N]
@@ -146,6 +164,13 @@ finish within N microseconds with DeadlineExceeded.
 snapshot directory (see docs/serving.md): binary protocol on the data
 port, `GET /metrics` on the same port for scraping, reload requests
 hot-swap to the snapshot directory's current content. Stop with SIGINT.
+
+`cluster` self-joins the index and writes near-duplicate clusters as
+`id<TAB>root` TSV lines (ascending ids; root = smallest id in the
+cluster; --out defaults to stdout). A snapshot directory opens
+zero-copy with the manifest's shard count; the --index/--catalog form
+rebuilds a serving layer (--shards N, default 1) first. See
+docs/clustering.md.
 )");
 }
 
@@ -176,6 +201,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->shards = std::atoi(value);
     } else if (arg == "--deadline-us" && (value = next())) {
       flags->deadline_us = static_cast<uint64_t>(std::atoll(value));
+    } else if (arg == "--tile-size" && (value = next())) {
+      flags->tile_size = static_cast<size_t>(std::atoll(value));
     } else if (arg == "--bind" && (value = next())) {
       flags->bind = value;
     } else if (arg == "--port" && (value = next())) {
@@ -698,6 +725,90 @@ int RunVerify(const Flags& flags) {
   return 0;
 }
 
+int RunCluster(const Flags& flags) {
+  ClusterOptions options;
+  options.threshold = flags.threshold;
+  options.tile_size = flags.tile_size;
+  if (Status status = options.Validate(); !status.ok()) return Fail(status);
+
+  StopWatch watch;
+  std::optional<ShardedEnsemble> index;
+  if (flags.positional.size() == 1) {
+    // Snapshot-directory form: adopt shard count and hash width from the
+    // manifest (resharding on open is unsupported), open zero-copy.
+    const std::string& dir = flags.positional[0];
+    Result<ShardSnapshotManifest> manifest =
+        ShardedEnsemble::ReadSnapshotManifest(dir);
+    if (!manifest.ok()) return Fail(manifest.status());
+    ShardedEnsembleOptions serving;
+    serving.num_shards = static_cast<size_t>(manifest.value().num_shards);
+    serving.base.base.num_hashes =
+        static_cast<int>(manifest.value().num_hashes);
+    serving.base.min_delta_for_rebuild = std::numeric_limits<size_t>::max();
+    SnapshotOpenOptions open_options;
+    open_options.verify_checksums = flags.verify;
+    open_options.apply_madvise = flags.madvise;
+    auto opened = ShardedEnsemble::OpenSnapshot(dir, serving, open_options);
+    if (!opened.ok()) return Fail(opened.status());
+    index.emplace(std::move(opened).value());
+  } else if (!flags.index.empty() && !flags.catalog.empty()) {
+    // Catalog form: rebuild the catalog into a serving layer like
+    // batch-query --shards does, then self-join that.
+    auto ensemble = LoadEnsemble(flags.index);
+    if (!ensemble.ok()) return Fail(ensemble.status());
+    auto catalog = Catalog::Load(flags.catalog);
+    if (!catalog.ok()) return Fail(catalog.status());
+    ShardedEnsembleOptions serving;
+    serving.base.base = ensemble->options();
+    serving.base.min_delta_for_rebuild = std::numeric_limits<size_t>::max();
+    serving.num_shards = flags.shards > 0 ? static_cast<size_t>(flags.shards)
+                                          : 1;
+    auto built = ShardedEnsemble::Create(serving, catalog->family());
+    if (!built.ok()) return Fail(built.status());
+    index.emplace(std::move(built).value());
+    for (const CatalogEntry& entry : catalog->entries()) {
+      Status status = index->Insert(entry.id, entry.size, entry.signature);
+      if (!status.ok()) return Fail(status);
+    }
+    if (Status status = index->Flush(); !status.ok()) return Fail(status);
+  } else {
+    Usage();
+    return 2;
+  }
+
+  const std::vector<ClusterRecord> records = CollectRecords(*index);
+  const NearDupClusterer clusterer(options);
+  ClusterStats stats;
+  auto result = clusterer.Cluster(*index, records, &stats);
+  if (!result.ok()) return Fail(result.status());
+  const double elapsed = watch.ElapsedSeconds();
+
+  std::FILE* out = stdout;
+  if (!flags.out.empty()) {
+    out = std::fopen(flags.out.c_str(), "w");
+    if (out == nullptr) {
+      return Fail(Status::IOError("cannot write " + flags.out));
+    }
+  }
+  for (size_t i = 0; i < result->ids.size(); ++i) {
+    std::fprintf(out, "%llu\t%llu\n",
+                 static_cast<unsigned long long>(result->ids[i]),
+                 static_cast<unsigned long long>(result->roots[i]));
+  }
+  if (out != stdout && std::fclose(out) != 0) {
+    return Fail(Status::IOError("failed writing " + flags.out));
+  }
+  std::fprintf(
+      stderr,
+      "clustered %zu domains at t*=%.2f into %zu clusters "
+      "(%zu duplicate groups covering %zu domains; %zu tiles, "
+      "%zu candidate pairs, %.2fs, %.0f domains/sec)\n",
+      stats.num_records, options.threshold, stats.num_clusters,
+      stats.num_duplicate_groups, stats.num_duplicated_records,
+      stats.num_tiles, stats.unique_pairs, elapsed,
+      elapsed > 0 ? static_cast<double>(stats.num_records) / elapsed : 0.0);
+  return 0;
+}
 
 std::atomic<bool> g_serve_stop{false};
 
@@ -805,6 +916,7 @@ int Main(int argc, char** argv) {
   if (command == "snapshot") return RunSnapshot(flags);
   if (command == "stats") return RunStats(flags);
   if (command == "verify") return RunVerify(flags);
+  if (command == "cluster") return RunCluster(flags);
   if (command == "serve") return RunServe(flags);
   Usage();
   return 2;
