@@ -10,6 +10,7 @@
 // allocation-free on a warm context (the run fails otherwise) — that is
 // the machine check behind the "delta scan allocates nothing" claim.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -158,6 +159,11 @@ int Main(int argc, char** argv) {
   rows.push_back({"single", 1, num_queries, watch.ElapsedSeconds(),
                   g_allocations.load() - allocs_before});
 
+  // Machine check (ISSUE 10 acceptance): the vectorized slot-0 descent
+  // must be invisible in results — every batched row below has to
+  // reproduce the sequential Query() outputs byte for byte.
+  const std::vector<std::vector<uint64_t>> single_outs = outs;
+
   // --- batched engine at batch sizes 1 / 64 / 4096 --------------------
   QueryContext ctx;
   for (const size_t batch_size : {size_t{1}, size_t{64}, size_t{4096}}) {
@@ -180,6 +186,15 @@ int Main(int argc, char** argv) {
     run_batched();
     rows.push_back({"batch", batch_size, num_queries, watch.ElapsedSeconds(),
                     g_allocations.load() - allocs_before});
+    for (size_t i = 0; i < num_queries; ++i) {
+      if (outs[i] != single_outs[i]) {
+        std::fprintf(stderr,
+                     "FAIL: batch %zu result diverges from single-query at "
+                     "query %zu\n",
+                     batch_size, i);
+        return 1;
+      }
+    }
   }
 
   const double static_batch_qps =
@@ -307,6 +322,13 @@ int Main(int argc, char** argv) {
   run_dyn_single();
   rows.push_back({"dyn-single", 1, num_queries, watch.ElapsedSeconds(),
                   g_allocations.load() - allocs_before});
+  // Reference outputs for the dyn-batch and shard-batch identity checks
+  // (both serve the same 90% indexed + 10% delta corpus). The sharded
+  // gather canonicalizes to ascending-id order, so it compares against a
+  // sorted copy.
+  const std::vector<std::vector<uint64_t>> dyn_single_outs = outs;
+  std::vector<std::vector<uint64_t>> dyn_single_sorted = outs;
+  for (auto& out : dyn_single_sorted) std::sort(out.begin(), out.end());
 
   QueryContext dyn_ctx;
   constexpr size_t kDynBatch = 4096;
@@ -344,6 +366,15 @@ int Main(int argc, char** argv) {
   }
   rows.push_back({"dyn-batch", kDynBatch, num_queries, dyn_batch_seconds,
                   dyn_batch_allocs});
+  for (size_t i = 0; i < num_queries; ++i) {
+    if (outs[i] != dyn_single_outs[i]) {
+      std::fprintf(stderr,
+                   "FAIL: dyn-batch result diverges from dyn-single at "
+                   "query %zu\n",
+                   i);
+      return 1;
+    }
+  }
   const double dyn_batch_qps =
       static_cast<double>(num_queries) / rows.back().seconds;
 
@@ -454,6 +485,15 @@ int Main(int argc, char** argv) {
     }
     rows.push_back({"shard-batch", kDynBatch, num_queries, shard_seconds,
                     shard_allocs, num_shards});
+    for (size_t i = 0; i < num_queries; ++i) {
+      if (outs[i] != dyn_single_sorted[i]) {
+        std::fprintf(stderr,
+                     "FAIL: shard-batch (S=%zu) result diverges from "
+                     "dyn-single at query %zu\n",
+                     num_shards, i);
+        return 1;
+      }
+    }
 
     auto run_shard_topk = [&]() {
       const Status status =

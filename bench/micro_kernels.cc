@@ -5,12 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "baselines/exact_search.h"
 #include "core/threshold.h"
 #include "core/tuning.h"
 #include "lsh/lsh_forest.h"
+#include "minhash/hash_kernel.h"
 #include "minhash/minhash.h"
 #include "util/hashing.h"
 #include "util/random.h"
@@ -138,6 +141,74 @@ void BM_ExactSearchQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactSearchQuery)->Arg(10000)->Arg(50000);
+
+// --- lower_bound_many: the probe's lockstep slot-0 descent, per kernel --
+// One row per dispatch table the CPU supports (scalar / avx2 / avx512),
+// registered at static-init from the runtime kernel list. Args are
+// (n = keys per tree, count = pending trees per call); n=52 matches the
+// throughput bench's per-forest population, 4096 is the slot-0 run-index
+// ceiling, 65536 exercises a deep gather-bound descent. Run with
+// --benchmark_format=json (or --benchmark_out=...) for JSON rows.
+void BM_LowerBoundMany(benchmark::State& state, const HashKernelOps* ops) {
+  constexpr uint32_t kNumTrees = 32;
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const size_t count = static_cast<size_t>(state.range(1));
+  Rng rng(7);
+  // Duplicate-heavy sorted arrays: values drawn from [0, n) leave every
+  // key with an expected run of ~1 plus genuine multi-element runs, the
+  // distribution the forest's truncated-hash slot 0 produces.
+  std::vector<uint32_t> first_keys(size_t{kNumTrees} * n);
+  for (uint32_t t = 0; t < kNumTrees; ++t) {
+    uint32_t* tree = first_keys.data() + size_t{t} * n;
+    for (uint32_t i = 0; i < n; ++i) {
+      tree[i] = static_cast<uint32_t>(rng.NextBounded(n));
+    }
+    std::sort(tree, tree + n);
+  }
+  std::vector<uint32_t> trees(count), keys(count), lo(count), hi(count);
+  for (size_t i = 0; i < count; ++i) {
+    trees[i] = static_cast<uint32_t>(rng.NextBounded(kNumTrees));
+    keys[i] = static_cast<uint32_t>(rng.NextBounded(n + 2));
+  }
+  // In-binary parity: a kernel must reproduce the scalar ranges bit for
+  // bit before it may report a time.
+  std::vector<uint32_t> want_lo(count, 0), want_hi(count, n);
+  ScalarKernelOps().lower_bound_many(first_keys.data(), n, trees.data(),
+                                     keys.data(), count, want_lo.data(),
+                                     want_hi.data());
+  std::fill(lo.begin(), lo.end(), 0u);
+  std::fill(hi.begin(), hi.end(), n);
+  ops->lower_bound_many(first_keys.data(), n, trees.data(), keys.data(),
+                        count, lo.data(), hi.data());
+  if (lo != want_lo || hi != want_hi) {
+    state.SkipWithError("lower_bound_many diverges from the scalar kernel");
+    return;
+  }
+  for (auto _ : state) {
+    std::fill(lo.begin(), lo.end(), 0u);
+    std::fill(hi.begin(), hi.end(), n);
+    ops->lower_bound_many(first_keys.data(), n, trees.data(), keys.data(),
+                          count, lo.data(), hi.data());
+    benchmark::DoNotOptimize(lo.data());
+    benchmark::DoNotOptimize(hi.data());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+
+const int kRegisterLowerBoundMany = [] {
+  const HashKernelOps* kernels[] = {&ScalarKernelOps(), Avx2KernelOps(),
+                                    Avx512KernelOps()};
+  for (const HashKernelOps* ops : kernels) {
+    if (ops == nullptr) continue;
+    const std::string name =
+        std::string("BM_LowerBoundMany/") + ops->name;
+    benchmark::RegisterBenchmark(name.c_str(), BM_LowerBoundMany, ops)
+        ->Args({52, 32})
+        ->Args({4096, 32})
+        ->Args({65536, 32});
+  }
+  return 0;
+}();
 
 void BM_HashBytes(benchmark::State& state) {
   const std::string value = "NSERC GRANT PARTNER 2011";

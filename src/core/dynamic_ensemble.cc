@@ -184,6 +184,8 @@ Status DynamicLshEnsemble::BatchQuery(std::span<const QuerySpec> specs,
         stats[i].query_size_used = static_cast<size_t>(ctx->dynamic_q_[i]);
         stats[i].partitions_probed = 0;
         stats[i].partitions_pruned = 0;
+        stats[i].slot0_cache_hits = 0;
+        stats[i].slot0_gallop_resumes = 0;
         stats[i].tuned.clear();
       }
     }

@@ -1,6 +1,7 @@
 #include "core/lsh_ensemble.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 
@@ -313,12 +314,15 @@ inline void AssertUniqueCandidates(const std::vector<uint64_t>& ids) {
 inline void FillStats(QueryStats* stats, size_t q,
                       const std::vector<uint8_t>& probed,
                       const std::vector<TunedParams>& tuned,
-                      size_t filter_skipped = 0) {
+                      size_t filter_skipped = 0, uint64_t slot0_hits = 0,
+                      uint64_t slot0_gallops = 0) {
   if (stats == nullptr) return;
   stats->query_size_used = q;
   stats->partitions_probed = 0;
   stats->partitions_pruned = 0;
   stats->partitions_filter_skipped = filter_skipped;
+  stats->slot0_cache_hits = slot0_hits;
+  stats->slot0_gallop_resumes = slot0_gallops;
   stats->tuned.clear();
   for (size_t i = 0; i < probed.size(); ++i) {
     if (probed[i]) {
@@ -421,6 +425,10 @@ Status LshEnsemble::QueryOne(const QuerySpec& spec, QueryContext::Shard* shard,
   const bool use_filters = !filters_.empty();
   const int num_trees = options_.num_hashes / options_.tree_depth;
   size_t filter_skipped = 0;
+  // The scratch counters are cumulative; per-query stats report the delta
+  // across this query's probes.
+  const uint64_t hits0 = shard->probe.slot0_cache_hits();
+  const uint64_t gallops0 = shard->probe.slot0_gallop_resumes();
   if (use_filters) {
     shard->filter_hashes.resize(static_cast<size_t>(num_trees));
     StageFilterHashes(*spec.query, num_trees, options_.tree_depth,
@@ -469,7 +477,9 @@ Status LshEnsemble::QueryOne(const QuerySpec& spec, QueryContext::Shard* shard,
   shard->tuned_valid = true;
 
   AssertUniqueCandidates(*out);
-  FillStats(stats, q, shard->probed, shard->tuned, filter_skipped);
+  FillStats(stats, q, shard->probed, shard->tuned, filter_skipped,
+            shard->probe.slot0_cache_hits() - hits0,
+            shard->probe.slot0_gallop_resumes() - gallops0);
   return Status::OK();
 }
 
@@ -494,6 +504,8 @@ Status LshEnsemble::QueryChunk(std::span<const QuerySpec> specs,
       stats[i].partitions_probed = 0;
       stats[i].partitions_pruned = 0;
       stats[i].partitions_filter_skipped = 0;
+      stats[i].slot0_cache_hits = 0;
+      stats[i].slot0_gallop_resumes = 0;
       stats[i].tuned.clear();
     }
   }
@@ -563,9 +575,21 @@ Status LshEnsemble::QueryChunk(std::span<const QuerySpec> specs,
         if (stats != nullptr) ++stats[i].partitions_filter_skipped;
         continue;
       }
-      LSHE_RETURN_IF_ERROR(forest.Probe(*specs[i].query, memo_params.b,
-                                        memo_params.r, &shard->probe,
-                                        &outs[i]));
+      if (stats == nullptr) {
+        LSHE_RETURN_IF_ERROR(forest.Probe(*specs[i].query, memo_params.b,
+                                          memo_params.r, &shard->probe,
+                                          &outs[i]));
+      } else {
+        const uint64_t hits0 = shard->probe.slot0_cache_hits();
+        const uint64_t gallops0 = shard->probe.slot0_gallop_resumes();
+        LSHE_RETURN_IF_ERROR(forest.Probe(*specs[i].query, memo_params.b,
+                                          memo_params.r, &shard->probe,
+                                          &outs[i]));
+        stats[i].slot0_cache_hits +=
+            shard->probe.slot0_cache_hits() - hits0;
+        stats[i].slot0_gallop_resumes +=
+            shard->probe.slot0_gallop_resumes() - gallops0;
+      }
     }
   }
 
@@ -608,6 +632,8 @@ Status LshEnsemble::QueryOnePartitionParallel(const QuerySpec& spec,
     }
   }
 
+  std::atomic<uint64_t> slot0_hits{0};
+  std::atomic<uint64_t> slot0_gallops{0};
   auto probe = [&](size_t i) {
     ctx->partials_[i].clear();
     if (spec.deadline_ns != 0) {
@@ -631,10 +657,19 @@ Status LshEnsemble::QueryOnePartitionParallel(const QuerySpec& spec,
       return;
     }
     QueryContext::Shard* shard = ctx->AcquireShard();
+    const uint64_t hits0 = shard->probe.slot0_cache_hits();
+    const uint64_t gallops0 = shard->probe.slot0_gallop_resumes();
     ctx->statuses_[i] =
         forests_[i].Probe(*spec.query, main_shard->tuned[i].b,
                           main_shard->tuned[i].r, &shard->probe,
                           &ctx->partials_[i]);
+    if (stats != nullptr) {
+      slot0_hits.fetch_add(shard->probe.slot0_cache_hits() - hits0,
+                           std::memory_order_relaxed);
+      slot0_gallops.fetch_add(
+          shard->probe.slot0_gallop_resumes() - gallops0,
+          std::memory_order_relaxed);
+    }
     ctx->ReleaseShard(shard);
   };
   ThreadPool::Shared().ParallelFor(n, probe);
@@ -661,7 +696,8 @@ Status LshEnsemble::QueryOnePartitionParallel(const QuerySpec& spec,
       }
     }
     FillStats(stats, q, main_shard->probed, main_shard->tuned,
-              filter_skipped);
+              filter_skipped, slot0_hits.load(std::memory_order_relaxed),
+              slot0_gallops.load(std::memory_order_relaxed));
   }
   ctx->ReleaseShard(main_shard);
   return first_error;

@@ -120,6 +120,13 @@ struct QueryStats {
   size_t partitions_filter_skipped = 0;
   /// Tuned (b, r) per probed partition, in partition order.
   std::vector<TunedParams> tuned;
+  /// Slot-0 search accounting over this query's forest probes (see
+  /// LshForest::ProbeScratch): trees whose slot-0 equal range was
+  /// answered without a descent (run-index or memo hit), and descents
+  /// whose window was galloped down from the per-tree last-range memo
+  /// instead of starting at [0, n).
+  uint64_t slot0_cache_hits = 0;
+  uint64_t slot0_gallop_resumes = 0;
   /// Shard accounting, filled only by ShardedEnsemble's stats overload:
   /// shards whose candidates made this query's output vs shards skipped
   /// because the query deadline cut them off (partial-results mode).

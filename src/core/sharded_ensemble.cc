@@ -522,6 +522,9 @@ Status ShardedEnsemble::BatchQueryImpl(std::span<const QuerySpec> specs,
           merged.partitions_pruned += shard_stats[s][i].partitions_pruned;
           merged.partitions_filter_skipped +=
               shard_stats[s][i].partitions_filter_skipped;
+          merged.slot0_cache_hits += shard_stats[s][i].slot0_cache_hits;
+          merged.slot0_gallop_resumes +=
+              shard_stats[s][i].slot0_gallop_resumes;
         }
         merged.shards_gathered = gathered_count;
         merged.shards_skipped = num_shards - gathered_count;

@@ -62,12 +62,23 @@ class LshForest {
     size_t MemoryBytes() const {
       return marks_.capacity() * sizeof(uint32_t) +
              prefix_.capacity() * sizeof(uint32_t) +
-             cursors_.capacity() * sizeof(const uint32_t*) +
-             (slot0_keys_.capacity() + pending_.capacity()) *
+             (slot0_keys_.capacity() + pending_.capacity() +
+              pend_keys_.capacity() + pend_lo_.capacity() +
+              pend_hi_.capacity()) *
                  sizeof(uint32_t) +
              (range_lo_.capacity() + range_hi_.capacity()) * sizeof(size_t) +
-             range_cache_.capacity() * sizeof(RangeCacheSlot);
+             range_cache_.capacity() * sizeof(RangeCacheSlot) +
+             tree_memo_.capacity() * sizeof(TreeMemoSlot);
     }
+
+    /// Cumulative count of probed trees whose slot-0 equal range was
+    /// answered from the memo without any search: a direct (tree, key)
+    /// cache hit, or the per-tree last-range memo re-seeing its key.
+    uint64_t slot0_cache_hits() const { return slot0_cache_hits_; }
+    /// Cumulative count of probed trees whose descent window was galloped
+    /// down from the per-tree last-range memo instead of starting at
+    /// [0, n).
+    uint64_t slot0_gallop_resumes() const { return slot0_gallop_resumes_; }
 
    private:
     friend class LshForest;
@@ -85,6 +96,20 @@ class LshForest {
     };
     /// Cache size; 4096 20-byte slots keep the table L2-resident.
     static constexpr size_t kRangeCacheSlots = 4096;
+
+    /// The last slot-0 equal range the scratch computed for one tree of
+    /// the current owner forest: probing `tree` with first-slot key `key`
+    /// yielded [lo, hi). Unlike the direct-mapped cache above (exact
+    /// repeats only), this memo also pays off on a *miss*: a different
+    /// key is ordered against `key`, so the next descent can gallop from
+    /// hi (key above) or lo (key below) instead of bisecting [0, n).
+    /// Valid iff `gen` matches the scratch's current generation.
+    struct TreeMemoSlot {
+      uint32_t key = 0;
+      uint32_t gen = 0;
+      uint32_t lo = 0;
+      uint32_t hi = 0;
+    };
 
     /// Direct-mapped slot index for (tree, p0).
     static size_t CacheIndex(uint32_t tree, uint32_t p0) {
@@ -106,14 +131,19 @@ class LshForest {
 
     std::vector<uint32_t> marks_;
     std::vector<uint32_t> prefix_;
-    // Interleaved first-slot search state: one cursor and key per probed
-    // tree (see Probe()), plus the list of trees that missed the cache.
-    std::vector<const uint32_t*> cursors_;
+    // First-slot search state: one key per probed tree, the list of trees
+    // that missed the memos, and their kernel-facing key/window arrays
+    // (inputs seeded by the gallop, overwritten with the equal ranges by
+    // HashKernelOps::lower_bound_many).
     std::vector<uint32_t> slot0_keys_;
     std::vector<uint32_t> pending_;
+    std::vector<uint32_t> pend_keys_;
+    std::vector<uint32_t> pend_lo_;
+    std::vector<uint32_t> pend_hi_;
     std::vector<size_t> range_lo_;
     std::vector<size_t> range_hi_;
     std::vector<RangeCacheSlot> range_cache_;
+    std::vector<TreeMemoSlot> tree_memo_;
     // Owner identity is the forest's process-unique instance id, not its
     // address: a destroyed forest's address can be reallocated to a new
     // one, which must not inherit its cached ranges.
@@ -125,6 +155,11 @@ class LshForest {
     // its allocation and fills.
     uint32_t owner_streak_ = 0;
     uint32_t epoch_ = 0;
+    // Memo-effectiveness counters (see the public accessors above);
+    // cumulative across the scratch's lifetime, sampled as deltas by the
+    // engine's stats plumbing.
+    uint64_t slot0_cache_hits_ = 0;
+    uint64_t slot0_gallop_resumes_ = 0;
   };
 
   /// \param num_trees   b_max: maximum number of probe trees.
@@ -240,6 +275,41 @@ class LshForest {
   /// Derive first_keys_ from the tree-major sorted key arena.
   void BuildFirstKeys();
 
+  /// One slot-0 run of the forest: tree `key >> 32` holds first-slot key
+  /// `(uint32_t)key` at sorted positions [lo, hi). Slot of the open
+  /// addressing table below; `key == kSlot0EmptyKey` marks a free slot
+  /// (unreachable as a real key: tree indices are ints, far below 2^32-1).
+  struct Slot0Run {
+    uint64_t key;
+    uint32_t lo;
+    uint32_t hi;
+  };
+  static constexpr uint64_t kSlot0EmptyKey = ~uint64_t{0};
+  /// Forests at or below this entry count get an exact slot-0 run index;
+  /// above it the table's footprint stops being small next to the key
+  /// arena and probes use the descent kernels instead. Matches the size
+  /// where the probe's galloping warm-start turns on.
+  static constexpr size_t kSlot0IndexMaxN = 4096;
+
+  /// Build slot0_runs_ from first_keys_: every (tree, first-slot key) run
+  /// of a small forest, in one power-of-two open-addressing table. Called
+  /// by Index() and the v1 deserialize path; mapped opens skip it to keep
+  /// their no-fault-in guarantee (their probes take the descent path).
+  void BuildSlot0RunIndex();
+
+  /// Table slot for `key`, following the linear-probe chain to the run or
+  /// the first empty slot. Requires slot0_runs_ to be built.
+  const Slot0Run& FindSlot0Run(uint64_t key) const {
+    size_t h = key * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 32;
+    h &= slot0_mask_;
+    while (slot0_runs_[h].key != key &&
+           slot0_runs_[h].key != kSlot0EmptyKey) {
+      h = (h + 1) & slot0_mask_;
+    }
+    return slot0_runs_[h];
+  }
+
   int num_trees_;
   int tree_depth_;
   bool indexed_ = false;
@@ -261,6 +331,10 @@ class LshForest {
   // absent from the v1 wire format (v2 snapshots store it so a mapped
   // open derives nothing): see TreeFirstKeys().
   ArenaRef<uint32_t> first_keys_;
+  // Derived slot-0 run index for small owned forests (empty otherwise);
+  // never serialized. See BuildSlot0RunIndex().
+  std::vector<Slot0Run> slot0_runs_;
+  size_t slot0_mask_ = 0;
   // Tree-major permutation arena (filled by Index()): TreeEntries(t)[pos]
   // is the insertion index of tree t's key at sorted position `pos`, so
   // ids_[TreeEntries(t)[pos]] is the owning id.

@@ -787,6 +787,18 @@ struct Server::Impl {
       s = engine->BatchQuery(specs, outs.data());
     }
     metrics.dispatch_latency_us.Record((SteadyNowNanos() - start) / 1000);
+    if (s.ok() && !stats.empty()) {
+      // On error the stats contents are unspecified; only sum a
+      // successful wave's counters.
+      uint64_t hits = 0, gallops = 0;
+      for (const QueryStats& st : stats) {
+        hits += st.slot0_cache_hits;
+        gallops += st.slot0_gallop_resumes;
+      }
+      metrics.slot0_cache_hits.fetch_add(hits, std::memory_order_relaxed);
+      metrics.slot0_gallop_resumes.fetch_add(gallops,
+                                             std::memory_order_relaxed);
+    }
     if (s.ok()) {
       for (size_t i = 0; i < wave.size(); ++i) {
         QueryResponse resp;

@@ -306,6 +306,97 @@ TEST(HashKernelTest, RefinePrefixRangeParity) {
   }
 }
 
+// ---------------------------------------------------- lower bound many --
+
+// Cross-kernel parity for the lockstep slot-0 descent: every available
+// table must return the scalar table's exact equal ranges across array
+// sizes, batch counts (vector main loop + scalar tail), duplicate-heavy
+// key distributions, and seeded sub-windows like the ones Probe's
+// galloping warm-start produces.
+TEST(HashKernelTest, LowerBoundManyParity) {
+  Rng rng(77);
+  for (const uint32_t n : {1u, 2u, 3u, 7u, 8u, 31u, 52u, 400u, 4099u}) {
+    // Alphabet 2 forces giant runs, 16 mixes runs and misses, and the
+    // full-width draw makes nearly every key distinct (and most lookups
+    // misses).
+    for (const uint64_t alphabet : {uint64_t{2}, uint64_t{16},
+                                    uint64_t{1} << 32}) {
+      const uint32_t num_trees = 5;
+      std::vector<uint32_t> arena(static_cast<size_t>(num_trees) * n);
+      for (uint32_t t = 0; t < num_trees; ++t) {
+        uint32_t* first = arena.data() + static_cast<size_t>(t) * n;
+        for (uint32_t i = 0; i < n; ++i) {
+          first[i] =
+              static_cast<uint32_t>(rng.NextInRange(0, alphabet - 1));
+        }
+        std::sort(first, first + n);
+      }
+      // Batch sizes around the 8/16-lane vector widths, plus tails.
+      for (const size_t count : {size_t{1}, size_t{7}, size_t{8},
+                                 size_t{16}, size_t{37}}) {
+        std::vector<uint32_t> trees(count), keys(count);
+        std::vector<uint32_t> want_lo(count), want_hi(count);
+        for (size_t i = 0; i < count; ++i) {
+          trees[i] = static_cast<uint32_t>(rng.NextInRange(0, num_trees - 1));
+          // Mix present keys with near-misses (+-1 probes run edges).
+          const uint32_t* first =
+              arena.data() + static_cast<size_t>(trees[i]) * n;
+          uint32_t key = first[rng.NextInRange(0, n - 1)];
+          if (rng.NextInRange(0, 2) == 0) {
+            key += static_cast<uint32_t>(rng.NextInRange(0, 2)) - 1;
+          }
+          keys[i] = key;
+          const uint32_t lb = static_cast<uint32_t>(
+              std::lower_bound(first, first + n, key) - first);
+          const uint32_t ub = static_cast<uint32_t>(
+              std::upper_bound(first, first + n, key) - first);
+          // Seed a valid bracketing window: full array, the exact range
+          // (possibly empty), or a random widening of it — the same
+          // contract Probe's gallop guarantees.
+          switch (rng.NextInRange(0, 2)) {
+            case 0:
+              want_lo[i] = 0;
+              want_hi[i] = n;
+              break;
+            case 1:
+              want_lo[i] = lb;
+              want_hi[i] = ub;
+              break;
+            default:
+              want_lo[i] =
+                  static_cast<uint32_t>(rng.NextInRange(0, lb));
+              want_hi[i] =
+                  static_cast<uint32_t>(rng.NextInRange(ub, n));
+              break;
+          }
+        }
+        std::vector<uint32_t> ref_lo = want_lo, ref_hi = want_hi;
+        ScalarKernelOps().lower_bound_many(arena.data(), n, trees.data(),
+                                           keys.data(), count,
+                                           ref_lo.data(), ref_hi.data());
+        for (size_t i = 0; i < count; ++i) {
+          const uint32_t* first =
+              arena.data() + static_cast<size_t>(trees[i]) * n;
+          EXPECT_EQ(ref_lo[i], std::lower_bound(first, first + n, keys[i]) -
+                                   first);
+          EXPECT_EQ(ref_hi[i], std::upper_bound(first, first + n, keys[i]) -
+                                   first);
+        }
+        for (const HashKernelOps* ops : AvailableKernels()) {
+          SCOPED_TRACE(::testing::Message()
+                       << ops->name << " n=" << n << " alphabet=" << alphabet
+                       << " count=" << count);
+          std::vector<uint32_t> got_lo = want_lo, got_hi = want_hi;
+          ops->lower_bound_many(arena.data(), n, trees.data(), keys.data(),
+                                count, got_lo.data(), got_hi.data());
+          EXPECT_EQ(got_lo, ref_lo);
+          EXPECT_EQ(got_hi, ref_hi);
+        }
+      }
+    }
+  }
+}
+
 // --------------------------------------------------- parallel sketcher --
 
 Corpus SmallCorpus(size_t domains, uint64_t seed) {
@@ -388,6 +479,7 @@ TEST(HashKernelTest, ActiveKernelIsAvailable) {
   EXPECT_NE(active.update_one, nullptr);
   EXPECT_NE(active.update_batch, nullptr);
   EXPECT_NE(active.refine_prefix_range, nullptr);
+  EXPECT_NE(active.lower_bound_many, nullptr);
 }
 
 }  // namespace

@@ -308,6 +308,37 @@ TEST(LshEnsembleTest, StatsReportProbedAndPruned) {
   }
 }
 
+TEST(LshEnsembleTest, SlotZeroCountersReachQueryStats) {
+  const Corpus corpus = SmallCorpus(600, 23);
+  auto family = Family();
+  auto ensemble = BuildEnsemble(corpus, LshEnsembleOptions{}, family);
+  ASSERT_TRUE(ensemble.ok());
+
+  // A self-query finds its own slot-0 runs in every tree of its home
+  // partition, so the per-query counters must be visible through stats on
+  // both the single-query path...
+  const Domain& domain = corpus.domain(50);
+  auto sketch = MinHash::FromValues(family, domain.values);
+  QueryStats stats;
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(
+      ensemble->Query(sketch, domain.size(), 0.5, &out, &stats).ok());
+  EXPECT_GT(stats.slot0_cache_hits + stats.slot0_gallop_resumes, 0u);
+
+  // ...and the batched (partition-major chunk) path.
+  const std::vector<QuerySpec> specs(3,
+                                     QuerySpec{&sketch, domain.size(), 0.5});
+  QueryContext ctx;
+  std::vector<std::vector<uint64_t>> outs(specs.size());
+  std::vector<QueryStats> batch_stats(specs.size());
+  ASSERT_TRUE(ensemble
+                  ->BatchQuery(specs, &ctx, outs.data(), batch_stats.data())
+                  .ok());
+  for (const QueryStats& st : batch_stats) {
+    EXPECT_GT(st.slot0_cache_hits + st.slot0_gallop_resumes, 0u);
+  }
+}
+
 TEST(LshEnsembleTest, EstimatedQuerySizeCloseToExact) {
   const Corpus corpus = SmallCorpus(800, 9);
   auto family = Family();

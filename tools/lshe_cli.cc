@@ -101,6 +101,9 @@ struct Flags {
   std::string query_csv;
   std::string column;
   std::string delta_csv;
+  // cluster: re-extract these CSVs so every record carries its raw Domain
+  // and candidate edges are verified by exact containment (repeatable).
+  std::vector<std::string> verify_csv;
   double threshold = 0.5;
   int topk = 0;    // 0 = threshold mode
   int shards = 0;  // 0 = unsharded engines
@@ -143,9 +146,9 @@ void Usage() {
              [--no-madvise]
   lshe verify PATH [--quarantine]
   lshe cluster SNAPSHOT_DIR [--out TSV] [--threshold T] [--tile-size N]
-             [--no-verify] [--no-madvise]
+             [--verify-csv CSV]... [--no-verify] [--no-madvise]
   lshe cluster --index IDX --catalog CAT [--shards N] [--out TSV]
-             [--threshold T] [--tile-size N]
+             [--threshold T] [--tile-size N] [--verify-csv CSV]...
   lshe serve SNAPSHOT_DIR [--bind A] [--port N] [--port-file F]
              [--reactors N] [--dispatchers N] [--batch-max N]
              [--linger-us N] [--max-pending N] [--max-in-flight N]
@@ -169,7 +172,12 @@ hot-swap to the snapshot directory's current content. Stop with SIGINT.
 `id<TAB>root` TSV lines (ascending ids; root = smallest id in the
 cluster; --out defaults to stdout). A snapshot directory opens
 zero-copy with the manifest's shard count; the --index/--catalog form
-rebuilds a serving layer (--shards N, default 1) first. See
+rebuilds a serving layer (--shards N, default 1) first.
+`--verify-csv CSV` (repeatable) re-extracts the raw domains from the
+CSVs the index was built from — pass the same files, order and
+--min-size — and rejects candidate edges that fail exact containment
+at t*, so clusters carry no LSH false positives. Every indexed id must
+resolve to a re-extracted domain or the command fails. See
 docs/clustering.md.
 )");
 }
@@ -193,6 +201,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->column = value;
     } else if (arg == "--delta" && (value = next())) {
       flags->delta_csv = value;
+    } else if (arg == "--verify-csv" && (value = next())) {
+      flags->verify_csv.push_back(value);
     } else if (arg == "--threshold" && (value = next())) {
       flags->threshold = std::atof(value);
     } else if (arg == "--topk" && (value = next())) {
@@ -776,7 +786,39 @@ int RunCluster(const Flags& flags) {
     return 2;
   }
 
-  const std::vector<ClusterRecord> records = CollectRecords(*index);
+  std::vector<ClusterRecord> records = CollectRecords(*index);
+  // --verify-csv: re-extract the raw domains (same extraction pass as
+  // `lshe index`, so ids line up) and attach one to every record; the
+  // clusterer then drops candidate edges that fail exact containment.
+  std::vector<Corpus> verify_corpora;
+  if (!flags.verify_csv.empty()) {
+    ExtractOptions extract;
+    extract.min_domain_size = flags.min_domain_size;
+    uint64_t next_id = 1;
+    std::unordered_map<uint64_t, const Domain*> domains_by_id;
+    for (const std::string& path : flags.verify_csv) {
+      auto table = ReadCsvFile(path);
+      if (!table.ok()) return Fail(table.status());
+      verify_corpora.emplace_back(ExtractDomains(*table, next_id, extract));
+      const Corpus& corpus = verify_corpora.back();
+      for (size_t i = 0; i < corpus.size(); ++i) {
+        const Domain& domain = corpus.domain(i);
+        domains_by_id[domain.id] = &domain;
+        next_id = std::max(next_id, domain.id + 1);
+      }
+    }
+    for (ClusterRecord& record : records) {
+      const auto it = domains_by_id.find(record.id);
+      if (it == domains_by_id.end()) {
+        return Fail(Status::InvalidArgument(
+            "--verify-csv: indexed domain id " + std::to_string(record.id) +
+            " has no re-extracted domain; pass the same CSVs (same order "
+            "and --min-size) the index was built from"));
+      }
+      record.domain = it->second;
+    }
+    options.verify_exact = true;
+  }
   const NearDupClusterer clusterer(options);
   ClusterStats stats;
   auto result = clusterer.Cluster(*index, records, &stats);
@@ -807,6 +849,11 @@ int RunCluster(const Flags& flags) {
       stats.num_duplicate_groups, stats.num_duplicated_records,
       stats.num_tiles, stats.unique_pairs, elapsed,
       elapsed > 0 ? static_cast<double>(stats.num_records) / elapsed : 0.0);
+  if (options.verify_exact) {
+    std::fprintf(stderr,
+                 "exact verification rejected %zu of %zu candidate pairs\n",
+                 stats.verified_rejected, stats.unique_pairs);
+  }
   return 0;
 }
 
